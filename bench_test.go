@@ -1,0 +1,319 @@
+package profitlb
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (each re-runs the registered experiment that
+// regenerates the artifact), plus micro-benchmarks of the optimization
+// substrates and the ablations called out in DESIGN.md §5.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"profitlb/internal/core"
+	"profitlb/internal/exp"
+	"profitlb/internal/lp"
+	"profitlb/internal/sim"
+	"profitlb/internal/tuf"
+	"profitlb/internal/workload"
+)
+
+// benchExperiment re-runs a registered experiment end to end.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig01Prices(b *testing.B)         { benchExperiment(b, "fig1") }
+func BenchmarkTab02ArrivalSets(b *testing.B)    { benchExperiment(b, "tab2") }
+func BenchmarkTab03DataCenters(b *testing.B)    { benchExperiment(b, "tab3") }
+func BenchmarkFig04aLowLoad(b *testing.B)       { benchExperiment(b, "fig4a") }
+func BenchmarkFig04bHighLoad(b *testing.B)      { benchExperiment(b, "fig4b") }
+func BenchmarkFig05Traces(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkTab04Capacities(b *testing.B)     { benchExperiment(b, "tab4") }
+func BenchmarkTab05Distances(b *testing.B)      { benchExperiment(b, "tab5") }
+func BenchmarkTab06ProcessingCost(b *testing.B) { benchExperiment(b, "tab6") }
+func BenchmarkTab07TUFs(b *testing.B)           { benchExperiment(b, "tab7") }
+func BenchmarkFig06NetProfit(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig07Dispatch(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkTab08Capacities(b *testing.B)     { benchExperiment(b, "tab8") }
+func BenchmarkTab09SubDeadlines(b *testing.B)   { benchExperiment(b, "tab9") }
+func BenchmarkTab10TUFValues(b *testing.B)      { benchExperiment(b, "tab10") }
+func BenchmarkTab11Power(b *testing.B)          { benchExperiment(b, "tab11") }
+func BenchmarkFig08TwoLevel(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig09Alloc(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10aLowLoad(b *testing.B)       { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bHighLoad(b *testing.B)      { benchExperiment(b, "fig10b") }
+
+// BenchmarkFig11PlanTime reproduces the computation-time sweep directly:
+// one sub-benchmark per fleet size, timing single per-server planner calls
+// (the quantity plotted in the paper's Fig. 11).
+func BenchmarkFig11PlanTime(b *testing.B) {
+	for _, m := range exp.Fig11ServerCounts {
+		m := m
+		b.Run(planSizeName(m), func(b *testing.B) {
+			planner := core.NewOptimized()
+			planner.PerServer = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.PlanOnce(m, planner); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func planSizeName(m int) string { return fmt.Sprintf("servers=%02d", m) }
+
+// Substrate micro-benchmarks.
+
+func benchInput() *core.Input {
+	ts := exp.NewTwoLevelSetup()
+	return &core.Input{
+		Sys:      ts.Sys,
+		Arrivals: [][]float64{{ts.Traces[0].At(15, 0), ts.Traces[0].At(15, 1)}},
+		Prices:   []float64{ts.Prices[0].At(15), ts.Prices[1].At(15)},
+	}
+}
+
+func BenchmarkPlannerOptimized(b *testing.B) {
+	in := benchInput()
+	p := core.NewOptimized()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Plan(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerBalanced(b *testing.B) {
+	in := benchInput()
+	p := NewBalanced()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Plan(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 1 (DESIGN.md §5): level-search strategies.
+func BenchmarkLevelSearchStrategies(b *testing.B) {
+	in := benchInput()
+	for _, s := range []core.Strategy{core.Exhaustive, core.Greedy, core.BranchBound} {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			p := core.NewLevelSearch()
+			p.Strategy = s
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Plan(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation 2: simplex pivoting rules on the dispatch LP.
+func BenchmarkSimplexPivot(b *testing.B) {
+	in := benchInput()
+	for _, bland := range []bool{false, true} {
+		name := "dantzig"
+		if bland {
+			name = "bland"
+		}
+		bland := bland
+		b.Run(name, func(b *testing.B) {
+			p := core.NewOptimized()
+			p.LPOpts = lp.Options{Bland: bland}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Plan(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation 3: per-server (paper-faithful) vs aggregated variables.
+func BenchmarkAggregation(b *testing.B) {
+	in := benchInput()
+	for _, perServer := range []bool{false, true} {
+		name := "aggregated"
+		if perServer {
+			name = "per-server"
+		}
+		perServer := perServer
+		b.Run(name, func(b *testing.B) {
+			p := core.NewOptimized()
+			p.PerServer = perServer
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Plan(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation 4: subset refinement on vs off.
+func BenchmarkRefinement(b *testing.B) {
+	in := benchInput()
+	for _, refine := range []bool{false, true} {
+		name := "off"
+		if refine {
+			name = "on"
+		}
+		refine := refine
+		b.Run(name, func(b *testing.B) {
+			p := core.NewOptimized()
+			p.Refine = refine
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Plan(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimplexDispatchLPDirect(b *testing.B) {
+	// A raw LP of the Section VI shape: 3 types × 3 centers × 4 FEs.
+	build := func() *lp.Model {
+		m := lp.NewModel()
+		const K, S, L = 3, 4, 3
+		var x [K][S][L]int
+		var f [K][L]int
+		for k := 0; k < K; k++ {
+			for l := 0; l < L; l++ {
+				f[k][l] = m.AddVariable("f", 0)
+				for s := 0; s < S; s++ {
+					x[k][s][l] = m.AddVariable("x", 10+float64(k))
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			for l := 0; l < L; l++ {
+				terms := []lp.Term{{Var: f[k][l], Coef: 9000}}
+				for s := 0; s < S; s++ {
+					terms = append(terms, lp.Term{Var: x[k][s][l], Coef: -1})
+				}
+				m.AddConstraint("cap", terms, lp.GE, 600)
+			}
+			for s := 0; s < S; s++ {
+				var terms []lp.Term
+				for l := 0; l < L; l++ {
+					terms = append(terms, lp.Term{Var: x[k][s][l], Coef: 1})
+				}
+				m.AddConstraint("arr", terms, lp.LE, 2500)
+			}
+		}
+		for l := 0; l < L; l++ {
+			var terms []lp.Term
+			for k := 0; k < K; k++ {
+				terms = append(terms, lp.Term{Var: f[k][l], Coef: 1})
+			}
+			m.AddConstraint("share", terms, lp.LE, 1)
+		}
+		return m
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := build().Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBigMSeriesEval(b *testing.B) {
+	t := tuf.MustNew([]tuf.Level{{Utility: 9, Deadline: 0.5}, {Utility: 6, Deadline: 1.5}, {Utility: 2, Deadline: 3}})
+	cs := tuf.NewConstraintSeries(t, 0, 0, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cs.FeasibleUtilities(0.9)
+	}
+}
+
+func BenchmarkWorldCupGenerator(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		workload.WorldCupLike(workload.WorldCupConfig{Seed: int64(i)})
+	}
+}
+
+func BenchmarkSimulate24Slots(b *testing.B) {
+	ts := exp.NewTraceSetup()
+	cfg := ts.Config()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, core.NewOptimized()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension experiments (ablations + validation).
+
+func BenchmarkAbl1LevelSearch(b *testing.B) { benchExperiment(b, "abl1-levelsearch") }
+func BenchmarkAbl2Refine(b *testing.B)      { benchExperiment(b, "abl2-refine") }
+func BenchmarkAbl3Aggregation(b *testing.B) { benchExperiment(b, "abl3-aggregation") }
+func BenchmarkAbl4TopUp(b *testing.B)       { benchExperiment(b, "abl4-topup") }
+func BenchmarkAbl5Forecast(b *testing.B)    { benchExperiment(b, "abl5-forecast") }
+func BenchmarkAbl6Baselines(b *testing.B)   { benchExperiment(b, "abl6-baselines") }
+func BenchmarkVal1MM1(b *testing.B)         { benchExperiment(b, "val1-mm1") }
+
+func BenchmarkAbl7ShadowPrices(b *testing.B) { benchExperiment(b, "abl7-shadowprices") }
+func BenchmarkVal2Utility(b *testing.B)      { benchExperiment(b, "val2-utility") }
+
+// BenchmarkSensitivity prices one slot's scarce resources.
+func BenchmarkSensitivity(b *testing.B) {
+	in := benchInput()
+	p := core.NewOptimized()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Sensitivity(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAbl8PUE(b *testing.B)   { benchExperiment(b, "abl8-pue") }
+func BenchmarkAbl9Scale(b *testing.B) { benchExperiment(b, "abl9-scale") }
+
+func BenchmarkVal3DES(b *testing.B) { benchExperiment(b, "val3-des") }
+
+func BenchmarkAbl10Switching(b *testing.B) { benchExperiment(b, "abl10-switching") }
+
+func BenchmarkAbl11Advisor(b *testing.B) { benchExperiment(b, "abl11-advisor") }
+
+func BenchmarkVal4ServiceCV(b *testing.B) { benchExperiment(b, "val4-servicecv") }
+
+func BenchmarkAbl12Fairness(b *testing.B) { benchExperiment(b, "abl12-fairness") }
+
+func BenchmarkAbl13Defer(b *testing.B) { benchExperiment(b, "abl13-defer") }
+
+func BenchmarkAbl14Margin(b *testing.B) { benchExperiment(b, "abl14-margin") }
+
+func BenchmarkAbl15PriceBlind(b *testing.B) { benchExperiment(b, "abl15-priceblind") }
+func BenchmarkVal5Arrivals(b *testing.B)    { benchExperiment(b, "val5-arrivals") }
+
+func BenchmarkAbl16Pooling(b *testing.B) { benchExperiment(b, "abl16-pooling") }
+func BenchmarkAbl17Week(b *testing.B)    { benchExperiment(b, "abl17-week") }

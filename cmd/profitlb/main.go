@@ -1,0 +1,388 @@
+// Command profitlb runs the paper-reproduction experiments and utilities
+// from the command line.
+//
+// Usage:
+//
+//	profitlb list                 list registered experiments
+//	profitlb run <id>... | all    run experiments (-csv DIR for CSV export)
+//	profitlb prices               print the embedded electricity traces
+//	profitlb trace [-seed N]      print a workload trace (-stats for summary)
+//	profitlb bench [-servers N]   time one planner invocation per planner
+//	profitlb scaffold             print an example JSON scenario
+//	profitlb simulate -config F   run a JSON scenario and print the report
+//	profitlb compare -config F    run a scenario under every planner
+//	profitlb analyze -config F    capacity advice + shadow prices
+//	profitlb export-lp -config F  dump a slot's dispatch LP (CPLEX format)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"profitlb/internal/advisor"
+	"profitlb/internal/baseline"
+	"profitlb/internal/config"
+	"profitlb/internal/core"
+	"profitlb/internal/exp"
+	"profitlb/internal/market"
+	"profitlb/internal/sim"
+	"profitlb/internal/stats"
+	"profitlb/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "profitlb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		return cmdList()
+	case "run":
+		return cmdRun(args[1:])
+	case "prices":
+		return cmdPrices()
+	case "trace":
+		return cmdTrace(args[1:])
+	case "bench":
+		return cmdBench(args[1:])
+	case "scaffold":
+		return cmdScaffold()
+	case "simulate":
+		return cmdSimulate(args[1:])
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	case "compare":
+		return cmdCompare(args[1:])
+	case "export-lp":
+		return cmdExportLP(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Println(`profitlb — profit-aware load balancing for distributed cloud data centers
+
+commands:
+  list                 list registered experiments (one per paper table/figure)
+  run <id>... | all    run experiments and print their tables
+  prices               print the embedded electricity price traces (Fig. 1)
+  trace [-seed N]      print a World-Cup-like workload trace (Fig. 5 generator)
+  bench [-servers N]   time one planning call per planner variant
+  scaffold             print an example JSON scenario to stdout
+  simulate -config F   run a JSON scenario file and print the report
+  analyze -config F    capacity advice + shadow prices for a scenario
+  compare -config F    run a scenario under every planner
+  export-lp -config F  dump one slot's dispatch LP in CPLEX LP format`)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
+	add := fs.Int("add", 2, "expansion candidate size (servers per center)")
+	serverCost := fs.Float64("server-cost", 0, "one-time cost per added server ($), for payback")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("analyze: -config is required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := config.Load(f)
+	if err != nil {
+		return err
+	}
+	adv, err := advisor.Advise(advisor.Config{
+		Sim:        sc.SimConfig(),
+		AddServers: *add,
+		ServerCost: *serverCost,
+	})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scenario %s: baseline profit $%.2f over %d slots\n", sc.Name, adv.BaselineProfit, sc.Slots)
+	fmt.Fprintln(w, "CENTER\tGAIN($)\tGAIN/SERVER($)\tSHARE DUAL($)\tPAYBACK(SLOTS)")
+	for _, rec := range adv.Recommendations {
+		payback := "-"
+		if *serverCost > 0 {
+			payback = fmt.Sprintf("%.1f", rec.PaybackSlots)
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%s\n",
+			rec.Name, rec.ProfitGain, rec.GainPerServer, rec.ShareDual, payback)
+	}
+	return w.Flush()
+}
+
+// loadScenario opens and decodes a scenario file given on the flag.
+func loadScenario(path string) (*config.Scenario, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-config is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return config.Load(f)
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := loadScenario(*path)
+	if err != nil {
+		return err
+	}
+	planners := []core.Planner{
+		core.NewOptimized(),
+		core.NewLevelSearch(),
+		baseline.NewBalanced(),
+		baseline.NewNearest(),
+		baseline.NewGreedyProfit(),
+		baseline.NewRandom(1),
+	}
+	reports, err := sim.Compare(sc.SimConfig(), planners...)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scenario %s: %d slots\n", sc.Name, sc.Slots)
+	fmt.Fprintln(w, "PLANNER\tNET PROFIT($)\tVS BEST\tCOST($)")
+	best := reports[0].TotalNetProfit()
+	for _, r := range reports {
+		if r.TotalNetProfit() > best {
+			best = r.TotalNetProfit()
+		}
+	}
+	for _, r := range reports {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f%%\t%.2f\n",
+			r.Planner, r.TotalNetProfit(), 100*r.TotalNetProfit()/best, r.TotalCost())
+	}
+	return w.Flush()
+}
+
+func cmdExportLP(args []string) error {
+	fs := flag.NewFlagSet("export-lp", flag.ContinueOnError)
+	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
+	slot := fs.Int("slot", 0, "window slot whose dispatch LP to export")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := loadScenario(*path)
+	if err != nil {
+		return err
+	}
+	cfg := sc.SimConfig()
+	sys := cfg.Sys
+	arr := make([][]float64, sys.S())
+	for s := 0; s < sys.S(); s++ {
+		arr[s] = make([]float64, sys.K())
+		for k := 0; k < sys.K(); k++ {
+			arr[s][k] = cfg.Traces[s].At(cfg.StartSlot+*slot, k)
+		}
+	}
+	prices := make([]float64, sys.L())
+	for l := 0; l < sys.L(); l++ {
+		prices[l] = cfg.Prices[l].At(cfg.StartSlot + *slot)
+	}
+	m, err := core.DispatchModel(&core.Input{Sys: sys, Arrivals: arr, Prices: prices})
+	if err != nil {
+		return err
+	}
+	return m.WriteLPFormat(os.Stdout)
+}
+
+func cmdScaffold() error {
+	return config.Example().Save(os.Stdout)
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("simulate: -config is required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := config.Load(f)
+	if err != nil {
+		return err
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scenario %s: planner %s, %d slots\n", sc.Name, rep.Planner, len(rep.Slots))
+	fmt.Fprintln(w, "SLOT\tOFFERED\tSERVED\tREVENUE($)\tENERGY($)\tTRANSFER($)\tNET($)\tSERVERS")
+	for _, s := range rep.Slots {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\t%d\n",
+			s.Slot, s.Offered(), s.Served(), s.Revenue, s.EnergyCost, s.TransferCost, s.NetProfit, s.ServersOn)
+	}
+	fmt.Fprintf(w, "total\t\t\t\t\t\t%.2f\t\n", rep.TotalNetProfit())
+	return w.Flush()
+}
+
+func cmdList() error {
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tPAPER\tTITLE")
+	for _, e := range exp.All() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", e.ID, e.Paper, e.Title)
+	}
+	return w.Flush()
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	csvDir := fs.String("csv", "", "also write each result table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("run: need experiment ids or 'all'")
+	}
+	var todo []*exp.Experiment
+	if len(args) == 1 && args[0] == "all" {
+		todo = exp.All()
+	} else {
+		for _, id := range args {
+			e, ok := exp.Get(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try 'profitlb list')", id)
+			}
+			todo = append(todo, e)
+		}
+	}
+	for _, e := range todo {
+		res, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(res)
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeCSVs dumps every table of a result as <dir>/<id>_<n>.csv.
+func writeCSVs(dir string, res *exp.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", res.ID, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdPrices() error {
+	e, _ := exp.Get("fig1")
+	res, err := e.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "generator seed")
+	types := fs.Int("types", 3, "request types to derive by time shifting")
+	base := fs.Float64("base", 650, "baseline arrival rate")
+	showStats := fs.Bool("stats", false, "print per-type statistics instead of the CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	series := workload.WorldCupLike(workload.WorldCupConfig{Seed: *seed, Base: *base})
+	tr := workload.ShiftTypes(fmt.Sprintf("worldcup-seed%d", *seed), series, *types, 4)
+	if !*showStats {
+		return tr.WriteCSV(os.Stdout)
+	}
+	sums, err := stats.ForTrace(tr)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TYPE\tMEAN\tSD\tCV\tMIN\tMAX\tP50\tP95\tPEAK/MEAN\tLAG1-AC")
+	for _, ts := range sums {
+		sm := ts.Summary
+		fmt.Fprintf(w, "type%d\t%.1f\t%.1f\t%.3f\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.3f\n",
+			ts.Type, sm.Mean, sm.SD, sm.CV, sm.Min, sm.Max, sm.P50, sm.P95, sm.PeakToMean, ts.Lag1)
+	}
+	return w.Flush()
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	servers := fs.Int("servers", 6, "servers per data center")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	planners := []core.Planner{
+		core.NewOptimized(),
+		func() core.Planner {
+			o := core.NewOptimized()
+			o.PerServer = true
+			return o
+		}(),
+		core.NewLevelSearch(),
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "PLANNER\tSERVERS/CENTER\tTIME")
+	for _, p := range planners {
+		d, err := exp.PlanOnce(*servers, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\n", p.Name(), *servers, d.Round(time.Microsecond))
+	}
+	_ = market.Locations() // keep the embedded traces linked for -trimpath builds
+	return w.Flush()
+}

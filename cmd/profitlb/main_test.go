@@ -1,0 +1,215 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout while fn runs and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	return out, ferr
+}
+
+func TestCmdList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "fig11", "tab9", "val1-mm1"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestCmdRunSingle(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"run", "tab9"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Sub-deadlines") {
+		t.Fatalf("run tab9 output unexpected: %q", out)
+	}
+}
+
+func TestCmdRunUnknown(t *testing.T) {
+	_, err := capture(t, func() error { return run([]string{"run", "nope"}) })
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCmdRunNeedsArgs(t *testing.T) {
+	if err := run([]string{"run"}); err == nil {
+		t.Fatal("want error without ids")
+	}
+}
+
+func TestCmdPrices(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"prices"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Houston") || !strings.Contains(out, "Atlanta") {
+		t.Fatal("prices output missing locations")
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"trace", "-seed", "3", "-types", "2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "slot,type0,type1") {
+		t.Fatalf("trace header wrong: %q", out[:40])
+	}
+	if lines := strings.Count(out, "\n"); lines != 25 { // header + 24 slots
+		t.Fatalf("trace lines = %d, want 25", lines)
+	}
+}
+
+func TestCmdBench(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"bench", "-servers", "2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "optimized/per-server") {
+		t.Fatal("bench output missing planner")
+	}
+}
+
+func TestCmdHelpAndUnknown(t *testing.T) {
+	if _, err := capture(t, func() error { return run(nil) }); err != nil {
+		t.Fatal("bare invocation should print usage without error")
+	}
+	if _, err := capture(t, func() error { return run([]string{"help"}) }); err != nil {
+		t.Fatal("help should not error")
+	}
+	_, err := capture(t, func() error { return run([]string{"frobnicate"}) })
+	if err == nil {
+		t.Fatal("unknown command should error")
+	}
+}
+
+func TestCmdScaffoldAndSimulate(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"scaffold"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"planner": "optimized"`) {
+		t.Fatalf("scaffold output unexpected: %.120s", out)
+	}
+	path := t.TempDir() + "/scenario.json"
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	simOut, err := capture(t, func() error { return run([]string{"simulate", "-config", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(simOut, "total") || !strings.Contains(simOut, "scenario example") {
+		t.Fatalf("simulate output unexpected: %.160s", simOut)
+	}
+}
+
+func TestCmdSimulateErrors(t *testing.T) {
+	if err := run([]string{"simulate"}); err == nil {
+		t.Fatal("want error without -config")
+	}
+	if err := run([]string{"simulate", "-config", "/nonexistent.json"}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	scaffoldOut, err := capture(t, func() error { return run([]string{"scaffold"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/s.json"
+	if err := os.WriteFile(path, []byte(scaffoldOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"analyze", "-config", path, "-add", "1", "-server-cost", "100"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "baseline profit") || !strings.Contains(out, "SHARE DUAL") {
+		t.Fatalf("analyze output unexpected: %.200s", out)
+	}
+	if err := run([]string{"analyze"}); err == nil {
+		t.Fatal("want error without -config")
+	}
+}
+
+func TestCmdCompareAndExportLP(t *testing.T) {
+	scaffoldOut, err := capture(t, func() error { return run([]string{"scaffold"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/s.json"
+	if err := os.WriteFile(path, []byte(scaffoldOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"compare", "-config", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"optimized", "balanced", "nearest", "VS BEST"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q", want)
+		}
+	}
+	lpOut, err := capture(t, func() error { return run([]string{"export-lp", "-config", path, "-slot", "3"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Maximize", "Subject To", "Bounds", "End"} {
+		if !strings.Contains(lpOut, want) {
+			t.Fatalf("export-lp output missing %q", want)
+		}
+	}
+	if err := run([]string{"compare"}); err == nil {
+		t.Fatal("compare without -config should error")
+	}
+	if err := run([]string{"export-lp"}); err == nil {
+		t.Fatal("export-lp without -config should error")
+	}
+}
+
+func TestCmdTraceStats(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"trace", "-stats", "-types", "2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PEAK/MEAN") || !strings.Contains(out, "type1") {
+		t.Fatalf("trace -stats output unexpected: %q", out)
+	}
+}

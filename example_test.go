@@ -1,0 +1,193 @@
+package profitlb_test
+
+import (
+	"fmt"
+
+	"profitlb"
+)
+
+// ExampleNewTUF builds a two-level step-downward time utility function
+// and evaluates it across its brackets.
+func ExampleNewTUF() {
+	t, err := profitlb.NewTUF(
+		profitlb.TUFLevel{Utility: 20, Deadline: 0.5},
+		profitlb.TUFLevel{Utility: 8, Deadline: 2},
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range []float64{0.25, 0.5, 1.0, 2.0, 3.0} {
+		fmt.Printf("U(%.2f) = %g\n", r, t.Utility(r))
+	}
+	// Output:
+	// U(0.25) = 20
+	// U(0.50) = 20
+	// U(1.00) = 8
+	// U(2.00) = 8
+	// U(3.00) = 0
+}
+
+// ExampleNewTUFConstraintSeries shows the paper's Section IV
+// transformation: the step TUF becomes a set of big-M inequalities that
+// admit exactly one utility value at every delay.
+func ExampleNewTUFConstraintSeries() {
+	t := profitlb.MustTUF(
+		profitlb.TUFLevel{Utility: 10, Deadline: 1},
+		profitlb.TUFLevel{Utility: 4, Deadline: 2},
+	)
+	series := profitlb.NewTUFConstraintSeries(t, 0, 0, 10)
+	fmt.Println("feasible at R=0.5:", series.FeasibleUtilities(0.5))
+	fmt.Println("feasible at R=1.5:", series.FeasibleUtilities(1.5))
+	// Output:
+	// feasible at R=0.5: [10]
+	// feasible at R=1.5: [4]
+}
+
+// ExampleOptimized_Plan plans one slot on a single-center system: all
+// profitable demand is served and the idle margin of the fleet stays off.
+func ExampleOptimized_Plan() {
+	sys := &profitlb.System{
+		Classes: []profitlb.RequestClass{{
+			Name: "web",
+			TUF:  profitlb.MustTUF(profitlb.TUFLevel{Utility: 10, Deadline: 0.01}),
+		}},
+		FrontEnds: []profitlb.FrontEnd{{Name: "fe", DistanceMiles: []float64{100}}},
+		Centers: []profitlb.DataCenter{{
+			Name: "dc", Servers: 10, Capacity: 1,
+			ServiceRate:      []float64{1000},
+			EnergyPerRequest: []float64{0.001},
+		}},
+	}
+	in := &profitlb.Input{Sys: sys, Arrivals: [][]float64{{1500}}, Prices: []float64{0.1}}
+	plan, err := profitlb.NewOptimized().Plan(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %.0f of 1500 requests/h on %d of 10 servers\n",
+		plan.Served(0), plan.ServersOn[0])
+	// Output:
+	// served 1500 of 1500 requests/h on 2 of 10 servers
+}
+
+// ExampleSimulate runs a two-slot fluid simulation and prints the
+// accounted net profit.
+func ExampleSimulate() {
+	sys := &profitlb.System{
+		Classes: []profitlb.RequestClass{{
+			Name: "web",
+			TUF:  profitlb.MustTUF(profitlb.TUFLevel{Utility: 1, Deadline: 0.01}),
+		}},
+		FrontEnds: []profitlb.FrontEnd{{Name: "fe", DistanceMiles: []float64{100}}},
+		Centers: []profitlb.DataCenter{{
+			Name: "dc", Servers: 4, Capacity: 1,
+			ServiceRate:      []float64{5000},
+			EnergyPerRequest: []float64{0.002},
+		}},
+	}
+	cfg := profitlb.SimConfig{
+		Sys:    sys,
+		Traces: []*profitlb.Trace{profitlb.ConstantTrace("fe", []float64{8000}, 2)},
+		Prices: []*profitlb.PriceTrace{{Name: "flat", Prices: []float64{0.05, 0.05}}},
+		Slots:  2,
+	}
+	rep, err := profitlb.Simulate(cfg, profitlb.NewOptimized())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("2 slots, net profit $%.2f\n", rep.TotalNetProfit())
+	// Output:
+	// 2 slots, net profit $15998.40
+}
+
+// ExampleExpandHeterogeneous flattens a heterogeneous center into
+// homogeneous groups.
+func ExampleExpandHeterogeneous() {
+	classes := []profitlb.RequestClass{{
+		Name: "web", TUF: profitlb.MustTUF(profitlb.TUFLevel{Utility: 10, Deadline: 0.01}),
+	}}
+	fes := []profitlb.FrontEnd{{Name: "fe", DistanceMiles: []float64{150}}}
+	centers := []profitlb.HeterogeneousCenter{{
+		Name: "dc",
+		Groups: []profitlb.ServerGroup{
+			{Name: "fast", Servers: 2, Capacity: 1, ServiceRate: []float64{4000}, EnergyPerRequest: []float64{0.004}},
+			{Name: "slow", Servers: 6, Capacity: 1, ServiceRate: []float64{1000}, EnergyPerRequest: []float64{0.001}},
+		},
+	}}
+	sys, err := profitlb.ExpandHeterogeneous(classes, fes, centers, 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range sys.Centers {
+		fmt.Println(c.Name, c.Servers)
+	}
+	// Output:
+	// dc/fast 2
+	// dc/slow 6
+}
+
+// ExamplePlanHorizon shows temporal arbitrage: deferrable work waits for
+// the cheap half of the window.
+func ExamplePlanHorizon() {
+	sys := &profitlb.System{
+		Classes: []profitlb.RequestClass{{
+			Name: "batch",
+			TUF:  profitlb.MustTUF(profitlb.TUFLevel{Utility: 6, Deadline: 0.1}),
+		}},
+		FrontEnds: []profitlb.FrontEnd{{Name: "fe", DistanceMiles: []float64{100}}},
+		Centers: []profitlb.DataCenter{{
+			Name: "dc", Servers: 4, Capacity: 1,
+			ServiceRate:      []float64{800},
+			EnergyPerRequest: []float64{4},
+		}},
+	}
+	h := &profitlb.HorizonInput{Sys: sys, MaxDefer: []int{2}}
+	for t := 0; t < 4; t++ {
+		h.Arrivals = append(h.Arrivals, [][]float64{{500}})
+		price := 1.0 // expensive first half
+		if t >= 2 {
+			price = 0.1
+		}
+		h.Prices = append(h.Prices, []float64{price})
+	}
+	plan, err := profitlb.PlanHorizon(h)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("deferred fraction: %.0f%%\n", 100*plan.DeferredFraction[0])
+	for t, slot := range plan.Slots {
+		fmt.Printf("slot %d served %.0f\n", t, slot.Served(0))
+	}
+	// Output:
+	// deferred fraction: 50%
+	// slot 0 served 0
+	// slot 1 served 0
+	// slot 2 served 1500
+	// slot 3 served 500
+}
+
+// ExampleOptimized_Sensitivity prices the scarce resources of a slot.
+func ExampleOptimized_Sensitivity() {
+	sys := &profitlb.System{
+		Classes: []profitlb.RequestClass{{
+			Name: "web",
+			TUF:  profitlb.MustTUF(profitlb.TUFLevel{Utility: 10, Deadline: 0.01}),
+		}},
+		FrontEnds: []profitlb.FrontEnd{{Name: "fe", DistanceMiles: []float64{100}}},
+		Centers: []profitlb.DataCenter{{
+			Name: "dc", Servers: 2, Capacity: 1,
+			ServiceRate:      []float64{1000},
+			EnergyPerRequest: []float64{0.001},
+		}},
+	}
+	// Demand far beyond capacity: CPU share is the binding resource.
+	in := &profitlb.Input{Sys: sys, Arrivals: [][]float64{{10000}}, Prices: []float64{0.1}}
+	sens, err := profitlb.NewOptimized().Sensitivity(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("share is worth money: %v\n", sens.ShareValue[0] > 0)
+	fmt.Printf("extra demand is worthless: %v\n", sens.DemandValue[0][0] == 0)
+	// Output:
+	// share is worth money: true
+	// extra demand is worthless: true
+}

@@ -1,0 +1,76 @@
+// Expansion: use the library as a capacity-planning instrument.
+//
+// The advisor answers "which data center should grow?" two ways — an
+// exact what-if (re-simulating the horizon with an enlarged fleet) and
+// the LP shadow prices of CPU share that fall out of every slot's
+// optimization for free — and converts the gain into a hardware payback
+// horizon.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"profitlb"
+)
+
+func main() {
+	sys := &profitlb.System{
+		Classes: []profitlb.RequestClass{
+			{Name: "api", TUF: profitlb.MustTUF(
+				profitlb.TUFLevel{Utility: 0.004, Deadline: 0.002},
+				profitlb.TUFLevel{Utility: 0.0015, Deadline: 0.01},
+			), TransferCostPerMile: 2e-7},
+			{Name: "render", TUF: profitlb.MustTUF(
+				profitlb.TUFLevel{Utility: 0.03, Deadline: 0.05},
+			), TransferCostPerMile: 5e-7},
+		},
+		FrontEnds: []profitlb.FrontEnd{
+			{Name: "east", DistanceMiles: []float64{150, 2300, 900}},
+			{Name: "west", DistanceMiles: []float64{2400, 180, 1500}},
+		},
+		Centers: []profitlb.DataCenter{
+			{Name: "virginia", Servers: 6, Capacity: 1,
+				ServiceRate: []float64{90000, 4000}, EnergyPerRequest: []float64{0.00005, 0.002}},
+			{Name: "oregon", Servers: 6, Capacity: 1,
+				ServiceRate: []float64{85000, 4500}, EnergyPerRequest: []float64{0.00005, 0.0018}},
+			{Name: "dallas", Servers: 4, Capacity: 1,
+				ServiceRate: []float64{95000, 4200}, EnergyPerRequest: []float64{0.000045, 0.0019}},
+		},
+	}
+	east := profitlb.ShiftTypes("east",
+		profitlb.WorldCupLike(profitlb.WorldCupConfig{Seed: 11, Base: 150000}), 2, 8)
+	west := profitlb.ShiftTypes("west",
+		profitlb.WorldCupLike(profitlb.WorldCupConfig{Seed: 12, Base: 130000}), 2, 8)
+	cfg := profitlb.SimConfig{
+		Sys:    sys,
+		Traces: []*profitlb.Trace{east, west},
+		Prices: []*profitlb.PriceTrace{profitlb.Atlanta(), profitlb.MountainView(), profitlb.Houston()},
+		Slots:  24,
+	}
+
+	advice, err := profitlb.Advise(profitlb.AdvisorConfig{
+		Sim:        cfg,
+		AddServers: 2,
+		ServerCost: 8000, // $ per commissioned server
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline day profit at current fleet: $%.0f\n\n", advice.BaselineProfit)
+	fmt.Println("center    gain/day(+2 srv)  gain/server  Σ share dual  payback")
+	for _, rec := range advice.Recommendations {
+		payback := "—"
+		if rec.PaybackSlots > 0 && rec.PaybackSlots < 1e6 {
+			payback = fmt.Sprintf("%.1f slots", rec.PaybackSlots)
+		} else if rec.ProfitGain <= 0 {
+			payback = "never"
+		}
+		fmt.Printf("%-9s %16.0f  %11.0f  %12.0f  %s\n",
+			rec.Name, rec.ProfitGain, rec.GainPerServer, rec.ShareDual, payback)
+	}
+	best := advice.Best()
+	fmt.Printf("\n→ grow %s first; each server pays for itself in %.1f hours of operation\n",
+		best.Name, best.PaybackSlots)
+	fmt.Println("  (the what-if simulation and the per-slot LP shadow prices agree on the top pick)")
+}

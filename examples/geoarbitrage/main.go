@@ -1,0 +1,86 @@
+// Geoarbitrage: the paper's Section VI scenario shape — three data centers
+// in different electricity markets, four front-ends with diurnal traces —
+// showing how the Optimized planner shifts load toward whichever location
+// is cheap each hour while the Balanced baseline's price-only ordering
+// leaves profit on the table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"profitlb"
+)
+
+func buildSystem() *profitlb.System {
+	return &profitlb.System{
+		Classes: []profitlb.RequestClass{
+			{Name: "request1", TUF: profitlb.MustTUF(profitlb.TUFLevel{Utility: 10, Deadline: 0.010}), TransferCostPerMile: 0.003},
+			{Name: "request2", TUF: profitlb.MustTUF(profitlb.TUFLevel{Utility: 20, Deadline: 0.008}), TransferCostPerMile: 0.005},
+			{Name: "request3", TUF: profitlb.MustTUF(profitlb.TUFLevel{Utility: 30, Deadline: 0.006}), TransferCostPerMile: 0.007},
+		},
+		FrontEnds: []profitlb.FrontEnd{
+			{Name: "frontend1", DistanceMiles: []float64{300, 1900, 700}},
+			{Name: "frontend2", DistanceMiles: []float64{500, 2100, 900}},
+			{Name: "frontend3", DistanceMiles: []float64{400, 2000, 600}},
+			{Name: "frontend4", DistanceMiles: []float64{600, 2200, 800}},
+		},
+		Centers: []profitlb.DataCenter{
+			{Name: "houston", Servers: 6, Capacity: 1,
+				ServiceRate:      []float64{1500, 1400, 1200},
+				EnergyPerRequest: []float64{0.0003, 0.0005, 0.0007}},
+			{Name: "mountain-view", Servers: 6, Capacity: 1,
+				ServiceRate:      []float64{1500, 1300, 1600},
+				EnergyPerRequest: []float64{0.00028, 0.00052, 0.00068}},
+			{Name: "atlanta", Servers: 6, Capacity: 1,
+				ServiceRate:      []float64{2500, 1500, 1400},
+				EnergyPerRequest: []float64{0.00032, 0.00048, 0.00072}},
+		},
+	}
+}
+
+func main() {
+	sys := buildSystem()
+	if err := sys.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	traces := make([]*profitlb.Trace, 4)
+	for s := range traces {
+		base := profitlb.WorldCupLike(profitlb.WorldCupConfig{
+			Seed: int64(101 + s), Base: 650 + 100*float64(s),
+		})
+		traces[s] = profitlb.ShiftTypes(sys.FrontEnds[s].Name, base, 3, 4)
+	}
+	cfg := profitlb.SimConfig{
+		Sys:    sys,
+		Traces: traces,
+		Prices: []*profitlb.PriceTrace{profitlb.Houston(), profitlb.MountainView(), profitlb.Atlanta()},
+		Slots:  24,
+	}
+	reports, err := profitlb.CompareApproaches(cfg, profitlb.NewOptimized(), profitlb.NewBalanced())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, bal := reports[0], reports[1]
+
+	fmt.Println("request1 dispatch by the Optimized planner (requests/hour):")
+	fmt.Println("hour  houston  mtn-view  atlanta  cheapest")
+	for i := range opt.Slots {
+		sr := opt.Slots[i]
+		cheapest := 0
+		for l, p := range sr.Prices {
+			if p < sr.Prices[cheapest] {
+				cheapest = l
+			}
+		}
+		fmt.Printf("h%02d   %7.0f  %8.0f  %7.0f  %s\n",
+			i, sr.CenterServed[0][0], sr.CenterServed[0][1], sr.CenterServed[0][2],
+			sys.Centers[cheapest].Name)
+	}
+	fmt.Printf("\nnet profit: optimized $%.0f vs balanced $%.0f (+%.1f%%)\n",
+		opt.TotalNetProfit(), bal.TotalNetProfit(),
+		100*(opt.TotalNetProfit()/bal.TotalNetProfit()-1))
+	fmt.Println("\nmountain-view is ~2000 miles from every front-end: despite sometimes")
+	fmt.Println("having the lowest price, transfer costs keep its share of request1 low —")
+	fmt.Println("the same trade-off the paper observes for its datacenter2 in Fig. 7.")
+}

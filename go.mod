@@ -1,0 +1,3 @@
+module profitlb
+
+go 1.22

@@ -1,0 +1,178 @@
+// Package advisor turns the planner into a capacity-planning instrument.
+// Given a workload/price horizon it answers the provider's expansion
+// question: which data center should grow, by how much does each added
+// server raise net profit, and how long until the hardware pays for
+// itself. Two signals are combined: the exact what-if (re-simulating the
+// horizon with an enlarged fleet) and the cheap dual signal (the
+// accumulated shadow price of CPU share from the slot LPs, see
+// core.Sensitivity).
+package advisor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"profitlb/internal/core"
+	"profitlb/internal/sim"
+)
+
+// Config parameterizes an advice run.
+type Config struct {
+	// Sim is the horizon to evaluate (system, traces, prices, slots).
+	Sim sim.Config
+	// AddServers is the expansion candidate evaluated per center
+	// (default 2).
+	AddServers int
+	// ServerCost is the one-time dollar cost of commissioning one server;
+	// it drives the payback estimate (0 = payback not computed).
+	ServerCost float64
+}
+
+// Recommendation is the verdict for one data center.
+type Recommendation struct {
+	Center int
+	Name   string
+	// AddedServers is the evaluated expansion size.
+	AddedServers int
+	// ProfitGain is the horizon net-profit increase from the expansion.
+	ProfitGain float64
+	// GainPerServer is ProfitGain / AddedServers.
+	GainPerServer float64
+	// ShareDual is the accumulated shadow price of per-server CPU share
+	// over the horizon — the cheap signal that needs no re-simulation.
+	ShareDual float64
+	// PaybackSlots estimates how many slots of expanded operation recoup
+	// ServerCost per server (+Inf when the expansion gains nothing).
+	PaybackSlots float64
+}
+
+// Advice is the full report.
+type Advice struct {
+	// BaselineProfit is the horizon profit at the current fleet.
+	BaselineProfit float64
+	// Recommendations are sorted by GainPerServer, best first.
+	Recommendations []Recommendation
+}
+
+// Best returns the top recommendation (zero value if none gained).
+func (a *Advice) Best() Recommendation {
+	if len(a.Recommendations) == 0 {
+		return Recommendation{Center: -1}
+	}
+	return a.Recommendations[0]
+}
+
+// ErrNoCenters is returned for an empty topology.
+var ErrNoCenters = errors.New("advisor: system has no data centers")
+
+// Advise evaluates expanding each center by AddServers servers across the
+// configured horizon under the Optimized planner.
+func Advise(cfg Config) (*Advice, error) {
+	if err := cfg.Sim.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sim.Sys.L() == 0 {
+		return nil, ErrNoCenters
+	}
+	add := cfg.AddServers
+	if add <= 0 {
+		add = 2
+	}
+	baseline, err := sim.Run(cfg.Sim, core.NewOptimized())
+	if err != nil {
+		return nil, fmt.Errorf("advisor: baseline: %w", err)
+	}
+	duals, err := accumulateShareDuals(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	advice := &Advice{BaselineProfit: baseline.TotalNetProfit()}
+	// The per-center what-ifs are independent re-simulations over cloned
+	// systems: evaluate them concurrently.
+	L := cfg.Sim.Sys.L()
+	recs := make([]Recommendation, L)
+	errs := make([]error, L)
+	var wg sync.WaitGroup
+	for l := 0; l < L; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			grown := cfg.Sim
+			grown.Sys = cfg.Sim.Sys.Clone()
+			grown.Sys.Centers[l].Servers += add
+			rep, err := sim.Run(grown, core.NewOptimized())
+			if err != nil {
+				errs[l] = fmt.Errorf("advisor: expanding center %d: %w", l, err)
+				return
+			}
+			gain := rep.TotalNetProfit() - advice.BaselineProfit
+			recs[l] = Recommendation{
+				Center:        l,
+				Name:          cfg.Sim.Sys.Centers[l].Name,
+				AddedServers:  add,
+				ProfitGain:    gain,
+				GainPerServer: gain / float64(add),
+				ShareDual:     duals[l],
+				PaybackSlots:  paybackSlots(gain, add, cfg.ServerCost, cfg.Sim.Slots),
+			}
+		}(l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	advice.Recommendations = recs
+	sort.SliceStable(advice.Recommendations, func(i, j int) bool {
+		return advice.Recommendations[i].GainPerServer > advice.Recommendations[j].GainPerServer
+	})
+	return advice, nil
+}
+
+// paybackSlots converts a horizon gain into the number of slots needed to
+// amortize the hardware.
+func paybackSlots(gain float64, add int, serverCost float64, slots int) float64 {
+	if serverCost <= 0 {
+		return 0
+	}
+	perSlotPerServer := gain / float64(add) / float64(slots)
+	if perSlotPerServer <= 0 {
+		return math.Inf(1)
+	}
+	return serverCost / perSlotPerServer
+}
+
+// accumulateShareDuals sums each center's share shadow price over the
+// horizon.
+func accumulateShareDuals(cfg sim.Config) ([]float64, error) {
+	sys := cfg.Sys
+	K, S, L := sys.K(), sys.S(), sys.L()
+	out := make([]float64, L)
+	planner := core.NewOptimized()
+	for slot := 0; slot < cfg.Slots; slot++ {
+		abs := cfg.StartSlot + slot
+		arr := make([][]float64, S)
+		for s := 0; s < S; s++ {
+			arr[s] = make([]float64, K)
+			for k := 0; k < K; k++ {
+				arr[s][k] = cfg.Traces[s].At(abs, k)
+			}
+		}
+		prices := make([]float64, L)
+		for l := 0; l < L; l++ {
+			prices[l] = cfg.Prices[l].At(abs)
+		}
+		sens, err := planner.Sensitivity(&core.Input{Sys: sys, Arrivals: arr, Prices: prices})
+		if err != nil {
+			return nil, fmt.Errorf("advisor: duals at slot %d: %w", slot, err)
+		}
+		for l := 0; l < L; l++ {
+			out[l] += sens.ShareValue[l]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package advisor
+
+import (
+	"math"
+	"testing"
+
+	"profitlb/internal/datacenter"
+	"profitlb/internal/market"
+	"profitlb/internal/sim"
+	"profitlb/internal/tuf"
+	"profitlb/internal/workload"
+)
+
+// overloadedSystem has one scarce center (cheap) and one ample center
+// (expensive): expansion should clearly favour the scarce cheap one.
+func overloadedConfig() sim.Config {
+	sys := &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "web", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.01}}), TransferCostPerMile: 0.0002},
+		},
+		FrontEnds: []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{200, 400}}},
+		Centers: []datacenter.DataCenter{
+			{Name: "scarce-cheap", Servers: 2, Capacity: 1, ServiceRate: []float64{1000}, EnergyPerRequest: []float64{2}},
+			{Name: "ample-pricey", Servers: 8, Capacity: 1, ServiceRate: []float64{1000}, EnergyPerRequest: []float64{9}},
+		},
+	}
+	return sim.Config{
+		Sys:    sys,
+		Traces: []*workload.Trace{workload.Constant("fe", []float64{9000}, 4)},
+		Prices: []*market.PriceTrace{market.Houston(), market.Houston()},
+		Slots:  4,
+	}
+}
+
+func TestAdviseRanksScarceCheapCenterFirst(t *testing.T) {
+	adv, err := Advise(Config{Sim: overloadedConfig(), AddServers: 2, ServerCost: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.BaselineProfit <= 0 {
+		t.Fatalf("baseline profit %g", adv.BaselineProfit)
+	}
+	best := adv.Best()
+	if best.Name != "scarce-cheap" {
+		t.Fatalf("best expansion = %s, want scarce-cheap (recs %+v)", best.Name, adv.Recommendations)
+	}
+	if best.ProfitGain <= 0 {
+		t.Fatalf("best gain %g, want positive", best.ProfitGain)
+	}
+	if best.GainPerServer != best.ProfitGain/2 {
+		t.Fatal("gain per server inconsistent")
+	}
+	if best.PaybackSlots <= 0 || math.IsInf(best.PaybackSlots, 1) {
+		t.Fatalf("payback %g, want finite positive", best.PaybackSlots)
+	}
+	// The dual signal must agree with the what-if ranking.
+	if best.ShareDual <= adv.Recommendations[len(adv.Recommendations)-1].ShareDual {
+		t.Fatalf("dual signal disagrees: best %g vs worst %g",
+			best.ShareDual, adv.Recommendations[len(adv.Recommendations)-1].ShareDual)
+	}
+}
+
+func TestAdviseUnderloadedNoGain(t *testing.T) {
+	cfg := overloadedConfig()
+	cfg.Traces = []*workload.Trace{workload.Constant("fe", []float64{500}, 4)}
+	adv, err := Advise(Config{Sim: cfg, ServerCost: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range adv.Recommendations {
+		if rec.ProfitGain > 1e-6 {
+			t.Fatalf("underloaded expansion gained %g at %s", rec.ProfitGain, rec.Name)
+		}
+		if !math.IsInf(rec.PaybackSlots, 1) {
+			t.Fatalf("payback should be +Inf, got %g", rec.PaybackSlots)
+		}
+	}
+}
+
+func TestAdviseDefaultsAndErrors(t *testing.T) {
+	adv, err := Advise(Config{Sim: overloadedConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Best().AddedServers != 2 {
+		t.Fatalf("default AddServers = %d, want 2", adv.Best().AddedServers)
+	}
+	// ServerCost 0: payback not computed.
+	if adv.Best().PaybackSlots != 0 {
+		t.Fatal("payback should be 0 when ServerCost unset")
+	}
+	bad := Config{Sim: sim.Config{}}
+	if _, err := Advise(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestAdviseDoesNotMutateSystem(t *testing.T) {
+	cfg := overloadedConfig()
+	before := cfg.Sys.Centers[0].Servers
+	if _, err := Advise(Config{Sim: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sys.Centers[0].Servers != before {
+		t.Fatal("Advise mutated the input system")
+	}
+}
+
+func TestBestEmptyAdvice(t *testing.T) {
+	a := &Advice{}
+	if a.Best().Center != -1 {
+		t.Fatal("empty advice should return sentinel")
+	}
+}

@@ -1,0 +1,203 @@
+// Package config serializes complete simulation scenarios — topology,
+// workload traces, electricity prices, horizon and planner choice — to and
+// from JSON, so experiments can be defined as files and replayed from the
+// CLI (`profitlb simulate -config scenario.json`).
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"profitlb/internal/baseline"
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+	"profitlb/internal/market"
+	"profitlb/internal/sim"
+	"profitlb/internal/tuf"
+	"profitlb/internal/workload"
+)
+
+// Scenario is a fully self-contained simulation description.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// System is the topology; the request classes' TUFs serialize as
+	// level arrays.
+	System *datacenter.System `json:"system"`
+	// Traces holds one arrival trace per front-end.
+	Traces []*workload.Trace `json:"traces"`
+	// Prices holds one electricity trace per data center. A trace with
+	// Name set and no Prices is resolved against the embedded locations
+	// (Houston, MountainView, Atlanta).
+	Prices []*market.PriceTrace `json:"prices"`
+	// Slots and StartSlot define the simulated window.
+	Slots     int `json:"slots"`
+	StartSlot int `json:"startSlot,omitempty"`
+	// Planner selects the dispatcher: "optimized" (default),
+	// "optimized/per-server", "level-search", "balanced", "nearest",
+	// "greedy-profit" or "random".
+	Planner string `json:"planner,omitempty"`
+}
+
+// ErrUnknownPlanner is returned for an unrecognized planner name.
+var ErrUnknownPlanner = errors.New("config: unknown planner")
+
+// Load decodes and validates a scenario from JSON.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("config: decoding scenario: %w", err)
+	}
+	if err := s.resolvePrices(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Save encodes the scenario as indented JSON.
+func (s *Scenario) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// resolvePrices fills in embedded location traces referenced by name.
+func (s *Scenario) resolvePrices() error {
+	for i, p := range s.Prices {
+		if p == nil {
+			return fmt.Errorf("config: price trace %d is null", i)
+		}
+		if len(p.Prices) > 0 {
+			continue
+		}
+		var found *market.PriceTrace
+		for _, loc := range market.Locations() {
+			if strings.EqualFold(loc.Name, p.Name) {
+				found = loc
+				break
+			}
+		}
+		if found == nil {
+			return fmt.Errorf("config: price trace %d (%q) has no prices and is not an embedded location", i, p.Name)
+		}
+		s.Prices[i] = found
+	}
+	return nil
+}
+
+// Validate checks the scenario end to end via the simulator's own checks,
+// resolving embedded price-location references first.
+func (s *Scenario) Validate() error {
+	if s.System == nil {
+		return errors.New("config: scenario has no system")
+	}
+	if err := s.resolvePrices(); err != nil {
+		return err
+	}
+	cfg := s.SimConfig()
+	return cfg.Validate()
+}
+
+// SimConfig converts the scenario into a simulator configuration.
+func (s *Scenario) SimConfig() sim.Config {
+	return sim.Config{
+		Sys:       s.System,
+		Traces:    s.Traces,
+		Prices:    s.Prices,
+		Slots:     s.Slots,
+		StartSlot: s.StartSlot,
+	}
+}
+
+// BuildPlanner instantiates the scenario's planner.
+func (s *Scenario) BuildPlanner() (core.Planner, error) {
+	switch strings.ToLower(strings.TrimSpace(s.Planner)) {
+	case "", "optimized":
+		return core.NewOptimized(), nil
+	case "optimized/per-server":
+		p := core.NewOptimized()
+		p.PerServer = true
+		return p, nil
+	case "level-search":
+		return core.NewLevelSearch(), nil
+	case "balanced":
+		return baseline.NewBalanced(), nil
+	case "nearest":
+		return baseline.NewNearest(), nil
+	case "greedy-profit":
+		return baseline.NewGreedyProfit(), nil
+	case "random":
+		return baseline.NewRandom(1), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlanner, s.Planner)
+	}
+}
+
+// Run validates and executes the scenario.
+func (s *Scenario) Run() (*sim.Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := s.BuildPlanner()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(s.SimConfig(), p)
+}
+
+// Example returns a small, valid, runnable scenario, used by the CLI's
+// scaffold command as a starting point for hand-written configs.
+func Example() *Scenario {
+	sys := &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{
+				Name:                "web",
+				TUF:                 mustTUF(`[{"Utility":0.01,"Deadline":0.01}]`),
+				TransferCostPerMile: 1e-6,
+			},
+			{
+				Name:                "batch",
+				TUF:                 mustTUF(`[{"Utility":0.05,"Deadline":0.05},{"Utility":0.02,"Deadline":0.25}]`),
+				TransferCostPerMile: 2e-6,
+			},
+		},
+		FrontEnds: []datacenter.FrontEnd{
+			{Name: "us-east", DistanceMiles: []float64{300, 2400}},
+			{Name: "us-west", DistanceMiles: []float64{2500, 200}},
+		},
+		Centers: []datacenter.DataCenter{
+			{Name: "texas", Servers: 8, Capacity: 1,
+				ServiceRate: []float64{20000, 3000}, EnergyPerRequest: []float64{0.0003, 0.004}},
+			{Name: "california", Servers: 8, Capacity: 1,
+				ServiceRate: []float64{18000, 3500}, EnergyPerRequest: []float64{0.0003, 0.0035}},
+		},
+	}
+	east := workload.ShiftTypes("us-east",
+		workload.WorldCupLike(workload.WorldCupConfig{Seed: 1, Base: 30000}), 2, 6)
+	west := workload.ShiftTypes("us-west",
+		workload.WorldCupLike(workload.WorldCupConfig{Seed: 2, Base: 24000}), 2, 6)
+	return &Scenario{
+		Name:    "example",
+		System:  sys,
+		Traces:  []*workload.Trace{east, west},
+		Prices:  []*market.PriceTrace{{Name: "Houston"}, {Name: "MountainView"}},
+		Slots:   24,
+		Planner: "optimized",
+	}
+}
+
+func mustTUF(levelsJSON string) *tuf.StepDownward {
+	t := &tuf.StepDownward{}
+	if err := json.Unmarshal([]byte(levelsJSON), t); err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,121 @@
+package config
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestExampleIsValidAndRuns(t *testing.T) {
+	s := Example()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalNetProfit() <= 0 {
+		t.Fatalf("example scenario nets %g", rep.TotalNetProfit())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := Example()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.Slots != s.Slots || back.Planner != s.Planner {
+		t.Fatal("scalar fields changed in round trip")
+	}
+	if back.System.K() != s.System.K() || back.System.L() != s.System.L() {
+		t.Fatal("system shape changed")
+	}
+	// TUF levels survive the round trip.
+	orig := s.System.Classes[1].TUF
+	got := back.System.Classes[1].TUF
+	if got.NumLevels() != orig.NumLevels() || got.Deadline() != orig.Deadline() {
+		t.Fatalf("TUF changed: %v vs %v", got, orig)
+	}
+	// Named price references were resolved to the embedded tables.
+	if back.Prices[0].Len() != 24 {
+		t.Fatal("Houston reference not resolved")
+	}
+	// And the loaded scenario actually runs.
+	rep, err := back.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalNetProfit() <= 0 {
+		t.Fatal("loaded scenario unprofitable")
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `{"name": 12`,
+		"unknown field": `{"name":"x","bogus":1}`,
+		"no system":     `{"name":"x","slots":3}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadRejectsBadTUF(t *testing.T) {
+	// Increasing utilities violate the TUF invariant; the validated
+	// decode must fail.
+	s := Example()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `"Utility": 0.02`, `"Utility": 0.5`, 1)
+	if bad == buf.String() {
+		t.Fatal("replacement target not found in serialized scenario")
+	}
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected TUF validation error")
+	}
+}
+
+func TestResolvePricesUnknownLocation(t *testing.T) {
+	s := Example()
+	s.Prices[0].Name = "Narnia"
+	s.Prices[0].Prices = nil
+	if err := s.Validate(); err == nil {
+		t.Fatal("unknown location accepted")
+	}
+}
+
+func TestBuildPlannerNames(t *testing.T) {
+	s := Example()
+	names := []string{"", "optimized", "Optimized", "optimized/per-server",
+		"level-search", "balanced", "nearest", "greedy-profit", "random"}
+	for _, n := range names {
+		s.Planner = n
+		if _, err := s.BuildPlanner(); err != nil {
+			t.Errorf("planner %q: %v", n, err)
+		}
+	}
+	s.Planner = "quantum"
+	if _, err := s.BuildPlanner(); !errors.Is(err, ErrUnknownPlanner) {
+		t.Fatal("unknown planner accepted")
+	}
+}
+
+func TestRunUnknownPlanner(t *testing.T) {
+	s := Example()
+	s.Planner = "quantum"
+	if _, err := s.Run(); !errors.Is(err, ErrUnknownPlanner) {
+		t.Fatal("Run accepted unknown planner")
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"profitlb/internal/datacenter"
+	"profitlb/internal/tuf"
+)
+
+// This file checks the economic rationality of the Optimized planner on
+// random systems: monotonicity properties any correct profit maximizer
+// must satisfy. Each property perturbs one exogenous quantity in the
+// direction that enlarges (or shrinks) the feasible profit set and
+// asserts the objective moves accordingly.
+
+func planObjectiveOf(t *testing.T, in *Input) float64 {
+	t.Helper()
+	plan, err := NewOptimized().Plan(in)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if err := Verify(in, plan, 1e-5); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return plan.Objective
+}
+
+const econTol = 1e-6
+
+// relTol allows tiny heuristic noise (the subset search is a local
+// search) plus floating error.
+func leq(a, b float64) bool { return a <= b+econTol*(1+absf(b)) }
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMoreArrivalsNeverHurt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, in := randomSystem(rng)
+		base := planObjectiveOf(t, in)
+		for s := range in.Arrivals {
+			for k := range in.Arrivals[s] {
+				in.Arrivals[s][k] *= 1.5
+			}
+		}
+		grown := planObjectiveOf(t, in)
+		// Extra demand can always be ignored (arrival budget is ≤).
+		return leq(base, grown)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreServersNeverHurt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys, in := randomSystem(rng)
+		base := planObjectiveOf(t, in)
+		for l := range sys.Centers {
+			sys.Centers[l].Servers += 2
+		}
+		grown := planObjectiveOf(t, in)
+		return leq(base, grown)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheaperElectricityNeverHurts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, in := randomSystem(rng)
+		base := planObjectiveOf(t, in)
+		for l := range in.Prices {
+			in.Prices[l] *= 0.5
+		}
+		cheaper := planObjectiveOf(t, in)
+		return leq(base, cheaper)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddingACenterNeverHurts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys, in := randomSystem(rng)
+		base := planObjectiveOf(t, in)
+		// Append a copy of center 0 and extend distances and prices.
+		cp := sys.Centers[0]
+		cp.ServiceRate = append([]float64(nil), cp.ServiceRate...)
+		cp.EnergyPerRequest = append([]float64(nil), cp.EnergyPerRequest...)
+		sys.Centers = append(sys.Centers, cp)
+		for s := range sys.FrontEnds {
+			d := sys.FrontEnds[s].DistanceMiles
+			sys.FrontEnds[s].DistanceMiles = append(d, d[0])
+		}
+		in.Prices = append(in.Prices, in.Prices[0])
+		grown := planObjectiveOf(t, in)
+		return leq(base, grown)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeTransferNeverHurts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys, in := randomSystem(rng)
+		base := planObjectiveOf(t, in)
+		for k := range sys.Classes {
+			sys.Classes[k].TransferCostPerMile = 0
+		}
+		free := planObjectiveOf(t, in)
+		return leq(base, free)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroPriceFullService checks the degenerate corner: with free
+// electricity, free transfer and ample capacity, everything offered is
+// served and profit equals Σ U_max·λ·T.
+func TestZeroPriceFullService(t *testing.T) {
+	sys := oneDCSystem()
+	sys.Classes[0].TransferCostPerMile = 0
+	sys.Centers[0].Servers = 50
+	in := &Input{Sys: sys, Arrivals: [][]float64{{500}}, Prices: []float64{0}}
+	plan, err := NewOptimized().Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Served(0) < 500-1e-6 {
+		t.Fatalf("served %g of 500 under free energy", plan.Served(0))
+	}
+	want := 500.0 * 10
+	if absf(plan.Objective-want) > 1e-6*want {
+		t.Fatalf("objective %g, want %g", plan.Objective, want)
+	}
+}
+
+// TestProfitScalesWithUtility checks homogeneity: doubling every TUF value
+// with costs at zero doubles the optimum.
+func TestProfitScalesWithUtility(t *testing.T) {
+	sys := oneDCSystem()
+	sys.Classes[0].TransferCostPerMile = 0
+	in := &Input{Sys: sys, Arrivals: [][]float64{{120}}, Prices: []float64{0}}
+	base := planObjectiveOf(t, in)
+
+	sys2 := sys.Clone()
+	lv := sys.Classes[0].TUF.Levels()
+	for i := range lv {
+		lv[i].Utility *= 2
+	}
+	tuf2, err := newTUFFromLevels(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2.Classes[0].TUF = tuf2
+	in2 := &Input{Sys: sys2, Arrivals: [][]float64{{120}}, Prices: []float64{0}}
+	doubled := planObjectiveOf(t, in2)
+	if absf(doubled-2*base) > 1e-6*(1+absf(base)) {
+		t.Fatalf("doubling utilities: %g vs 2x%g", doubled, base)
+	}
+}
+
+// TestDegenerateSingleEverything exercises the 1x1x1 corner thoroughly.
+func TestDegenerateSingleEverything(t *testing.T) {
+	sys := &datacenter.System{
+		Classes:   []datacenter.RequestClass{{Name: "only", TUF: sysTUF(t, 5, 0.1)}},
+		FrontEnds: []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{0}}},
+		Centers: []datacenter.DataCenter{{
+			Name: "dc", Servers: 1, Capacity: 1,
+			ServiceRate: []float64{100}, EnergyPerRequest: []float64{0},
+		}},
+	}
+	in := &Input{Sys: sys, Arrivals: [][]float64{{80}}, Prices: []float64{1}}
+	plan := mustPlan(t, NewOptimized(), in)
+	// Single server: max rate within deadline is 100 − 10 = 90 ≥ 80.
+	if plan.Served(0) < 80-1e-6 {
+		t.Fatalf("served %g of 80", plan.Served(0))
+	}
+	if plan.ServersOn[0] != 1 {
+		t.Fatalf("servers on = %d", plan.ServersOn[0])
+	}
+}
+
+// Helpers shared by the economics tests.
+
+func newTUFFromLevels(levels []tuf.Level) (*tuf.StepDownward, error) { return tuf.New(levels) }
+
+func sysTUF(t *testing.T, u, d float64) *tuf.StepDownward {
+	t.Helper()
+	s, err := tuf.Constant(u, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

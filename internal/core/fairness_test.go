@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"profitlb/internal/datacenter"
+	"profitlb/internal/tuf"
+)
+
+// starvationSystem: two types compete for one small center; type 0 is
+// low-value and profit maximization starves it.
+func starvationSystem() (*datacenter.System, *Input) {
+	sys := &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "cheap", TUF: tuf.MustNew([]tuf.Level{{Utility: 2, Deadline: 0.1}})},
+			{Name: "dear", TUF: tuf.MustNew([]tuf.Level{{Utility: 20, Deadline: 0.1}})},
+		},
+		FrontEnds: []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{10}}},
+		Centers: []datacenter.DataCenter{{
+			Name: "dc", Servers: 2, Capacity: 1,
+			ServiceRate:      []float64{100, 100},
+			EnergyPerRequest: []float64{0.001, 0.001},
+		}},
+	}
+	in := &Input{Sys: sys, Arrivals: [][]float64{{150, 150}}, Prices: []float64{0.1}}
+	return sys, in
+}
+
+func TestFloorsRescueStarvedType(t *testing.T) {
+	_, in := starvationSystem()
+	// Unconstrained: the dear type eats the center, the cheap type starves.
+	free := mustPlan(t, NewOptimized(), in)
+	if free.Served(1) < 140 {
+		t.Fatalf("dear type served %g, expected near-capacity", free.Served(1))
+	}
+	if free.Served(0) > 0.35*in.Offered(0) {
+		t.Fatalf("cheap type served %g — not starved enough for this test to bite", free.Served(0))
+	}
+
+	floored := NewOptimized()
+	floored.MinCompletion = []float64{0.5, 0}
+	plan := mustPlan(t, floored, in)
+	if plan.Served(0) < 0.5*in.Offered(0)-1e-6 {
+		t.Fatalf("floor violated: served %g of %g", plan.Served(0), in.Offered(0))
+	}
+	// Fairness costs profit.
+	if plan.Objective >= free.Objective {
+		t.Fatalf("floored profit %g not below unconstrained %g", plan.Objective, free.Objective)
+	}
+}
+
+func TestFloorsSatisfiedExactlyWhenSlack(t *testing.T) {
+	// A floor below what the optimizer serves anyway changes nothing.
+	_, in := starvationSystem()
+	free := mustPlan(t, NewOptimized(), in)
+	eps := NewOptimized()
+	eps.MinCompletion = []float64{0, 0.5} // dear type already over 50%
+	plan := mustPlan(t, eps, in)
+	if math.Abs(plan.Objective-free.Objective) > 1e-6*(1+math.Abs(free.Objective)) {
+		t.Fatalf("slack floor changed objective: %g vs %g", plan.Objective, free.Objective)
+	}
+}
+
+func TestFloorsUnsatisfiableError(t *testing.T) {
+	_, in := starvationSystem()
+	p := NewOptimized()
+	p.MinCompletion = []float64{1, 1} // total demand 300 vs capacity ~190
+	_, err := p.Plan(in)
+	if err == nil || !strings.Contains(err.Error(), "floors") {
+		t.Fatalf("got %v, want floors error", err)
+	}
+}
+
+func TestFloorsPerServerLayout(t *testing.T) {
+	_, in := starvationSystem()
+	p := NewOptimized()
+	p.PerServer = true
+	p.MinCompletion = []float64{0.5, 0}
+	plan := mustPlan(t, p, in)
+	if plan.Served(0) < 0.5*in.Offered(0)-1e-4 {
+		t.Fatalf("per-server floor violated: %g", plan.Served(0))
+	}
+}
+
+func TestFloorsIgnoredWhenZero(t *testing.T) {
+	_, in := starvationSystem()
+	p := NewOptimized()
+	p.MinCompletion = []float64{0, 0}
+	free := mustPlan(t, NewOptimized(), in)
+	plan := mustPlan(t, p, in)
+	if math.Abs(plan.Objective-free.Objective) > 1e-9 {
+		t.Fatal("zero floors changed the plan")
+	}
+}
+
+func TestFloorsWithUnprofitableType(t *testing.T) {
+	// The floor forces serving even a loss-making type.
+	sys, in := starvationSystem()
+	sys.Centers[0].EnergyPerRequest[0] = 50 // $5/request at price 0.1 > $2 utility
+	free := mustPlan(t, NewOptimized(), in)
+	if free.Served(0) != 0 {
+		t.Fatalf("loss-making type served %g unconstrained", free.Served(0))
+	}
+	p := NewOptimized()
+	p.MinCompletion = []float64{0.3, 0}
+	plan, err := p.Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(in, plan, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Served(0) < 0.3*in.Offered(0)-1e-6 {
+		t.Fatalf("floor on loss-making type violated: %g", plan.Served(0))
+	}
+	if plan.Objective >= free.Objective {
+		t.Fatal("forced losses should lower the objective")
+	}
+}

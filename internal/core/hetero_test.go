@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"profitlb/internal/datacenter"
+	"profitlb/internal/tuf"
+)
+
+// TestHeterogeneousExpansionEquivalence checks the paper's claim that the
+// model extends to heterogeneous servers: splitting a homogeneous center
+// into two identical groups must not change the achievable profit, and a
+// genuinely heterogeneous split must plan cleanly.
+func TestHeterogeneousExpansionEquivalence(t *testing.T) {
+	classes := []datacenter.RequestClass{
+		{Name: "web", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.01}}), TransferCostPerMile: 0.0005},
+	}
+	fes := []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{250}}}
+
+	merged := &datacenter.System{
+		Classes:   classes,
+		FrontEnds: fes,
+		Centers: []datacenter.DataCenter{{
+			Name: "dc", Servers: 6, Capacity: 1,
+			ServiceRate: []float64{1500}, EnergyPerRequest: []float64{0.0004},
+		}},
+	}
+	split, err := datacenter.ExpandHeterogeneous(classes, fes, []datacenter.HeterogeneousCenter{
+		{Name: "dc", Groups: []datacenter.ServerGroup{
+			{Name: "a", Servers: 3, Capacity: 1, ServiceRate: []float64{1500}, EnergyPerRequest: []float64{0.0004}},
+			{Name: "b", Servers: 3, Capacity: 1, ServiceRate: []float64{1500}, EnergyPerRequest: []float64{0.0004}},
+		}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arr := [][]float64{{5000}}
+	inMerged := &Input{Sys: merged, Arrivals: arr, Prices: []float64{0.1}}
+	inSplit := &Input{Sys: split, Arrivals: arr, Prices: []float64{0.1, 0.1}}
+
+	pm := mustPlan(t, NewOptimized(), inMerged)
+	ps := mustPlan(t, NewOptimized(), inSplit)
+	if math.Abs(pm.Objective-ps.Objective) > 1e-6*(1+math.Abs(pm.Objective)) {
+		t.Fatalf("identical split changed profit: merged %g vs split %g", pm.Objective, ps.Objective)
+	}
+}
+
+func TestHeterogeneousFastGroupPreferred(t *testing.T) {
+	classes := []datacenter.RequestClass{
+		{Name: "web", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.01}}), TransferCostPerMile: 0.0005},
+	}
+	fes := []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{250}}}
+	sys, err := datacenter.ExpandHeterogeneous(classes, fes, []datacenter.HeterogeneousCenter{
+		{Name: "dc", Groups: []datacenter.ServerGroup{
+			// The fast group is cheaper per request (same energy, higher μ):
+			// under light load the planner should use it alone.
+			{Name: "fast", Servers: 3, Capacity: 1, ServiceRate: []float64{3000}, EnergyPerRequest: []float64{0.0004}},
+			{Name: "slow", Servers: 3, Capacity: 1, ServiceRate: []float64{900}, EnergyPerRequest: []float64{0.0009}},
+		}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &Input{Sys: sys, Arrivals: [][]float64{{2000}}, Prices: []float64{1.0, 1.0}}
+	plan := mustPlan(t, NewOptimized(), in)
+	fast := plan.TypeCenterRate(0, 0)
+	slow := plan.TypeCenterRate(0, 1)
+	if math.Abs(fast-2000) > 1e-4 || slow != 0 {
+		t.Fatalf("fast %g slow %g: light load should ride the fast group only", fast, slow)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"profitlb/internal/datacenter"
+	"profitlb/internal/lp"
+)
+
+// The paper's planner is slot-myopic: every request must be dispatched in
+// the slot it arrives. Real clouds carry deferrable work — batch jobs
+// whose contract says "complete within a few hours" — and electricity
+// prices swing hour to hour, so holding such work for a cheap slot is
+// free money the myopic planner leaves on the table. PlanHorizon extends
+// the paper's LP across a window of slots: deferrable classes may be
+// buffered at the front-ends for up to MaxDefer slots before dispatch,
+// and one joint LP decides when and where everything runs.
+//
+// Semantics: a class's TUF governs its *in-server* expected delay exactly
+// as in the paper; the deferral allowance is a separate contractual
+// freedom (the job may sit in the arrival buffer for whole slots first).
+// With MaxDefer all zero, PlanHorizon reduces to the paper's per-slot
+// optimization, which the tests verify.
+
+// HorizonInput describes a multi-slot planning window.
+type HorizonInput struct {
+	Sys *datacenter.System
+	// Arrivals[t][s][k] is the arrival rate of type k at front-end s
+	// during window slot t.
+	Arrivals [][][]float64
+	// Prices[t][l] is center l's electricity price during slot t.
+	Prices [][]float64
+	// MaxDefer[k] is how many whole slots type k may be buffered before
+	// dispatch (0 = the paper's must-serve-on-arrival).
+	MaxDefer []int
+}
+
+// Validate checks dimensions.
+func (h *HorizonInput) Validate() error {
+	if h.Sys == nil {
+		return errors.New("core: horizon input has no system")
+	}
+	if err := h.Sys.Validate(); err != nil {
+		return err
+	}
+	if len(h.Arrivals) == 0 || len(h.Arrivals) != len(h.Prices) {
+		return fmt.Errorf("core: horizon has %d arrival slots and %d price slots", len(h.Arrivals), len(h.Prices))
+	}
+	if len(h.MaxDefer) != h.Sys.K() {
+		return fmt.Errorf("core: MaxDefer has %d entries, want %d", len(h.MaxDefer), h.Sys.K())
+	}
+	for k, d := range h.MaxDefer {
+		if d < 0 {
+			return fmt.Errorf("core: MaxDefer[%d] negative", k)
+		}
+	}
+	for t := range h.Arrivals {
+		in := &Input{Sys: h.Sys, Arrivals: h.Arrivals[t], Prices: h.Prices[t]}
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("core: horizon slot %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// HorizonPlan is the joint decision for the window.
+type HorizonPlan struct {
+	// Slots[t] is the dispatch executed in slot t (rates are by serve
+	// slot; deferred work appears in the slot it is served, not the slot
+	// it arrived).
+	Slots []*Plan
+	// Objective is the window's total predicted net profit.
+	Objective float64
+	// DeferredFraction[k] is the share of type k's served volume that was
+	// buffered at least one slot.
+	DeferredFraction []float64
+}
+
+// horizonVar indexes one x variable of the joint LP.
+type horizonVar struct {
+	ts, ci, s, d int // serve slot, commodity index at ts, front-end, defer
+}
+
+// PlanHorizon solves the joint multi-slot LP and splits the solution into
+// per-slot plans with consolidated server counts.
+func PlanHorizon(h *HorizonInput, opts lp.Options) (*HorizonPlan, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	sys := h.Sys
+	T := sys.Slot()
+	K, S := sys.K(), sys.S()
+	H := len(h.Arrivals)
+
+	// Admissible commodities per serve slot (prices differ per slot).
+	comms := make([][]commodity, H)
+	for t := 0; t < H; t++ {
+		in := &Input{Sys: sys, Arrivals: h.Arrivals[t], Prices: h.Prices[t]}
+		// Admit by the best coefficient over the whole window's arrivals;
+		// the per-slot arrivals only matter for budgets.
+		comms[t] = capReservations(in, admissibleCommodities(in, nil))
+	}
+
+	m := lp.NewModel()
+	var vars []horizonVar
+	xIdx := map[horizonVar]int{}
+	fVar := make([][]int, H) // [t][ci]
+	for t := 0; t < H; t++ {
+		fVar[t] = make([]int, len(comms[t]))
+		for ci, c := range comms[t] {
+			fVar[t][ci] = m.AddVariable(fmt.Sprintf("phi_t%d_k%d_q%d_l%d", t, c.k, c.q, c.l), 0)
+			maxD := h.MaxDefer[c.k]
+			for s := 0; s < S; s++ {
+				coef := T * sys.UnitProfit(c.k, s, c.l, c.utility, h.Prices[t][c.l])
+				for d := 0; d <= maxD && d <= t; d++ {
+					v := horizonVar{ts: t, ci: ci, s: s, d: d}
+					xIdx[v] = m.AddVariable(fmt.Sprintf("x_t%d_k%d_q%d_s%d_l%d_d%d", t, c.k, c.q, s, c.l, d), coef)
+					vars = append(vars, v)
+				}
+			}
+		}
+	}
+
+	// Capacity per (serve slot, commodity): M·C·μ·φ − Σ_{s,d} x ≥ M/D.
+	for t := 0; t < H; t++ {
+		for ci, c := range comms[t] {
+			dc := &sys.Centers[c.l]
+			n := float64(dc.Servers)
+			terms := []lp.Term{{Var: fVar[t][ci], Coef: n * dc.Capacity * dc.ServiceRate[c.k]}}
+			for s := 0; s < S; s++ {
+				for d := 0; d <= h.MaxDefer[c.k] && d <= t; d++ {
+					terms = append(terms, lp.Term{Var: xIdx[horizonVar{t, ci, s, d}], Coef: -1})
+				}
+			}
+			m.AddConstraint(fmt.Sprintf("cap_t%d_k%d_q%d_l%d", t, c.k, c.q, c.l), terms, lp.GE, n/c.deadline)
+		}
+	}
+	// Arrival budgets per (arrival slot, front-end, type): work arriving
+	// at ta may be served at ts ∈ [ta, ta+MaxDefer].
+	for ta := 0; ta < H; ta++ {
+		for s := 0; s < S; s++ {
+			for k := 0; k < K; k++ {
+				var terms []lp.Term
+				for ts := ta; ts < H && ts <= ta+h.MaxDefer[k]; ts++ {
+					for ci, c := range comms[ts] {
+						if c.k != k {
+							continue
+						}
+						terms = append(terms, lp.Term{Var: xIdx[horizonVar{ts, ci, s, ts - ta}], Coef: 1})
+					}
+				}
+				if len(terms) > 0 {
+					m.AddConstraint(fmt.Sprintf("arr_t%d_s%d_k%d", ta, s, k), terms, lp.LE, h.Arrivals[ta][s][k])
+				}
+			}
+		}
+	}
+	// Share caps per (slot, center).
+	for t := 0; t < H; t++ {
+		for l := 0; l < sys.L(); l++ {
+			var terms []lp.Term
+			for ci, c := range comms[t] {
+				if c.l == l {
+					terms = append(terms, lp.Term{Var: fVar[t][ci], Coef: 1})
+				}
+			}
+			if len(terms) > 0 {
+				m.AddConstraint(fmt.Sprintf("share_t%d_l%d", t, l), terms, lp.LE, 1)
+			}
+		}
+	}
+
+	res, err := m.SolveOpts(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: horizon LP failed: %w", err)
+	}
+
+	out := &HorizonPlan{DeferredFraction: make([]float64, K)}
+	servedTotal := make([]float64, K)
+	deferred := make([]float64, K)
+	for t := 0; t < H; t++ {
+		rates := make([][]float64, len(comms[t]))
+		for ci := range comms[t] {
+			rates[ci] = make([]float64, S)
+			for s := 0; s < S; s++ {
+				for d := 0; d <= h.MaxDefer[comms[t][ci].k] && d <= t; d++ {
+					v := res.Value(xIdx[horizonVar{t, ci, s, d}])
+					if v <= 0 {
+						continue
+					}
+					rates[ci][s] += v
+					servedTotal[comms[t][ci].k] += v
+					if d > 0 {
+						deferred[comms[t][ci].k] += v
+					}
+				}
+			}
+		}
+		in := &Input{Sys: sys, Arrivals: h.Arrivals[t], Prices: h.Prices[t]}
+		plan, err := planFromRates(in, comms[t], rates, true, false)
+		if err != nil {
+			return nil, fmt.Errorf("core: horizon slot %d: %w", t, err)
+		}
+		plan.Objective = planObjective(in, plan)
+		out.Objective += plan.Objective
+		out.Slots = append(out.Slots, plan)
+	}
+	for k := 0; k < K; k++ {
+		if servedTotal[k] > 0 {
+			out.DeferredFraction[k] = deferred[k] / servedTotal[k]
+		}
+	}
+	return out, nil
+}
+
+// VerifyHorizon checks the physical invariants of a horizon plan: per-slot
+// share/deadline feasibility (via the per-slot checks of Verify, with the
+// arrival budget replaced by the window-level deferral budget) and that no
+// (type, front-end) serves more over the window than arrived, respecting
+// each deferral allowance via a flow check.
+func VerifyHorizon(h *HorizonInput, hp *HorizonPlan, tol float64) error {
+	sys := h.Sys
+	if len(hp.Slots) != len(h.Arrivals) {
+		return fmt.Errorf("core: horizon plan has %d slots, input %d", len(hp.Slots), len(h.Arrivals))
+	}
+	for t, plan := range hp.Slots {
+		// Reuse Verify's share/deadline/server checks with a relaxed
+		// arrival budget: anything arrived in the reachable window.
+		relaxed := make([][]float64, sys.S())
+		for s := range relaxed {
+			relaxed[s] = make([]float64, sys.K())
+			for k := 0; k < sys.K(); k++ {
+				for ta := t - h.MaxDefer[k]; ta <= t; ta++ {
+					if ta >= 0 {
+						relaxed[s][k] += h.Arrivals[ta][s][k]
+					}
+				}
+			}
+		}
+		in := &Input{Sys: sys, Arrivals: relaxed, Prices: h.Prices[t]}
+		if err := Verify(in, plan, tol); err != nil {
+			return fmt.Errorf("core: horizon slot %d: %w", t, err)
+		}
+	}
+	// Window-level conservation per (type, front-end): cumulative served
+	// by slot t must never exceed cumulative arrived by slot t, and total
+	// served ≤ total arrived.
+	for k := 0; k < sys.K(); k++ {
+		for s := 0; s < sys.S(); s++ {
+			var arrived, served float64
+			for t := range hp.Slots {
+				arrived += h.Arrivals[t][s][k]
+				served += hp.Slots[t].ServedFrom(k, s)
+				if served > arrived+tol*(1+math.Abs(arrived)) {
+					return fmt.Errorf("core: type %d front-end %d served %g > arrived %g by slot %d",
+						k, s, served, arrived, t)
+				}
+			}
+		}
+	}
+	return nil
+}

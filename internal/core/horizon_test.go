@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"profitlb/internal/datacenter"
+	"profitlb/internal/lp"
+	"profitlb/internal/tuf"
+)
+
+// deferScenario: one interactive class, one deferrable batch class, one
+// front-end, one center, and a price that collapses in the second half of
+// the window — the textbook temporal-arbitrage setup.
+func deferScenario(slots int) *HorizonInput {
+	sys := &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "interactive", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.01}}), TransferCostPerMile: 0.0001},
+			{Name: "batch", TUF: tuf.MustNew([]tuf.Level{{Utility: 6, Deadline: 0.1}}), TransferCostPerMile: 0.0001},
+		},
+		FrontEnds: []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{100}}},
+		Centers: []datacenter.DataCenter{{
+			Name: "dc", Servers: 4, Capacity: 1,
+			ServiceRate:      []float64{1000, 800},
+			EnergyPerRequest: []float64{0.5, 4}, // batch is energy-heavy
+		}},
+	}
+	h := &HorizonInput{Sys: sys, MaxDefer: []int{0, 0}}
+	for t := 0; t < slots; t++ {
+		h.Arrivals = append(h.Arrivals, [][]float64{{800, 500}})
+		price := 1.0
+		if t >= slots/2 {
+			price = 0.1 // cheap second half
+		}
+		h.Prices = append(h.Prices, []float64{price})
+	}
+	return h
+}
+
+func TestHorizonZeroDeferMatchesMyopic(t *testing.T) {
+	h := deferScenario(4)
+	hp, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHorizon(h, hp, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	var myopic float64
+	for tt := range h.Arrivals {
+		in := &Input{Sys: h.Sys, Arrivals: h.Arrivals[tt], Prices: h.Prices[tt]}
+		plan, err := NewOptimized().Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		myopic += plan.Objective
+	}
+	if math.Abs(hp.Objective-myopic) > 1e-5*(1+math.Abs(myopic)) {
+		t.Fatalf("zero-defer horizon %g != myopic sum %g", hp.Objective, myopic)
+	}
+	for k, f := range hp.DeferredFraction {
+		if f != 0 {
+			t.Fatalf("type %d deferred %g without allowance", k, f)
+		}
+	}
+}
+
+func TestHorizonDeferralShiftsBatchToCheapSlots(t *testing.T) {
+	h := deferScenario(6)
+	base, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.MaxDefer = []int{0, 3} // batch may wait up to 3 slots
+	shifted, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHorizon(h, shifted, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	if shifted.Objective <= base.Objective {
+		t.Fatalf("deferral did not pay: %g vs %g", shifted.Objective, base.Objective)
+	}
+	if shifted.DeferredFraction[1] <= 0.1 {
+		t.Fatalf("batch deferred fraction %g, expected substantial shifting", shifted.DeferredFraction[1])
+	}
+	if shifted.DeferredFraction[0] != 0 {
+		t.Fatalf("interactive deferred %g without allowance", shifted.DeferredFraction[0])
+	}
+	// The expensive first half should carry less batch work than the
+	// cheap second half under deferral.
+	var early, late float64
+	for tt, plan := range shifted.Slots {
+		v := plan.Served(1)
+		if tt < 3 {
+			early += v
+		} else {
+			late += v
+		}
+	}
+	if late <= early {
+		t.Fatalf("batch not shifted to cheap slots: early %g late %g", early, late)
+	}
+}
+
+func TestHorizonDeferralNeverHurts(t *testing.T) {
+	// Extra freedom cannot lower the optimum.
+	for _, defer2 := range []int{1, 2, 4} {
+		h := deferScenario(5)
+		base, err := PlanHorizon(h, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.MaxDefer = []int{0, defer2}
+		more, err := PlanHorizon(h, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if more.Objective < base.Objective-1e-6*(1+math.Abs(base.Objective)) {
+			t.Fatalf("defer=%d lowered objective: %g vs %g", defer2, more.Objective, base.Objective)
+		}
+	}
+}
+
+func TestHorizonConservation(t *testing.T) {
+	h := deferScenario(6)
+	h.MaxDefer = []int{0, 3}
+	hp, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total served per type over the window ≤ total arrivals.
+	for k := 0; k < 2; k++ {
+		var served, arrived float64
+		for tt := range hp.Slots {
+			served += hp.Slots[tt].Served(k)
+			arrived += h.Arrivals[tt][0][k]
+		}
+		if served > arrived+1e-6 {
+			t.Fatalf("type %d: served %g > arrived %g", k, served, arrived)
+		}
+	}
+}
+
+func TestHorizonValidation(t *testing.T) {
+	h := deferScenario(3)
+	h.MaxDefer = []int{0} // wrong length
+	if _, err := PlanHorizon(h, lp.Options{}); err == nil {
+		t.Fatal("bad MaxDefer accepted")
+	}
+	h = deferScenario(3)
+	h.Prices = h.Prices[:2]
+	if _, err := PlanHorizon(h, lp.Options{}); err == nil {
+		t.Fatal("ragged prices accepted")
+	}
+	h = deferScenario(3)
+	h.MaxDefer = []int{0, -1}
+	if _, err := PlanHorizon(h, lp.Options{}); err == nil {
+		t.Fatal("negative defer accepted")
+	}
+	if (&HorizonInput{}).Validate() == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestVerifyHorizonCatchesOverServe(t *testing.T) {
+	h := deferScenario(4)
+	h.MaxDefer = []int{0, 2}
+	hp, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: serve more batch in slot 0 than ever arrived.
+	hp.Slots[0].Rate[1][0][0][0] += 5000
+	if err := VerifyHorizon(h, hp, 1e-5); err == nil {
+		t.Fatal("VerifyHorizon missed over-serving")
+	}
+}
+
+// Property: on random systems, the zero-defer horizon equals the myopic
+// per-slot optimum and any defer allowance only helps.
+func TestHorizonPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys, in0 := randomSystem(rng)
+		H := 2 + rng.Intn(3)
+		h := &HorizonInput{Sys: sys, MaxDefer: make([]int, sys.K())}
+		for tt := 0; tt < H; tt++ {
+			arr := make([][]float64, sys.S())
+			for s := range arr {
+				arr[s] = make([]float64, sys.K())
+				for k := range arr[s] {
+					arr[s][k] = rng.Float64() * 200
+				}
+			}
+			prices := make([]float64, sys.L())
+			for l := range prices {
+				prices[l] = 0.05 + rng.Float64()
+			}
+			h.Arrivals = append(h.Arrivals, arr)
+			h.Prices = append(h.Prices, prices)
+		}
+		_ = in0
+		zero, err := PlanHorizon(h, lp.Options{})
+		if err != nil {
+			return false
+		}
+		var myopic float64
+		for tt := 0; tt < H; tt++ {
+			in := &Input{Sys: sys, Arrivals: h.Arrivals[tt], Prices: h.Prices[tt]}
+			// The horizon LP has no subset refinement; compare against the
+			// unrefined planner for exact equality.
+			p := NewOptimized()
+			p.Refine = false
+			plan, err := p.Plan(in)
+			if err != nil {
+				return false
+			}
+			myopic += plan.Objective
+		}
+		if math.Abs(zero.Objective-myopic) > 1e-5*(1+math.Abs(myopic)) {
+			t.Logf("seed %d: zero-defer %g vs myopic %g", seed, zero.Objective, myopic)
+			return false
+		}
+		for k := range h.MaxDefer {
+			h.MaxDefer[k] = 1 + rng.Intn(2)
+		}
+		flex, err := PlanHorizon(h, lp.Options{})
+		if err != nil {
+			return false
+		}
+		return flex.Objective >= zero.Objective-1e-6*(1+math.Abs(zero.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"profitlb/internal/lp"
+)
+
+// Strategy selects how LevelSearch explores level assignments.
+type Strategy int
+
+// Search strategies.
+const (
+	// Auto enumerates exhaustively when the assignment space is at most
+	// MaxExhaustive and branches-and-bounds otherwise.
+	Auto Strategy = iota
+	// Exhaustive enumerates every assignment.
+	Exhaustive
+	// Greedy hill-climbs from the all-tightest-level assignment.
+	Greedy
+	// BranchBound performs depth-first search with an LP relaxation bound.
+	BranchBound
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Exhaustive:
+		return "exhaustive"
+	case Greedy:
+		return "greedy"
+	case BranchBound:
+		return "branch-and-bound"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// LevelSearch reproduces the discrete solving style of the paper's
+// CPLEX/AIMMS formulation: every (type, data center) pair commits to one
+// TUF level — the discrete choice the big-M series of Section IV encodes —
+// and the residual problem is the one-level LP of Section IV-1. The
+// planner searches the assignment space for the most profitable
+// commitment.
+//
+// Optimized's split-commodity LP is at least as good on homogeneous
+// centers (it may mix levels within a center); LevelSearch exists as the
+// faithful discrete comparator and for the solver-cost study of Fig. 11.
+type LevelSearch struct {
+	// Strategy picks the exploration order; Auto by default.
+	Strategy Strategy
+	// MaxExhaustive bounds the assignment count Auto will enumerate
+	// exhaustively; 0 means 4096.
+	MaxExhaustive int
+	// PerServer uses the paper-faithful per-server LP layout.
+	PerServer bool
+	// Consolidate computes minimum powered-on servers (see Optimized).
+	Consolidate bool
+	// LPOpts tunes the simplex solver.
+	LPOpts lp.Options
+}
+
+// NewLevelSearch returns a LevelSearch with the defaults used in the
+// paper reproduction (auto strategy, consolidation on).
+func NewLevelSearch() *LevelSearch {
+	return &LevelSearch{Consolidate: true}
+}
+
+// Name implements Planner.
+func (ls *LevelSearch) Name() string { return "level-search/" + ls.Strategy.String() }
+
+// pair enumerates the (k, l) grid.
+type pair struct{ k, l int }
+
+// Plan implements Planner.
+func (ls *LevelSearch) Plan(in *Input) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	sys := in.Sys
+	maxEx := ls.MaxExhaustive
+	if maxEx <= 0 {
+		maxEx = 4096
+	}
+
+	var pairs []pair
+	space := 1.0
+	for k := 0; k < sys.K(); k++ {
+		for l := 0; l < sys.L(); l++ {
+			pairs = append(pairs, pair{k, l})
+			space *= float64(sys.Classes[k].TUF.NumLevels())
+		}
+	}
+
+	strategy := ls.Strategy
+	if strategy == Auto {
+		if space <= float64(maxEx) {
+			strategy = Exhaustive
+		} else {
+			strategy = BranchBound
+		}
+	}
+
+	var best assignment
+	var err error
+	switch strategy {
+	case Exhaustive:
+		best, err = ls.exhaustive(in, pairs)
+	case Greedy:
+		best, err = ls.greedy(in, pairs)
+	case BranchBound:
+		best, err = ls.branchBound(in, pairs)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", ls.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if best.rates == nil {
+		// Nothing profitable anywhere: empty plan.
+		plan := NewPlan(sys)
+		return plan, nil
+	}
+	plan, err := planFromRates(in, best.comms, best.rates, ls.Consolidate, false)
+	if err != nil {
+		return nil, err
+	}
+	plan.Objective = planObjective(in, plan)
+	return plan, nil
+}
+
+// assignment is one evaluated level commitment.
+type assignment struct {
+	levels []int // level per pair index
+	comms  []commodity
+	rates  [][]float64
+	obj    float64
+}
+
+// evaluate builds the one-level-per-pair commodity set and solves its LP.
+// Unprofitable or reservation-overloaded pairs are excluded (equivalent to
+// the LP routing nothing there).
+func (ls *LevelSearch) evaluate(in *Input, pairs []pair, levels []int) (assignment, error) {
+	sys := in.Sys
+	var comms []commodity
+	for pi, p := range pairs {
+		lev := sys.Classes[p.k].TUF.Level(levels[pi])
+		best := math.Inf(-1)
+		for s := 0; s < sys.S(); s++ {
+			if c := sys.UnitProfit(p.k, s, p.l, lev.Utility, in.Prices[p.l]); c > best {
+				best = c
+			}
+		}
+		if best <= 0 {
+			continue
+		}
+		comms = append(comms, commodity{k: p.k, q: levels[pi], l: p.l, utility: lev.Utility, deadline: lev.Deadline, bestCoef: best})
+	}
+	comms = capReservations(in, comms)
+	if len(comms) == 0 {
+		return assignment{levels: append([]int(nil), levels...)}, nil
+	}
+	rates, obj, err := solveDispatchLP(in, comms, ls.PerServer, nil, ls.LPOpts)
+	if err == lp.ErrInfeasible {
+		return assignment{levels: append([]int(nil), levels...), obj: math.Inf(-1)}, nil
+	}
+	if err != nil {
+		return assignment{}, err
+	}
+	return assignment{levels: append([]int(nil), levels...), comms: comms, rates: rates, obj: obj}, nil
+}
+
+func (ls *LevelSearch) exhaustive(in *Input, pairs []pair) (assignment, error) {
+	sys := in.Sys
+	levels := make([]int, len(pairs))
+	best := assignment{obj: math.Inf(-1)}
+	for {
+		a, err := ls.evaluate(in, pairs, levels)
+		if err != nil {
+			return assignment{}, err
+		}
+		if a.obj > best.obj || best.rates == nil && a.rates != nil {
+			best = a
+		}
+		// Odometer increment over the mixed-radix level space.
+		i := 0
+		for ; i < len(pairs); i++ {
+			levels[i]++
+			if levels[i] < sys.Classes[pairs[i].k].TUF.NumLevels() {
+				break
+			}
+			levels[i] = 0
+		}
+		if i == len(pairs) {
+			return best, nil
+		}
+	}
+}
+
+func (ls *LevelSearch) greedy(in *Input, pairs []pair) (assignment, error) {
+	sys := in.Sys
+	levels := make([]int, len(pairs))
+	best, err := ls.evaluate(in, pairs, levels)
+	if err != nil {
+		return assignment{}, err
+	}
+	for {
+		improved := false
+		for pi := range pairs {
+			n := sys.Classes[pairs[pi].k].TUF.NumLevels()
+			orig := levels[pi]
+			for q := 0; q < n; q++ {
+				if q == orig {
+					continue
+				}
+				levels[pi] = q
+				a, err := ls.evaluate(in, pairs, levels)
+				if err != nil {
+					return assignment{}, err
+				}
+				if a.obj > best.obj+1e-9 {
+					best = a
+					orig = q
+					improved = true
+				}
+			}
+			levels[pi] = orig
+		}
+		if !improved {
+			return best, nil
+		}
+	}
+}
+
+// branchBound explores assignments depth first; the bound at a partial
+// node relaxes every unassigned pair to its best utility with its loosest
+// deadline, which can only overestimate the achievable profit.
+func (ls *LevelSearch) branchBound(in *Input, pairs []pair) (assignment, error) {
+	sys := in.Sys
+	// Seed the incumbent with the greedy solution so pruning bites early.
+	best, err := ls.greedy(in, pairs)
+	if err != nil {
+		return assignment{}, err
+	}
+	levels := make([]int, len(pairs))
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == len(pairs) {
+			a, err := ls.evaluate(in, pairs, levels)
+			if err != nil {
+				return err
+			}
+			if a.obj > best.obj {
+				best = a
+			}
+			return nil
+		}
+		ub, err := ls.upperBound(in, pairs, levels, depth)
+		if err != nil {
+			return err
+		}
+		if ub <= best.obj+1e-9 {
+			return nil
+		}
+		for q := 0; q < sys.Classes[pairs[depth].k].TUF.NumLevels(); q++ {
+			levels[depth] = q
+			if err := rec(depth + 1); err != nil {
+				return err
+			}
+		}
+		levels[depth] = 0
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return assignment{}, err
+	}
+	return best, nil
+}
+
+// upperBound solves the relaxed LP where pairs below depth keep their
+// assigned level and pairs at or beyond depth get max utility with the
+// loosest deadline.
+func (ls *LevelSearch) upperBound(in *Input, pairs []pair, levels []int, depth int) (float64, error) {
+	sys := in.Sys
+	var comms []commodity
+	for pi, p := range pairs {
+		cls := sys.Classes[p.k].TUF
+		var u, d float64
+		var q int
+		if pi < depth {
+			lev := cls.Level(levels[pi])
+			u, d, q = lev.Utility, lev.Deadline, levels[pi]
+		} else {
+			u, d, q = cls.MaxUtility(), cls.Deadline(), 0
+		}
+		bestC := math.Inf(-1)
+		for s := 0; s < sys.S(); s++ {
+			if c := sys.UnitProfit(p.k, s, p.l, u, in.Prices[p.l]); c > bestC {
+				bestC = c
+			}
+		}
+		if bestC <= 0 {
+			continue
+		}
+		comms = append(comms, commodity{k: p.k, q: q, l: p.l, utility: u, deadline: d, bestCoef: bestC})
+	}
+	comms = capReservations(in, comms)
+	if len(comms) == 0 {
+		return 0, nil
+	}
+	_, obj, err := solveDispatchLP(in, comms, false, nil, ls.LPOpts)
+	if err == lp.ErrInfeasible {
+		return math.Inf(-1), nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return obj, nil
+}

@@ -1,0 +1,692 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"profitlb/internal/lp"
+)
+
+// commodity is one (class k, TUF level q, data center l) triple admitted to
+// the dispatch LP, carrying its level's utility and deadline and the best
+// per-request profit coefficient over front-ends (used for pruning).
+type commodity struct {
+	k, q, l  int
+	utility  float64
+	deadline float64
+	bestCoef float64
+}
+
+// Optimized is the paper's "Optimized" planner: it maximizes paper Eq. 5
+// subject to Constraints 6–8 by solving a linear program in which every
+// TUF level is a separate commodity with its own share variable and
+// linearized deadline constraint (Section IV-1's transformation applied
+// per level). Serving one type partly at a tight sub-deadline and partly
+// at a loose one — which the paper's per-server MINLP achieves by giving
+// servers different shares — corresponds here to splitting the type's
+// traffic across level commodities.
+type Optimized struct {
+	// PerServer switches to the paper's faithful per-server variable
+	// layout (λ_{k,s,i,l}, φ_{k,i,l}). It is equivalent in value for
+	// homogeneous servers but much larger; it exists to reproduce the
+	// computation-time growth of paper Fig. 11.
+	PerServer bool
+	// Refine runs a local search over commodity subsets: the paper's
+	// linearized deadline constraint reserves share for every admitted
+	// commodity even at zero load, so excluding a commodity can free more
+	// capacity than its traffic was worth. The search toggles commodities
+	// in and out, keeping strict improvements, from two seeds — the full
+	// admissible set and the greedy single-level commitment.
+	Refine bool
+	// Consolidate computes the minimum number of powered-on servers per
+	// center after dispatch (on by default via NewOptimized).
+	Consolidate bool
+	// TopUp distributes leftover CPU share across used commodities after
+	// consolidation, lowering delays below their targets (and potentially
+	// crossing into a better TUF level at accounting time).
+	TopUp bool
+	// MinCompletion optionally forces serving at least the given fraction
+	// of each type's offered arrivals (one entry per class, values in
+	// [0,1]). The paper's profit maximization treats types with "no
+	// priority difference", which can starve a low-value type entirely;
+	// floors buy fairness at a measurable profit cost. Plan returns an
+	// error when the floors exceed what the fleet can serve.
+	MinCompletion []float64
+	// LPOpts tunes the simplex solver.
+	LPOpts lp.Options
+}
+
+// NewOptimized returns the planner with the paper-faithful defaults:
+// aggregated variables, refinement and consolidation on, top-up off.
+func NewOptimized() *Optimized {
+	return &Optimized{Refine: true, Consolidate: true}
+}
+
+// Name implements Planner.
+func (o *Optimized) Name() string {
+	if o.PerServer {
+		return "optimized/per-server"
+	}
+	return "optimized"
+}
+
+// Plan implements Planner.
+func (o *Optimized) Plan(in *Input) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	full := admissibleCommodities(in, o.MinCompletion)
+	best, err := o.solveSubset(in, capReservations(in, full))
+	if err != nil {
+		return nil, err
+	}
+	if o.Refine {
+		improved, err := o.toggleSearch(in, full, best)
+		if err != nil {
+			return nil, err
+		}
+		best = improved
+		// Second seed: the greedy single-level commitment, which excludes
+		// all but one level per (type, center) and sometimes escapes the
+		// full set's reservation load.
+		if multiLevel(in) {
+			seed, err := o.greedySeed(in)
+			if err != nil {
+				return nil, err
+			}
+			// Re-evaluate the seed subset under this planner's own
+			// constraints (the greedy search knows nothing of floors).
+			seedEval, err := o.solveSubset(in, seed.comms)
+			if err != nil {
+				return nil, err
+			}
+			fromSeed, err := o.toggleSearch(in, full, seedEval)
+			if err != nil {
+				return nil, err
+			}
+			if fromSeed.obj > best.obj {
+				best = fromSeed
+			}
+		}
+	}
+	if math.IsInf(best.obj, -1) {
+		return nil, fmt.Errorf("core: completion floors %v exceed what the fleet can serve", o.MinCompletion)
+	}
+
+	plan, err := planFromRates(in, best.comms, best.rates, o.Consolidate, o.TopUp)
+	if err != nil {
+		return nil, err
+	}
+	plan.Objective = planObjective(in, plan)
+	return plan, nil
+}
+
+// admissibleCommodities lists every (k, q, l) whose best route earns a
+// positive per-request profit; the LP would never use the others, and
+// omitting them avoids the paper's zero-load share reservation for them.
+// Types carrying a completion floor are admitted regardless of
+// profitability — the floor may force serving them at a loss.
+func admissibleCommodities(in *Input, floors []float64) []commodity {
+	sys := in.Sys
+	var out []commodity
+	for k := 0; k < sys.K(); k++ {
+		floored := k < len(floors) && floors[k] > 0
+		levels := sys.Classes[k].TUF.Levels()
+		for q, lev := range levels {
+			for l := 0; l < sys.L(); l++ {
+				best := math.Inf(-1)
+				for s := 0; s < sys.S(); s++ {
+					if c := sys.UnitProfit(k, s, l, lev.Utility, in.Prices[l]); c > best {
+						best = c
+					}
+				}
+				if best > 0 || floored {
+					out = append(out, commodity{k: k, q: q, l: l, utility: lev.Utility, deadline: lev.Deadline, bestCoef: best})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// capReservations enforces per-center feasibility of the paper's
+// linearized deadline constraint at zero load: the shares reserved by the
+// admitted commodities, Σ 1/(D·C·μ), must fit in one server. Commodities
+// with the lowest value are evicted first. The input slice is not
+// modified.
+func capReservations(in *Input, orig []commodity) []commodity {
+	comms := append([]commodity(nil), orig...)
+	sys := in.Sys
+	const margin = 0.999
+	for l := 0; l < sys.L(); l++ {
+		for {
+			var sum float64
+			worst, worstVal := -1, math.Inf(1)
+			for ci, c := range comms {
+				if c.l != l {
+					continue
+				}
+				dc := &sys.Centers[l]
+				sum += 1 / (c.deadline * dc.Capacity * dc.ServiceRate[c.k])
+				if c.bestCoef < worstVal {
+					worst, worstVal = ci, c.bestCoef
+				}
+			}
+			if sum <= margin || worst < 0 {
+				break
+			}
+			comms = append(comms[:worst], comms[worst+1:]...)
+		}
+	}
+	return comms
+}
+
+func dropWorst(comms []commodity) []commodity {
+	worst, worstVal := -1, math.Inf(1)
+	for ci, c := range comms {
+		if c.bestCoef < worstVal {
+			worst, worstVal = ci, c.bestCoef
+		}
+	}
+	if worst < 0 {
+		return comms[:0]
+	}
+	return append(comms[:worst], comms[worst+1:]...)
+}
+
+// solveSubset solves the dispatch LP over a copy of comms. Without
+// completion floors, numerically rare infeasibility retries with the
+// least valuable commodity dropped; with floors, an infeasible subset is
+// reported as a -Inf assignment so the subset search can route around it.
+func (o *Optimized) solveSubset(in *Input, comms []commodity) (assignment, error) {
+	comms = append([]commodity(nil), comms...)
+	withFloors := floorsActive(in, o.MinCompletion)
+	for {
+		rates, obj, err := solveDispatchLP(in, comms, o.PerServer, o.MinCompletion, o.LPOpts)
+		if err == nil {
+			return assignment{comms: comms, rates: rates, obj: obj}, nil
+		}
+		if err == lp.ErrInfeasible && withFloors {
+			return assignment{comms: comms, obj: math.Inf(-1)}, nil
+		}
+		if err != lp.ErrInfeasible || len(comms) == 0 {
+			return assignment{}, fmt.Errorf("core: dispatch LP failed: %w", err)
+		}
+		comms = dropWorst(comms)
+	}
+}
+
+// commodityKey identifies a commodity across subsets.
+type commodityKey struct{ k, q, l int }
+
+func keyOf(c commodity) commodityKey { return commodityKey{c.k, c.q, c.l} }
+
+// toggleSearch hill-climbs over commodity subsets by single add/remove
+// moves, starting from start and drawing candidates from full.
+func (o *Optimized) toggleSearch(in *Input, full []commodity, start assignment) (assignment, error) {
+	best := start
+	inSet := make(map[commodityKey]bool, len(best.comms))
+	for _, c := range best.comms {
+		inSet[keyOf(c)] = true
+	}
+	for iter := 0; iter < 60; iter++ {
+		improved := false
+		for _, cand := range full {
+			key := keyOf(cand)
+			var trial []commodity
+			if inSet[key] {
+				for _, c := range best.comms {
+					if keyOf(c) != key {
+						trial = append(trial, c)
+					}
+				}
+			} else {
+				trial = append(append([]commodity(nil), best.comms...), cand)
+				capped := capReservations(in, trial)
+				if len(capped) != len(trial) {
+					continue // adding it overloads a center's reservations
+				}
+				trial = capped
+			}
+			a, err := o.solveSubset(in, trial)
+			if err != nil {
+				return assignment{}, err
+			}
+			if a.obj > best.obj+1e-9 {
+				best = a
+				inSet[key] = !inSet[key]
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, nil
+}
+
+// greedySeed runs the greedy single-level commitment of LevelSearch to
+// seed the subset search.
+func (o *Optimized) greedySeed(in *Input) (assignment, error) {
+	ls := &LevelSearch{Strategy: Greedy, PerServer: o.PerServer, LPOpts: o.LPOpts}
+	var pairs []pair
+	for k := 0; k < in.Sys.K(); k++ {
+		for l := 0; l < in.Sys.L(); l++ {
+			pairs = append(pairs, pair{k, l})
+		}
+	}
+	return ls.greedy(in, pairs)
+}
+
+// multiLevel reports whether any class has more than one TUF level.
+func multiLevel(in *Input) bool {
+	for _, c := range in.Sys.Classes {
+		if c.TUF.NumLevels() > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLP is the aggregated slot LP together with the handles needed
+// to read the solution and its shadow prices back out.
+type dispatchLP struct {
+	model *lp.Model
+	comms []commodity
+	xVar  [][]int // [ci][s]
+	fVar  []int   // [ci]
+	// arrRow[k][s] and shareRow[l] index constraint rows (-1 if absent).
+	arrRow   [][]int
+	shareRow []int
+}
+
+// buildDispatchLP assembles the aggregated LP over the given commodities:
+// objective = paper Eq. 5, constraints = linearized Constraint 6
+// aggregated over the M_l homogeneous servers (M·C·μ·φ − Σ_s λ ≥ M/D),
+// per-front-end arrival budgets (Constraint 7) and per-center share caps
+// (Constraint 8).
+func buildDispatchLP(in *Input, comms []commodity, floors []float64) *dispatchLP {
+	sys := in.Sys
+	T := sys.Slot()
+	d := &dispatchLP{model: lp.NewModel(), comms: comms}
+	m := d.model
+
+	d.xVar = make([][]int, len(comms))
+	d.fVar = make([]int, len(comms))
+	for ci, c := range comms {
+		d.fVar[ci] = m.AddVariable(fmt.Sprintf("phi_k%d_q%d_l%d", c.k, c.q, c.l), 0)
+		d.xVar[ci] = make([]int, sys.S())
+		for s := 0; s < sys.S(); s++ {
+			coef := T * sys.UnitProfit(c.k, s, c.l, c.utility, in.Prices[c.l])
+			d.xVar[ci][s] = m.AddVariable(fmt.Sprintf("lam_k%d_q%d_s%d_l%d", c.k, c.q, s, c.l), coef)
+		}
+	}
+	for ci, c := range comms {
+		dc := &sys.Centers[c.l]
+		n := float64(dc.Servers)
+		terms := []lp.Term{{Var: d.fVar[ci], Coef: n * dc.Capacity * dc.ServiceRate[c.k]}}
+		for s := 0; s < sys.S(); s++ {
+			terms = append(terms, lp.Term{Var: d.xVar[ci][s], Coef: -1})
+		}
+		m.AddConstraint(fmt.Sprintf("cap_k%d_q%d_l%d", c.k, c.q, c.l), terms, lp.GE, n/c.deadline)
+	}
+	d.arrRow = make([][]int, sys.K())
+	for k := 0; k < sys.K(); k++ {
+		d.arrRow[k] = make([]int, sys.S())
+		for s := 0; s < sys.S(); s++ {
+			d.arrRow[k][s] = -1
+			var terms []lp.Term
+			for ci, c := range comms {
+				if c.k == k {
+					terms = append(terms, lp.Term{Var: d.xVar[ci][s], Coef: 1})
+				}
+			}
+			if len(terms) > 0 {
+				d.arrRow[k][s] = m.AddConstraint(fmt.Sprintf("arr_k%d_s%d", k, s), terms, lp.LE, in.Arrivals[s][k])
+			}
+		}
+	}
+	// Completion floors (extension): Σ_{q,s,l} λ ≥ frac·Σ_s arrivals.
+	for k := 0; k < sys.K() && k < len(floors); k++ {
+		frac := floors[k]
+		if frac <= 0 {
+			continue
+		}
+		var terms []lp.Term
+		for ci, c := range comms {
+			if c.k != k {
+				continue
+			}
+			for s := 0; s < sys.S(); s++ {
+				terms = append(terms, lp.Term{Var: d.xVar[ci][s], Coef: 1})
+			}
+		}
+		var offered float64
+		for s := 0; s < sys.S(); s++ {
+			offered += in.Arrivals[s][k]
+		}
+		if len(terms) == 0 && frac*offered > 0 {
+			// No admissible commodity can serve the type at all: encode
+			// an explicitly infeasible row so the caller sees it.
+			terms = []lp.Term{{Var: d.fVar[0], Coef: 0}}
+		}
+		m.AddConstraint(fmt.Sprintf("floor_k%d", k), terms, lp.GE, frac*offered)
+	}
+	d.shareRow = make([]int, sys.L())
+	for l := 0; l < sys.L(); l++ {
+		d.shareRow[l] = -1
+		var terms []lp.Term
+		for ci, c := range comms {
+			if c.l == l {
+				terms = append(terms, lp.Term{Var: d.fVar[ci], Coef: 1})
+			}
+		}
+		if len(terms) > 0 {
+			d.shareRow[l] = m.AddConstraint(fmt.Sprintf("share_l%d", l), terms, lp.LE, 1)
+		}
+	}
+	return d
+}
+
+// solve optimizes the LP and extracts the per-commodity rates.
+func (d *dispatchLP) solve(opts lp.Options) ([][]float64, *lp.Result, error) {
+	res, err := d.model.SolveOpts(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	S := 0
+	if len(d.xVar) > 0 {
+		S = len(d.xVar[0])
+	}
+	rates := make([][]float64, len(d.comms))
+	for ci := range d.comms {
+		rates[ci] = make([]float64, S)
+		for s := 0; s < S; s++ {
+			if v := res.Value(d.xVar[ci][s]); v > 0 {
+				rates[ci][s] = v
+			}
+		}
+	}
+	return rates, res, nil
+}
+
+// solveDispatchLP builds and solves the slot LP over the given commodities
+// and returns rates[ci][s] (the per-commodity dispatch from each front-end)
+// and the objective (dollars for the slot).
+func solveDispatchLP(in *Input, comms []commodity, perServer bool, floors []float64, opts lp.Options) ([][]float64, float64, error) {
+	if len(comms) == 0 {
+		if floorsActive(in, floors) {
+			return nil, 0, lp.ErrInfeasible
+		}
+		return nil, 0, nil
+	}
+	if perServer {
+		return solvePerServerLP(in, comms, floors, opts)
+	}
+	rates, res, err := buildDispatchLP(in, comms, floors).solve(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rates, res.Objective, nil
+}
+
+// floorsActive reports whether any completion floor binds a type with
+// positive offered demand.
+func floorsActive(in *Input, floors []float64) bool {
+	for k := 0; k < len(floors) && k < in.Sys.K(); k++ {
+		if floors[k] <= 0 {
+			continue
+		}
+		for s := range in.Arrivals {
+			if in.Arrivals[s][k] > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// solvePerServerLP is the faithful formulation with per-server variables
+// λ_{k,q,s,i,l} and φ_{k,q,i,l}; it returns rates aggregated over servers.
+func solvePerServerLP(in *Input, comms []commodity, floors []float64, opts lp.Options) ([][]float64, float64, error) {
+	sys := in.Sys
+	T := sys.Slot()
+	m := lp.NewModel()
+
+	xVar := make([][][]int, len(comms)) // [ci][i][s]
+	fVar := make([][]int, len(comms))   // [ci][i]
+	for ci, c := range comms {
+		servers := sys.Centers[c.l].Servers
+		fVar[ci] = make([]int, servers)
+		xVar[ci] = make([][]int, servers)
+		for i := 0; i < servers; i++ {
+			fVar[ci][i] = m.AddVariable(fmt.Sprintf("phi_k%d_q%d_l%d_i%d", c.k, c.q, c.l, i), 0)
+			xVar[ci][i] = make([]int, sys.S())
+			for s := 0; s < sys.S(); s++ {
+				coef := T * sys.UnitProfit(c.k, s, c.l, c.utility, in.Prices[c.l])
+				xVar[ci][i][s] = m.AddVariable(fmt.Sprintf("lam_k%d_q%d_s%d_l%d_i%d", c.k, c.q, s, c.l, i), coef)
+			}
+		}
+	}
+	for ci, c := range comms {
+		dc := &sys.Centers[c.l]
+		for i := 0; i < dc.Servers; i++ {
+			terms := []lp.Term{{Var: fVar[ci][i], Coef: dc.Capacity * dc.ServiceRate[c.k]}}
+			for s := 0; s < sys.S(); s++ {
+				terms = append(terms, lp.Term{Var: xVar[ci][i][s], Coef: -1})
+			}
+			m.AddConstraint(fmt.Sprintf("cap_k%d_q%d_l%d_i%d", c.k, c.q, c.l, i), terms, lp.GE, 1/c.deadline)
+		}
+	}
+	for k := 0; k < sys.K(); k++ {
+		for s := 0; s < sys.S(); s++ {
+			var terms []lp.Term
+			for ci, c := range comms {
+				if c.k != k {
+					continue
+				}
+				for i := range xVar[ci] {
+					terms = append(terms, lp.Term{Var: xVar[ci][i][s], Coef: 1})
+				}
+			}
+			if len(terms) > 0 {
+				m.AddConstraint(fmt.Sprintf("arr_k%d_s%d", k, s), terms, lp.LE, in.Arrivals[s][k])
+			}
+		}
+	}
+	for l := 0; l < sys.L(); l++ {
+		for i := 0; i < sys.Centers[l].Servers; i++ {
+			var terms []lp.Term
+			for ci, c := range comms {
+				if c.l == l {
+					terms = append(terms, lp.Term{Var: fVar[ci][i], Coef: 1})
+				}
+			}
+			if len(terms) > 0 {
+				m.AddConstraint(fmt.Sprintf("share_l%d_i%d", l, i), terms, lp.LE, 1)
+			}
+		}
+	}
+	for k := 0; k < sys.K() && k < len(floors); k++ {
+		frac := floors[k]
+		if frac <= 0 {
+			continue
+		}
+		var terms []lp.Term
+		for ci, c := range comms {
+			if c.k != k {
+				continue
+			}
+			for i := range xVar[ci] {
+				for s := 0; s < sys.S(); s++ {
+					terms = append(terms, lp.Term{Var: xVar[ci][i][s], Coef: 1})
+				}
+			}
+		}
+		var offered float64
+		for s := 0; s < sys.S(); s++ {
+			offered += in.Arrivals[s][k]
+		}
+		if len(terms) == 0 && frac*offered > 0 {
+			terms = []lp.Term{{Var: fVar[0][0], Coef: 0}}
+		}
+		m.AddConstraint(fmt.Sprintf("floor_k%d", k), terms, lp.GE, frac*offered)
+	}
+
+	res, err := m.SolveOpts(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	rates := make([][]float64, len(comms))
+	for ci := range comms {
+		rates[ci] = make([]float64, sys.S())
+		for i := range xVar[ci] {
+			for s := 0; s < sys.S(); s++ {
+				if v := res.Value(xVar[ci][i][s]); v > 0 {
+					rates[ci][s] += v
+				}
+			}
+		}
+	}
+	return rates, res.Objective, nil
+}
+
+// planFromRates turns per-commodity dispatch rates into a full Plan:
+// filling the rate tensor, choosing the number of powered-on servers per
+// center, and recomputing exact per-server shares at that count.
+func planFromRates(in *Input, comms []commodity, rates [][]float64, consolidate, topUp bool) (*Plan, error) {
+	sys := in.Sys
+	plan := NewPlan(sys)
+	for ci, c := range comms {
+		for s, v := range rates[ci] {
+			plan.Rate[c.k][c.q][s][c.l] = v
+		}
+	}
+	for l := 0; l < sys.L(); l++ {
+		if err := allocateCenter(in, plan, l, consolidate, topUp); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// activeKey identifies a used commodity within one center.
+type activeKey struct{ k, q int }
+
+// allocateCenter decides ServersOn[l] and Phi[l] from the center's
+// dispatched rates. The minimum server count n satisfies
+//
+//	Σ_{used (k,q)} ( Λ/(n·C·μ_k) + 1/(D_q·C·μ_k) ) ≤ 1,
+//
+// whose left side is decreasing in n; shares are then set to exactly meet
+// each level deadline at that n.
+func allocateCenter(in *Input, plan *Plan, l int, consolidate, topUp bool) error {
+	sys := in.Sys
+	dc := &sys.Centers[l]
+	var used []activeKey
+	var lams []float64
+	for k := 0; k < sys.K(); k++ {
+		for q := range plan.Rate[k] {
+			if lam := plan.CenterRate(k, q, l); lam > 1e-9 {
+				used = append(used, activeKey{k, q})
+				lams = append(lams, lam)
+			}
+		}
+	}
+	if len(used) == 0 {
+		plan.ServersOn[l] = 0
+		return nil
+	}
+	shareAt := func(n int) float64 {
+		var sum float64
+		for i, a := range used {
+			mu := dc.Capacity * dc.ServiceRate[a.k]
+			d := sys.Classes[a.k].TUF.Level(a.q).Deadline
+			sum += lams[i]/(float64(n)*mu) + 1/(d*mu)
+		}
+		return sum
+	}
+	n := dc.Servers
+	if shareAt(n) > 1+1e-6 {
+		return fmt.Errorf("core: center %d cannot host planned load on %d servers (share %g)", l, n, shareAt(n))
+	}
+	if consolidate {
+		lo, hi := 1, dc.Servers // invariant: hi always feasible
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if shareAt(mid) <= 1+1e-9 {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		n = hi
+	}
+	plan.ServersOn[l] = n
+	var total float64
+	for i, a := range used {
+		mu := dc.Capacity * dc.ServiceRate[a.k]
+		d := sys.Classes[a.k].TUF.Level(a.q).Deadline
+		phi := lams[i]/(float64(n)*mu) + 1/(d*mu)
+		plan.Phi[l][a.k][a.q] = phi
+		total += phi
+	}
+	if topUp && total < 1 {
+		// Distribute leftover share proportionally to each commodity's
+		// load, reducing its delay below the level deadline.
+		var lamSum float64
+		for _, v := range lams {
+			lamSum += v
+		}
+		if lamSum > 0 {
+			slack := 1 - total
+			for i, a := range used {
+				plan.Phi[l][a.k][a.q] += slack * lams[i] / lamSum
+			}
+		}
+	}
+	return nil
+}
+
+// planObjective evaluates paper Eq. 5 at the plan: Σ (U − cost)·λ·T using
+// each commodity's level utility (the deadline is met with equality, so
+// the level utility is the achieved utility), minus the idle draw of the
+// powered-on servers (zero under the paper's per-request energy model).
+func planObjective(in *Input, plan *Plan) float64 {
+	sys := in.Sys
+	T := sys.Slot()
+	var sum float64
+	for l, n := range plan.ServersOn {
+		sum -= sys.IdleCost(l, in.Prices[l]) * float64(n)
+	}
+	for k := 0; k < sys.K(); k++ {
+		levels := sys.Classes[k].TUF.Levels()
+		for q := range plan.Rate[k] {
+			for s := range plan.Rate[k][q] {
+				for l, v := range plan.Rate[k][q][s] {
+					if v <= 0 {
+						continue
+					}
+					sum += T * v * sys.UnitProfit(k, s, l, levels[q].Utility, in.Prices[l])
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// sortCommodities orders commodities deterministically (by k, q, l); used
+// by tests to compare planner variants.
+func sortCommodities(comms []commodity) {
+	sort.Slice(comms, func(i, j int) bool {
+		a, b := comms[i], comms[j]
+		if a.k != b.k {
+			return a.k < b.k
+		}
+		if a.q != b.q {
+			return a.q < b.q
+		}
+		return a.l < b.l
+	})
+}

@@ -1,0 +1,162 @@
+package datacenter
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"profitlb/internal/tuf"
+)
+
+func validSystem() *System {
+	return &System{
+		Classes: []RequestClass{
+			{Name: "web", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.5}}), TransferCostPerMile: 0.003},
+			{Name: "batch", TUF: tuf.MustNew([]tuf.Level{{Utility: 20, Deadline: 1}, {Utility: 8, Deadline: 2}}), TransferCostPerMile: 0.005},
+		},
+		FrontEnds: []FrontEnd{
+			{Name: "fe1", DistanceMiles: []float64{100, 900}},
+			{Name: "fe2", DistanceMiles: []float64{400, 250}},
+		},
+		Centers: []DataCenter{
+			{Name: "dc1", Servers: 6, Capacity: 1, ServiceRate: []float64{150, 130}, EnergyPerRequest: []float64{0.0003, 0.0005}},
+			{Name: "dc2", Servers: 4, Capacity: 2, ServiceRate: []float64{120, 120}, EnergyPerRequest: []float64{0.0002, 0.0006}, PUE: 1.4},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validSystem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	sys := validSystem()
+	if sys.K() != 2 || sys.S() != 2 || sys.L() != 2 {
+		t.Fatalf("dims %d %d %d", sys.K(), sys.S(), sys.L())
+	}
+	if sys.Slot() != 1 {
+		t.Fatalf("default slot = %g", sys.Slot())
+	}
+	sys.SlotHours = 0.5
+	if sys.Slot() != 0.5 {
+		t.Fatal("explicit slot ignored")
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*System)
+		want   string
+	}{
+		{"empty", func(s *System) { s.Classes = nil }, "at least one"},
+		{"nil tuf", func(s *System) { s.Classes[0].TUF = nil }, "no TUF"},
+		{"neg transfer", func(s *System) { s.Classes[0].TransferCostPerMile = -1 }, "negative transfer"},
+		{"bad distances", func(s *System) { s.FrontEnds[0].DistanceMiles = []float64{1} }, "distances"},
+		{"neg distance", func(s *System) { s.FrontEnds[0].DistanceMiles[0] = -5 }, "negative distance"},
+		{"no servers", func(s *System) { s.Centers[0].Servers = 0 }, "servers"},
+		{"bad capacity", func(s *System) { s.Centers[0].Capacity = 0 }, "capacity"},
+		{"short rates", func(s *System) { s.Centers[0].ServiceRate = []float64{1} }, "per-type"},
+		{"zero rate", func(s *System) { s.Centers[0].ServiceRate[1] = 0 }, "service rate"},
+		{"neg energy", func(s *System) { s.Centers[0].EnergyPerRequest[0] = -1 }, "negative energy"},
+	}
+	for _, c := range cases {
+		sys := validSystem()
+		c.mutate(sys)
+		err := sys.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTransferCost(t *testing.T) {
+	sys := validSystem()
+	// class 0 at 0.003 $/mile, fe1→dc2 is 900 miles.
+	if got := sys.TransferCost(0, 0, 1); math.Abs(got-2.7) > 1e-12 {
+		t.Fatalf("TransferCost = %g, want 2.7", got)
+	}
+}
+
+func TestEnergyCostAndPUE(t *testing.T) {
+	sys := validSystem()
+	// dc1 has no PUE: 0.0003 kWh × $0.10 = $0.00003.
+	if got := sys.EnergyCost(0, 0, 0.10); math.Abs(got-0.00003) > 1e-15 {
+		t.Fatalf("EnergyCost = %g", got)
+	}
+	// dc2 has PUE 1.4.
+	want := 0.0002 * 1.4 * 0.10
+	if got := sys.EnergyCost(0, 1, 0.10); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("EnergyCost with PUE = %g, want %g", got, want)
+	}
+}
+
+func TestEffectivePUEDefault(t *testing.T) {
+	dc := DataCenter{}
+	if dc.EffectivePUE() != 1 {
+		t.Fatal("zero PUE should default to 1")
+	}
+}
+
+func TestUnitProfit(t *testing.T) {
+	sys := validSystem()
+	u, price := 10.0, 0.10
+	want := u - sys.EnergyCost(0, 0, price) - sys.TransferCost(0, 0, 0)
+	if got := sys.UnitProfit(0, 0, 0, u, price); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("UnitProfit = %g, want %g", got, want)
+	}
+}
+
+func TestDedicatedCapacity(t *testing.T) {
+	sys := validSystem()
+	// dc1 type 0: 6 servers × (0.5·1·150 − 1/0.5) = 6 × 73 = 438.
+	if got := sys.DedicatedCapacity(0, 0, 0.5, 0.5); math.Abs(got-438) > 1e-9 {
+		t.Fatalf("DedicatedCapacity = %g, want 438", got)
+	}
+	// Infeasible share floors at zero.
+	if got := sys.DedicatedCapacity(0, 0, 0.001, 0.5); got != 0 {
+		t.Fatalf("infeasible capacity = %g, want 0", got)
+	}
+}
+
+func TestIdleCost(t *testing.T) {
+	sys := validSystem()
+	// Zero by default: the paper's purely per-request energy model.
+	if got := sys.IdleCost(0, 0.1); got != 0 {
+		t.Fatalf("default idle cost = %g, want 0", got)
+	}
+	sys.Centers[0].IdleEnergyPerServer = 2
+	sys.SlotHours = 1
+	if got := sys.IdleCost(0, 0.1); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("idle cost = %g, want 0.2", got)
+	}
+	// PUE multiplies the idle draw too.
+	sys.Centers[1].IdleEnergyPerServer = 2
+	want := 2 * 1.4 * 0.1
+	if got := sys.IdleCost(1, 0.1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("idle cost with PUE = %g, want %g", got, want)
+	}
+}
+
+func TestSystemClone(t *testing.T) {
+	sys := validSystem()
+	cp := sys.Clone()
+	cp.Centers[0].Servers = 99
+	cp.Centers[0].ServiceRate[0] = 1
+	cp.FrontEnds[0].DistanceMiles[0] = 7
+	cp.SlotHours = 42
+	if sys.Centers[0].Servers == 99 || sys.Centers[0].ServiceRate[0] == 1 {
+		t.Fatal("Clone aliases center state")
+	}
+	if sys.FrontEnds[0].DistanceMiles[0] == 7 {
+		t.Fatal("Clone aliases front-end state")
+	}
+	if sys.SlotHours == 42 {
+		t.Fatal("Clone aliases scalar state")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+}

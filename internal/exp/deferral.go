@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+	"profitlb/internal/lp"
+	"profitlb/internal/market"
+	"profitlb/internal/report"
+	"profitlb/internal/tuf"
+	"profitlb/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "abl13-defer",
+		Title: "Extension: temporal arbitrage with deferrable batch work",
+		Paper: "beyond the paper (multi-slot lookahead; the paper plans each slot myopically)",
+		Run:   runAblDefer,
+	})
+}
+
+// deferSetup: an interactive class pinned to its arrival slot and an
+// energy-hungry batch class that may wait, under the Houston diurnal
+// price curve over a full day.
+func deferSetup() *core.HorizonInput {
+	sys := &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "interactive", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.005}}), TransferCostPerMile: 0.0002},
+			{Name: "batch", TUF: tuf.MustNew([]tuf.Level{{Utility: 8, Deadline: 0.2}}), TransferCostPerMile: 0.0001},
+		},
+		FrontEnds: []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{300, 1200}}},
+		Centers: []datacenter.DataCenter{
+			{Name: "dc1", Servers: 5, Capacity: 1,
+				ServiceRate: []float64{2000, 700}, EnergyPerRequest: []float64{0.5, 20}},
+			{Name: "dc2", Servers: 5, Capacity: 1,
+				ServiceRate: []float64{1800, 800}, EnergyPerRequest: []float64{0.45, 18}},
+		},
+	}
+	base := workload.WorldCupLike(workload.WorldCupConfig{Seed: 55, Base: 1500})
+	batch := workload.WorldCupLike(workload.WorldCupConfig{Seed: 56, Base: 900})
+	houston, mv := market.Houston(), market.MountainView()
+	h := &core.HorizonInput{Sys: sys, MaxDefer: []int{0, 0}}
+	for t := 0; t < 24; t++ {
+		h.Arrivals = append(h.Arrivals, [][]float64{{base[t], batch[t]}})
+		h.Prices = append(h.Prices, []float64{houston.At(t), mv.At(t)})
+	}
+	return h
+}
+
+func runAblDefer() (*Result, error) {
+	t := report.NewTable("Deferral sweep (24 h, batch pays 18-20 kWh/request)",
+		"max defer (slots)", "window net profit($)", "vs myopic", "batch deferred")
+	var myopic float64
+	var rows []*core.HorizonPlan
+	defers := []int{0, 1, 2, 4, 8}
+	for _, d := range defers {
+		h := deferSetup()
+		h.MaxDefer = []int{0, d}
+		hp, err := core.PlanHorizon(h, lp.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := core.VerifyHorizon(h, hp, 1e-5); err != nil {
+			return nil, fmt.Errorf("abl13: defer %d: %w", d, err)
+		}
+		if d == 0 {
+			myopic = hp.Objective
+		}
+		rows = append(rows, hp)
+	}
+	for i, d := range defers {
+		hp := rows[i]
+		t.AddRow(fmt.Sprintf("%d", d), report.F(hp.Objective),
+			report.Pct(hp.Objective/myopic), report.Pct(hp.DeferredFraction[1]))
+	}
+	best := rows[len(rows)-1]
+	return &Result{
+		ID: "abl13-defer", Title: "Temporal arbitrage",
+		Tables: []*report.Table{t},
+		Notes: []string{fmt.Sprintf(
+			"an 8-slot deferral allowance lifts the window profit by %s by running %s of the batch work in cheap-electricity hours — headroom the paper's per-slot optimization cannot reach",
+			report.Pct(best.Objective/myopic-1), report.Pct(best.DeferredFraction[1]))},
+	}, nil
+}

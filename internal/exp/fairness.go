@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"fmt"
+
+	"profitlb/internal/core"
+	"profitlb/internal/report"
+	"profitlb/internal/sim"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "abl12-fairness",
+		Title: "Extension: completion floors (the price of fairness)",
+		Paper: "beyond the paper (per-type minimum-service SLAs)",
+		Run:   runAblFairness,
+	})
+}
+
+// runAblFairness sweeps a uniform per-type completion floor on the
+// Section V high-load day. Pure profit maximization serves the most
+// valuable work first and can push a type's completion arbitrarily low;
+// the floors force minimum service and the sweep prices that fairness.
+func runAblFairness() (*Result, error) {
+	b := NewBasicSetup()
+	t := report.NewTable("Completion-floor sweep (Section V, high load)",
+		"floor", "net profit($)", "vs unconstrained",
+		"request1 completed", "request2 completed", "request3 completed")
+	var base float64
+	var notes []string
+	for _, floor := range []float64{0, 0.4, 0.5, 0.6} {
+		p := core.NewOptimized()
+		if floor > 0 {
+			p.MinCompletion = []float64{floor, floor, floor}
+		}
+		rep, err := sim.Run(b.Config(true), p)
+		if err != nil {
+			if floor > 0 {
+				t.AddRow(report.F(floor), "infeasible", "-", "-", "-", "-")
+				notes = append(notes, fmt.Sprintf("floor %s exceeds fleet capacity", report.F(floor)))
+				continue
+			}
+			return nil, err
+		}
+		profit := rep.TotalNetProfit()
+		if floor == 0 {
+			base = profit
+		}
+		t.AddRow(report.F(floor), report.F(profit), report.Pct(profit/base),
+			report.Pct(rep.CompletionRate(0)), report.Pct(rep.CompletionRate(1)), report.Pct(rep.CompletionRate(2)))
+	}
+	notes = append(notes,
+		"the unconstrained planner serves the highest value-per-capacity work first; floors trade profit for per-type minimum service, and beyond the fleet's capacity they become infeasible")
+	return &Result{
+		ID: "abl12-fairness", Title: "Completion floors",
+		Tables: []*report.Table{t}, Notes: notes,
+	}, nil
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"profitlb/internal/market"
+	"profitlb/internal/report"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig1",
+		Title: "Electricity prices at different locations in a day",
+		Paper: "Figure 1",
+		Run:   runFig1,
+	})
+}
+
+func runFig1() (*Result, error) {
+	locs := market.Locations()
+	names := make([]string, len(locs))
+	series := make([][]float64, len(locs))
+	for i, tr := range locs {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		names[i] = tr.Name + "($/kWh)"
+		series[i] = tr.Prices
+	}
+	t := report.SeriesTable("Hourly electricity prices", "hour",
+		report.SlotLabels(0, 24), names, series...)
+
+	stats := report.NewTable("Per-location statistics", "location", "min", "max", "mean", "max/min")
+	for _, tr := range locs {
+		min, max, mean := tr.Stats()
+		stats.AddRow(tr.Name, report.F(min), report.F(max), report.F(mean), report.F(max/min))
+	}
+	spread := market.Spread(locs, 24)
+	var maxSpread float64
+	for _, s := range spread {
+		if s > maxSpread {
+			maxSpread = s
+		}
+	}
+	return &Result{
+		ID:     "fig1",
+		Title:  "Electricity prices at different locations in a day",
+		Tables: []*report.Table{t, stats},
+		Notes: []string{
+			"prices differ per location and vary through the day (the multi-electricity-market premise)",
+			"peak cross-location spread: $" + report.F(maxSpread) + "/kWh",
+		},
+	}, nil
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"profitlb/internal/core"
+	"profitlb/internal/report"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig11",
+		Title: "Computation times of different server sets",
+		Paper: "Figure 11",
+		Run:   runFig11,
+	})
+}
+
+// Fig11ServerCounts is the sweep of servers-per-center sizes.
+var Fig11ServerCounts = []int{2, 4, 6, 8, 10, 12}
+
+// PlanOnce builds the Section VII slot input for the given fleet size and
+// runs the given planner once, returning the wall time. Exported for the
+// benchmark harness.
+func PlanOnce(servers int, planner core.Planner) (time.Duration, error) {
+	ts := NewTwoLevelSetup()
+	for l := range ts.Sys.Centers {
+		ts.Sys.Centers[l].Servers = servers
+	}
+	in := &core.Input{
+		Sys: ts.Sys,
+		Arrivals: [][]float64{{
+			ts.Traces[0].At(14, 0),
+			ts.Traces[0].At(14, 1),
+		}},
+		Prices: []float64{ts.Prices[0].At(14), ts.Prices[1].At(14)},
+	}
+	start := time.Now()
+	_, err := planner.Plan(in)
+	return time.Since(start), err
+}
+
+func runFig11() (*Result, error) {
+	t := report.NewTable("Planner computation time vs servers per data center",
+		"servers/center", "optimized per-server (ms)", "level-search per-server (ms)")
+	var firstOpt, lastOpt float64
+	const runs = 5 // the paper averages five runs per server set
+	for _, m := range Fig11ServerCounts {
+		var optTotal, lsTotal time.Duration
+		for r := 0; r < runs; r++ {
+			opt := core.NewOptimized()
+			opt.PerServer = true
+			d, err := PlanOnce(m, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig11: optimized with %d servers: %w", m, err)
+			}
+			optTotal += d
+
+			ls := core.NewLevelSearch()
+			ls.Strategy = core.Exhaustive
+			ls.PerServer = true
+			d, err = PlanOnce(m, ls)
+			if err != nil {
+				return nil, fmt.Errorf("fig11: level-search with %d servers: %w", m, err)
+			}
+			lsTotal += d
+		}
+		optMS := float64(optTotal.Microseconds()) / float64(runs) / 1000
+		lsMS := float64(lsTotal.Microseconds()) / float64(runs) / 1000
+		t.AddRow(fmt.Sprintf("%d", m), report.F(optMS), report.F(lsMS))
+		if firstOpt == 0 {
+			firstOpt = optMS
+		}
+		lastOpt = optMS
+	}
+	growth := 0.0
+	if firstOpt > 0 {
+		growth = lastOpt / firstOpt
+	}
+	return &Result{
+		ID: "fig11", Title: "Computation times", Tables: []*report.Table{t},
+		Notes: []string{fmt.Sprintf(
+			"per-server planning time grows x%s from %d to %d servers per center (the paper reports exponential growth on CPLEX)",
+			report.F(growth), Fig11ServerCounts[0], Fig11ServerCounts[len(Fig11ServerCounts)-1])},
+	}, nil
+}

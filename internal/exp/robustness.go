@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+
+	"profitlb/internal/core"
+	"profitlb/internal/des"
+	"profitlb/internal/queue"
+	"profitlb/internal/report"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "val4-servicecv",
+		Title: "Validation: M/M/1 plans under non-exponential service times",
+		Paper: "beyond the paper (M/G/1 robustness of the delay model)",
+		Run:   runValServiceCV,
+	})
+}
+
+// runValServiceCV realizes the Section VII plans under service-time
+// distributions the paper's M/M/1 model does not cover, sweeping the
+// coefficient of variation from near-deterministic to very bursty, and
+// compares the realized miss rates and dollars with the Pollaczek–
+// Khinchine prediction of the delay inflation.
+func runValServiceCV() (*Result, error) {
+	ts := NewTwoLevelSetup()
+	t := report.NewTable("Service-time CV sweep (request-level realization, 14:00-19:00)",
+		"service CV", "realized net($)", "vs exponential", "miss rate r1", "miss rate r2", "P-K delay inflation")
+	var expNet float64
+	type rowData struct {
+		cv       float64
+		net      float64
+		miss     [2]float64
+		inflated float64
+	}
+	var rows []rowData
+	for _, cv := range []float64{0.25, 0.5, 1, 2, 3} {
+		cfg := des.Config{Sim: ts.Config(), Planner: core.NewOptimized(), Seed: 777, ServiceCV: cv}
+		rep, err := des.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// P-K inflation of the mean delay at a representative utilization
+		// (ρ = 0.8, the planner's typical operating point at the deadline).
+		g := queue.MG1{Phi: 1, C: 1, Mu: 1, CV: cv}
+		infl, err := g.DelayInflation(0.8)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowData{
+			cv: cv, net: rep.TotalRealized(),
+			miss: [2]float64{rep.MissRate(0), rep.MissRate(1)}, inflated: infl,
+		})
+		if cv == 1 {
+			expNet = rep.TotalRealized()
+		}
+	}
+	for _, r := range rows {
+		t.AddRow(report.F(r.cv), report.F(r.net), report.Pct(r.net/expNet),
+			report.Pct(r.miss[0]), report.Pct(r.miss[1]), report.F(r.inflated))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	return &Result{
+		ID: "val4-servicecv", Title: "Service-distribution robustness",
+		Tables: []*report.Table{t},
+		Notes: []string{
+			fmt.Sprintf("steadier-than-exponential service (CV %.2g) cuts deadline misses to %s/%s; burstier service (CV %.2g) raises them to %s/%s — exactly the Pollaczek–Khinchine direction",
+				first.cv, report.Pct(first.miss[0]), report.Pct(first.miss[1]),
+				last.cv, report.Pct(last.miss[0]), report.Pct(last.miss[1])),
+			"the paper's M/M/1 guarantees are conservative for steady services and optimistic for bursty ones; a deployment should measure its service CV before trusting the deadlines",
+		},
+	}, nil
+}

@@ -1,0 +1,156 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+}
+
+func TestVectorDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorAddScaled(t *testing.T) {
+	v := Vector{1, 1}
+	v.AddScaled(2, Vector{3, 4})
+	if v[0] != 7 || v[1] != 9 {
+		t.Fatalf("AddScaled = %v", v)
+	}
+}
+
+func TestVectorScaleSumNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if v.Norm2() != 5 {
+		t.Fatalf("Norm2 = %g", v.Norm2())
+	}
+	if v.NormInf() != 4 {
+		t.Fatalf("NormInf = %g", v.NormInf())
+	}
+	if v.Sum() != -1 {
+		t.Fatalf("Sum = %g", v.Sum())
+	}
+	v.Scale(2)
+	if v[0] != 6 || v[1] != -8 {
+		t.Fatalf("Scale = %v", v)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 1, 3)
+	if m.At(0, 2) != 2 || m.At(1, 1) != 3 {
+		t.Fatal("At/Set mismatch")
+	}
+	out, err := m.MulVec(Vector{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3 || out[1] != 3 {
+		t.Fatalf("MulVec = %v", out)
+	}
+	if _, err := m.MulVec(Vector{1}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMatrixRowOps(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	m.SwapRows(0, 1)
+	if m.At(0, 0) != 3 {
+		t.Fatal("SwapRows failed")
+	}
+	m.SwapRows(1, 1) // no-op must be safe
+	m.ScaleRow(0, 2)
+	if m.At(0, 1) != 8 {
+		t.Fatal("ScaleRow failed")
+	}
+	m.AddScaledRow(1, -1, 0)
+	if m.At(1, 0) != -5 || m.At(1, 1) != -6 {
+		t.Fatalf("AddScaledRow: %v %v", m.At(1, 0), m.At(1, 1))
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(1, 1)
+	m.Set(0, 0, 5)
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 5 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(Vector{1, 2}, Vector{1.0000001, 2}, 1e-5) {
+		t.Fatal("should be approximately equal")
+	}
+	if ApproxEqual(Vector{1}, Vector{1, 2}, 1) {
+		t.Fatal("length mismatch must not be equal")
+	}
+	if ApproxEqual(Vector{1}, Vector{2}, 0.5) {
+		t.Fatal("difference above tol must not be equal")
+	}
+}
+
+// Property: dot product is symmetric and Cauchy-Schwarz holds.
+func TestDotPropertiesQuick(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		// Avoid NaN/Inf noise from quick's extreme values.
+		v, w := make(Vector, 6), make(Vector, 6)
+		for i := range a {
+			v[i] = math.Mod(a[i], 1e6)
+			w[i] = math.Mod(b[i], 1e6)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+		}
+		d1, d2 := v.Dot(w), w.Dot(v)
+		if d1 != d2 {
+			return false
+		}
+		return math.Abs(d1) <= v.Norm2()*w.Norm2()*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

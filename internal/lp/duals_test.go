@@ -1,0 +1,136 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+	// Known duals: y1 = 0 (slack), y2 = 3/2, y3 = 1.
+	m := NewModel()
+	x := m.AddVariable("x", 3)
+	y := m.AddVariable("y", 5)
+	m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	m.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	res := solveOrFatal(t, m)
+	want := []float64{0, 1.5, 1}
+	for i, w := range want {
+		if math.Abs(res.Duals[i]-w) > 1e-9 {
+			t.Fatalf("dual %d = %g, want %g (all: %v)", i, res.Duals[i], w, res.Duals)
+		}
+	}
+}
+
+func TestDualsStrongDuality(t *testing.T) {
+	// On random bounded LPs, Σ y_i b_i must equal the primal objective.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		nvars := 2 + rng.Intn(3)
+		nrows := 2 + rng.Intn(4)
+		m := NewModel()
+		for v := 0; v < nvars; v++ {
+			m.AddVariable("x", rng.Float64()*8-1)
+		}
+		rhs := make([]float64, 0, nrows+nvars)
+		for r := 0; r < nrows; r++ {
+			terms := make([]Term, nvars)
+			for v := 0; v < nvars; v++ {
+				terms[v] = Term{v, rng.Float64() * 4}
+			}
+			b := 1 + rng.Float64()*9
+			m.AddConstraint("c", terms, LE, b)
+			rhs = append(rhs, b)
+		}
+		for v := 0; v < nvars; v++ {
+			m.AddUpperBound(v, 25)
+			rhs = append(rhs, 25)
+		}
+		res, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var dualObj float64
+		for i, b := range rhs {
+			dualObj += res.Duals[i] * b
+		}
+		if math.Abs(dualObj-res.Objective) > 1e-6*(1+math.Abs(res.Objective)) {
+			t.Fatalf("trial %d: dual objective %g != primal %g (duals %v)",
+				trial, dualObj, res.Objective, res.Duals)
+		}
+		// Complementary slackness: non-binding rows carry zero duals.
+		for i := 0; i < m.NumConstraints(); i++ {
+			slack := rhs[i] - m.RowActivity(i, res.X)
+			if slack > 1e-6 && math.Abs(res.Duals[i]) > 1e-6 {
+				t.Fatalf("trial %d: row %d slack %g but dual %g", trial, i, slack, res.Duals[i])
+			}
+		}
+		// Max problem with LE rows: duals are non-negative.
+		for i, y := range res.Duals {
+			if y < -1e-9 {
+				t.Fatalf("trial %d: negative dual %g on LE row %d", trial, y, i)
+			}
+		}
+	}
+}
+
+func TestDualsGEAndEQ(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10: dual of the cover row is the marginal
+	// cost of one more unit of required coverage = 2 (x is cheaper).
+	m := NewModel()
+	m.SetMinimize(true)
+	m.AddVariable("x", 2)
+	m.AddVariable("y", 3)
+	m.AddConstraint("cover", []Term{{0, 1}, {1, 1}}, GE, 10)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Duals[0]-2) > 1e-9 {
+		t.Fatalf("GE dual = %g, want 2", res.Duals[0])
+	}
+
+	// max x + 2y s.t. x + y = 5, y ≤ 3: at (2,3), the EQ row's shadow
+	// price is 1 (extra balance goes to x) and the cap's is 1 (swap x→y).
+	m2 := NewModel()
+	m2.AddVariable("x", 1)
+	m2.AddVariable("y", 2)
+	m2.AddConstraint("bal", []Term{{0, 1}, {1, 1}}, EQ, 5)
+	m2.AddConstraint("cap", []Term{{1, 1}}, LE, 3)
+	res2 := solveOrFatal(t, m2)
+	if math.Abs(res2.Duals[0]-1) > 1e-9 || math.Abs(res2.Duals[1]-1) > 1e-9 {
+		t.Fatalf("duals = %v, want [1 1]", res2.Duals)
+	}
+}
+
+func TestDualsPredictRHSPerturbation(t *testing.T) {
+	// The dual must predict the objective change for a small rhs bump.
+	build := func(b3 float64) *Model {
+		m := NewModel()
+		x := m.AddVariable("x", 3)
+		y := m.AddVariable("y", 5)
+		m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+		m.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+		m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, b3)
+		return m
+	}
+	base := solveOrFatal(t, build(18))
+	eps := 0.01
+	bumped := solveOrFatal(t, build(18+eps))
+	predicted := base.Objective + base.Duals[2]*eps
+	if math.Abs(bumped.Objective-predicted) > 1e-9 {
+		t.Fatalf("perturbed objective %g, dual-predicted %g", bumped.Objective, predicted)
+	}
+}
+
+func TestDualsFlippedRow(t *testing.T) {
+	// max x s.t. -x ≤ -3 (normalized to x ≥ 3), x ≤ 7. The binding row is
+	// the cap: dual 1; the flipped lower bound is slack: dual 0.
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	m.AddConstraint("lo", []Term{{x, -1}}, LE, -3)
+	m.AddConstraint("hi", []Term{{x, 1}}, LE, 7)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Duals[0]) > 1e-9 || math.Abs(res.Duals[1]-1) > 1e-9 {
+		t.Fatalf("duals = %v, want [0 1]", res.Duals)
+	}
+}

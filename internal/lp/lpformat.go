@@ -1,0 +1,131 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteLPFormat exports the model in the CPLEX LP file format, so the
+// exact problem this package solves can be loaded into the commercial
+// solvers the paper used (CPLEX, Gurobi, GLPK, lp_solve) and
+// cross-checked. Variable names are sanitized to the LP-format alphabet
+// and deduplicated; every variable carries its implicit x ≥ 0 bound.
+func (m *Model) WriteLPFormat(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := m.lpNames()
+
+	if m.minimize {
+		fmt.Fprintln(bw, "Minimize")
+	} else {
+		fmt.Fprintln(bw, "Maximize")
+	}
+	fmt.Fprint(bw, " obj:")
+	wrote := false
+	for v, c := range m.obj {
+		if c == 0 {
+			continue
+		}
+		writeTerm(bw, c, names[v], !wrote)
+		wrote = true
+	}
+	if !wrote {
+		fmt.Fprint(bw, " 0 "+firstName(names))
+	}
+	fmt.Fprintln(bw)
+
+	fmt.Fprintln(bw, "Subject To")
+	for i, row := range m.rows {
+		fmt.Fprintf(bw, " c%d:", i)
+		// Accumulate duplicate terms per variable, as Solve does.
+		acc := map[int]float64{}
+		order := make([]int, 0, len(row.terms))
+		for _, t := range row.terms {
+			if _, seen := acc[t.Var]; !seen {
+				order = append(order, t.Var)
+			}
+			acc[t.Var] += t.Coef
+		}
+		wrote := false
+		for _, v := range order {
+			if acc[v] == 0 {
+				continue
+			}
+			writeTerm(bw, acc[v], names[v], !wrote)
+			wrote = true
+		}
+		if !wrote {
+			fmt.Fprint(bw, " 0 "+firstName(names))
+		}
+		fmt.Fprintf(bw, " %s %g\n", row.sense, row.rhs)
+	}
+
+	fmt.Fprintln(bw, "Bounds")
+	for v := range m.names {
+		fmt.Fprintf(bw, " %s >= 0\n", names[v])
+	}
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+// writeTerm emits " + c name" / " - c name" with LP-format conventions.
+func writeTerm(w io.Writer, c float64, name string, first bool) {
+	switch {
+	case first && c >= 0:
+		fmt.Fprintf(w, " %g %s", c, name)
+	case c >= 0:
+		fmt.Fprintf(w, " + %g %s", c, name)
+	default:
+		fmt.Fprintf(w, " - %g %s", -c, name)
+	}
+}
+
+// lpNames sanitizes and deduplicates variable names for the LP format.
+func (m *Model) lpNames() []string {
+	out := make([]string, len(m.names))
+	seen := map[string]int{}
+	for i, n := range m.names {
+		s := sanitizeLPName(n)
+		if s == "" {
+			s = "x"
+		}
+		if k, dup := seen[s]; dup {
+			seen[s] = k + 1
+			s = fmt.Sprintf("%s_%d", s, k+1)
+		}
+		seen[s] = 0
+		out[i] = s
+	}
+	return out
+}
+
+func firstName(names []string) string {
+	if len(names) > 0 {
+		return names[0]
+	}
+	return "x0"
+}
+
+// sanitizeLPName keeps the LP-format-legal characters and forces a legal
+// leading character.
+func sanitizeLPName(n string) string {
+	var b strings.Builder
+	for _, r := range n {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if s == "" {
+		return s
+	}
+	if c := s[0]; c >= '0' && c <= '9' || c == '.' {
+		s = "v" + s
+	}
+	return s
+}

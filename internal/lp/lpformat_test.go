@@ -1,0 +1,100 @@
+package lp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteLPFormat(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 3)
+	y := m.AddVariable("y", 5)
+	m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	m.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, GE, 1)
+	m.AddConstraint("c4", []Term{{x, 1}, {y, -1}}, EQ, 0.5)
+	var b strings.Builder
+	if err := m.WriteLPFormat(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Maximize",
+		"obj: 3 x + 5 y",
+		"c0: 1 x <= 4",
+		"c1: 2 y <= 12",
+		"c2: 3 x + 2 y >= 1",
+		"c3: 1 x - 1 y = 0.5",
+		"Bounds",
+		"x >= 0",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("LP output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPFormatMinimize(t *testing.T) {
+	m := NewModel()
+	m.SetMinimize(true)
+	m.AddVariable("x", 2)
+	var b strings.Builder
+	if err := m.WriteLPFormat(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Minimize") {
+		t.Fatal("missing Minimize")
+	}
+}
+
+func TestWriteLPFormatSanitizesNames(t *testing.T) {
+	m := NewModel()
+	a := m.AddVariable("lam[k=0,s=1]", 1)
+	bvar := m.AddVariable("lam[k=0,s=1]", 2) // duplicate after sanitizing
+	c := m.AddVariable("0start", 3)
+	_ = a
+	_ = bvar
+	_ = c
+	var b strings.Builder
+	if err := m.WriteLPFormat(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "[") || strings.Contains(out, ",") {
+		t.Fatalf("illegal characters survived:\n%s", out)
+	}
+	if !strings.Contains(out, "lam_k_0_s_1_") {
+		t.Fatalf("duplicate not deduplicated:\n%s", out)
+	}
+	if !strings.Contains(out, "v0start") {
+		t.Fatalf("leading digit not fixed:\n%s", out)
+	}
+}
+
+func TestWriteLPFormatDuplicateTermsAccumulate(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	m.AddConstraint("dup", []Term{{x, 1}, {x, 1}}, LE, 6)
+	var b strings.Builder
+	if err := m.WriteLPFormat(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "c0: 2 x <= 6") {
+		t.Fatalf("duplicate terms not accumulated:\n%s", b.String())
+	}
+}
+
+func TestWriteLPFormatEmptyRowAndObjective(t *testing.T) {
+	m := NewModel()
+	m.AddVariable("x", 0)
+	m.AddConstraint("zero", []Term{{0, 0}}, LE, 1)
+	var b strings.Builder
+	if err := m.WriteLPFormat(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "obj: 0 x") || !strings.Contains(out, "c0: 0 x <= 1") {
+		t.Fatalf("empty expressions not padded:\n%s", out)
+	}
+}

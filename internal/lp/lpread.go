@@ -1,0 +1,237 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadLPFormat parses the subset of the CPLEX LP file format that
+// WriteLPFormat emits (and that standard tools produce for pure LPs):
+// an objective section, Subject To rows with <=, >=, =, and a Bounds
+// section restricted to "name >= 0" (the package's implicit bound).
+// It enables round-tripping models through files and importing problems
+// written by other solvers for cross-checking.
+func ReadLPFormat(r io.Reader) (*Model, error) {
+	m := NewModel()
+	varIdx := map[string]int{}
+	getVar := func(name string) int {
+		if i, ok := varIdx[name]; ok {
+			return i
+		}
+		i := m.AddVariable(name, 0)
+		varIdx[name] = i
+		return i
+	}
+
+	type section int
+	const (
+		secNone section = iota
+		secObjective
+		secSubject
+		secBounds
+		secEnd
+	)
+	sec := secNone
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	// Expressions may span lines; accumulate until the row terminator
+	// (objective: next section keyword; constraints: sense+rhs present).
+	var pending string
+	flushObjective := func() error {
+		if strings.TrimSpace(pending) == "" {
+			return nil
+		}
+		terms, err := parseLinExpr(pending, getVar)
+		if err != nil {
+			return fmt.Errorf("lp: objective: %w", err)
+		}
+		for _, t := range terms {
+			m.obj[t.Var] += t.Coef
+		}
+		pending = ""
+		return nil
+	}
+	flushConstraint := func() error {
+		body := strings.TrimSpace(pending)
+		pending = ""
+		if body == "" {
+			return nil
+		}
+		sense, pos := findSense(body)
+		if pos < 0 {
+			return fmt.Errorf("lp: constraint %q has no sense", body)
+		}
+		lhs := body[:pos]
+		rhsStr := strings.TrimSpace(body[pos+len(sense.String()):])
+		rhs, err := strconv.ParseFloat(rhsStr, 64)
+		if err != nil {
+			return fmt.Errorf("lp: constraint rhs %q: %w", rhsStr, err)
+		}
+		name := "c"
+		if i := strings.Index(lhs, ":"); i >= 0 {
+			name = strings.TrimSpace(lhs[:i])
+			lhs = lhs[i+1:]
+		}
+		terms, err := parseLinExpr(lhs, getVar)
+		if err != nil {
+			return fmt.Errorf("lp: constraint %s: %w", name, err)
+		}
+		m.AddConstraint(name, terms, sense, rhs)
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, `\`) {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case lower == "maximize" || lower == "max":
+			sec = secObjective
+			m.SetMinimize(false)
+			continue
+		case lower == "minimize" || lower == "min":
+			sec = secObjective
+			m.SetMinimize(true)
+			continue
+		case lower == "subject to" || lower == "st" || lower == "s.t.":
+			if err := flushObjective(); err != nil {
+				return nil, err
+			}
+			sec = secSubject
+			continue
+		case lower == "bounds":
+			if err := flushConstraint(); err != nil {
+				return nil, err
+			}
+			sec = secBounds
+			continue
+		case lower == "end":
+			if sec == secSubject {
+				if err := flushConstraint(); err != nil {
+					return nil, err
+				}
+			}
+			sec = secEnd
+			continue
+		}
+		switch sec {
+		case secObjective:
+			// Strip an "obj:" label if present.
+			if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], "+-<>=") {
+				line = line[i+1:]
+			}
+			pending += " " + line
+		case secSubject:
+			// A new labeled row flushes the previous one.
+			if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], "+-<>=") {
+				if err := flushConstraint(); err != nil {
+					return nil, err
+				}
+			}
+			pending += " " + line
+			if _, pos := findSense(pending); pos >= 0 {
+				// The rhs may still be on the next line; only flush when a
+				// number follows the sense.
+				body := strings.TrimSpace(pending)
+				s, p := findSense(body)
+				rhs := strings.TrimSpace(body[p+len(s.String()):])
+				if rhs != "" {
+					if err := flushConstraint(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case secBounds:
+			// Only the implicit non-negativity bound is supported.
+			f := strings.Fields(line)
+			if len(f) == 3 && f[1] == ">=" && f[2] == "0" {
+				getVar(f[0])
+				continue
+			}
+			return nil, fmt.Errorf("lp: line %d: unsupported bound %q (only 'name >= 0')", lineNo, line)
+		case secNone:
+			return nil, fmt.Errorf("lp: line %d: content before objective section", lineNo)
+		case secEnd:
+			return nil, fmt.Errorf("lp: line %d: content after End", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sec == secObjective {
+		if err := flushObjective(); err != nil {
+			return nil, err
+		}
+	}
+	if sec == secSubject {
+		if err := flushConstraint(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// findSense locates the first <=, >= or = in s, returning its Sense and
+// byte position (-1 if absent).
+func findSense(s string) (Sense, int) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				return LE, i
+			}
+			return LE, i // tolerate bare '<'
+		case '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				return GE, i
+			}
+			return GE, i
+		case '=':
+			return EQ, i
+		}
+	}
+	return LE, -1
+}
+
+// parseLinExpr parses "± c name ± c name …" with whitespace-separated
+// tokens (the form WriteLPFormat emits; coefficients optional, scientific
+// notation like 1e-05 supported).
+func parseLinExpr(s string, getVar func(string) int) ([]Term, error) {
+	fields := strings.Fields(s)
+	var terms []Term
+	sign := 1.0
+	coef := 1.0
+	haveCoef := false
+	for _, f := range fields {
+		switch f {
+		case "+":
+			sign = 1
+			continue
+		case "-":
+			sign = -1
+			continue
+		}
+		if v, err := strconv.ParseFloat(f, 64); err == nil {
+			if haveCoef {
+				return nil, fmt.Errorf("two consecutive numbers near %q", f)
+			}
+			coef = v
+			haveCoef = true
+			continue
+		}
+		terms = append(terms, Term{Var: getVar(f), Coef: sign * coef})
+		sign, coef, haveCoef = 1, 1, false
+	}
+	if haveCoef {
+		return nil, fmt.Errorf("dangling coefficient in %q", s)
+	}
+	return terms, nil
+}

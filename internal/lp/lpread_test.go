@@ -1,0 +1,174 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadLPFormatBasic(t *testing.T) {
+	in := `Maximize
+ obj: 3 x + 5 y
+Subject To
+ c0: 1 x <= 4
+ c1: 2 y <= 12
+ c2: 3 x + 2 y <= 18
+Bounds
+ x >= 0
+ y >= 0
+End
+`
+	m, err := ReadLPFormat(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-36) > 1e-9 {
+		t.Fatalf("objective %g, want 36", res.Objective)
+	}
+}
+
+func TestReadLPFormatMinimizeAndSenses(t *testing.T) {
+	in := `Minimize
+ obj: 2 x + 3 y
+Subject To
+ cover: 1 x + 1 y >= 10
+ pin: 1 y = 2
+End
+`
+	m, err := ReadLPFormat(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y pinned at 2, x = 8 → 16 + 6 = 22.
+	if math.Abs(res.Objective-22) > 1e-9 {
+		t.Fatalf("objective %g, want 22", res.Objective)
+	}
+}
+
+func TestReadLPFormatImplicitCoefficientsAndComments(t *testing.T) {
+	in := `\ a comment
+Maximize
+ obj: x + 2.5 y - z
+Subject To
+ c0: x + y + z <= 10
+ c1: - x + y <= 2
+End
+`
+	m, err := ReadLPFormat(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVariables() != 3 || m.NumConstraints() != 2 {
+		t.Fatalf("model shape %d/%d", m.NumVariables(), m.NumConstraints())
+	}
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: z=0, y as large as possible: y ≤ x+2, x+y ≤ 10 → x=4, y=6 → 4+15=19.
+	if math.Abs(res.Objective-19) > 1e-9 {
+		t.Fatalf("objective %g, want 19", res.Objective)
+	}
+}
+
+func TestReadLPFormatErrors(t *testing.T) {
+	cases := map[string]string{
+		"no sense":          "Maximize\nobj: x\nSubject To\nc: 1 x 4\nEnd\n",
+		"bad rhs":           "Maximize\nobj: x\nSubject To\nc: 1 x <= abc\nEnd\n",
+		"double number":     "Maximize\nobj: 3 4 x\nSubject To\nc: x <= 1\nEnd\n",
+		"dangling coef":     "Maximize\nobj: x + 3\nSubject To\nc: x <= 1\nEnd\n",
+		"content before":    "x <= 1\nMaximize\nobj: x\nEnd\n",
+		"content after end": "Maximize\nobj: x\nEnd\nstray\n",
+		"unsupported bound": "Maximize\nobj: x\nSubject To\nc: x <= 1\nBounds\nx <= 5\nEnd\n",
+		"free bound":        "Maximize\nobj: x\nSubject To\nc: x <= 1\nBounds\nx free\nEnd\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadLPFormat(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestLPFormatRoundTrip writes random models, reads them back and checks
+// the optimum is preserved — the write/read pair is a faithful codec for
+// everything this package can express.
+func TestLPFormatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		m := NewModel()
+		nvars := 1 + rng.Intn(5)
+		for v := 0; v < nvars; v++ {
+			m.AddVariable("x", rng.Float64()*10-3)
+		}
+		for r := 0; r < 1+rng.Intn(4); r++ {
+			terms := make([]Term, nvars)
+			for v := 0; v < nvars; v++ {
+				terms[v] = Term{v, rng.Float64()*4 - 1}
+			}
+			sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
+			m.AddConstraint("c", terms, sense, rng.Float64()*8)
+		}
+		for v := 0; v < nvars; v++ {
+			m.AddUpperBound(v, 30)
+		}
+		orig, err := m.Solve()
+		if err != nil {
+			continue // infeasible/unbounded randoms are fine to skip
+		}
+		var b strings.Builder
+		if err := m.WriteLPFormat(&b); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		back, err := ReadLPFormat(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v\n%s", trial, err, b.String())
+		}
+		res, err := back.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: re-solve: %v", trial, err)
+		}
+		if math.Abs(res.Objective-orig.Objective) > 1e-6*(1+math.Abs(orig.Objective)) {
+			t.Fatalf("trial %d: round trip changed optimum: %g vs %g\n%s",
+				trial, res.Objective, orig.Objective, b.String())
+		}
+	}
+}
+
+// TestDispatchLPRoundTrip exercises the codec on the real exported model
+// shape (names with underscores, tiny scientific-notation coefficients).
+func TestDispatchLPRoundTrip(t *testing.T) {
+	m := NewModel()
+	phi := m.AddVariable("phi_k0_q0_l0", 0)
+	lam := m.AddVariable("lam_k0_q0_s0_l0", 1e-5)
+	m.AddConstraint("cap_k0_q0_l0", []Term{{phi, 160000}, {lam, -1}}, GE, 800)
+	m.AddConstraint("arr_k0_s0", []Term{{lam, 1}}, LE, 30000)
+	m.AddConstraint("share_l0", []Term{{phi, 1}}, LE, 1)
+	orig, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := m.WriteLPFormat(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLPFormat(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	res, err := back.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-orig.Objective) > 1e-9 {
+		t.Fatalf("round trip optimum %g vs %g", res.Objective, orig.Objective)
+	}
+}

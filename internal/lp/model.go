@@ -1,0 +1,232 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs, together with a small model-builder API with named variables.
+//
+// The paper's one-level-TUF dispatch problem is a pure LP (Section IV-1),
+// and its multi-level problems reduce to LPs once every (request type, data
+// center) pair commits to a utility level, so this package is the
+// optimization substrate for the whole reproduction. Go has no production
+// LP ecosystem, so the solver is built from scratch on the standard tableau
+// method: Phase 1 drives artificial variables out of the basis to find a
+// feasible vertex, Phase 2 optimizes the true objective. Dantzig pricing is
+// used by default with an automatic switch to Bland's rule to guarantee
+// termination on degenerate problems.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a constraint row.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // left-hand side ≤ rhs
+	GE              // left-hand side ≥ rhs
+	EQ              // left-hand side = rhs
+)
+
+// String returns the conventional symbol for the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Errors reported by Solve. A Result is still returned alongside these so
+// the caller can inspect the status.
+var (
+	ErrInfeasible     = errors.New("lp: problem is infeasible")
+	ErrUnbounded      = errors.New("lp: problem is unbounded")
+	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+)
+
+// Term is one coefficient*variable entry of a linear expression.
+type Term struct {
+	Var  int // variable index returned by AddVariable
+	Coef float64
+}
+
+// constraint is one stored row of the model.
+type constraint struct {
+	name  string
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// Model is a linear program under construction. All variables are
+// non-negative; upper bounds are expressed as explicit ≤ rows by the caller
+// (or with AddUpperBound). The zero value is an empty maximization model.
+type Model struct {
+	names    []string
+	obj      []float64
+	rows     []constraint
+	minimize bool
+}
+
+// NewModel returns an empty maximization model.
+func NewModel() *Model { return &Model{} }
+
+// SetMinimize switches the model to minimization of the objective.
+func (m *Model) SetMinimize(min bool) { m.minimize = min }
+
+// NumVariables returns the number of variables added so far.
+func (m *Model) NumVariables() int { return len(m.names) }
+
+// NumConstraints returns the number of constraint rows added so far.
+func (m *Model) NumConstraints() int { return len(m.rows) }
+
+// AddVariable adds a non-negative variable with the given objective
+// coefficient and returns its index.
+func (m *Model) AddVariable(name string, objCoef float64) int {
+	m.names = append(m.names, name)
+	m.obj = append(m.obj, objCoef)
+	return len(m.names) - 1
+}
+
+// SetObjective overwrites the objective coefficient of variable v.
+func (m *Model) SetObjective(v int, coef float64) {
+	m.obj[v] = coef
+}
+
+// VariableName returns the name given to variable v.
+func (m *Model) VariableName(v int) string { return m.names[v] }
+
+// AddConstraint adds the row Σ terms (sense) rhs and returns its index.
+// Terms may mention a variable more than once; coefficients accumulate.
+func (m *Model) AddConstraint(name string, terms []Term, sense Sense, rhs float64) int {
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	m.rows = append(m.rows, constraint{name: name, terms: cp, sense: sense, rhs: rhs})
+	return len(m.rows) - 1
+}
+
+// AddUpperBound constrains variable v ≤ bound via an explicit row.
+func (m *Model) AddUpperBound(v int, bound float64) int {
+	return m.AddConstraint(m.names[v]+"_ub", []Term{{Var: v, Coef: 1}}, LE, bound)
+}
+
+// RowSpec returns a copy of constraint row c: its terms, sense and rhs.
+// It lets alternative solvers (e.g. internal/nlp) consume a Model without
+// reaching into its representation.
+func (m *Model) RowSpec(c int) ([]Term, Sense, float64) {
+	row := m.rows[c]
+	terms := make([]Term, len(row.terms))
+	copy(terms, row.terms)
+	return terms, row.sense, row.rhs
+}
+
+// ObjectiveCoefs returns a copy of the objective coefficient vector.
+func (m *Model) ObjectiveCoefs() []float64 {
+	out := make([]float64, len(m.obj))
+	copy(out, m.obj)
+	return out
+}
+
+// IsMinimize reports whether the model minimizes its objective.
+func (m *Model) IsMinimize() bool { return m.minimize }
+
+// Result is the outcome of solving a Model.
+type Result struct {
+	Status    Status
+	Objective float64   // objective value in the model's own direction
+	X         []float64 // one value per variable, indexed as returned by AddVariable
+	// Duals holds one shadow price per constraint row: the marginal change
+	// of the objective per unit increase of that row's rhs (in the model's
+	// own direction). Zero for non-binding rows by complementary
+	// slackness. Only populated at Optimal.
+	Duals      []float64
+	Iterations int
+}
+
+// Value returns the solution value of variable v.
+func (r *Result) Value(v int) float64 { return r.X[v] }
+
+// RowActivity returns Σ coef*x for constraint row c under solution x.
+func (m *Model) RowActivity(c int, x []float64) float64 {
+	var s float64
+	for _, t := range m.rows[c].terms {
+		s += t.Coef * x[t.Var]
+	}
+	return s
+}
+
+// CheckFeasible verifies that x satisfies every constraint and the
+// non-negativity bounds within tol, returning a descriptive error for the
+// first violation found. It is used heavily by tests and by callers that
+// post-process solutions.
+func (m *Model) CheckFeasible(x []float64, tol float64) error {
+	if len(x) != len(m.names) {
+		return fmt.Errorf("lp: solution has %d values, model has %d variables", len(x), len(m.names))
+	}
+	for i, v := range x {
+		if v < -tol {
+			return fmt.Errorf("lp: variable %s = %g violates non-negativity", m.names[i], v)
+		}
+	}
+	for i, row := range m.rows {
+		act := m.RowActivity(i, x)
+		switch row.sense {
+		case LE:
+			if act > row.rhs+tol {
+				return fmt.Errorf("lp: row %s: %g > %g", row.name, act, row.rhs)
+			}
+		case GE:
+			if act < row.rhs-tol {
+				return fmt.Errorf("lp: row %s: %g < %g", row.name, act, row.rhs)
+			}
+		case EQ:
+			if math.Abs(act-row.rhs) > tol {
+				return fmt.Errorf("lp: row %s: %g != %g", row.name, act, row.rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// ObjectiveValue evaluates the model objective at x (in the model's own
+// direction, i.e. the value being maximized or minimized).
+func (m *Model) ObjectiveValue(x []float64) float64 {
+	var s float64
+	for i, c := range m.obj {
+		s += c * x[i]
+	}
+	return s
+}

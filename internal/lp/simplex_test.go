@@ -1,0 +1,379 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-6
+
+func solveOrFatal(t *testing.T, m *Model) *Result {
+	t.Helper()
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v (status %v)", err, res.Status)
+	}
+	if err := m.CheckFeasible(res.X, tol); err != nil {
+		t.Fatalf("solution infeasible: %v", err)
+	}
+	return res
+}
+
+func TestSimplexTwoVarMax(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	m := NewModel()
+	x := m.AddVariable("x", 3)
+	y := m.AddVariable("y", 5)
+	m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	m.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Objective-36) > tol {
+		t.Fatalf("objective = %g, want 36", res.Objective)
+	}
+	if math.Abs(res.Value(x)-2) > tol || math.Abs(res.Value(y)-6) > tol {
+		t.Fatalf("solution = (%g, %g), want (2, 6)", res.Value(x), res.Value(y))
+	}
+}
+
+func TestSimplexMinimization(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → x=10-y... optimum x=10, y=0? obj
+	// coefficients favor x (2 < 3), so x=10, y=0, obj=20 (x≥2 slack).
+	m := NewModel()
+	m.SetMinimize(true)
+	x := m.AddVariable("x", 2)
+	y := m.AddVariable("y", 3)
+	m.AddConstraint("cover", []Term{{x, 1}, {y, 1}}, GE, 10)
+	m.AddConstraint("floor", []Term{{x, 1}}, GE, 2)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Objective-20) > tol {
+		t.Fatalf("objective = %g, want 20", res.Objective)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// max x + 2y s.t. x + y = 5, y ≤ 3 → x=2, y=3, obj=8.
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	y := m.AddVariable("y", 2)
+	m.AddConstraint("bal", []Term{{x, 1}, {y, 1}}, EQ, 5)
+	m.AddConstraint("cap", []Term{{y, 1}}, LE, 3)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Objective-8) > tol {
+		t.Fatalf("objective = %g, want 8", res.Objective)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// max x s.t. -x ≤ -3 (i.e. x ≥ 3), x ≤ 7 → 7.
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	m.AddConstraint("lo", []Term{{x, -1}}, LE, -3)
+	m.AddConstraint("hi", []Term{{x, 1}}, LE, 7)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Objective-7) > tol {
+		t.Fatalf("objective = %g, want 7", res.Objective)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	m.AddConstraint("lo", []Term{{x, 1}}, GE, 5)
+	m.AddConstraint("hi", []Term{{x, 1}}, LE, 3)
+	res, err := m.Solve()
+	if err != ErrInfeasible || res.Status != Infeasible {
+		t.Fatalf("got status %v err %v, want infeasible", res.Status, err)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	y := m.AddVariable("y", 1)
+	m.AddConstraint("c", []Term{{x, 1}, {y, -1}}, LE, 4)
+	res, err := m.Solve()
+	if err != ErrUnbounded || res.Status != Unbounded {
+		t.Fatalf("got status %v err %v, want unbounded", res.Status, err)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Beale's classic cycling example; Bland fallback must terminate.
+	m := NewModel()
+	x1 := m.AddVariable("x1", 0.75)
+	x2 := m.AddVariable("x2", -150)
+	x3 := m.AddVariable("x3", 0.02)
+	x4 := m.AddVariable("x4", -6)
+	m.AddConstraint("r1", []Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+	m.AddConstraint("r2", []Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+	m.AddConstraint("r3", []Term{{x3, 1}}, LE, 1)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Objective-0.05) > tol {
+		t.Fatalf("objective = %g, want 0.05", res.Objective)
+	}
+}
+
+func TestSimplexBlandForced(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 3)
+	y := m.AddVariable("y", 5)
+	m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	m.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	res, err := m.SolveOpts(Options{Bland: true})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(res.Objective-36) > tol {
+		t.Fatalf("objective = %g, want 36", res.Objective)
+	}
+}
+
+func TestSimplexRedundantRows(t *testing.T) {
+	// Duplicate equality rows leave a zero artificial basic; phase 2 must
+	// still optimize correctly.
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	y := m.AddVariable("y", 1)
+	m.AddConstraint("e1", []Term{{x, 1}, {y, 1}}, EQ, 4)
+	m.AddConstraint("e2", []Term{{x, 2}, {y, 2}}, EQ, 8)
+	m.AddConstraint("cap", []Term{{x, 1}}, LE, 3)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Objective-4) > tol {
+		t.Fatalf("objective = %g, want 4", res.Objective)
+	}
+}
+
+func TestSimplexZeroModel(t *testing.T) {
+	m := NewModel()
+	res, err := m.Solve()
+	if err != nil || res.Status != Optimal || res.Objective != 0 {
+		t.Fatalf("empty model: status %v err %v obj %g", res.Status, err, res.Objective)
+	}
+}
+
+func TestSimplexDuplicateTermsAccumulate(t *testing.T) {
+	// x + x ≤ 6 must behave as 2x ≤ 6.
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	m.AddConstraint("dup", []Term{{x, 1}, {x, 1}}, LE, 6)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Objective-3) > tol {
+		t.Fatalf("objective = %g, want 3", res.Objective)
+	}
+}
+
+func TestAddUpperBound(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 1)
+	m.AddUpperBound(x, 2.5)
+	res := solveOrFatal(t, m)
+	if math.Abs(res.Objective-2.5) > tol {
+		t.Fatalf("objective = %g, want 2.5", res.Objective)
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 3)
+	y := m.AddVariable("y", 5)
+	m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	res, err := m.SolveOpts(Options{MaxIterations: 1})
+	if err != ErrIterationLimit || res.Status != IterationLimit {
+		t.Fatalf("got status %v err %v, want iteration limit", res.Status, err)
+	}
+}
+
+// plane is one bounding hyperplane for the brute-force vertex enumerator.
+type plane struct {
+	a   []float64
+	rhs float64
+}
+
+// bruteForceLP maximizes c'x over the intersection of m's constraints by
+// enumerating all basic feasible points (vertices) of small dense systems.
+// Only usable for tiny models; serves as ground truth for randomized tests.
+func bruteForceLP(m *Model, nvars int) (float64, bool) {
+	// Collect all hyperplanes: constraint boundaries plus x_i = 0.
+	var planes []plane
+	for i, row := range m.rows {
+		a := make([]float64, nvars)
+		for _, t := range row.terms {
+			a[t.Var] += t.Coef
+		}
+		planes = append(planes, plane{a, m.rows[i].rhs})
+	}
+	for i := 0; i < nvars; i++ {
+		a := make([]float64, nvars)
+		a[i] = 1
+		planes = append(planes, plane{a, 0})
+	}
+	best := math.Inf(-1)
+	found := false
+	// Enumerate subsets of size nvars and solve the linear system by
+	// Gaussian elimination.
+	idx := make([]int, nvars)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == nvars {
+			x, ok := solveSquare(planes, idx, nvars)
+			if !ok {
+				return
+			}
+			if m.CheckFeasible(x, 1e-7) != nil {
+				return
+			}
+			v := m.ObjectiveValue(x)
+			if m.minimize {
+				v = -v
+			}
+			if v > best {
+				best = v
+			}
+			found = true
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	if m.minimize && found {
+		best = -best
+	}
+	return best, found
+}
+
+func solveSquare(planes []plane, idx []int, n int) ([]float64, bool) {
+	A := make([][]float64, n)
+	for i, p := range idx {
+		A[i] = append(append([]float64{}, planes[p].a...), planes[p].rhs)
+	}
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if math.Abs(A[r][col]) > 1e-9 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		A[col], A[piv] = A[piv], A[col]
+		f := A[col][col]
+		for j := col; j <= n; j++ {
+			A[col][j] /= f
+		}
+		for r := 0; r < n; r++ {
+			if r != col && A[r][col] != 0 {
+				f := A[r][col]
+				for j := col; j <= n; j++ {
+					A[r][j] -= f * A[col][j]
+				}
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = A[i][n]
+	}
+	return x, true
+}
+
+func TestSimplexAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		nvars := 2 + rng.Intn(2)
+		nrows := 2 + rng.Intn(3)
+		m := NewModel()
+		for v := 0; v < nvars; v++ {
+			m.AddVariable("x", rng.Float64()*10-2)
+		}
+		for r := 0; r < nrows; r++ {
+			terms := make([]Term, nvars)
+			for v := 0; v < nvars; v++ {
+				terms[v] = Term{v, rng.Float64() * 4}
+			}
+			m.AddConstraint("c", terms, LE, 1+rng.Float64()*9)
+		}
+		// Always bounded: add a box.
+		for v := 0; v < nvars; v++ {
+			m.AddUpperBound(v, 20)
+		}
+		res, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, ok := bruteForceLP(m, nvars)
+		if !ok {
+			t.Fatalf("trial %d: brute force found no vertex", trial)
+		}
+		if math.Abs(res.Objective-want) > 1e-5 {
+			t.Fatalf("trial %d: simplex %g, brute force %g", trial, res.Objective, want)
+		}
+	}
+}
+
+func TestSimplexSolutionAlwaysFeasibleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nvars := 1 + rng.Intn(5)
+		m := NewModel()
+		for v := 0; v < nvars; v++ {
+			m.AddVariable("x", rng.Float64()*6-3)
+		}
+		for r := 0; r < 1+rng.Intn(5); r++ {
+			var terms []Term
+			for v := 0; v < nvars; v++ {
+				terms = append(terms, Term{v, rng.Float64() * 3})
+			}
+			sense := LE
+			if rng.Intn(4) == 0 {
+				sense = GE
+			}
+			m.AddConstraint("c", terms, sense, rng.Float64()*8)
+		}
+		for v := 0; v < nvars; v++ {
+			m.AddUpperBound(v, 50)
+		}
+		res, err := m.Solve()
+		if err == ErrInfeasible {
+			return true // nothing to check
+		}
+		if err != nil {
+			return false
+		}
+		return m.CheckFeasible(res.X, 1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	cases := map[Sense]string{LE: "<=", GE: ">=", EQ: "=", Sense(9): "Sense(9)"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Sense %d: got %q want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterationLimit: "iteration-limit",
+		Status(7): "Status(7)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status %d: got %q want %q", int(s), got, want)
+		}
+	}
+}

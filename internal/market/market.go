@@ -1,0 +1,244 @@
+// Package market models the multi-electricity-market environment of the
+// paper: each data-center location has its own electricity price trace
+// that varies over the day (paper Fig. 1), and prices are held constant
+// within a scheduling slot (the paper cites the hourly adjustment of
+// deregulated wholesale markets).
+//
+// The paper uses real price histories from Houston TX, Mountain View CA
+// and Atlanta GA. Those exact series are not redistributable, so this
+// package embeds hand-written hourly tables with the same qualitative
+// structure — distinct bases per location, afternoon peaks, and the large
+// 14:00–19:00 price vibration the paper exploits in Section VII — plus a
+// seeded synthetic generator for arbitrary experiments.
+package market
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+)
+
+// PriceTrace is an hourly electricity price series for one location, in
+// dollars per kWh. Slots index into the series modulo its length, so a
+// 24-entry trace repeats daily.
+type PriceTrace struct {
+	Name   string
+	Prices []float64
+}
+
+// ErrEmptyTrace is returned when a trace has no prices.
+var ErrEmptyTrace = errors.New("market: price trace has no entries")
+
+// Validate checks that the trace is usable: non-empty and positive.
+func (p *PriceTrace) Validate() error {
+	if len(p.Prices) == 0 {
+		return ErrEmptyTrace
+	}
+	for i, v := range p.Prices {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("market: trace %q slot %d has invalid price %g", p.Name, i, v)
+		}
+	}
+	return nil
+}
+
+// At returns the price in effect during the given slot (wrapping).
+func (p *PriceTrace) At(slot int) float64 {
+	n := len(p.Prices)
+	if n == 0 {
+		return 0
+	}
+	i := slot % n
+	if i < 0 {
+		i += n
+	}
+	return p.Prices[i]
+}
+
+// Len returns the number of slots in the trace.
+func (p *PriceTrace) Len() int { return len(p.Prices) }
+
+// Window returns a sub-trace of n slots starting at slot start (wrapping),
+// used e.g. to select the paper's 14:00–19:00 evaluation window.
+func (p *PriceTrace) Window(start, n int) *PriceTrace {
+	out := &PriceTrace{Name: fmt.Sprintf("%s[%d:+%d]", p.Name, start, n)}
+	for i := 0; i < n; i++ {
+		out.Prices = append(out.Prices, p.At(start+i))
+	}
+	return out
+}
+
+// Stats returns the minimum, maximum and mean price of the trace.
+func (p *PriceTrace) Stats() (min, max, mean float64) {
+	if len(p.Prices) == 0 {
+		return 0, 0, 0
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, v := range p.Prices {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, sum / float64(len(p.Prices))
+}
+
+// Houston returns the embedded 24-hour stand-in for the Houston, TX trace
+// of paper Fig. 1: cheap nights, a steep afternoon ramp, and strong
+// vibration between 14:00 and 19:00.
+func Houston() *PriceTrace {
+	return &PriceTrace{Name: "Houston", Prices: []float64{
+		0.042, 0.040, 0.038, 0.037, 0.038, 0.041, // 00–05
+		0.048, 0.057, 0.066, 0.074, 0.083, 0.092, // 06–11
+		0.101, 0.112, 0.148, 0.095, 0.139, 0.088, // 12–17 (vibration)
+		0.126, 0.079, 0.068, 0.058, 0.050, 0.045, // 18–23
+	}}
+}
+
+// MountainView returns the embedded stand-in for the Mountain View, CA
+// trace: higher base, moderate evening peak, its own 14:00–19:00 swing
+// out of phase with Houston.
+func MountainView() *PriceTrace {
+	return &PriceTrace{Name: "MountainView", Prices: []float64{
+		0.061, 0.059, 0.058, 0.057, 0.058, 0.060,
+		0.064, 0.069, 0.075, 0.081, 0.086, 0.090,
+		0.094, 0.098, 0.081, 0.132, 0.077, 0.128,
+		0.074, 0.118, 0.092, 0.079, 0.070, 0.064,
+	}}
+}
+
+// Atlanta returns the embedded stand-in for the Atlanta, GA trace:
+// flatter profile with a mild late-afternoon peak.
+func Atlanta() *PriceTrace {
+	return &PriceTrace{Name: "Atlanta", Prices: []float64{
+		0.055, 0.053, 0.052, 0.051, 0.052, 0.054,
+		0.058, 0.062, 0.066, 0.070, 0.074, 0.077,
+		0.080, 0.083, 0.086, 0.088, 0.089, 0.087,
+		0.083, 0.077, 0.071, 0.065, 0.060, 0.057,
+	}}
+}
+
+// Locations returns the three embedded paper locations in paper order
+// (Houston, Mountain View, Atlanta).
+func Locations() []*PriceTrace {
+	return []*PriceTrace{Houston(), MountainView(), Atlanta()}
+}
+
+// SyntheticConfig parameterizes the seeded diurnal price generator.
+type SyntheticConfig struct {
+	Name      string
+	Hours     int     // trace length; 0 means 24
+	Base      float64 // mean price, $/kWh; 0 means 0.07
+	Amplitude float64 // diurnal swing around the base; 0 means 0.4*Base
+	Noise     float64 // uniform per-hour noise amplitude; 0 means 0.1*Base
+	PeakHour  float64 // hour of the diurnal maximum; 0 means 16
+	Seed      int64
+}
+
+// Synthetic generates a diurnal price trace: a sinusoid peaking at
+// PeakHour plus seeded uniform noise, clamped to stay strictly positive.
+func Synthetic(cfg SyntheticConfig) *PriceTrace {
+	if cfg.Hours <= 0 {
+		cfg.Hours = 24
+	}
+	if cfg.Base <= 0 {
+		cfg.Base = 0.07
+	}
+	if cfg.Amplitude <= 0 {
+		cfg.Amplitude = 0.4 * cfg.Base
+	}
+	if cfg.Noise < 0 {
+		cfg.Noise = 0
+	} else if cfg.Noise == 0 {
+		cfg.Noise = 0.1 * cfg.Base
+	}
+	if cfg.PeakHour == 0 {
+		cfg.PeakHour = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &PriceTrace{Name: cfg.Name, Prices: make([]float64, cfg.Hours)}
+	for h := range p.Prices {
+		phase := 2 * math.Pi * (float64(h) - cfg.PeakHour) / 24
+		v := cfg.Base + cfg.Amplitude*math.Cos(phase) + cfg.Noise*(2*rng.Float64()-1)
+		if v < 0.2*cfg.Base {
+			v = 0.2 * cfg.Base
+		}
+		p.Prices[h] = v
+	}
+	return p
+}
+
+// Spread returns, per slot, the difference between the most and least
+// expensive of the given traces — the cross-location arbitrage opportunity
+// the Optimized dispatcher exploits.
+func Spread(traces []*PriceTrace, slots int) []float64 {
+	out := make([]float64, slots)
+	for s := 0; s < slots; s++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, tr := range traces {
+			v := tr.At(s)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(traces) == 0 {
+			lo, hi = 0, 0
+		}
+		out[s] = hi - lo
+	}
+	return out
+}
+
+// WriteCSV writes the trace as CSV with header "hour,price".
+func (p *PriceTrace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "price"}); err != nil {
+		return err
+	}
+	for h, v := range p.Prices {
+		if err := cw.Write([]string{strconv.Itoa(h), strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written by WriteCSV (or any
+// two-column hour,price CSV with a header row), validating the result.
+func ReadCSV(name string, r io.Reader) (*PriceTrace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("market: reading csv: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, ErrEmptyTrace
+	}
+	out := &PriceTrace{Name: name}
+	for _, rec := range recs[1:] {
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("market: row has %d fields, want 2", len(rec))
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("market: parsing price %q: %w", rec[1], err)
+		}
+		out.Prices = append(out.Prices, v)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

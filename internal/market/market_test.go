@@ -1,0 +1,205 @@
+package market
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbeddedTracesValid(t *testing.T) {
+	for _, tr := range Locations() {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", tr.Name, err)
+		}
+		if tr.Len() != 24 {
+			t.Errorf("%s: len = %d, want 24", tr.Name, tr.Len())
+		}
+	}
+}
+
+func TestEmbeddedTracesDiffer(t *testing.T) {
+	// The multi-electricity-market premise: locations must not be
+	// identical, and there must be real spread to arbitrage.
+	spread := Spread(Locations(), 24)
+	var maxSpread float64
+	for _, s := range spread {
+		if s > maxSpread {
+			maxSpread = s
+		}
+	}
+	if maxSpread < 0.02 {
+		t.Fatalf("max spread %g too small to drive the paper's results", maxSpread)
+	}
+}
+
+func TestVibrationWindow(t *testing.T) {
+	// Paper Section VII: "prices in the 14:00-19:00 period are
+	// representative in terms of large price vibration" for Houston and
+	// Mountain View. Verify hour-to-hour movement is largest there.
+	for _, tr := range []*PriceTrace{Houston(), MountainView()} {
+		vib := func(lo, hi int) float64 {
+			var v float64
+			for h := lo; h < hi; h++ {
+				v += math.Abs(tr.At(h+1) - tr.At(h))
+			}
+			return v / float64(hi-lo)
+		}
+		if vib(14, 19) <= vib(0, 6) {
+			t.Errorf("%s: 14-19h vibration %g not above night %g", tr.Name, vib(14, 19), vib(0, 6))
+		}
+	}
+}
+
+func TestAtWraps(t *testing.T) {
+	tr := Houston()
+	if tr.At(24) != tr.At(0) || tr.At(25) != tr.At(1) {
+		t.Fatal("At must wrap daily")
+	}
+	if tr.At(-1) != tr.At(23) {
+		t.Fatal("At must wrap negative slots")
+	}
+	empty := &PriceTrace{}
+	if empty.At(3) != 0 {
+		t.Fatal("empty trace should read 0")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := Houston()
+	w := tr.Window(14, 6)
+	if w.Len() != 6 {
+		t.Fatalf("window len = %d", w.Len())
+	}
+	for i := 0; i < 6; i++ {
+		if w.At(i) != tr.At(14+i) {
+			t.Fatalf("window slot %d mismatch", i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := &PriceTrace{Name: "x", Prices: []float64{1, 2, 3}}
+	min, max, mean := tr.Stats()
+	if min != 1 || max != 3 || mean != 2 {
+		t.Fatalf("Stats = %g %g %g", min, max, mean)
+	}
+	empty := &PriceTrace{}
+	if a, b, c := empty.Stats(); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty Stats should be zeros")
+	}
+}
+
+func TestValidateRejectsBadPrices(t *testing.T) {
+	cases := []*PriceTrace{
+		{Name: "empty"},
+		{Name: "zero", Prices: []float64{0.05, 0}},
+		{Name: "neg", Prices: []float64{-0.01}},
+		{Name: "nan", Prices: []float64{math.NaN()}},
+	}
+	for _, tr := range cases {
+		if tr.Validate() == nil {
+			t.Errorf("%s: expected validation error", tr.Name)
+		}
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	tr := Synthetic(SyntheticConfig{Name: "syn", Seed: 1})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 24 {
+		t.Fatalf("len = %d, want 24", tr.Len())
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(SyntheticConfig{Seed: 42})
+	b := Synthetic(SyntheticConfig{Seed: 42})
+	for i := range a.Prices {
+		if a.Prices[i] != b.Prices[i] {
+			t.Fatal("same seed must reproduce the same trace")
+		}
+	}
+	c := Synthetic(SyntheticConfig{Seed: 43})
+	same := true
+	for i := range a.Prices {
+		if a.Prices[i] != c.Prices[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSyntheticPeakNearConfiguredHour(t *testing.T) {
+	tr := Synthetic(SyntheticConfig{Seed: 5, PeakHour: 16, Noise: -1})
+	// Noise<0 clamps to 0 → pure sinusoid; argmax must be hour 16.
+	best, bestV := -1, 0.0
+	for h, v := range tr.Prices {
+		if v > bestV {
+			best, bestV = h, v
+		}
+	}
+	if best != 16 {
+		t.Fatalf("peak at %d, want 16", best)
+	}
+}
+
+func TestSyntheticAlwaysPositiveQuick(t *testing.T) {
+	f := func(seed int64, base float64) bool {
+		b := math.Mod(math.Abs(base), 0.5)
+		tr := Synthetic(SyntheticConfig{Seed: seed, Base: b, Hours: 48})
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpreadEmpty(t *testing.T) {
+	s := Spread(nil, 3)
+	for _, v := range s {
+		if v != 0 {
+			t.Fatal("spread of no traces should be 0")
+		}
+	}
+}
+
+func TestPriceCSVRoundTrip(t *testing.T) {
+	tr := Houston()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("houston", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatal("length changed")
+	}
+	for i := range tr.Prices {
+		if back.Prices[i] != tr.Prices[i] {
+			t.Fatal("values changed")
+		}
+	}
+}
+
+func TestPriceReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"hour,price\n",
+		"hour,price\n0,abc\n",
+		"hour,price\n0,-1\n",
+		"hour,price,extra\n0,1,2\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV("x", strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

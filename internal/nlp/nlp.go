@@ -1,0 +1,267 @@
+// Package nlp implements a projected-gradient penalty solver for the
+// dispatch optimization, used to cross-validate the simplex solver in
+// internal/lp. The paper solves its formulations with commercial
+// nonlinear/constraint solvers (CPLEX, AIMMS); this package is the
+// reproduction's independent second opinion: a completely different
+// algorithm that must land on (nearly) the same optimum.
+//
+// The method maximizes c'x over Ax ≤ b, x ≥ 0 by gradient ascent on the
+// quadratic-penalty surrogate
+//
+//	F(x) = c'x − ρ/2 · Σ_i max(0, a_i'x − b_i)²
+//
+// with projection onto x ≥ 0, doubling ρ on an outer loop until the
+// worst violation is within tolerance. It is slower and only
+// near-optimal — which is exactly what makes it a useful cross-check.
+package nlp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"profitlb/internal/lp"
+)
+
+// Options tunes the penalty solver. Zero values select defaults.
+type Options struct {
+	// Tol is the acceptable constraint violation and the relative
+	// objective-improvement threshold. Default 1e-6.
+	Tol float64
+	// MaxOuter bounds penalty-increase rounds. Default 20.
+	MaxOuter int
+	// MaxInner bounds gradient steps per round. Default 4000.
+	MaxInner int
+	// Rho0 is the initial penalty weight. Default 10.
+	Rho0 float64
+	// X0 optionally warm-starts the ascent (e.g. from another solver's
+	// solution, to certify its first-order optimality).
+	X0 []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 20
+	}
+	if o.MaxInner <= 0 {
+		o.MaxInner = 4000
+	}
+	if o.Rho0 <= 0 {
+		o.Rho0 = 10
+	}
+	return o
+}
+
+// Result is the solver outcome.
+type Result struct {
+	X         []float64
+	Objective float64
+	// Violation is the worst remaining constraint violation.
+	Violation float64
+	Rounds    int
+}
+
+// ErrNotConverged is returned when the penalty loop exhausts its rounds
+// with a violation above tolerance. The best iterate is still returned.
+var ErrNotConverged = errors.New("nlp: penalty loop did not converge")
+
+// row is a densified constraint in ≤ form.
+type row struct {
+	a  []float64
+	b  float64
+	eq bool // equality rows penalize both directions
+}
+
+// SolveLP solves the linear model with the projected-gradient penalty
+// method. GE rows are negated into ≤ form; EQ rows are penalized in both
+// directions. Minimization models are negated internally.
+func SolveLP(m *lp.Model, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := m.NumVariables()
+	c := m.ObjectiveCoefs()
+	if m.IsMinimize() {
+		for i := range c {
+			c[i] = -c[i]
+		}
+	}
+	rows := make([]row, 0, m.NumConstraints())
+	for i := 0; i < m.NumConstraints(); i++ {
+		terms, sense, rhs := m.RowSpec(i)
+		a := make([]float64, n)
+		for _, t := range terms {
+			a[t.Var] += t.Coef
+		}
+		switch sense {
+		case lp.LE:
+			rows = append(rows, row{a: a, b: rhs})
+		case lp.GE:
+			neg := make([]float64, n)
+			for j, v := range a {
+				neg[j] = -v
+			}
+			rows = append(rows, row{a: neg, b: -rhs})
+		case lp.EQ:
+			rows = append(rows, row{a: a, b: rhs, eq: true})
+		default:
+			return nil, fmt.Errorf("nlp: unknown sense %v", sense)
+		}
+	}
+
+	// Equilibrate: badly scaled LPs (the dispatch model mixes unit-share
+	// variables with thousands-per-hour rates) stall a fixed-step gradient
+	// method. Substitute x_j = y_j / colScale_j so every column's largest
+	// coefficient is 1, then normalize each row's largest entry to 1.
+	colScale := make([]float64, n)
+	for j := 0; j < n; j++ {
+		m := math.Abs(c[j])
+		for _, r := range rows {
+			if a := math.Abs(r.a[j]); a > m {
+				m = a
+			}
+		}
+		if m == 0 {
+			m = 1
+		}
+		colScale[j] = m
+	}
+	for j := 0; j < n; j++ {
+		c[j] /= colScale[j]
+		for _, r := range rows {
+			r.a[j] /= colScale[j]
+		}
+	}
+	for i := range rows {
+		var m float64
+		for _, a := range rows[i].a {
+			if v := math.Abs(a); v > m {
+				m = v
+			}
+		}
+		if m == 0 {
+			continue
+		}
+		for j := range rows[i].a {
+			rows[i].a[j] /= m
+		}
+		rows[i].b /= m
+	}
+
+	x := make([]float64, n)
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, fmt.Errorf("nlp: X0 has %d values, model has %d variables", len(opts.X0), n)
+		}
+		for j := range x {
+			v := opts.X0[j] * colScale[j] // into the equilibrated space
+			if v < 0 {
+				v = 0
+			}
+			x[j] = v
+		}
+	}
+	grad := make([]float64, n)
+	trial := make([]float64, n)
+	rho := opts.Rho0
+
+	var rounds int
+	for outer := 0; outer < opts.MaxOuter; outer++ {
+		rounds = outer + 1
+		// Backtracking line search: grow the step while ascents succeed,
+		// halve it when the surrogate worsens. This adapts to whatever
+		// residual scale survives equilibration.
+		step := 1.0
+		stall := 0
+		for inner := 0; inner < opts.MaxInner; inner++ {
+			f := objective(c, rows, x, rho, grad)
+			improved := false
+			for tries := 0; tries < 50; tries++ {
+				for j := range x {
+					v := x[j] + step*grad[j]
+					if v < 0 {
+						v = 0
+					}
+					trial[j] = v
+				}
+				if f2 := objective(c, rows, trial, rho, nil); f2 > f {
+					copy(x, trial)
+					if f2-f < opts.Tol*(1+math.Abs(f2)) {
+						stall++
+					} else {
+						stall = 0
+					}
+					step *= 1.5
+					improved = true
+					break
+				}
+				step *= 0.5
+			}
+			if !improved || stall > 5 {
+				break
+			}
+		}
+		if worstViolation(rows, x) <= opts.Tol*10 {
+			break
+		}
+		rho *= 4
+	}
+	// Map the equilibrated solution back to the original variables.
+	orig := make([]float64, n)
+	for j := range orig {
+		orig[j] = x[j] / colScale[j]
+	}
+	res := &Result{X: orig, Objective: dot(c, x), Violation: worstViolation(rows, x), Rounds: rounds}
+	if m.IsMinimize() {
+		res.Objective = -res.Objective
+	}
+	if res.Violation > opts.Tol*100 {
+		return res, ErrNotConverged
+	}
+	return res, nil
+}
+
+// objective evaluates the penalty surrogate and, when grad is non-nil,
+// writes its gradient.
+func objective(c []float64, rows []row, x []float64, rho float64, grad []float64) float64 {
+	if grad != nil {
+		copy(grad, c)
+	}
+	f := dot(c, x)
+	for _, r := range rows {
+		v := dot(r.a, x) - r.b
+		if !r.eq && v <= 0 {
+			continue
+		}
+		f -= 0.5 * rho * v * v
+		if grad != nil {
+			for j, a := range r.a {
+				grad[j] -= rho * v * a
+			}
+		}
+	}
+	return f
+}
+
+func worstViolation(rows []row, x []float64) float64 {
+	var worst float64
+	for _, r := range rows {
+		v := dot(r.a, x) - r.b
+		if r.eq {
+			v = math.Abs(v)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package nlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"profitlb/internal/lp"
+)
+
+func TestSolveLPMatchesSimplexSmall(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36.
+	m := lp.NewModel()
+	x := m.AddVariable("x", 3)
+	y := m.AddVariable("y", 5)
+	m.AddConstraint("c1", []lp.Term{{Var: x, Coef: 1}}, lp.LE, 4)
+	m.AddConstraint("c2", []lp.Term{{Var: y, Coef: 2}}, lp.LE, 12)
+	m.AddConstraint("c3", []lp.Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, lp.LE, 18)
+	res, err := SolveLP(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-36) > 0.05 {
+		t.Fatalf("objective %g, want ≈36 (violation %g)", res.Objective, res.Violation)
+	}
+}
+
+func TestSolveLPGEAndEq(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10 → 20 at (10, 0).
+	m := lp.NewModel()
+	m.SetMinimize(true)
+	m.AddVariable("x", 2)
+	m.AddVariable("y", 3)
+	m.AddConstraint("cover", []lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.GE, 10)
+	res, err := SolveLP(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-20) > 0.05 {
+		t.Fatalf("objective %g, want ≈20", res.Objective)
+	}
+
+	// max x + 2y s.t. x + y = 5, y ≤ 3 → 8.
+	m2 := lp.NewModel()
+	m2.AddVariable("x", 1)
+	m2.AddVariable("y", 2)
+	m2.AddConstraint("bal", []lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.EQ, 5)
+	m2.AddConstraint("cap", []lp.Term{{Var: 1, Coef: 1}}, lp.LE, 3)
+	res2, err := SolveLP(m2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Objective-8) > 0.05 {
+		t.Fatalf("objective %g, want ≈8", res2.Objective)
+	}
+}
+
+// TestCrossValidateSimplex is the package's raison d'être: on random
+// bounded LPs, two structurally different solvers must agree.
+func TestCrossValidateSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		nvars := 2 + rng.Intn(4)
+		m := lp.NewModel()
+		for v := 0; v < nvars; v++ {
+			m.AddVariable("x", rng.Float64()*5)
+		}
+		for r := 0; r < 2+rng.Intn(4); r++ {
+			terms := make([]lp.Term, nvars)
+			for v := 0; v < nvars; v++ {
+				terms[v] = lp.Term{Var: v, Coef: 0.2 + rng.Float64()*3}
+			}
+			m.AddConstraint("c", terms, lp.LE, 2+rng.Float64()*10)
+		}
+		exact, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: simplex: %v", trial, err)
+		}
+		approx, err := SolveLP(m, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: nlp: %v", trial, err)
+		}
+		// Penalty methods sit slightly outside or inside the feasible
+		// region; require agreement within 2%.
+		diff := math.Abs(exact.Objective - approx.Objective)
+		if diff > 0.02*(1+math.Abs(exact.Objective)) {
+			t.Fatalf("trial %d: simplex %g vs nlp %g", trial, exact.Objective, approx.Objective)
+		}
+	}
+}
+
+func TestSolveLPDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Tol != 1e-6 || o.MaxOuter != 20 || o.MaxInner != 4000 || o.Rho0 != 10 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestSolveLPEmptyModel(t *testing.T) {
+	m := lp.NewModel()
+	res, err := SolveLP(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 0 {
+		t.Fatalf("empty model objective %g", res.Objective)
+	}
+}
+
+func TestSolveLPNonNegativeProjection(t *testing.T) {
+	// max -x: optimum at x = 0, the projection boundary.
+	m := lp.NewModel()
+	m.AddVariable("x", -1)
+	res, err := SolveLP(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 0 || res.Objective != 0 {
+		t.Fatalf("x = %g obj = %g, want 0, 0", res.X[0], res.Objective)
+	}
+}
+
+func TestSolveLPWarmStart(t *testing.T) {
+	m := lp.NewModel()
+	x := m.AddVariable("x", 3)
+	y := m.AddVariable("y", 5)
+	m.AddConstraint("c1", []lp.Term{{Var: x, Coef: 1}}, lp.LE, 4)
+	m.AddConstraint("c2", []lp.Term{{Var: y, Coef: 2}}, lp.LE, 12)
+	m.AddConstraint("c3", []lp.Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, lp.LE, 18)
+	// Warm start at the known optimum (2, 6): no improvement possible.
+	res, err := SolveLP(m, Options{X0: []float64{2, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > 36.001 {
+		t.Fatalf("warm start improved past the optimum: %g", res.Objective)
+	}
+	if math.Abs(res.Objective-36) > 0.1 {
+		t.Fatalf("warm start drifted: %g", res.Objective)
+	}
+	// Wrong X0 length is rejected.
+	if _, err := SolveLP(m, Options{X0: []float64{1}}); err == nil {
+		t.Fatal("bad X0 length accepted")
+	}
+	// Negative warm-start values are projected onto the feasible orthant.
+	res2, err := SolveLP(m, Options{X0: []float64{-5, -5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Objective-36) > 0.5 {
+		t.Fatalf("projected warm start ended at %g", res2.Objective)
+	}
+}

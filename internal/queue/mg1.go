@@ -1,0 +1,64 @@
+package queue
+
+import (
+	"fmt"
+	"math"
+)
+
+// MG1 is an M/G/1 station: Poisson arrivals, a general service-time
+// distribution described by its mean rate Mu and coefficient of variation
+// CV (standard deviation over mean; 1 = exponential reduces to M/M/1,
+// 0 = deterministic). The paper's delay model assumes exponential service;
+// this extension quantifies what its guarantees are worth when real
+// service times are burstier or steadier.
+type MG1 struct {
+	Phi float64 // CPU share in [0, 1]
+	C   float64 // server capacity
+	Mu  float64 // service rate at full capacity
+	CV  float64 // coefficient of variation of the service time
+}
+
+// ServiceRate returns φ·C·μ.
+func (q MG1) ServiceRate() float64 { return q.Phi * q.C * q.Mu }
+
+// Delay returns the expected sojourn time by the Pollaczek–Khinchine
+// formula:
+//
+//	W = 1/μ' + ρ·(1+CV²) / (2·μ'·(1−ρ)),  μ' = φCμ, ρ = λ/μ'.
+func (q MG1) Delay(lambda float64) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("queue: negative arrival rate %g", lambda)
+	}
+	if q.CV < 0 {
+		return 0, fmt.Errorf("queue: negative CV %g", q.CV)
+	}
+	mu := q.ServiceRate()
+	if lambda >= mu {
+		return math.Inf(1), ErrUnstable
+	}
+	if lambda == 0 {
+		return 1 / mu, nil
+	}
+	rho := lambda / mu
+	wait := rho * (1 + q.CV*q.CV) / (2 * mu * (1 - rho))
+	return 1/mu + wait, nil
+}
+
+// Stable reports whether lambda admits a steady state.
+func (q MG1) Stable(lambda float64) bool { return lambda >= 0 && lambda < q.ServiceRate() }
+
+// DelayInflation returns the ratio of the M/G/1 expected delay to the
+// M/M/1 delay the planner assumed, at arrival rate lambda. Values above 1
+// mean the paper's model is optimistic for this service distribution.
+func (q MG1) DelayInflation(lambda float64) (float64, error) {
+	dg, err := q.Delay(lambda)
+	if err != nil {
+		return 0, err
+	}
+	mm1 := MM1{Phi: q.Phi, C: q.C, Mu: q.Mu}
+	dm, err := mm1.Delay(lambda)
+	if err != nil {
+		return 0, err
+	}
+	return dg / dm, nil
+}

@@ -1,0 +1,230 @@
+// Package queuesim is a discrete-event M/M/1 simulator used to validate
+// the analytical delay model the paper's formulation rests on (Eq. 1:
+// R = 1/(φCμ − λ)) and to empirically check that dispatch plans meet
+// their TUF deadlines, not just in expectation formulas but on realized
+// Poisson arrivals and exponential service times.
+//
+// Under virtualization, each (request type, level) commodity on a server
+// owns a CPU share φ, so the commodity behaves as an independent M/M/1
+// queue with service rate φ·C·μ. The simulator exploits the exact Lindley
+// recurrence for FIFO single-server queues:
+//
+//	depart[i] = max(arrive[i], depart[i-1]) + service[i]
+//
+// which needs no event list and is O(n) per queue.
+package queuesim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+)
+
+// MM1 configures one simulated queue.
+type MM1 struct {
+	Lambda float64 // arrival rate
+	Mu     float64 // service rate (φ·C·μ for a shared server)
+	Seed   int64
+}
+
+// Stats summarizes realized response times.
+type Stats struct {
+	Arrivals  int
+	MeanDelay float64
+	P95Delay  float64
+	MaxDelay  float64
+	// MeanQueue is the time-averaged number in system (via Little's law,
+	// L = λ·W, using the realized mean delay).
+	MeanQueue float64
+}
+
+// Errors returned by Run.
+var (
+	ErrUnstable = errors.New("queuesim: lambda >= mu, no steady state")
+	ErrNoWork   = errors.New("queuesim: need at least one arrival")
+)
+
+// RunDelays simulates n arrivals through the queue and returns every
+// request's response time, in arrival order. It is deterministic in the
+// seed.
+func (q MM1) RunDelays(n int) ([]float64, error) {
+	if n < 1 {
+		return nil, ErrNoWork
+	}
+	if q.Lambda <= 0 || q.Mu <= 0 {
+		return nil, fmt.Errorf("queuesim: non-positive rates lambda=%g mu=%g", q.Lambda, q.Mu)
+	}
+	if q.Lambda >= q.Mu {
+		return nil, ErrUnstable
+	}
+	rng := rand.New(rand.NewSource(q.Seed))
+	delays := make([]float64, n)
+	var arrive, departPrev float64
+	for i := 0; i < n; i++ {
+		arrive += rng.ExpFloat64() / q.Lambda
+		service := rng.ExpFloat64() / q.Mu
+		start := arrive
+		if departPrev > start {
+			start = departPrev
+		}
+		depart := start + service
+		delays[i] = depart - arrive
+		departPrev = depart
+	}
+	return delays, nil
+}
+
+// Run simulates n arrivals through the queue and returns realized
+// statistics. It is deterministic in the seed.
+func (q MM1) Run(n int) (Stats, error) {
+	delays, err := q.RunDelays(n)
+	if err != nil {
+		return Stats{}, err
+	}
+	var sum, max float64
+	for _, d := range delays {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	n = len(delays)
+	mean := sum / float64(n)
+	sorted := append([]float64(nil), delays...)
+	sort.Float64s(sorted)
+	p95 := sorted[int(math.Ceil(0.95*float64(n)))-1]
+	return Stats{
+		Arrivals:  n,
+		MeanDelay: mean,
+		P95Delay:  p95,
+		MaxDelay:  max,
+		MeanQueue: q.Lambda * mean,
+	}, nil
+}
+
+// ExpectedDelay returns the analytical Eq. 1 value for the queue.
+func (q MM1) ExpectedDelay() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// CommodityCheck is the empirical verdict for one planned commodity.
+type CommodityCheck struct {
+	Center, Class, Level int
+	Lambda               float64 // per-server arrival rate
+	ServiceRate          float64 // φ·C·μ
+	Deadline             float64
+	Expected             float64 // analytical mean delay
+	Simulated            float64 // realized mean delay
+	// RelErr is |simulated − expected| / expected.
+	RelErr float64
+}
+
+// ValidatePlan simulates every loaded commodity of a plan with n Poisson
+// arrivals each and returns the per-commodity comparison of realized vs
+// analytical mean delay. It is the empirical bridge between the planner's
+// queueing-theoretic guarantees and an actual stream of requests.
+func ValidatePlan(sys *datacenter.System, plan *core.Plan, n int, seed int64) ([]CommodityCheck, error) {
+	if n < 1 {
+		return nil, ErrNoWork
+	}
+	var out []CommodityCheck
+	for l := 0; l < sys.L(); l++ {
+		dc := &sys.Centers[l]
+		for k := 0; k < sys.K(); k++ {
+			for q := range plan.Rate[k] {
+				lamTotal := plan.CenterRate(k, q, l)
+				if lamTotal <= 1e-9 {
+					continue
+				}
+				if plan.ServersOn[l] == 0 {
+					return nil, fmt.Errorf("queuesim: center %d has load but no servers on", l)
+				}
+				lam := lamTotal / float64(plan.ServersOn[l])
+				mu := plan.Phi[l][k][q] * dc.Capacity * dc.ServiceRate[k]
+				sim := MM1{Lambda: lam, Mu: mu, Seed: seed + int64(l*1000+k*100+q)}
+				st, err := sim.Run(n)
+				if err != nil {
+					return nil, fmt.Errorf("queuesim: center %d k=%d q=%d: %w", l, k, q, err)
+				}
+				expected := sim.ExpectedDelay()
+				out = append(out, CommodityCheck{
+					Center: l, Class: k, Level: q,
+					Lambda: lam, ServiceRate: mu,
+					Deadline:  sys.Classes[k].TUF.Level(q).Deadline,
+					Expected:  expected,
+					Simulated: st.MeanDelay,
+					RelErr:    math.Abs(st.MeanDelay-expected) / expected,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WorstRelErr returns the largest relative model error across checks
+// (0 for an empty set).
+func WorstRelErr(checks []CommodityCheck) float64 {
+	var worst float64
+	for _, c := range checks {
+		if c.RelErr > worst {
+			worst = c.RelErr
+		}
+	}
+	return worst
+}
+
+// RunArrivals pushes externally generated arrival instants (sorted,
+// non-negative) through the queue with exponential service at Mu,
+// ignoring the Lambda field. It lets non-Poisson arrival processes (e.g.
+// workload.MMPP) be replayed against the planner's M/M/1 assumptions.
+func (q MM1) RunArrivals(arrivals []float64) (Stats, error) {
+	if len(arrivals) == 0 {
+		return Stats{}, ErrNoWork
+	}
+	if q.Mu <= 0 {
+		return Stats{}, fmt.Errorf("queuesim: non-positive service rate %g", q.Mu)
+	}
+	rng := rand.New(rand.NewSource(q.Seed))
+	delays := make([]float64, len(arrivals))
+	var departPrev float64
+	prev := -1.0
+	for i, arrive := range arrivals {
+		if arrive < prev {
+			return Stats{}, fmt.Errorf("queuesim: arrivals not sorted at index %d", i)
+		}
+		prev = arrive
+		start := arrive
+		if departPrev > start {
+			start = departPrev
+		}
+		depart := start + rng.ExpFloat64()/q.Mu
+		delays[i] = depart - arrive
+		departPrev = depart
+	}
+	var sum, max float64
+	for _, d := range delays {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	n := len(delays)
+	mean := sum / float64(n)
+	sorted := append([]float64(nil), delays...)
+	sort.Float64s(sorted)
+	p95 := sorted[int(math.Ceil(0.95*float64(n)))-1]
+	rate := 0.0
+	if span := arrivals[n-1] - arrivals[0]; span > 0 {
+		rate = float64(n) / span
+	}
+	return Stats{
+		Arrivals:  n,
+		MeanDelay: mean,
+		P95Delay:  p95,
+		MaxDelay:  max,
+		MeanQueue: rate * mean,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package queuesim
+
+import (
+	"fmt"
+
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+)
+
+// UtilityCheck compares the two possible SLA semantics for one planned
+// commodity:
+//
+//   - MeanDelayUtility: the paper's semantics — utility of the *average*
+//     delay, U(E[R]) (paper [23]: "profit comes from successfully
+//     guaranteeing the average delay satisfaction").
+//   - PerRequestUtility: the per-job semantics of TUF schedulers like the
+//     authors' earlier work [17] — the average of per-request utilities,
+//     E[U(R)].
+//
+// For step-downward TUFs these differ, in both directions: a commodity
+// planned at the top level loses the exponential tail of its delay
+// distribution to lower levels (E[U(R)] < U(E[R])), while a commodity
+// planned at a loose level serves many individual requests fast enough to
+// earn a higher step (E[U(R)] > U(E[R])). The gap quantifies how much
+// revenue a provider billing per request would actually collect relative
+// to the mean-delay contract the planner optimizes.
+type UtilityCheck struct {
+	Center, Class, Level int
+	// Rate is the commodity's aggregate arrival rate at the center.
+	Rate              float64
+	MeanDelayUtility  float64
+	PerRequestUtility float64
+}
+
+// UtilityGap simulates every loaded commodity of a plan with n Poisson
+// arrivals and evaluates both utility semantics on the realized delays.
+func UtilityGap(sys *datacenter.System, plan *core.Plan, n int, seed int64) ([]UtilityCheck, error) {
+	if n < 1 {
+		return nil, ErrNoWork
+	}
+	var out []UtilityCheck
+	for l := 0; l < sys.L(); l++ {
+		dc := &sys.Centers[l]
+		for k := 0; k < sys.K(); k++ {
+			cls := sys.Classes[k].TUF
+			for q := range plan.Rate[k] {
+				lamTotal := plan.CenterRate(k, q, l)
+				if lamTotal <= 1e-9 {
+					continue
+				}
+				if plan.ServersOn[l] == 0 {
+					return nil, fmt.Errorf("queuesim: center %d has load but no servers on", l)
+				}
+				lam := lamTotal / float64(plan.ServersOn[l])
+				mu := plan.Phi[l][k][q] * dc.Capacity * dc.ServiceRate[k]
+				sim := MM1{Lambda: lam, Mu: mu, Seed: seed + int64(l*1000+k*100+q)}
+				delays, err := sim.RunDelays(n)
+				if err != nil {
+					return nil, fmt.Errorf("queuesim: center %d k=%d q=%d: %w", l, k, q, err)
+				}
+				var perReq float64
+				for _, d := range delays {
+					perReq += cls.Utility(d)
+				}
+				perReq /= float64(len(delays))
+				// The mean-delay semantics use the analytical expectation
+				// (what the planner contracted), snapped onto the level
+				// deadline it meets with equality.
+				expected := sim.ExpectedDelay()
+				if dq := cls.Level(q).Deadline; expected > dq && expected <= dq*(1+1e-9) {
+					expected = dq
+				}
+				out = append(out, UtilityCheck{
+					Center: l, Class: k, Level: q, Rate: lamTotal,
+					MeanDelayUtility:  cls.Utility(expected),
+					PerRequestUtility: perReq,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RevenueRates aggregates the checks into slot revenue rates ($ per time
+// unit) under both semantics.
+func RevenueRates(checks []UtilityCheck) (meanDelay, perRequest float64) {
+	for _, c := range checks {
+		meanDelay += c.MeanDelayUtility * c.Rate
+		perRequest += c.PerRequestUtility * c.Rate
+	}
+	return
+}

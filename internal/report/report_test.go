@@ -1,0 +1,103 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "22")
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha  1") {
+		t.Fatalf("row alignment: %q", lines[3])
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x")
+	tbl.AddRow("y", "z", "extra")
+	out := tbl.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatal("extra column dropped")
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		1234.567: "1234.6",
+		12.345:   "12.35",
+		0.5:      "0.5000",
+		0.000012: "1.2e-05",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%g) = %q, want %q", v, got, want)
+		}
+	}
+	if F(math.NaN()) != "NaN" || F(math.Inf(1)) != "Inf" {
+		t.Error("special values")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.9945); got != "99.45%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	tbl := SeriesTable("S", "hour", SlotLabels(14, 3), []string{"opt", "bal"},
+		[]float64{1, 2, 3}, []float64{4, 5})
+	out := tbl.String()
+	if !strings.Contains(out, "h14") || !strings.Contains(out, "h16") {
+		t.Fatalf("labels missing: %q", out)
+	}
+	if !strings.Contains(out, "opt") || !strings.Contains(out, "bal") {
+		t.Fatal("series names missing")
+	}
+	// Short series pads with blank, long index labels synthesized.
+	tbl2 := SeriesTable("S2", "i", nil, []string{"x"}, []float64{7, 8})
+	if !strings.Contains(tbl2.String(), "1") {
+		t.Fatal("synthesized index missing")
+	}
+}
+
+func TestSlotLabels(t *testing.T) {
+	got := SlotLabels(22, 3)
+	if got[0] != "h22" || got[2] != "h24" {
+		t.Fatalf("labels = %v", got)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta", "2")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nalpha,1\nbeta,2\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}

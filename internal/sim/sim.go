@@ -1,0 +1,343 @@
+// Package sim runs the paper's time-slotted evaluation loop: at the start
+// of every slot the planner under test sees the slot's average arrival
+// rates and electricity prices and commits a dispatch/allocation plan; the
+// simulator then accounts the achieved utility (from each commodity's
+// expected M/M/1 delay through its TUF), the energy dollar cost (Eq. 2),
+// the transfer dollar cost (Eq. 3) and the resulting net profit.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+	"profitlb/internal/market"
+	"profitlb/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Sys *datacenter.System
+	// Traces holds one arrival trace per front-end, each with K types.
+	// These are the *actual* arrivals the accounting sees.
+	Traces []*workload.Trace
+	// PlanTraces optionally holds the arrival traces the planner sees
+	// (e.g. forecasts). When nil the planner sees the actual traces. When
+	// set, each slot's committed dispatch is reconciled against the actual
+	// arrivals: per (type, front-end), dispatch scales down to what really
+	// arrived, and arrivals beyond the planned volume are dropped (no
+	// capacity was reserved for them) — exactly the exposure of planning
+	// on forecasts.
+	PlanTraces []*workload.Trace
+	// Prices holds one electricity price trace per data center.
+	Prices []*market.PriceTrace
+	// Slots is the number of slots to simulate.
+	Slots int
+	// StartSlot offsets into both traces (e.g. 14 to start at 14:00 on
+	// hourly traces, as in the paper's Section VII window).
+	StartSlot int
+	// KeepPlans retains every slot's plan in the report (memory trade-off).
+	KeepPlans bool
+}
+
+// Validate checks the configuration against the system's dimensions.
+func (c *Config) Validate() error {
+	if c.Sys == nil {
+		return errors.New("sim: config has no system")
+	}
+	if err := c.Sys.Validate(); err != nil {
+		return err
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("sim: non-positive slot count %d", c.Slots)
+	}
+	if len(c.Traces) != c.Sys.S() {
+		return fmt.Errorf("sim: %d traces for %d front-ends", len(c.Traces), c.Sys.S())
+	}
+	for s, tr := range c.Traces {
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("sim: front-end %d: %w", s, err)
+		}
+		if tr.Types() != c.Sys.K() {
+			return fmt.Errorf("sim: front-end %d trace has %d types, want %d", s, tr.Types(), c.Sys.K())
+		}
+	}
+	if c.PlanTraces != nil {
+		if len(c.PlanTraces) != c.Sys.S() {
+			return fmt.Errorf("sim: %d plan traces for %d front-ends", len(c.PlanTraces), c.Sys.S())
+		}
+		for s, tr := range c.PlanTraces {
+			if err := tr.Validate(); err != nil {
+				return fmt.Errorf("sim: plan trace %d: %w", s, err)
+			}
+			if tr.Types() != c.Sys.K() {
+				return fmt.Errorf("sim: plan trace %d has %d types, want %d", s, tr.Types(), c.Sys.K())
+			}
+		}
+	}
+	if len(c.Prices) != c.Sys.L() {
+		return fmt.Errorf("sim: %d price traces for %d centers", len(c.Prices), c.Sys.L())
+	}
+	for l, pt := range c.Prices {
+		if err := pt.Validate(); err != nil {
+			return fmt.Errorf("sim: center %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
+// SlotReport is the accounting of one slot.
+type SlotReport struct {
+	Slot   int
+	Prices []float64
+	// OfferedByType[k] and ServedByType[k] are request counts for the slot
+	// (rate × T).
+	OfferedByType []float64
+	ServedByType  []float64
+	// CenterServed[k][l] is the request count of type k processed at
+	// center l (the series of paper Figs. 7 and 9).
+	CenterServed [][]float64
+	Revenue      float64
+	EnergyCost   float64
+	TransferCost float64
+	NetProfit    float64
+	ServersOn    int
+	Plan         *core.Plan // nil unless Config.KeepPlans
+}
+
+// Offered returns the slot's total offered request count.
+func (r *SlotReport) Offered() float64 { return sum(r.OfferedByType) }
+
+// Served returns the slot's total served request count.
+func (r *SlotReport) Served() float64 { return sum(r.ServedByType) }
+
+func sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Report is the full run outcome for one planner.
+type Report struct {
+	Planner string
+	Slots   []SlotReport
+}
+
+// TotalNetProfit sums net profit over all slots.
+func (r *Report) TotalNetProfit() float64 {
+	var s float64
+	for i := range r.Slots {
+		s += r.Slots[i].NetProfit
+	}
+	return s
+}
+
+// TotalCost sums energy and transfer dollar costs over all slots.
+func (r *Report) TotalCost() float64 {
+	var s float64
+	for i := range r.Slots {
+		s += r.Slots[i].EnergyCost + r.Slots[i].TransferCost
+	}
+	return s
+}
+
+// CompletionRate returns served/offered for type k over the whole run
+// (1 when nothing was offered).
+func (r *Report) CompletionRate(k int) float64 {
+	var off, srv float64
+	for i := range r.Slots {
+		off += r.Slots[i].OfferedByType[k]
+		srv += r.Slots[i].ServedByType[k]
+	}
+	if off == 0 {
+		return 1
+	}
+	return srv / off
+}
+
+// NetProfitSeries returns the per-slot net profit (paper Figs. 4, 6, 8, 10).
+func (r *Report) NetProfitSeries() []float64 {
+	out := make([]float64, len(r.Slots))
+	for i := range r.Slots {
+		out[i] = r.Slots[i].NetProfit
+	}
+	return out
+}
+
+// CenterSeries returns the per-slot served count of type k at center l
+// (paper Figs. 7 and 9).
+func (r *Report) CenterSeries(k, l int) []float64 {
+	out := make([]float64, len(r.Slots))
+	for i := range r.Slots {
+		out[i] = r.Slots[i].CenterServed[k][l]
+	}
+	return out
+}
+
+// Run simulates the configured horizon under the given planner. Every
+// slot's plan is verified against the physical invariants before it is
+// accounted; a planner emitting an infeasible plan aborts the run.
+func Run(cfg Config, planner core.Planner) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := cfg.Sys
+	K, S, L := sys.K(), sys.S(), sys.L()
+	report := &Report{Planner: planner.Name()}
+
+	for slot := 0; slot < cfg.Slots; slot++ {
+		abs := cfg.StartSlot + slot
+		actual := make([][]float64, S)
+		planArr := make([][]float64, S)
+		for s := 0; s < S; s++ {
+			actual[s] = make([]float64, K)
+			planArr[s] = make([]float64, K)
+			for k := 0; k < K; k++ {
+				actual[s][k] = cfg.Traces[s].At(abs, k)
+				if cfg.PlanTraces != nil {
+					planArr[s][k] = cfg.PlanTraces[s].At(abs, k)
+				} else {
+					planArr[s][k] = actual[s][k]
+				}
+			}
+		}
+		prices := make([]float64, L)
+		for l := 0; l < L; l++ {
+			prices[l] = cfg.Prices[l].At(abs)
+		}
+		planIn := &core.Input{Sys: sys, Arrivals: planArr, Prices: prices}
+		plan, err := planner.Plan(planIn)
+		if err != nil {
+			return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
+		}
+		if err := core.Verify(planIn, plan, 1e-6); err != nil {
+			return nil, fmt.Errorf("sim: slot %d: infeasible plan from %s: %w", slot, planner.Name(), err)
+		}
+		in := planIn
+		if cfg.PlanTraces != nil {
+			reconcile(plan, actual)
+			in = &core.Input{Sys: sys, Arrivals: actual, Prices: prices}
+			if err := core.Verify(in, plan, 1e-6); err != nil {
+				return nil, fmt.Errorf("sim: slot %d: reconciled plan infeasible: %w", slot, err)
+			}
+		}
+		sr := account(in, plan)
+		sr.Slot = abs
+		if cfg.KeepPlans {
+			sr.Plan = plan
+		}
+		report.Slots = append(report.Slots, sr)
+	}
+	return report, nil
+}
+
+// reconcile scales a forecast-committed plan against actual arrivals:
+// per (type, front-end), if fewer requests arrived than were committed
+// the dispatch shrinks proportionally across levels and centers (shares
+// keep their reservations, so delays only improve); arrivals beyond the
+// committed volume are dropped. The plan is modified in place.
+func reconcile(plan *core.Plan, actual [][]float64) {
+	for k := range plan.Rate {
+		if len(plan.Rate[k]) == 0 {
+			continue
+		}
+		for s := range plan.Rate[k][0] {
+			committed := plan.ServedFrom(k, s)
+			a := actual[s][k]
+			if committed <= 0 || a >= committed {
+				continue // nothing committed, or every committed request arrived
+			}
+			f := a / committed
+			for q := range plan.Rate[k] {
+				for l := range plan.Rate[k][q][s] {
+					plan.Rate[k][q][s][l] *= f
+				}
+			}
+		}
+	}
+}
+
+// account computes the slot's dollar flows from the plan.
+func account(in *core.Input, plan *core.Plan) SlotReport {
+	sys := in.Sys
+	T := sys.Slot()
+	K, S, L := sys.K(), sys.S(), sys.L()
+	sr := SlotReport{
+		Prices:        append([]float64(nil), in.Prices...),
+		OfferedByType: make([]float64, K),
+		ServedByType:  make([]float64, K),
+		CenterServed:  make([][]float64, K),
+		ServersOn:     plan.TotalServersOn(),
+	}
+	for k := 0; k < K; k++ {
+		sr.CenterServed[k] = make([]float64, L)
+		for s := 0; s < S; s++ {
+			sr.OfferedByType[k] += in.Arrivals[s][k] * T
+		}
+	}
+	// Idle draw of powered-on servers (zero under the paper's purely
+	// per-request energy model).
+	for l := 0; l < L; l++ {
+		sr.EnergyCost += sys.IdleCost(l, in.Prices[l]) * float64(plan.ServersOn[l])
+	}
+	for k := 0; k < K; k++ {
+		cls := sys.Classes[k].TUF
+		levels := cls.Levels()
+		for q := range plan.Rate[k] {
+			for l := 0; l < L; l++ {
+				lam := plan.CenterRate(k, q, l)
+				if lam <= 0 {
+					continue
+				}
+				// Achieved utility: the TUF at the commodity's expected
+				// delay. Plans meet level deadlines with equality, so snap
+				// one-ulp overshoots back onto the boundary.
+				d := plan.Delay(sys, k, q, l)
+				if dq := levels[q].Deadline; d > dq && d <= dq*(1+1e-9) {
+					d = dq
+				}
+				u := cls.Utility(d)
+				sr.Revenue += u * lam * T
+				sr.EnergyCost += sys.EnergyCost(k, l, in.Prices[l]) * lam * T
+				sr.ServedByType[k] += lam * T
+				sr.CenterServed[k][l] += lam * T
+				for s := 0; s < S; s++ {
+					if v := plan.Rate[k][q][s][l]; v > 0 {
+						sr.TransferCost += sys.TransferCost(k, s, l) * v * T
+					}
+				}
+			}
+		}
+	}
+	sr.NetProfit = sr.Revenue - sr.EnergyCost - sr.TransferCost
+	return sr
+}
+
+// Compare runs several planners over the same configuration, one
+// goroutine per planner. The configuration is only read; each planner
+// instance is driven by exactly one goroutine, so stateful planners (e.g.
+// the switching wrapper) remain safe as long as callers pass distinct
+// instances.
+func Compare(cfg Config, planners ...core.Planner) ([]*Report, error) {
+	out := make([]*Report, len(planners))
+	errs := make([]error, len(planners))
+	var wg sync.WaitGroup
+	for i, p := range planners {
+		wg.Add(1)
+		go func(i int, p core.Planner) {
+			defer wg.Done()
+			out[i], errs[i] = Run(cfg, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

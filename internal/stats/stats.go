@@ -1,0 +1,134 @@
+// Package stats provides the series statistics used to characterize
+// workloads and reports: moments, percentiles, autocorrelation and
+// peak-to-mean ratios. The paper motivates its design with the shape of
+// its traces (diurnality, bursts); these are the numbers that make such
+// shapes comparable.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"profitlb/internal/workload"
+)
+
+// Summary describes one numeric series.
+type Summary struct {
+	N          int
+	Mean, SD   float64
+	CV         float64 // SD/Mean (0 when Mean is 0)
+	Min, Max   float64
+	P50, P95   float64
+	PeakToMean float64 // Max/Mean (0 when Mean is 0)
+}
+
+// ErrEmpty is returned for empty series.
+var ErrEmpty = errors.New("stats: empty series")
+
+// Summarize computes the summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sumsq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.SD = math.Sqrt(variance)
+	}
+	if s.Mean != 0 {
+		s.CV = s.SD / s.Mean
+		s.PeakToMean = s.Max / s.Mean
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P95 = Percentile(sorted, 0.95)
+	return s, nil
+}
+
+// Percentile reads the p-quantile (0 < p ≤ 1) from an ascending-sorted
+// series using the nearest-rank method.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// AutoCorr returns the lag-k autocorrelation of xs (1 at lag 0; 0 for
+// series shorter than k+2 or with zero variance).
+func AutoCorr(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || n < lag+2 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (xs[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TraceSummary is the per-type characterization of an arrival trace.
+type TraceSummary struct {
+	Type    int
+	Summary Summary
+	// Lag1 is the slot-to-slot autocorrelation, high for diurnal series.
+	Lag1 float64
+}
+
+// ForTrace summarizes every type of an arrival trace over its slots.
+func ForTrace(tr *workload.Trace) ([]TraceSummary, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]TraceSummary, tr.Types())
+	for k := 0; k < tr.Types(); k++ {
+		series := make([]float64, tr.Slots())
+		for s := 0; s < tr.Slots(); s++ {
+			series[s] = tr.At(s, k)
+		}
+		sum, err := Summarize(series)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = TraceSummary{Type: k, Summary: sum, Lag1: AutoCorr(series, 1)}
+	}
+	return out, nil
+}

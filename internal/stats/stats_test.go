@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"profitlb/internal/workload"
+)
+
+func TestSummarizeKnownSeries(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.SD-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("SD = %g, want sqrt(2)", s.SD)
+	}
+	if s.P50 != 3 || s.P95 != 5 {
+		t.Fatalf("percentiles %g/%g", s.P50, s.P95)
+	}
+	if math.Abs(s.PeakToMean-5.0/3) > 1e-12 {
+		t.Fatalf("peak/mean %g", s.PeakToMean)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatal("empty accepted")
+	}
+	s, err := Summarize([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CV != 0 || s.PeakToMean != 0 {
+		t.Fatal("zero-mean ratios should be 0")
+	}
+	one, err := Summarize([]float64{7})
+	if err != nil || one.SD != 0 || one.P50 != 7 {
+		t.Fatalf("singleton summary %+v err %v", one, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, 1) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(sorted, 0.5) != 20 {
+		t.Fatalf("p50 = %g", Percentile(sorted, 0.5))
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}
+
+func TestAutoCorr(t *testing.T) {
+	// A constant series has zero variance → 0 by convention.
+	if AutoCorr([]float64{5, 5, 5, 5}, 1) != 0 {
+		t.Fatal("constant series")
+	}
+	// Perfectly alternating series: lag-1 autocorrelation ≈ -1.
+	alt := make([]float64, 200)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	if ac := AutoCorr(alt, 1); ac > -0.9 {
+		t.Fatalf("alternating lag-1 = %g, want ≈ -1", ac)
+	}
+	// A smooth sinusoid has high positive lag-1 autocorrelation.
+	sin := make([]float64, 200)
+	for i := range sin {
+		sin[i] = math.Sin(2 * math.Pi * float64(i) / 50)
+	}
+	if ac := AutoCorr(sin, 1); ac < 0.9 {
+		t.Fatalf("sinusoid lag-1 = %g, want ≈ 1", ac)
+	}
+	if AutoCorr([]float64{1}, 1) != 0 || AutoCorr([]float64{1, 2, 3}, -1) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}
+
+func TestForTrace(t *testing.T) {
+	base := workload.WorldCupLike(workload.WorldCupConfig{Seed: 3})
+	tr := workload.ShiftTypes("fe", base, 3, 4)
+	sums, err := ForTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("types %d", len(sums))
+	}
+	for _, ts := range sums {
+		// Time-shifted copies share the same marginal statistics.
+		if math.Abs(ts.Summary.Mean-sums[0].Summary.Mean) > 1e-9 {
+			t.Fatal("shifted types should share the mean")
+		}
+		// Diurnal series: positive slot-to-slot correlation.
+		if ts.Lag1 < 0.3 {
+			t.Fatalf("type %d lag-1 %g, want clearly positive", ts.Type, ts.Lag1)
+		}
+		if ts.Summary.PeakToMean < 1.5 {
+			t.Fatalf("flash-crowd trace peak/mean %g too flat", ts.Summary.PeakToMean)
+		}
+	}
+	bad := &workload.Trace{Name: "bad"}
+	if _, err := ForTrace(bad); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+// Property: mean is within [min, max] and percentiles are ordered.
+func TestSummaryInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*1000 - 200
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.SD >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

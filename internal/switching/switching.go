@@ -1,0 +1,121 @@
+// Package switching relaxes the paper's assumption that "server switching
+// costs and durations are negligible". It wraps any planner with
+// power-state awareness: each server power toggle (on→off or off→on)
+// costs TogglePrice dollars — wear, migration, and the unserviced warm-up
+// the paper waves away — and an optional hysteresis keeps recently used
+// servers powered to avoid paying that price twice across a demand dip.
+//
+// Under the paper's purely per-request energy model the profit-optimal
+// policy is trivial (never power anything off); the wrapper becomes
+// interesting exactly when DataCenter.IdleEnergyPerServer is set, so that
+// keeping a server on costs idle energy and powering it off risks toggle
+// fees. The wrapper is stateful across slots: use one instance per
+// simulated horizon.
+package switching
+
+import (
+	"errors"
+
+	"profitlb/internal/core"
+)
+
+// Planner wraps an inner planner with toggle accounting and hysteresis.
+type Planner struct {
+	// Inner produces the per-slot plan that is then power-adjusted.
+	Inner core.Planner
+	// TogglePrice is the dollar cost per server power-state change.
+	TogglePrice float64
+	// HoldSlots keeps a server powered for this many slots after the plan
+	// last needed it (0 = follow the plan exactly).
+	HoldSlots int
+
+	// prev holds the previous slot's power state per center; hold counts
+	// down per server "position" (servers within a center are
+	// interchangeable, so only counts matter).
+	prevOn  []int
+	holdAge []int
+
+	// Toggles and ToggleCost accumulate over the horizon.
+	Toggles    int
+	ToggleCost float64
+}
+
+// ErrNoInner is returned when the wrapper has no inner planner.
+var ErrNoInner = errors.New("switching: no inner planner")
+
+// Name implements core.Planner.
+func (p *Planner) Name() string {
+	if p.Inner == nil {
+		return "switching(?)"
+	}
+	return "switching(" + p.Inner.Name() + ")"
+}
+
+// Reset clears the power-state memory and the accumulated toggle
+// statistics, making the wrapper reusable for a fresh horizon.
+func (p *Planner) Reset() {
+	p.prevOn = nil
+	p.holdAge = nil
+	p.Toggles = 0
+	p.ToggleCost = 0
+}
+
+// Plan implements core.Planner: it obtains the inner plan, applies the
+// hold-down hysteresis to the powered-on counts, and accounts toggles
+// against the previous slot's state. Holding servers on never violates
+// feasibility — extra powered servers only add idle cost, which the
+// simulator accounts from ServersOn.
+func (p *Planner) Plan(in *core.Input) (*core.Plan, error) {
+	if p.Inner == nil {
+		return nil, ErrNoInner
+	}
+	plan, err := p.Inner.Plan(in)
+	if err != nil {
+		return nil, err
+	}
+	L := in.Sys.L()
+	if p.prevOn == nil {
+		p.prevOn = make([]int, L)
+		p.holdAge = make([]int, L)
+	}
+	if len(p.prevOn) != L {
+		return nil, errors.New("switching: planner reused across different topologies")
+	}
+	for l := 0; l < L; l++ {
+		want := plan.ServersOn[l]
+		if want >= p.prevOn[l] {
+			// Scaling up (or flat): no hold-down needed.
+			p.holdAge[l] = 0
+		} else {
+			// Scaling down: hold the extra servers for HoldSlots slots.
+			if p.holdAge[l] < p.HoldSlots {
+				p.holdAge[l]++
+				want = p.prevOn[l]
+			} else {
+				p.holdAge[l] = 0
+			}
+		}
+		if want > in.Sys.Centers[l].Servers {
+			want = in.Sys.Centers[l].Servers
+		}
+		if d := want - p.prevOn[l]; d != 0 {
+			n := d
+			if n < 0 {
+				n = -n
+			}
+			p.Toggles += n
+			p.ToggleCost += float64(n) * p.TogglePrice
+		}
+		plan.ServersOn[l] = want
+		p.prevOn[l] = want
+	}
+	// Shares were computed for the inner plan's server count; with more
+	// servers powered the per-server load only drops, so the existing
+	// shares remain feasible and delays improve slightly. Keeping them is
+	// conservative and preserves Verify invariants.
+	return plan, nil
+}
+
+// NetAdjustment returns the accumulated toggle cost to subtract from a
+// simulation report's net profit when evaluating the wrapper.
+func (p *Planner) NetAdjustment() float64 { return p.ToggleCost }

@@ -1,0 +1,148 @@
+package switching
+
+import (
+	"testing"
+
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+	"profitlb/internal/market"
+	"profitlb/internal/sim"
+	"profitlb/internal/tuf"
+	"profitlb/internal/workload"
+)
+
+func testSystem() *datacenter.System {
+	return &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "web", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.01}}), TransferCostPerMile: 0.0002},
+		},
+		FrontEnds: []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{200}}},
+		Centers: []datacenter.DataCenter{{
+			Name: "dc", Servers: 10, Capacity: 1,
+			ServiceRate:         []float64{1000},
+			EnergyPerRequest:    []float64{0.001},
+			IdleEnergyPerServer: 0.3, // kWh per server-slot: consolidation now pays
+		}},
+	}
+}
+
+// sawtooth alternates light and heavy slots to force fleet resizing.
+func sawtooth(slots int) *workload.Trace {
+	tr := &workload.Trace{Name: "saw"}
+	for s := 0; s < slots; s++ {
+		rate := 800.0
+		if s%2 == 1 {
+			rate = 7000
+		}
+		tr.Rates = append(tr.Rates, []float64{rate})
+	}
+	return tr
+}
+
+func cfg(slots int) sim.Config {
+	return sim.Config{
+		Sys:    testSystem(),
+		Traces: []*workload.Trace{sawtooth(slots)},
+		Prices: []*market.PriceTrace{market.Houston()},
+		Slots:  slots,
+	}
+}
+
+func TestWrapperCountsToggles(t *testing.T) {
+	w := &Planner{Inner: core.NewOptimized(), TogglePrice: 2}
+	rep, err := sim.Run(cfg(8), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Toggles == 0 {
+		t.Fatal("sawtooth load should toggle servers")
+	}
+	if w.ToggleCost != float64(w.Toggles)*2 {
+		t.Fatalf("toggle cost %g for %d toggles", w.ToggleCost, w.Toggles)
+	}
+	if rep.TotalNetProfit() <= 0 {
+		t.Fatal("run unprofitable")
+	}
+}
+
+func TestHysteresisReducesToggles(t *testing.T) {
+	plain := &Planner{Inner: core.NewOptimized(), TogglePrice: 2}
+	if _, err := sim.Run(cfg(12), plain); err != nil {
+		t.Fatal(err)
+	}
+	held := &Planner{Inner: core.NewOptimized(), TogglePrice: 2, HoldSlots: 2}
+	if _, err := sim.Run(cfg(12), held); err != nil {
+		t.Fatal(err)
+	}
+	if held.Toggles >= plain.Toggles {
+		t.Fatalf("hysteresis did not reduce toggles: %d vs %d", held.Toggles, plain.Toggles)
+	}
+}
+
+func TestHysteresisPlansStayFeasible(t *testing.T) {
+	w := &Planner{Inner: core.NewOptimized(), HoldSlots: 3}
+	c := cfg(6)
+	// Drive the loop manually to verify every emitted plan.
+	for slot := 0; slot < c.Slots; slot++ {
+		in := &core.Input{
+			Sys:      c.Sys,
+			Arrivals: [][]float64{{c.Traces[0].At(slot, 0)}},
+			Prices:   []float64{c.Prices[0].At(slot)},
+		}
+		plan, err := w.Plan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Verify(in, plan, 1e-6); err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+	}
+}
+
+func TestIdleEnergyMakesConsolidationPay(t *testing.T) {
+	// With idle draw, the optimized planner (consolidating) must beat a
+	// variant that leaves the whole fleet on.
+	allOn := core.NewOptimized()
+	allOn.Consolidate = false
+	conso := core.NewOptimized()
+	repAll, err := sim.Run(cfg(8), allOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repConso, err := sim.Run(cfg(8), conso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repConso.TotalNetProfit() <= repAll.TotalNetProfit() {
+		t.Fatalf("consolidation %g should beat all-on %g under idle draw",
+			repConso.TotalNetProfit(), repAll.TotalNetProfit())
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := &Planner{Inner: core.NewOptimized(), TogglePrice: 1}
+	if _, err := sim.Run(cfg(4), w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Toggles == 0 {
+		t.Fatal("expected toggles")
+	}
+	w.Reset()
+	if w.Toggles != 0 || w.ToggleCost != 0 || w.NetAdjustment() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	w := &Planner{}
+	if _, err := w.Plan(nil); err != ErrNoInner {
+		t.Fatal("want ErrNoInner")
+	}
+	if w.Name() != "switching(?)" {
+		t.Fatalf("name %q", w.Name())
+	}
+	w.Inner = core.NewOptimized()
+	if w.Name() != "switching(optimized)" {
+		t.Fatalf("name %q", w.Name())
+	}
+}

@@ -1,0 +1,51 @@
+package tuf
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON checks that arbitrary JSON never panics the TUF
+// decoder, that accepted TUFs satisfy the step-downward invariants, and
+// that they re-encode losslessly.
+func FuzzUnmarshalJSON(f *testing.F) {
+	f.Add(`[{"Utility":10,"Deadline":1}]`)
+	f.Add(`[{"Utility":10,"Deadline":1},{"Utility":4,"Deadline":2}]`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(`[{"Utility":-1,"Deadline":1}]`)
+	f.Add(`[{"Utility":5,"Deadline":2},{"Utility":9,"Deadline":1}]`)
+	f.Add(`{"Utility":1}`)
+	f.Add(`[{"Utility":1e308,"Deadline":1e-308}]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		var s StepDownward
+		if err := json.Unmarshal([]byte(in), &s); err != nil {
+			return
+		}
+		// Accepted: invariants must hold.
+		levels := s.Levels()
+		if len(levels) == 0 {
+			t.Fatal("accepted empty TUF")
+		}
+		for i := 1; i < len(levels); i++ {
+			if levels[i-1].Deadline >= levels[i].Deadline {
+				t.Fatal("deadlines not increasing")
+			}
+			if levels[i-1].Utility <= levels[i].Utility {
+				t.Fatal("utilities not decreasing")
+			}
+		}
+		// Round trip.
+		enc, err := json.Marshal(&s)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var back StepDownward
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumLevels() != s.NumLevels() || back.Deadline() != s.Deadline() {
+			t.Fatal("round trip changed the TUF")
+		}
+	})
+}

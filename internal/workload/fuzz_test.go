@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the trace parser
+// and that everything it accepts round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("slot,type0\n0,1.5\n1,2\n")
+	f.Add("slot,type0,type1\n0,0,0\n")
+	f.Add("")
+	f.Add("slot\n0\n")
+	f.Add("slot,type0\n0,-1\n")
+	f.Add("slot,type0\n0,NaN\n")
+	f.Add("a,b\nmalformed")
+	f.Add("slot,type0\n0,1\n1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV("fuzz", strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ReadCSV("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Slots() != tr.Slots() || back.Types() != tr.Types() {
+			t.Fatal("round trip changed shape")
+		}
+		for s := 0; s < tr.Slots(); s++ {
+			for k := 0; k < tr.Types(); k++ {
+				if back.At(s, k) != tr.At(s, k) {
+					t.Fatal("round trip changed values")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race fuzz verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; it exercises the
+# resilient chain's deadline goroutines and sim.Compare's parallel lanes.
+race:
+	$(GO) test -race ./...
+
+# fuzz gives each fuzz target a short budget beyond its checked-in corpus.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/workload/
+	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
+
+# verify is the repo's full check tier: build, vet, tests, race tests.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=NONE ./...

@@ -10,16 +10,21 @@
 //	profitlb bench [-servers N]   time one planner invocation per planner
 //	profitlb scaffold             print an example JSON scenario
 //	profitlb simulate -config F   run a JSON scenario and print the report
+//	                              (-faults F|storm, -resilient, -seed N)
+//	profitlb chaos -config F      profit retention per planner under a
+//	                              seeded outage + price-spike storm
 //	profitlb compare -config F    run a scenario under every planner
 //	profitlb analyze -config F    capacity advice + shadow prices
 //	profitlb export-lp -config F  dump a slot's dispatch LP (CPLEX format)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -28,7 +33,9 @@ import (
 	"profitlb/internal/config"
 	"profitlb/internal/core"
 	"profitlb/internal/exp"
+	"profitlb/internal/fault"
 	"profitlb/internal/market"
+	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
 	"profitlb/internal/stats"
 	"profitlb/internal/workload"
@@ -65,6 +72,8 @@ func run(args []string) error {
 		return cmdAnalyze(args[1:])
 	case "compare":
 		return cmdCompare(args[1:])
+	case "chaos":
+		return cmdChaos(args[1:])
 	case "export-lp":
 		return cmdExportLP(args[1:])
 	case "help", "-h", "--help":
@@ -87,6 +96,10 @@ commands:
   bench [-servers N]   time one planning call per planner variant
   scaffold             print an example JSON scenario to stdout
   simulate -config F   run a JSON scenario file and print the report
+                       (-faults F|storm injects failures, -resilient wraps
+                       the planner in the fallback chain, -seed N seeds storms)
+  chaos -config F      profit retention per planner under a seeded fault
+                       storm (outages + price spikes), resilient chains on
   analyze -config F    capacity advice + shadow prices for a scenario
   compare -config F    run a scenario under every planner
   export-lp -config F  dump one slot's dispatch LP in CPLEX LP format`)
@@ -220,36 +233,202 @@ func cmdScaffold() error {
 	return config.Example().Save(os.Stdout)
 }
 
+// applyFaultsFlag resolves the -faults flag onto the scenario: a path to
+// a fault-schedule JSON file ({"events":[...]}), or "storm" for a seeded
+// outage + price-spike storm generated against the scenario's topology.
+func applyFaultsFlag(sc *config.Scenario, faultsArg string, seed int64) error {
+	switch {
+	case faultsArg == "":
+		return nil
+	case faultsArg == "storm":
+		sch, err := fault.Storm(fault.StormConfig{
+			Seed:      seed,
+			Start:     sc.StartSlot,
+			Slots:     sc.Slots,
+			Centers:   sc.System.L(),
+			FrontEnds: sc.System.S(),
+			Outages:   1, OutageSlots: 3,
+			Spikes: 2, SpikeFactor: 2,
+		})
+		if err != nil {
+			return err
+		}
+		sc.Faults = sch
+	default:
+		f, err := os.Open(faultsArg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var sch fault.Schedule
+		dec := json.NewDecoder(f)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sch); err != nil {
+			return fmt.Errorf("faults file %s: %w", faultsArg, err)
+		}
+		sc.Faults = &sch
+	}
+	return sc.Validate()
+}
+
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
+	faultsArg := fs.String("faults", "", "fault schedule: a JSON file of events, or 'storm' for a seeded outage+spike storm")
+	seed := fs.Int64("seed", 1, "storm seed (with -faults storm)")
+	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *path == "" {
-		return fmt.Errorf("simulate: -config is required")
-	}
-	f, err := os.Open(*path)
+	sc, err := loadScenario(*path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	sc, err := config.Load(f)
-	if err != nil {
+	if *resilient {
+		sc.Resilient = true
+	}
+	if err := applyFaultsFlag(sc, *faultsArg, *seed); err != nil {
 		return err
 	}
 	rep, err := sc.Run()
 	if err != nil {
 		return err
 	}
+	withFaults := !sc.Faults.Empty() || sc.Resilient
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "scenario %s: planner %s, %d slots\n", sc.Name, rep.Planner, len(rep.Slots))
-	fmt.Fprintln(w, "SLOT\tOFFERED\tSERVED\tREVENUE($)\tENERGY($)\tTRANSFER($)\tNET($)\tSERVERS")
+	if !sc.Faults.Empty() {
+		var names []string
+		for i := range sc.Faults.Events {
+			names = append(names, sc.Faults.Events[i].String())
+		}
+		fmt.Fprintf(w, "fault schedule: %s\n", strings.Join(names, " "))
+	}
+	if withFaults {
+		fmt.Fprintln(w, "SLOT\tOFFERED\tSERVED\tREVENUE($)\tENERGY($)\tTRANSFER($)\tNET($)\tSERVERS\tTIER\tFAULTS")
+	} else {
+		fmt.Fprintln(w, "SLOT\tOFFERED\tSERVED\tREVENUE($)\tENERGY($)\tTRANSFER($)\tNET($)\tSERVERS")
+	}
 	for _, s := range rep.Slots {
-		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\t%d\n",
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\t%d",
 			s.Slot, s.Offered(), s.Served(), s.Revenue, s.EnergyCost, s.TransferCost, s.NetProfit, s.ServersOn)
+		if withFaults {
+			fmt.Fprintf(w, "\t%s\t%s", fallbackLabel(s), strings.Join(s.FaultsActive, " "))
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "total\t\t\t\t\t\t%.2f\t\n", rep.TotalNetProfit())
+	if withFaults {
+		fmt.Fprintf(w, "degraded slots %d of %d, lost revenue $%.2f\n",
+			rep.DegradedSlots(), len(rep.Slots), rep.TotalLostRevenue())
+	}
+	return w.Flush()
+}
+
+// fallbackLabel renders a slot's fallback state for the report table.
+func fallbackLabel(s sim.SlotReport) string {
+	switch {
+	case s.FallbackTier == 0:
+		return "primary"
+	case s.FallbackTier > 0:
+		return fmt.Sprintf("%d:%s", s.FallbackTier, s.FallbackName)
+	case s.FallbackName != "": // the simulator itself shed the slot
+		return s.FallbackName
+	default:
+		return "-"
+	}
+}
+
+// cmdChaos runs the scenario twice per planner — clean and under a
+// seeded outage + price-spike storm with every planner wrapped in the
+// resilient fallback chain — and tables profit retention, completion and
+// degradation. The same seed always reproduces the same storm.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	path := fs.String("config", "", "path to a scenario JSON file (defaults to the built-in example)")
+	seed := fs.Int64("seed", 1, "storm seed")
+	outages := fs.Int("outages", 1, "center outages to inject")
+	outageSlots := fs.Int("outage-slots", 3, "slots each outage lasts")
+	spikes := fs.Int("spikes", 2, "price spikes to inject")
+	spikeFactor := fs.Float64("spike-factor", 2, "price multiplier during a spike")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := config.Example()
+	if *path != "" {
+		var err error
+		if sc, err = loadScenario(*path); err != nil {
+			return err
+		}
+	}
+	if err := sc.Validate(); err != nil { // resolves named price references
+		return err
+	}
+	storm, err := fault.Storm(fault.StormConfig{
+		Seed:      *seed,
+		Start:     sc.StartSlot,
+		Slots:     sc.Slots,
+		Centers:   sc.System.L(),
+		FrontEnds: sc.System.S(),
+		Outages:   *outages, OutageSlots: *outageSlots,
+		Spikes: *spikes, SpikeFactor: *spikeFactor,
+	})
+	if err != nil {
+		return err
+	}
+	cleanCfg := sc.SimConfig()
+	stormCfg := cleanCfg
+	stormCfg.Faults = storm
+	stormCfg.DegradeOnFailure = true
+
+	type lane struct {
+		name    string
+		planner func() core.Planner
+	}
+	lanes := []lane{
+		{"optimized", func() core.Planner { return core.NewOptimized() }},
+		{"level-search", func() core.Planner { return core.NewLevelSearch() }},
+		{"balanced", func() core.Planner { return baseline.NewBalanced() }},
+	}
+	cleanPlanners := make([]core.Planner, len(lanes))
+	stormPlanners := make([]core.Planner, len(lanes))
+	for i, ln := range lanes {
+		cleanPlanners[i] = ln.planner()
+		stormPlanners[i] = resilient.Wrap(ln.planner())
+	}
+	clean, err := sim.Compare(cleanCfg, cleanPlanners...)
+	if err != nil {
+		return err
+	}
+	faulted, err := sim.Compare(stormCfg, stormPlanners...)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scenario %s: storm seed %d over %d slots\n", sc.Name, *seed, sc.Slots)
+	var names []string
+	for _, e := range storm.Events {
+		names = append(names, e.String())
+	}
+	fmt.Fprintf(w, "storm: %s\n", strings.Join(names, " "))
+	fmt.Fprintln(w, "PLANNER\tCLEAN($)\tSTORM($)\tRETAINED\tCOMPLETION\tDEGRADED\tLOST($)")
+	for i, ln := range lanes {
+		var completion float64
+		for k := 0; k < sc.System.K(); k++ {
+			completion += faulted[i].CompletionRate(k)
+		}
+		completion /= float64(sc.System.K())
+		retained := 0.0
+		if c := clean[i].TotalNetProfit(); c != 0 {
+			retained = faulted[i].TotalNetProfit() / c
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.1f%%\t%.1f%%\t%d/%d\t%.2f\n",
+			ln.name, clean[i].TotalNetProfit(), faulted[i].TotalNetProfit(),
+			100*retained, 100*completion,
+			faulted[i].DegradedSlots(), len(faulted[i].Slots),
+			faulted[i].TotalLostRevenue())
+	}
 	return w.Flush()
 }
 

@@ -204,6 +204,119 @@ func TestCmdCompareAndExportLP(t *testing.T) {
 	}
 }
 
+func TestCmdSimulateFaultStorm(t *testing.T) {
+	scaffoldOut, err := capture(t, func() error { return run([]string{"scaffold"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/s.json"
+	if err := os.WriteFile(path, []byte(scaffoldOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"simulate", "-config", path, "-faults", "storm", "-seed", "42"})
+	})
+	if err != nil {
+		t.Fatalf("fault storm aborted the horizon: %v", err)
+	}
+	for _, want := range []string{"TIER", "FAULTS", "fault schedule", "degraded slots"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("simulate -faults output missing %q:\n%.400s", want, out)
+		}
+	}
+	// The full 24-slot horizon completed despite the storm.
+	if !strings.Contains(out, "23") {
+		t.Fatal("horizon did not reach the final slot")
+	}
+	// Same seed → identical report.
+	again, err := capture(t, func() error {
+		return run([]string{"simulate", "-config", path, "-faults", "storm", "-seed", "42"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatal("same seed produced a different report")
+	}
+	// A different seed draws a different storm.
+	other, err := capture(t, func() error {
+		return run([]string{"simulate", "-config", path, "-faults", "storm", "-seed", "43"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == other {
+		t.Fatal("different seeds produced identical storms")
+	}
+}
+
+func TestCmdSimulateFaultsFile(t *testing.T) {
+	scaffoldOut, err := capture(t, func() error { return run([]string{"scaffold"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfgPath := dir + "/s.json"
+	if err := os.WriteFile(cfgPath, []byte(scaffoldOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	faultsPath := dir + "/faults.json"
+	schedule := `{"events":[
+		{"kind":"center-outage","center":1,"from":3,"to":5},
+		{"kind":"price-spike","center":0,"factor":2,"from":4,"to":6}]}`
+	if err := os.WriteFile(faultsPath, []byte(schedule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"simulate", "-config", cfgPath, "-faults", faultsPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "center-outage") || !strings.Contains(out, "price-spike") {
+		t.Fatalf("scheduled faults not reported:\n%.400s", out)
+	}
+	// A schedule targeting a center the scenario doesn't have is rejected.
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`{"events":[{"kind":"center-outage","center":9,"from":0,"to":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "-config", cfgPath, "-faults", bad}); err == nil {
+		t.Fatal("out-of-range fault schedule accepted")
+	}
+}
+
+func TestCmdChaos(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"chaos", "-seed", "7"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"storm", "optimized", "balanced", "RETAINED", "COMPLETION", "DEGRADED"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%.400s", want, out)
+		}
+	}
+	again, err := capture(t, func() error { return run([]string{"chaos", "-seed", "7"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatal("chaos with the same seed is not reproducible")
+	}
+}
+
+func TestCmdRunChaosExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"run", "rob2-chaos"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"storm", "retained", "fallback"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rob2-chaos output missing %q", want)
+		}
+	}
+}
+
 func TestCmdTraceStats(t *testing.T) {
 	out, err := capture(t, func() error { return run([]string{"trace", "-stats", "-types", "2"}) })
 	if err != nil {

@@ -14,7 +14,9 @@ import (
 	"profitlb/internal/baseline"
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
+	"profitlb/internal/fault"
 	"profitlb/internal/market"
+	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
 	"profitlb/internal/tuf"
 	"profitlb/internal/workload"
@@ -40,6 +42,17 @@ type Scenario struct {
 	// "optimized/per-server", "level-search", "balanced", "nearest",
 	// "greedy-profit" or "random".
 	Planner string `json:"planner,omitempty"`
+	// Faults optionally injects a deterministic fault schedule (center
+	// outages/degradations, price spikes/blackouts, arrival-trace
+	// drops/corruptions, planner timeout/error/panic). See DESIGN.md
+	// "Fault model & graceful degradation" for the event syntax.
+	Faults *fault.Schedule `json:"faults,omitempty"`
+	// Resilient wraps the planner in the fallback chain of
+	// internal/resilient (planner → greedy level-search → balanced →
+	// last-plan replay → shed), so planner faults and infeasible slots
+	// degrade instead of aborting. It is implied whenever Faults carries
+	// planner-fault events.
+	Resilient bool `json:"resilient,omitempty"`
 }
 
 // ErrUnknownPlanner is returned for an unrecognized planner name.
@@ -106,19 +119,47 @@ func (s *Scenario) Validate() error {
 	return cfg.Validate()
 }
 
-// SimConfig converts the scenario into a simulator configuration.
+// SimConfig converts the scenario into a simulator configuration. A
+// scenario with faults or a resilient chain runs with graceful
+// degradation: failed slots shed load and the horizon continues.
 func (s *Scenario) SimConfig() sim.Config {
 	return sim.Config{
-		Sys:       s.System,
-		Traces:    s.Traces,
-		Prices:    s.Prices,
-		Slots:     s.Slots,
-		StartSlot: s.StartSlot,
+		Sys:              s.System,
+		Traces:           s.Traces,
+		Prices:           s.Prices,
+		Slots:            s.Slots,
+		StartSlot:        s.StartSlot,
+		Faults:           s.Faults,
+		DegradeOnFailure: s.Faults != nil || s.Resilient,
 	}
 }
 
-// BuildPlanner instantiates the scenario's planner.
+// BuildPlanner instantiates the scenario's planner, wrapping it in a
+// fault injector when the schedule carries planner faults, and in the
+// resilient fallback chain when Resilient is set (or injected planner
+// faults make one necessary for the horizon to survive).
 func (s *Scenario) BuildPlanner() (core.Planner, error) {
+	p, err := s.basePlanner()
+	if err != nil {
+		return nil, err
+	}
+	if s.Faults.HasPlannerFaults() {
+		p = &fault.Injector{Planner: p, Sched: s.Faults}
+	}
+	if s.Resilient || s.Faults.HasPlannerFaults() {
+		chain := resilient.Wrap(p)
+		if s.Faults.HasPlannerFaults() {
+			// Injected hangs must overrun the per-tier deadline to
+			// register as timeouts rather than merely slow slots.
+			chain.Timeout = fault.DefaultHang / 2
+		}
+		return chain, nil
+	}
+	return p, nil
+}
+
+// basePlanner resolves the planner name.
+func (s *Scenario) basePlanner() (core.Planner, error) {
 	switch strings.ToLower(strings.TrimSpace(s.Planner)) {
 	case "", "optimized":
 		return core.NewOptimized(), nil

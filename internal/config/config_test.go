@@ -3,8 +3,12 @@ package config
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
+
+	"profitlb/internal/fault"
+	"profitlb/internal/resilient"
 )
 
 func TestExampleIsValidAndRuns(t *testing.T) {
@@ -117,5 +121,91 @@ func TestRunUnknownPlanner(t *testing.T) {
 	s.Planner = "quantum"
 	if _, err := s.Run(); !errors.Is(err, ErrUnknownPlanner) {
 		t.Fatal("Run accepted unknown planner")
+	}
+}
+
+func TestFaultsRoundTripAndWiring(t *testing.T) {
+	s := Example()
+	s.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.CenterOutage, Center: 1, From: 3, To: 5},
+		{Kind: fault.PriceSpike, Center: 0, Factor: 2, From: 4, To: 6},
+		{Kind: fault.PlannerError, From: 7, To: 7},
+	}}
+	s.Resilient = true
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Faults, s.Faults) {
+		t.Fatalf("faults changed in round trip:\n%+v\n%+v", back.Faults, s.Faults)
+	}
+	if !back.Resilient {
+		t.Fatal("resilient flag lost")
+	}
+	// Faults imply graceful degradation in the sim config.
+	if !back.SimConfig().DegradeOnFailure {
+		t.Fatal("faulted scenario does not degrade on failure")
+	}
+	// Planner faults imply injector + resilient chain wrapping.
+	p, err := back.BuildPlanner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, ok := p.(*resilient.Chain)
+	if !ok {
+		t.Fatalf("planner is %T, want *resilient.Chain", p)
+	}
+	if _, ok := chain.Tiers[0].(*fault.Injector); !ok {
+		t.Fatalf("primary tier is %T, want *fault.Injector", chain.Tiers[0])
+	}
+	if chain.Timeout <= 0 {
+		t.Fatal("chain under planner faults has no deadline")
+	}
+	// The full faulted scenario survives its horizon.
+	rep, err := back.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Slots) != back.Slots {
+		t.Fatalf("faulted horizon stopped at %d of %d slots", len(rep.Slots), back.Slots)
+	}
+	if rep.DegradedSlots() == 0 {
+		t.Fatal("injected planner error never degraded a slot")
+	}
+}
+
+func TestFaultTargetValidation(t *testing.T) {
+	s := Example()
+	s.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.CenterOutage, Center: 9, From: 0, To: 0},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("out-of-range fault center accepted")
+	}
+}
+
+func TestResilientAloneWrapsWithoutInjector(t *testing.T) {
+	s := Example()
+	s.Resilient = true
+	p, err := s.BuildPlanner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, ok := p.(*resilient.Chain)
+	if !ok {
+		t.Fatalf("planner is %T, want *resilient.Chain", p)
+	}
+	if _, isInj := chain.Tiers[0].(*fault.Injector); isInj {
+		t.Fatal("no planner faults, yet primary tier is an injector")
+	}
+	if chain.Timeout != 0 {
+		t.Fatal("deadline set without planner faults — risks spurious timeouts")
 	}
 }

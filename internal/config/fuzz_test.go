@@ -1,0 +1,62 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks that arbitrary scenario JSON never panics the loader and
+// that every scenario it accepts passes its own validation (i.e. Load is
+// validated-or-error, never silently broken).
+func FuzzLoad(f *testing.F) {
+	var example bytes.Buffer
+	if err := Example().Save(&example); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(example.String())
+	f.Add(`{"name": 12`)
+	f.Add(`{"name":"x","bogus":1}`)
+	f.Add(`{"name":"x","slots":3}`)
+	f.Add(`{}`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`{"system":{"classes":null,"frontEnds":null,"centers":null}}`)
+	f.Add(`{"system":{},"slots":-1}`)
+	f.Add(strings.Replace(example.String(), `"Servers": 8`, `"Servers": -3`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`, `"slots": 1e9`, 1))
+	// Fault schedules, valid and hostile.
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "resilient": true, "faults": {"events": [
+			{"kind":"center-outage","center":1,"from":3,"to":5},
+			{"kind":"price-spike","center":0,"factor":2,"from":4,"to":6},
+			{"kind":"planner-error","from":7,"to":7}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "faults": {"events": [{"kind":"center-outage","center":99,"from":0,"to":0}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "faults": {"events": [{"kind":"meteor-strike","from":0,"to":0}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "faults": {"events": [{"kind":"center-degrade","center":0,"factor":-1,"from":5,"to":2}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "faults": {"events": null}`, 1))
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Load(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Load accepted a scenario its own Validate rejects: %v", err)
+		}
+		if _, err := s.BuildPlanner(); err != nil && !strings.Contains(err.Error(), "unknown planner") {
+			t.Fatalf("accepted scenario has unbuildable planner: %v", err)
+		}
+		// Accepted scenarios re-encode and re-load cleanly.
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

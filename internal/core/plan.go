@@ -40,6 +40,11 @@ type Input struct {
 	Arrivals [][]float64
 	// Prices[l] is the electricity price p_l at data center l, $/kWh.
 	Prices []float64
+	// Slot is the absolute slot index being planned. It is informational
+	// (planners must not need it to produce a feasible plan) and exists so
+	// slot-aware wrappers — fault injectors, resilient fallback chains,
+	// decision logs — can tie their records to the simulation timeline.
+	Slot int
 }
 
 // Validate checks that the input is dimensionally consistent.
@@ -125,6 +130,32 @@ func NewPlan(sys *datacenter.System) *Plan {
 		}
 	}
 	return p
+}
+
+// Clone returns a deep copy of the plan.
+func (p *Plan) Clone() *Plan {
+	out := &Plan{
+		Objective: p.Objective,
+		ServersOn: append([]int(nil), p.ServersOn...),
+		Rate:      make([][][][]float64, len(p.Rate)),
+		Phi:       make([][][]float64, len(p.Phi)),
+	}
+	for k := range p.Rate {
+		out.Rate[k] = make([][][]float64, len(p.Rate[k]))
+		for q := range p.Rate[k] {
+			out.Rate[k][q] = make([][]float64, len(p.Rate[k][q]))
+			for s := range p.Rate[k][q] {
+				out.Rate[k][q][s] = append([]float64(nil), p.Rate[k][q][s]...)
+			}
+		}
+	}
+	for l := range p.Phi {
+		out.Phi[l] = make([][]float64, len(p.Phi[l]))
+		for k := range p.Phi[l] {
+			out.Phi[l][k] = append([]float64(nil), p.Phi[l][k]...)
+		}
+	}
+	return out
 }
 
 // CenterRate returns Λ_{k,q,l}, the aggregate rate of commodity (k, q)

@@ -120,7 +120,9 @@ func (sys *System) Validate() error {
 		}
 	}
 	for i, dc := range sys.Centers {
-		if dc.Servers < 1 {
+		// Zero servers is legal and means the center is offline for the
+		// slot (a fault-injected outage); planners must route around it.
+		if dc.Servers < 0 {
 			return fmt.Errorf("datacenter: center %d (%s) has %d servers", i, dc.Name, dc.Servers)
 		}
 		if dc.Capacity <= 0 {

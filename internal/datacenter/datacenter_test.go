@@ -56,7 +56,7 @@ func TestValidateFailures(t *testing.T) {
 		{"neg transfer", func(s *System) { s.Classes[0].TransferCostPerMile = -1 }, "negative transfer"},
 		{"bad distances", func(s *System) { s.FrontEnds[0].DistanceMiles = []float64{1} }, "distances"},
 		{"neg distance", func(s *System) { s.FrontEnds[0].DistanceMiles[0] = -5 }, "negative distance"},
-		{"no servers", func(s *System) { s.Centers[0].Servers = 0 }, "servers"},
+		{"negative servers", func(s *System) { s.Centers[0].Servers = -1 }, "servers"},
 		{"bad capacity", func(s *System) { s.Centers[0].Capacity = 0 }, "capacity"},
 		{"short rates", func(s *System) { s.Centers[0].ServiceRate = []float64{1} }, "per-type"},
 		{"zero rate", func(s *System) { s.Centers[0].ServiceRate[1] = 0 }, "service rate"},
@@ -158,5 +158,16 @@ func TestSystemClone(t *testing.T) {
 	}
 	if err := cp.Validate(); err != nil {
 		t.Fatalf("clone invalid: %v", err)
+	}
+}
+
+func TestOfflineCenterIsValid(t *testing.T) {
+	// Zero servers means the center is offline for the slot (an injected
+	// outage); the topology must still validate so planners can route
+	// around it.
+	sys := validSystem()
+	sys.Centers[0].Servers = 0
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("offline center rejected: %v", err)
 	}
 }

@@ -98,6 +98,17 @@ type ClassSlot struct {
 // SlotResult is the realized accounting of one slot.
 type SlotResult struct {
 	Slot int
+	// Degraded marks a slot that did not get its primary plan: a
+	// resilient fallback tier fired, or the plan failed and the slot's
+	// load was shed (Config.Sim.DegradeOnFailure).
+	Degraded bool
+	// FallbackTier mirrors sim.SlotReport.FallbackTier (-1 when the
+	// planner reports no fallback state).
+	FallbackTier int
+	// FallbackName is the committed tier's name ("shed" for a shed slot).
+	FallbackName string
+	// FaultsActive lists the injected faults in effect during the slot.
+	FaultsActive []string
 	// PlannedNetProfit is the fluid expectation (the planner's Eq. 5
 	// objective value).
 	PlannedNetProfit float64
@@ -152,7 +163,11 @@ func (r *Report) MissRate(k int) float64 {
 
 // Run plans every slot and pushes sampled requests through the planned
 // queues. The planner sees exactly what it would see in the fluid
-// simulation; only the accounting differs.
+// simulation — including any fault-distorted view from Config.Sim.Faults
+// — while realization and accounting use the true arrivals, prices and
+// surviving capacity. A failed slot (planner error or panic, infeasible
+// plan) aborts the run with the partial report, or — when
+// Config.Sim.DegradeOnFailure is set — sheds its load and continues.
 func Run(cfg Config) (*Report, error) {
 	if cfg.Planner == nil {
 		return nil, fmt.Errorf("des: no planner configured")
@@ -166,35 +181,66 @@ func Run(cfg Config) (*Report, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sample := serviceSampler(cfg.ServiceCV)
 	report := &Report{Planner: cfg.Planner.Name()}
+	faults := cfg.Sim.Faults
 
 	for slot := 0; slot < cfg.Sim.Slots; slot++ {
 		abs := cfg.Sim.StartSlot + slot
 		arr := make([][]float64, S)
+		planArr := make([][]float64, S)
 		for s := 0; s < S; s++ {
 			arr[s] = make([]float64, K)
+			planArr[s] = make([]float64, K)
 			for k := 0; k < K; k++ {
 				arr[s][k] = cfg.Sim.Traces[s].At(abs, k)
+				planArr[s][k] = faults.ObservedArrival(arr[s][k], s, abs)
 			}
 		}
 		prices := make([]float64, L)
+		planPrices := make([]float64, L)
 		for l := 0; l < L; l++ {
-			prices[l] = cfg.Sim.Prices[l].At(abs)
+			prices[l] = faults.TruePrice(cfg.Sim.Prices[l], l, abs)
+			planPrices[l] = faults.ObservedPrice(cfg.Sim.Prices[l], l, abs)
 		}
-		in := &core.Input{Sys: sys, Arrivals: arr, Prices: prices}
-		plan, err := cfg.Planner.Plan(in)
+		effSys, _ := faults.EffectiveSystem(sys, abs)
+		in := &core.Input{Sys: effSys, Arrivals: planArr, Prices: planPrices, Slot: abs}
+		plan, err := planSafely(cfg.Planner, in)
+		if err == nil {
+			if verr := core.Verify(in, plan, 1e-6); verr != nil {
+				err = fmt.Errorf("infeasible plan: %w", verr)
+			}
+		}
+		if err == nil && faults.ArrivalsFaulted(abs) {
+			// The planner committed against a distorted arrival view; cap
+			// the realized flows to what actually arrived.
+			sim.Reconcile(plan, arr)
+			realIn := &core.Input{Sys: effSys, Arrivals: arr, Prices: prices, Slot: abs}
+			if verr := core.Verify(realIn, plan, 1e-6); verr != nil {
+				err = fmt.Errorf("reconciled plan infeasible: %w", verr)
+			}
+		}
 		if err != nil {
-			return nil, fmt.Errorf("des: slot %d: %w", slot, err)
-		}
-		if err := core.Verify(in, plan, 1e-6); err != nil {
-			return nil, fmt.Errorf("des: slot %d: infeasible plan: %w", slot, err)
+			if !cfg.Sim.DegradeOnFailure {
+				return report, fmt.Errorf("des: slot %d: %w", slot, err)
+			}
+			report.Slots = append(report.Slots, SlotResult{
+				Slot: abs, Degraded: true, FallbackTier: -1, FallbackName: "shed",
+				FaultsActive: faults.ActiveNames(abs),
+				Classes:      make([]ClassSlot, K),
+			})
+			continue
 		}
 		sr := SlotResult{
 			Slot:             abs,
 			PlannedNetProfit: plan.Objective,
+			FallbackTier:     -1,
+			FaultsActive:     faults.ActiveNames(abs),
 			Classes:          make([]ClassSlot, K),
 		}
+		if fr, ok := cfg.Planner.(sim.FallbackReporter); ok {
+			sr.FallbackTier, sr.FallbackName, sr.Degraded = fr.FallbackState()
+		}
 		for l := 0; l < L; l++ {
-			dc := &sys.Centers[l]
+			dc := &effSys.Centers[l]
 			for k := 0; k < K; k++ {
 				cls := sys.Classes[k].TUF
 				for q := range plan.Rate[k] {
@@ -237,6 +283,18 @@ func Run(cfg Config) (*Report, error) {
 		report.Slots = append(report.Slots, sr)
 	}
 	return report, nil
+}
+
+// planSafely invokes the planner, recovering a panic into an error so a
+// bad planner degrades (or aborts with a partial report) instead of
+// crashing the realization.
+func planSafely(p core.Planner, in *core.Input) (plan *core.Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, fmt.Errorf("planner %s panicked: %v", p.Name(), r)
+		}
+	}()
+	return p.Plan(in)
 }
 
 // queueStats carries per-queue realized aggregates.

@@ -1,15 +1,19 @@
 package des
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"profitlb/internal/baseline"
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
+	"profitlb/internal/fault"
 	"profitlb/internal/market"
 	"profitlb/internal/queue"
+	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
 	"profitlb/internal/tuf"
 	"profitlb/internal/workload"
@@ -279,6 +283,71 @@ func TestServiceSamplerDefaultExponential(t *testing.T) {
 	sd := math.Sqrt(sumsq/n - mean*mean)
 	if math.Abs(mean-1/mu) > 0.03/mu || math.Abs(sd-1/mu) > 0.05/mu {
 		t.Fatalf("default sampler mean %g sd %g, want both ≈ %g", mean, sd, 1/mu)
+	}
+}
+
+// failingPlanner errors on every slot at or past `at`.
+type failingPlanner struct {
+	inner core.Planner
+	at    int
+}
+
+func (f *failingPlanner) Name() string { return "failing" }
+func (f *failingPlanner) Plan(in *core.Input) (*core.Plan, error) {
+	if in.Slot >= f.at {
+		return nil, errWontPlan
+	}
+	return f.inner.Plan(in)
+}
+
+var errWontPlan = errors.New("des test: scripted planner failure")
+
+func TestRunAbortKeepsPartialReport(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Planner = &failingPlanner{inner: core.NewOptimized(), at: 2}
+	rep, err := Run(cfg)
+	if err == nil {
+		t.Fatal("failing planner did not abort")
+	}
+	if rep == nil || len(rep.Slots) != 2 {
+		t.Fatalf("partial report lost: %+v", rep)
+	}
+}
+
+func TestRunDegradesThroughFaultStorm(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Sim.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.CenterOutage, Center: 1, From: 1, To: 1},
+		{Kind: fault.PlannerError, From: 2, To: 2},
+	}}
+	cfg.Sim.DegradeOnFailure = true
+	cfg.Planner = resilient.Wrap(&fault.Injector{Planner: core.NewOptimized(), Sched: cfg.Sim.Faults})
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Slots) != 4 {
+		t.Fatalf("storm horizon stopped at %d slots", len(rep.Slots))
+	}
+	// Outage slot: the surviving center still realizes traffic and the
+	// report names the active fault.
+	var served int
+	for k := range rep.Slots[1].Classes {
+		served += rep.Slots[1].Classes[k].Served
+	}
+	if served == 0 {
+		t.Fatal("outage slot realized nothing at the surviving center")
+	}
+	if len(rep.Slots[1].FaultsActive) == 0 || !strings.Contains(rep.Slots[1].FaultsActive[0], "center-outage") {
+		t.Fatalf("outage slot faults = %v", rep.Slots[1].FaultsActive)
+	}
+	// Injected-error slot: the fallback chain fired and the report says so.
+	if !rep.Slots[2].Degraded || rep.Slots[2].FallbackTier != 1 {
+		t.Fatalf("slot 2: degraded=%v tier=%d, want fallback tier 1",
+			rep.Slots[2].Degraded, rep.Slots[2].FallbackTier)
+	}
+	if rep.Slots[0].Degraded || rep.Slots[3].Degraded {
+		t.Fatal("healthy slots marked degraded")
 	}
 }
 

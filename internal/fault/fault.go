@@ -1,0 +1,343 @@
+// Package fault is a deterministic fault-injection subsystem for the
+// simulators: a Schedule of timed events that take data centers offline,
+// degrade their fleets, spike or blackout electricity price feeds, drop or
+// corrupt arrival-trace readings, and make planners time out, error or
+// panic. Every event is an explicit (kind, slot range) record, so a
+// schedule replays identically however many times it runs; the seeded
+// Storm generator produces reproducible random schedules from a seed.
+//
+// The model separates what is *real* from what is *observed*:
+//
+//   - Capacity faults (outage, degrade) are real: the effective topology
+//     the planner sees and the accounting both lose the servers.
+//   - Price spikes are real market events: the planner and the accounting
+//     both see the spiked price.
+//   - Price blackouts are feed stalls: the planner sees the last price
+//     observed before the stall, while settlement (accounting) uses the
+//     true price.
+//   - Trace drops and corruptions are telemetry failures: the planner
+//     sees the faulted reading, while the actual arrivals are unchanged —
+//     the simulator reconciles the committed plan against reality and
+//     drops what no capacity was reserved for.
+//   - Planner faults (timeout, error, panic) fire inside the Injector
+//     planner wrapper; a resilient fallback chain is expected to absorb
+//     them.
+package fault
+
+import (
+	"fmt"
+
+	"profitlb/internal/datacenter"
+	"profitlb/internal/market"
+)
+
+// Kind names one fault class.
+type Kind string
+
+// The fault kinds a Schedule can carry.
+const (
+	// CenterOutage takes every server of Center offline for the range.
+	CenterOutage Kind = "center-outage"
+	// CenterDegrade keeps only Factor (0..1) of Center's servers online.
+	CenterDegrade Kind = "center-degrade"
+	// PriceSpike multiplies Center's real electricity price by Factor.
+	PriceSpike Kind = "price-spike"
+	// PriceBlackout stalls Center's price feed: planners see the last
+	// price observed before the blackout began.
+	PriceBlackout Kind = "price-blackout"
+	// TraceDrop zeroes FrontEnd's arrival readings as seen by planners.
+	TraceDrop Kind = "trace-drop"
+	// TraceCorrupt multiplies FrontEnd's arrival readings by Factor as
+	// seen by planners.
+	TraceCorrupt Kind = "trace-corrupt"
+	// PlannerTimeout makes the wrapped planner hang before answering.
+	PlannerTimeout Kind = "planner-timeout"
+	// PlannerError makes the wrapped planner return an error.
+	PlannerError Kind = "planner-error"
+	// PlannerPanic makes the wrapped planner panic.
+	PlannerPanic Kind = "planner-panic"
+)
+
+// Event is one timed fault. From and To are absolute slot indices and the
+// range is inclusive on both ends.
+type Event struct {
+	Kind Kind `json:"kind"`
+	From int  `json:"from"`
+	To   int  `json:"to"`
+	// Center indexes the data center for capacity and price faults.
+	Center int `json:"center,omitempty"`
+	// FrontEnd indexes the front-end for trace faults.
+	FrontEnd int `json:"frontEnd,omitempty"`
+	// Factor parameterizes the fault: surviving server fraction for
+	// center-degrade, price multiplier for price-spike, reading
+	// multiplier for trace-corrupt. Ignored by the other kinds.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Active reports whether the event covers the slot.
+func (e *Event) Active(slot int) bool { return slot >= e.From && slot <= e.To }
+
+// String renders the event compactly, e.g. "center-outage(l=1,slots 3-5)".
+func (e *Event) String() string {
+	switch e.Kind {
+	case CenterOutage:
+		return fmt.Sprintf("%s(l=%d,slots %d-%d)", e.Kind, e.Center, e.From, e.To)
+	case CenterDegrade, PriceSpike:
+		return fmt.Sprintf("%s(l=%d,×%g,slots %d-%d)", e.Kind, e.Center, e.Factor, e.From, e.To)
+	case PriceBlackout:
+		return fmt.Sprintf("%s(l=%d,slots %d-%d)", e.Kind, e.Center, e.From, e.To)
+	case TraceDrop:
+		return fmt.Sprintf("%s(s=%d,slots %d-%d)", e.Kind, e.FrontEnd, e.From, e.To)
+	case TraceCorrupt:
+		return fmt.Sprintf("%s(s=%d,×%g,slots %d-%d)", e.Kind, e.FrontEnd, e.Factor, e.From, e.To)
+	default:
+		return fmt.Sprintf("%s(slots %d-%d)", e.Kind, e.From, e.To)
+	}
+}
+
+// validate checks one event against the topology dimensions.
+func (e *Event) validate(i, centers, frontEnds int) error {
+	if e.From < 0 || e.To < e.From {
+		return fmt.Errorf("fault: event %d (%s) has invalid slot range [%d,%d]", i, e.Kind, e.From, e.To)
+	}
+	switch e.Kind {
+	case CenterOutage, PriceBlackout:
+		if e.Center < 0 || e.Center >= centers {
+			return fmt.Errorf("fault: event %d (%s) targets center %d of %d", i, e.Kind, e.Center, centers)
+		}
+	case CenterDegrade:
+		if e.Center < 0 || e.Center >= centers {
+			return fmt.Errorf("fault: event %d (%s) targets center %d of %d", i, e.Kind, e.Center, centers)
+		}
+		if e.Factor < 0 || e.Factor >= 1 {
+			return fmt.Errorf("fault: event %d (center-degrade) needs factor in [0,1), got %g", i, e.Factor)
+		}
+	case PriceSpike:
+		if e.Center < 0 || e.Center >= centers {
+			return fmt.Errorf("fault: event %d (%s) targets center %d of %d", i, e.Kind, e.Center, centers)
+		}
+		if e.Factor <= 0 {
+			return fmt.Errorf("fault: event %d (price-spike) needs positive factor, got %g", i, e.Factor)
+		}
+	case TraceDrop:
+		if e.FrontEnd < 0 || e.FrontEnd >= frontEnds {
+			return fmt.Errorf("fault: event %d (%s) targets front-end %d of %d", i, e.Kind, e.FrontEnd, frontEnds)
+		}
+	case TraceCorrupt:
+		if e.FrontEnd < 0 || e.FrontEnd >= frontEnds {
+			return fmt.Errorf("fault: event %d (%s) targets front-end %d of %d", i, e.Kind, e.FrontEnd, frontEnds)
+		}
+		if e.Factor < 0 {
+			return fmt.Errorf("fault: event %d (trace-corrupt) needs non-negative factor, got %g", i, e.Factor)
+		}
+	case PlannerTimeout, PlannerError, PlannerPanic:
+		// No target: planner faults hit whatever planner is wrapped.
+	default:
+		return fmt.Errorf("fault: event %d has unknown kind %q", i, e.Kind)
+	}
+	return nil
+}
+
+// Schedule is a replayable set of fault events. The zero value and nil are
+// both valid empty schedules; every accessor is nil-safe.
+type Schedule struct {
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the schedule carries no events.
+func (sch *Schedule) Empty() bool { return sch == nil || len(sch.Events) == 0 }
+
+// Validate checks every event against the topology dimensions.
+func (sch *Schedule) Validate(centers, frontEnds int) error {
+	if sch == nil {
+		return nil
+	}
+	for i := range sch.Events {
+		if err := sch.Events[i].validate(i, centers, frontEnds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActiveAt returns the events covering the slot, in schedule order.
+func (sch *Schedule) ActiveAt(slot int) []Event {
+	if sch == nil {
+		return nil
+	}
+	var out []Event
+	for i := range sch.Events {
+		if sch.Events[i].Active(slot) {
+			out = append(out, sch.Events[i])
+		}
+	}
+	return out
+}
+
+// ActiveNames renders the slot's active events for reports.
+func (sch *Schedule) ActiveNames(slot int) []string {
+	events := sch.ActiveAt(slot)
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]string, len(events))
+	for i := range events {
+		out[i] = events[i].String()
+	}
+	return out
+}
+
+// EffectiveSystem applies the slot's capacity faults (outages, degrades)
+// to the topology and returns it together with a flag saying whether any
+// fired. When none are active the original system is returned unchanged.
+// A degraded center keeps ceil-free floor(Servers×Factor) servers; an
+// outage leaves zero (the topology stays valid — planners route around
+// offline centers).
+func (sch *Schedule) EffectiveSystem(sys *datacenter.System, slot int) (*datacenter.System, bool) {
+	if sch.Empty() {
+		return sys, false
+	}
+	var eff *datacenter.System
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if !e.Active(slot) {
+			continue
+		}
+		var survivors int
+		switch e.Kind {
+		case CenterOutage:
+			survivors = 0
+		case CenterDegrade:
+			survivors = int(float64(sys.Centers[e.Center].Servers) * e.Factor)
+		default:
+			continue
+		}
+		if eff == nil {
+			eff = sys.Clone()
+		}
+		if survivors < eff.Centers[e.Center].Servers {
+			eff.Centers[e.Center].Servers = survivors
+		}
+	}
+	if eff == nil {
+		return sys, false
+	}
+	return eff, true
+}
+
+// TruePrice returns the price actually settled for center l during the
+// slot: the feed price with any active spikes applied (spikes are real
+// market events; blackouts only hide them from planners).
+func (sch *Schedule) TruePrice(tr *market.PriceTrace, l, slot int) float64 {
+	p := tr.At(slot)
+	if sch == nil {
+		return p
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if e.Kind == PriceSpike && e.Center == l && e.Active(slot) {
+			p *= e.Factor
+		}
+	}
+	return p
+}
+
+// ObservedPrice returns the price the planner sees for center l during
+// the slot. Under an active blackout the feed is stalled: the planner
+// holds the last true price from before the stall began (walking past
+// adjacent blackouts); a blackout reaching back to slot 0 pins the feed
+// to the raw slot-0 price.
+func (sch *Schedule) ObservedPrice(tr *market.PriceTrace, l, slot int) float64 {
+	if sch == nil {
+		return tr.At(slot)
+	}
+	t := slot
+	for t > 0 && sch.blackoutAt(l, t) {
+		t--
+	}
+	if t == 0 && sch.blackoutAt(l, 0) {
+		return tr.At(0)
+	}
+	return sch.TruePrice(tr, l, t)
+}
+
+func (sch *Schedule) blackoutAt(l, slot int) bool {
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if e.Kind == PriceBlackout && e.Center == l && e.Active(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObservedArrival maps a true arrival-rate reading from front-end s to
+// what the planner sees: zero under an active drop, scaled by the corrupt
+// factor otherwise.
+func (sch *Schedule) ObservedArrival(rate float64, s, slot int) float64 {
+	if sch == nil {
+		return rate
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if !e.Active(slot) || e.FrontEnd != s {
+			continue
+		}
+		switch e.Kind {
+		case TraceDrop:
+			return 0
+		case TraceCorrupt:
+			rate *= e.Factor
+		}
+	}
+	return rate
+}
+
+// ArrivalsFaulted reports whether any trace fault covers the slot, i.e.
+// whether the planner's view of arrivals differs from reality.
+func (sch *Schedule) ArrivalsFaulted(slot int) bool {
+	if sch == nil {
+		return false
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if (e.Kind == TraceDrop || e.Kind == TraceCorrupt) && e.Active(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPlannerFaults reports whether the schedule carries any planner
+// timeout/error/panic events (i.e. whether wrapping the planner in an
+// Injector changes anything).
+func (sch *Schedule) HasPlannerFaults() bool {
+	if sch == nil {
+		return false
+	}
+	for i := range sch.Events {
+		switch sch.Events[i].Kind {
+		case PlannerTimeout, PlannerError, PlannerPanic:
+			return true
+		}
+	}
+	return false
+}
+
+// PlannerFault returns the planner fault injected at the slot, if any.
+// When several cover the slot the first in schedule order wins.
+func (sch *Schedule) PlannerFault(slot int) (Kind, bool) {
+	if sch == nil {
+		return "", false
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		switch e.Kind {
+		case PlannerTimeout, PlannerError, PlannerPanic:
+			if e.Active(slot) {
+				return e.Kind, true
+			}
+		}
+	}
+	return "", false
+}

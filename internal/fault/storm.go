@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StormConfig parameterizes a seeded random fault storm over a simulated
+// window. Zero counts mean "none of that kind"; the zero value therefore
+// generates an empty schedule.
+type StormConfig struct {
+	// Seed drives every random draw; equal seeds give equal schedules.
+	Seed int64
+	// Start and Slots bound the absolute slot window [Start, Start+Slots).
+	Start, Slots int
+	// Centers and FrontEnds are the topology dimensions events target.
+	Centers, FrontEnds int
+	// Outages is the number of center outages to place; each lasts
+	// OutageSlots slots (default 3).
+	Outages     int
+	OutageSlots int
+	// Spikes is the number of price spikes; each multiplies one center's
+	// price by SpikeFactor (default 2) for SpikeSlots slots (default 2).
+	Spikes      int
+	SpikeFactor float64
+	SpikeSlots  int
+	// Blackouts is the number of price-feed stalls (2 slots each).
+	Blackouts int
+	// Drops is the number of single-slot arrival-trace drops.
+	Drops int
+	// PlannerFaults is the number of single-slot planner failures; the
+	// kind cycles timeout → error → panic.
+	PlannerFaults int
+}
+
+// Storm generates a reproducible schedule from the configuration: the
+// same seed and dimensions always produce the same events.
+func Storm(cfg StormConfig) (*Schedule, error) {
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("fault: storm needs a positive slot window, got %d", cfg.Slots)
+	}
+	if cfg.Centers <= 0 || cfg.FrontEnds <= 0 {
+		return nil, fmt.Errorf("fault: storm needs topology dimensions, got %d centers / %d front-ends", cfg.Centers, cfg.FrontEnds)
+	}
+	outageSlots := cfg.OutageSlots
+	if outageSlots <= 0 {
+		outageSlots = 3
+	}
+	spikeFactor := cfg.SpikeFactor
+	if spikeFactor <= 0 {
+		spikeFactor = 2
+	}
+	spikeSlots := cfg.SpikeSlots
+	if spikeSlots <= 0 {
+		spikeSlots = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sch := &Schedule{}
+	// window picks a duration-d start so the event fits inside the run.
+	window := func(d int) (from, to int) {
+		if d > cfg.Slots {
+			d = cfg.Slots
+		}
+		from = cfg.Start + rng.Intn(cfg.Slots-d+1)
+		return from, from + d - 1
+	}
+	for i := 0; i < cfg.Outages; i++ {
+		from, to := window(outageSlots)
+		sch.Events = append(sch.Events, Event{
+			Kind: CenterOutage, Center: rng.Intn(cfg.Centers), From: from, To: to,
+		})
+	}
+	for i := 0; i < cfg.Spikes; i++ {
+		from, to := window(spikeSlots)
+		sch.Events = append(sch.Events, Event{
+			Kind: PriceSpike, Center: rng.Intn(cfg.Centers), Factor: spikeFactor, From: from, To: to,
+		})
+	}
+	for i := 0; i < cfg.Blackouts; i++ {
+		from, to := window(2)
+		sch.Events = append(sch.Events, Event{
+			Kind: PriceBlackout, Center: rng.Intn(cfg.Centers), From: from, To: to,
+		})
+	}
+	for i := 0; i < cfg.Drops; i++ {
+		from, to := window(1)
+		sch.Events = append(sch.Events, Event{
+			Kind: TraceDrop, FrontEnd: rng.Intn(cfg.FrontEnds), From: from, To: to,
+		})
+	}
+	plannerKinds := []Kind{PlannerTimeout, PlannerError, PlannerPanic}
+	for i := 0; i < cfg.PlannerFaults; i++ {
+		from, to := window(1)
+		sch.Events = append(sch.Events, Event{
+			Kind: plannerKinds[i%len(plannerKinds)], From: from, To: to,
+		})
+	}
+	return sch, nil
+}

@@ -1,0 +1,276 @@
+// Package resilient wraps any core.Planner in an ordered fallback chain
+// with per-tier deadlines, panic recovery and feasibility gating, so that
+// one failing solver cannot kill a simulation horizon. The default chain
+// mirrors the degradation ladder a production dispatcher would use:
+//
+//	Optimized LP  →  greedy LevelSearch  →  Balanced baseline
+//	→  replay of the last committed plan scaled to surviving capacity
+//	→  shed everything (an empty, trivially feasible plan)
+//
+// Each tier is attempted in order; a tier is rejected if it times out,
+// returns an error, panics, or emits a plan that fails core.Verify
+// against the slot's (possibly fault-degraded) topology. The chain records
+// a structured Decision for every slot — which tier fired, and why every
+// earlier tier was rejected — which internal/sim surfaces per slot as
+// FallbackTier / FallbackName in its reports.
+package resilient
+
+import (
+	"fmt"
+	"time"
+
+	"profitlb/internal/baseline"
+	"profitlb/internal/core"
+)
+
+// Reason classifies why a tier was rejected.
+type Reason string
+
+// The rejection taxonomy, in the order the chain detects them.
+const (
+	// ReasonTimeout: the tier did not answer within the per-tier deadline.
+	ReasonTimeout Reason = "timeout"
+	// ReasonError: the tier returned an error.
+	ReasonError Reason = "error"
+	// ReasonPanic: the tier panicked (recovered by the chain).
+	ReasonPanic Reason = "panic"
+	// ReasonInfeasible: the tier's plan failed core.Verify.
+	ReasonInfeasible Reason = "infeasible"
+)
+
+// Attempt records one tier invocation.
+type Attempt struct {
+	// Planner is the tier's name ("replay" for the last-plan tier).
+	Planner string
+	// Reason is empty when the attempt produced the committed plan.
+	Reason Reason
+	// Err carries the rejection detail.
+	Err string
+	// Elapsed is the tier's wall-clock planning time.
+	Elapsed time.Duration
+}
+
+// Decision is the chain's structured record of one slot.
+type Decision struct {
+	// Slot is the absolute slot index (from core.Input.Slot).
+	Slot int
+	// Tier indexes the tier that produced the committed plan: 0..n-1 are
+	// the configured planners, n is the last-plan replay, n+1 is the
+	// shed-everything plan.
+	Tier int
+	// TierName is the committed tier's name ("replay" or "shed" for the
+	// terminal tiers).
+	TierName string
+	// Degraded is true whenever any tier beyond the primary fired.
+	Degraded bool
+	// Attempts lists every tier tried this slot, in order.
+	Attempts []Attempt
+}
+
+// Chain is a resilient planner. It implements core.Planner and, like
+// every stateful planner in this codebase, must be driven by exactly one
+// goroutine; sim.Compare callers pass one instance per lane.
+type Chain struct {
+	// Tiers are tried in order. Must be non-empty.
+	Tiers []core.Planner
+	// Timeout is the per-tier planning deadline; zero disables it. A tier
+	// that overruns keeps computing in its goroutine but its eventual
+	// answer is discarded.
+	Timeout time.Duration
+	// VerifyTol is the feasibility-gate tolerance (default 1e-6).
+	VerifyTol float64
+	// DisableReplay skips the last-committed-plan tier.
+	DisableReplay bool
+
+	last *core.Plan
+	dec  Decision
+}
+
+// New builds a chain over the given tiers.
+func New(tiers ...core.Planner) *Chain { return &Chain{Tiers: tiers} }
+
+// Wrap builds the default degradation ladder under the given primary
+// planner: primary → greedy LevelSearch → Balanced (tiers already equal to
+// the primary are not duplicated). A nil primary means core.NewOptimized.
+func Wrap(primary core.Planner) *Chain {
+	if primary == nil {
+		primary = core.NewOptimized()
+	}
+	ls := core.NewLevelSearch()
+	ls.Strategy = core.Greedy
+	tiers := []core.Planner{primary}
+	for _, t := range []core.Planner{ls, baseline.NewBalanced()} {
+		if t.Name() != primary.Name() {
+			tiers = append(tiers, t)
+		}
+	}
+	return New(tiers...)
+}
+
+// Name implements core.Planner.
+func (c *Chain) Name() string {
+	if len(c.Tiers) == 0 {
+		return "resilient/empty"
+	}
+	return "resilient/" + c.Tiers[0].Name()
+}
+
+// LastDecision returns the structured record of the most recent slot.
+func (c *Chain) LastDecision() Decision { return c.dec }
+
+// FallbackState implements sim.FallbackReporter.
+func (c *Chain) FallbackState() (tier int, tierName string, degraded bool) {
+	return c.dec.Tier, c.dec.TierName, c.dec.Degraded
+}
+
+// tol returns the feasibility tolerance.
+func (c *Chain) tol() float64 {
+	if c.VerifyTol > 0 {
+		return c.VerifyTol
+	}
+	return 1e-6
+}
+
+// Plan implements core.Planner. It only errors on invalid input or an
+// empty chain; any tier failure falls through to the next tier, ending at
+// the always-feasible shed plan, so a valid slot always commits.
+func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
+	if len(c.Tiers) == 0 {
+		return nil, fmt.Errorf("resilient: chain has no tiers")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	dec := Decision{Slot: in.Slot, Tier: -1}
+	commit := func(plan *core.Plan, tier int, name string) *core.Plan {
+		dec.Tier, dec.TierName, dec.Degraded = tier, name, tier > 0
+		c.dec = dec
+		c.last = plan.Clone()
+		return plan
+	}
+	for i, p := range c.Tiers {
+		plan, at := c.attempt(p, in)
+		dec.Attempts = append(dec.Attempts, at)
+		if plan != nil {
+			return commit(plan, i, p.Name()), nil
+		}
+	}
+	n := len(c.Tiers)
+	if !c.DisableReplay {
+		plan, at := c.replay(in)
+		dec.Attempts = append(dec.Attempts, at)
+		if plan != nil {
+			return commit(plan, n, "replay"), nil
+		}
+	}
+	return commit(core.NewPlan(in.Sys), n+1, "shed"), nil
+}
+
+// attempt runs one tier under the deadline with panic recovery, and
+// feasibility-gates its plan. A nil plan means rejection.
+func (c *Chain) attempt(p core.Planner, in *core.Input) (*core.Plan, Attempt) {
+	start := time.Now()
+	type outcome struct {
+		plan     *core.Plan
+		err      error
+		panicked any
+	}
+	invoke := func() (o outcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				o.panicked = r
+			}
+		}()
+		o.plan, o.err = p.Plan(in)
+		return o
+	}
+	var o outcome
+	if c.Timeout > 0 {
+		done := make(chan outcome, 1)
+		go func() { done <- invoke() }()
+		select {
+		case o = <-done:
+		case <-time.After(c.Timeout):
+			return nil, Attempt{
+				Planner: p.Name(), Reason: ReasonTimeout,
+				Err:     fmt.Sprintf("no plan within %s", c.Timeout),
+				Elapsed: time.Since(start),
+			}
+		}
+	} else {
+		o = invoke()
+	}
+	at := Attempt{Planner: p.Name(), Elapsed: time.Since(start)}
+	switch {
+	case o.panicked != nil:
+		at.Reason, at.Err = ReasonPanic, fmt.Sprint(o.panicked)
+	case o.err != nil:
+		at.Reason, at.Err = ReasonError, o.err.Error()
+	default:
+		if err := core.Verify(in, o.plan, c.tol()); err != nil {
+			at.Reason, at.Err = ReasonInfeasible, err.Error()
+			return nil, at
+		}
+		return o.plan, at
+	}
+	return nil, at
+}
+
+// replay adapts the last committed plan to the slot: powered-on counts
+// are capped to the surviving fleet and the capped centers' rates shrink
+// proportionally (per-server load, and therefore every delay, never
+// rises), then dispatch is capped to the slot's arrival budget per
+// (type, front-end). The result is feasibility-gated like any tier.
+func (c *Chain) replay(in *core.Input) (*core.Plan, Attempt) {
+	at := Attempt{Planner: "replay"}
+	if c.last == nil {
+		at.Reason, at.Err = ReasonError, "no committed plan to replay"
+		return nil, at
+	}
+	p := c.last.Clone()
+	if len(p.ServersOn) != in.Sys.L() || len(p.Rate) != in.Sys.K() {
+		at.Reason, at.Err = ReasonError, "last plan has a different topology shape"
+		return nil, at
+	}
+	for l := range p.ServersOn {
+		limit := in.Sys.Centers[l].Servers
+		if p.ServersOn[l] <= limit {
+			continue
+		}
+		f := float64(limit) / float64(p.ServersOn[l])
+		for k := range p.Rate {
+			for q := range p.Rate[k] {
+				for s := range p.Rate[k][q] {
+					p.Rate[k][q][s][l] *= f
+				}
+			}
+		}
+		p.ServersOn[l] = limit
+	}
+	for k := range p.Rate {
+		if len(p.Rate[k]) == 0 {
+			continue
+		}
+		for s := range p.Rate[k][0] {
+			committed := p.ServedFrom(k, s)
+			a := in.Arrivals[s][k]
+			if committed <= a || committed == 0 {
+				continue
+			}
+			f := a / committed
+			for q := range p.Rate[k] {
+				for l := range p.Rate[k][q][s] {
+					p.Rate[k][q][s][l] *= f
+				}
+			}
+		}
+	}
+	// The replayed plan was optimized for a different slot; its objective
+	// is unknown until the simulator accounts it.
+	p.Objective = 0
+	if err := core.Verify(in, p, c.tol()); err != nil {
+		at.Reason, at.Err = ReasonInfeasible, err.Error()
+		return nil, at
+	}
+	return p, at
+}

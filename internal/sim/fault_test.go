@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"profitlb/internal/baseline"
+	"profitlb/internal/core"
+	"profitlb/internal/fault"
+)
+
+// failAfter plans normally until slot `at`, then fails every slot in the
+// chosen mode ("error" or "panic").
+type failAfter struct {
+	inner core.Planner
+	at    int
+	mode  string
+	calls int
+}
+
+func (f *failAfter) Name() string { return "fail-after" }
+func (f *failAfter) Plan(in *core.Input) (*core.Plan, error) {
+	defer func() { f.calls++ }()
+	if f.calls >= f.at {
+		if f.mode == "panic" {
+			panic("scripted planner panic")
+		}
+		return nil, errors.New("scripted planner error")
+	}
+	return f.inner.Plan(in)
+}
+
+func TestRunReturnsPartialReportOnAbort(t *testing.T) {
+	cfg := testConfig(6)
+	rep, err := Run(cfg, &failAfter{inner: baseline.NewBalanced(), at: 3, mode: "error"})
+	if err == nil {
+		t.Fatal("failing planner did not abort")
+	}
+	if !strings.Contains(err.Error(), "slot 3") {
+		t.Fatalf("error %v does not name the failed slot", err)
+	}
+	if rep == nil {
+		t.Fatal("abort discarded the partial report")
+	}
+	if len(rep.Slots) != 3 {
+		t.Fatalf("partial report has %d slots, want the 3 completed", len(rep.Slots))
+	}
+	for i, sr := range rep.Slots {
+		if sr.Slot != i {
+			t.Fatalf("partial slot %d mislabeled as %d", i, sr.Slot)
+		}
+	}
+	// A panicking planner aborts the same way instead of crashing.
+	rep, err = Run(cfg, &failAfter{inner: baseline.NewBalanced(), at: 2, mode: "panic"})
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	if len(rep.Slots) != 2 {
+		t.Fatalf("partial report has %d slots, want 2", len(rep.Slots))
+	}
+}
+
+func TestDegradeOnFailureContinuesHorizon(t *testing.T) {
+	cfg := testConfig(6)
+	cfg.DegradeOnFailure = true
+	rep, err := Run(cfg, &failAfter{inner: baseline.NewBalanced(), at: 3, mode: "error"})
+	if err != nil {
+		t.Fatalf("degrading run errored: %v", err)
+	}
+	if len(rep.Slots) != 6 {
+		t.Fatalf("horizon stopped at %d slots", len(rep.Slots))
+	}
+	for i, sr := range rep.Slots {
+		if i < 3 {
+			if sr.Degraded {
+				t.Fatalf("healthy slot %d marked degraded", i)
+			}
+			continue
+		}
+		if !sr.Degraded || sr.FallbackName != "shed" || sr.FallbackTier != -1 {
+			t.Fatalf("failed slot %d: degraded=%v name=%q tier=%d", i, sr.Degraded, sr.FallbackName, sr.FallbackTier)
+		}
+		if sr.Served() != 0 {
+			t.Fatalf("shed slot %d serves %g", i, sr.Served())
+		}
+		if sr.LostRevenue <= 0 {
+			t.Fatalf("shed slot %d books no lost revenue", i)
+		}
+	}
+	if rep.DegradedSlots() != 3 {
+		t.Fatalf("DegradedSlots = %d, want 3", rep.DegradedSlots())
+	}
+	if rep.FallbackActivations()["shed"] != 3 {
+		t.Fatalf("activations = %v", rep.FallbackActivations())
+	}
+	if rep.TotalLostRevenue() <= 0 {
+		t.Fatal("no lost revenue accumulated")
+	}
+}
+
+func TestComparePanicRecovery(t *testing.T) {
+	cfg := testConfig(4)
+	reports, err := Compare(cfg,
+		baseline.NewBalanced(),
+		&failAfter{inner: baseline.NewBalanced(), at: 0, mode: "panic"},
+	)
+	if err == nil {
+		t.Fatal("panicking lane reported no error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error %v does not classify the panic", err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d report lanes", len(reports))
+	}
+	if reports[0] == nil || len(reports[0].Slots) != 4 {
+		t.Fatal("healthy lane's report was lost")
+	}
+}
+
+func TestOutageSlotRoutesAroundOfflineCenter(t *testing.T) {
+	cfg := testConfig(5)
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.CenterOutage, Center: 0, From: 1, To: 2},
+	}}
+	rep, err := Run(cfg, core.NewOptimized())
+	if err != nil {
+		t.Fatalf("outage aborted the horizon: %v", err)
+	}
+	for i, sr := range rep.Slots {
+		inOutage := i >= 1 && i <= 2
+		for k := 0; k < 2; k++ {
+			if inOutage && sr.CenterServed[k][0] != 0 {
+				t.Fatalf("slot %d: offline center served %g of type %d", i, sr.CenterServed[k][0], k)
+			}
+		}
+		if inOutage != (len(sr.FaultsActive) > 0) {
+			t.Fatalf("slot %d: FaultsActive = %v", i, sr.FaultsActive)
+		}
+		if inOutage && !strings.Contains(sr.FaultsActive[0], "center-outage") {
+			t.Fatalf("slot %d: FaultsActive = %v", i, sr.FaultsActive)
+		}
+	}
+}
+
+func TestPriceSpikeRaisesAccountedCost(t *testing.T) {
+	clean := testConfig(3)
+	spiked := testConfig(3)
+	spiked.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.PriceSpike, Center: 0, Factor: 3, From: 0, To: 2},
+		{Kind: fault.PriceSpike, Center: 1, Factor: 3, From: 0, To: 2},
+	}}
+	a, err := Run(clean, baseline.NewBalanced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spiked, baseline.NewBalanced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced ignores prices, so its dispatch is identical — the spike
+	// shows up purely as higher accounted energy cost.
+	if b.TotalNetProfit() >= a.TotalNetProfit() {
+		t.Fatalf("spiked profit %g not below clean %g", b.TotalNetProfit(), a.TotalNetProfit())
+	}
+	for i := range b.Slots {
+		if b.Slots[i].EnergyCost <= a.Slots[i].EnergyCost {
+			t.Fatalf("slot %d: spiked energy %g not above clean %g", i, b.Slots[i].EnergyCost, a.Slots[i].EnergyCost)
+		}
+	}
+}
+
+func TestTraceDropShedsOnlyBlindSlot(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.TraceDrop, FrontEnd: 0, From: 2, To: 2},
+		{Kind: fault.TraceDrop, FrontEnd: 1, From: 2, To: 2},
+	}}
+	rep, err := Run(cfg, core.NewOptimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planner saw zero arrivals at slot 2, reserved nothing, and the
+	// reconciliation drops everything that actually arrived.
+	if got := rep.Slots[2].Served(); got != 0 {
+		t.Fatalf("blind slot served %g", got)
+	}
+	if rep.Slots[2].LostRevenue <= 0 {
+		t.Fatal("blind slot books no lost revenue")
+	}
+	if rep.Slots[1].Served() == 0 || rep.Slots[3].Served() == 0 {
+		t.Fatal("sighted slots stopped serving")
+	}
+}
+
+func TestFaultedRunsAreReproducible(t *testing.T) {
+	mk := func() Config {
+		cfg := testConfig(5)
+		cfg.Faults = &fault.Schedule{Events: []fault.Event{
+			{Kind: fault.CenterOutage, Center: 1, From: 1, To: 2},
+			{Kind: fault.PriceSpike, Center: 0, Factor: 2, From: 2, To: 3},
+			{Kind: fault.TraceCorrupt, FrontEnd: 0, Factor: 1.4, From: 3, To: 3},
+		}}
+		return cfg
+	}
+	a, err := Run(mk(), core.NewOptimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk(), core.NewOptimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical faulted configs produced different reports")
+	}
+}
+
+func TestFaultValidationInConfig(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.CenterOutage, Center: 9, From: 0, To: 0},
+	}}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("out-of-range fault target accepted")
+	}
+}

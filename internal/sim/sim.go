@@ -13,6 +13,7 @@ import (
 
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
+	"profitlb/internal/fault"
 	"profitlb/internal/market"
 	"profitlb/internal/workload"
 )
@@ -40,6 +41,21 @@ type Config struct {
 	StartSlot int
 	// KeepPlans retains every slot's plan in the report (memory trade-off).
 	KeepPlans bool
+	// Faults optionally injects a deterministic fault schedule: center
+	// outages and degradations reshape the topology both the planner and
+	// the accounting see; price spikes hit both while price blackouts
+	// stall only the planner's feed; trace drops/corruptions distort only
+	// the planner's arrival view (reconciled against reality like
+	// PlanTraces). Planner faults in the schedule only fire if the
+	// planner is wrapped in a fault.Injector.
+	Faults *fault.Schedule
+	// DegradeOnFailure continues the horizon when a slot's plan fails
+	// (planner error or panic, or an infeasible plan): the slot sheds all
+	// load — zero served, the foregone value accounted in LostRevenue —
+	// and is marked Degraded. When false (the default, matching the
+	// paper's evaluation) such a slot aborts the run; Run still returns
+	// the partial report alongside the error.
+	DegradeOnFailure bool
 }
 
 // Validate checks the configuration against the system's dimensions.
@@ -85,6 +101,9 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("sim: center %d: %w", l, err)
 		}
 	}
+	if err := c.Faults.Validate(c.Sys.L(), c.Sys.S()); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
 }
 
@@ -104,6 +123,24 @@ type SlotReport struct {
 	TransferCost float64
 	NetProfit    float64
 	ServersOn    int
+	// LostRevenue estimates the value of offered load that went unserved,
+	// billed at each type's maximum TUF utility. It is an opportunity
+	// cost reported alongside (never subtracted from) NetProfit.
+	LostRevenue float64
+	// Degraded marks a slot that did not get its primary plan: a
+	// resilient fallback tier fired, or the plan failed outright and the
+	// simulator shed the slot's load (Config.DegradeOnFailure).
+	Degraded bool
+	// FallbackTier records which tier of a resilient planner produced the
+	// committed plan: 0 is the primary planner, higher values are deeper
+	// fallbacks (see internal/resilient), and -1 means the planner
+	// reported no fallback state.
+	FallbackTier int
+	// FallbackName is the committed tier's name ("shed" when the
+	// simulator itself shed a failed slot).
+	FallbackName string
+	// FaultsActive lists the injected faults in effect during the slot.
+	FaultsActive []string
 	Plan         *core.Plan // nil unless Config.KeepPlans
 }
 
@@ -159,6 +196,39 @@ func (r *Report) CompletionRate(k int) float64 {
 	return srv / off
 }
 
+// DegradedSlots counts slots that did not get their primary plan.
+func (r *Report) DegradedSlots() int {
+	var n int
+	for i := range r.Slots {
+		if r.Slots[i].Degraded {
+			n++
+		}
+	}
+	return n
+}
+
+// FallbackActivations counts committed plans per fallback tier name,
+// including "shed" slots; slots served by the primary planner (or by a
+// planner with no fallback state) are not counted.
+func (r *Report) FallbackActivations() map[string]int {
+	out := map[string]int{}
+	for i := range r.Slots {
+		if r.Slots[i].Degraded && r.Slots[i].FallbackName != "" {
+			out[r.Slots[i].FallbackName]++
+		}
+	}
+	return out
+}
+
+// TotalLostRevenue sums the per-slot unserved-load opportunity cost.
+func (r *Report) TotalLostRevenue() float64 {
+	var s float64
+	for i := range r.Slots {
+		s += r.Slots[i].LostRevenue
+	}
+	return s
+}
+
 // NetProfitSeries returns the per-slot net profit (paper Figs. 4, 6, 8, 10).
 func (r *Report) NetProfitSeries() []float64 {
 	out := make([]float64, len(r.Slots))
@@ -178,9 +248,21 @@ func (r *Report) CenterSeries(k, l int) []float64 {
 	return out
 }
 
+// FallbackReporter is implemented by resilient planner wrappers (see
+// internal/resilient) that can report which fallback tier produced the
+// last committed plan. Run records the state in each SlotReport.
+type FallbackReporter interface {
+	FallbackState() (tier int, tierName string, degraded bool)
+}
+
 // Run simulates the configured horizon under the given planner. Every
 // slot's plan is verified against the physical invariants before it is
-// accounted; a planner emitting an infeasible plan aborts the run.
+// accounted. A planner panic is recovered into an error. A failed slot —
+// planner error or infeasible plan — aborts the run unless
+// Config.DegradeOnFailure is set, in which case the slot sheds its load
+// and the horizon continues; on abort the partial report (every slot
+// completed so far) is returned alongside the error so callers can
+// post-mortem the run.
 func Run(cfg Config, planner core.Planner) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -198,35 +280,59 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 			planArr[s] = make([]float64, K)
 			for k := 0; k < K; k++ {
 				actual[s][k] = cfg.Traces[s].At(abs, k)
+				v := actual[s][k]
 				if cfg.PlanTraces != nil {
-					planArr[s][k] = cfg.PlanTraces[s].At(abs, k)
-				} else {
-					planArr[s][k] = actual[s][k]
+					v = cfg.PlanTraces[s].At(abs, k)
 				}
+				planArr[s][k] = cfg.Faults.ObservedArrival(v, s, abs)
 			}
 		}
-		prices := make([]float64, L)
+		prices := make([]float64, L)     // true settlement prices
+		planPrices := make([]float64, L) // the planner's (possibly stale) feed
 		for l := 0; l < L; l++ {
-			prices[l] = cfg.Prices[l].At(abs)
+			prices[l] = cfg.Faults.TruePrice(cfg.Prices[l], l, abs)
+			planPrices[l] = cfg.Faults.ObservedPrice(cfg.Prices[l], l, abs)
 		}
-		planIn := &core.Input{Sys: sys, Arrivals: planArr, Prices: prices}
-		plan, err := planner.Plan(planIn)
-		if err != nil {
-			return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
-		}
-		if err := core.Verify(planIn, plan, 1e-6); err != nil {
-			return nil, fmt.Errorf("sim: slot %d: infeasible plan from %s: %w", slot, planner.Name(), err)
-		}
-		in := planIn
-		if cfg.PlanTraces != nil {
-			reconcile(plan, actual)
-			in = &core.Input{Sys: sys, Arrivals: actual, Prices: prices}
-			if err := core.Verify(in, plan, 1e-6); err != nil {
-				return nil, fmt.Errorf("sim: slot %d: reconciled plan infeasible: %w", slot, err)
+		effSys, _ := cfg.Faults.EffectiveSystem(sys, abs)
+		planView := cfg.PlanTraces != nil || cfg.Faults.ArrivalsFaulted(abs)
+
+		planIn := &core.Input{Sys: effSys, Arrivals: planArr, Prices: planPrices, Slot: abs}
+		plan, err := safePlan(planner, planIn)
+		if err == nil {
+			if verr := core.Verify(planIn, plan, 1e-6); verr != nil {
+				err = fmt.Errorf("infeasible plan from %s: %w", planner.Name(), verr)
 			}
 		}
-		sr := account(in, plan)
+		in := &core.Input{Sys: effSys, Arrivals: actual, Prices: prices, Slot: abs}
+		if err == nil && planView {
+			Reconcile(plan, actual)
+			if verr := core.Verify(in, plan, 1e-6); verr != nil {
+				err = fmt.Errorf("reconciled plan infeasible: %w", verr)
+			}
+		}
+		var sr SlotReport
+		if err != nil {
+			if !cfg.DegradeOnFailure {
+				return report, fmt.Errorf("sim: slot %d: %w", slot, err)
+			}
+			// Graceful degradation: shed the slot's load. Nothing is
+			// served and nothing is spent; the foregone value lands in
+			// LostRevenue and the horizon continues.
+			plan = core.NewPlan(effSys)
+			sr = account(in, plan)
+			sr.FallbackTier = -1
+			sr.Degraded = true
+			sr.FallbackName = "shed"
+		} else {
+			sr = account(in, plan)
+			sr.FallbackTier = -1
+			if fr, ok := planner.(FallbackReporter); ok {
+				tier, name, degraded := fr.FallbackState()
+				sr.FallbackTier, sr.FallbackName, sr.Degraded = tier, name, degraded
+			}
+		}
 		sr.Slot = abs
+		sr.FaultsActive = cfg.Faults.ActiveNames(abs)
 		if cfg.KeepPlans {
 			sr.Plan = plan
 		}
@@ -235,12 +341,25 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 	return report, nil
 }
 
-// reconcile scales a forecast-committed plan against actual arrivals:
+// safePlan invokes the planner, recovering a panic into an error so one
+// bad planner cannot crash a run (or a whole Compare fleet).
+func safePlan(p core.Planner, in *core.Input) (plan *core.Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, fmt.Errorf("planner %s panicked: %v", p.Name(), r)
+		}
+	}()
+	return p.Plan(in)
+}
+
+// Reconcile scales a forecast-committed plan against actual arrivals:
 // per (type, front-end), if fewer requests arrived than were committed
 // the dispatch shrinks proportionally across levels and centers (shares
 // keep their reservations, so delays only improve); arrivals beyond the
-// committed volume are dropped. The plan is modified in place.
-func reconcile(plan *core.Plan, actual [][]float64) {
+// committed volume are dropped. The plan is modified in place. It is
+// shared with internal/des, which reconciles fault-distorted plans the
+// same way.
+func Reconcile(plan *core.Plan, actual [][]float64) {
 	for k := range plan.Rate {
 		if len(plan.Rate[k]) == 0 {
 			continue
@@ -314,14 +433,22 @@ func account(in *core.Input, plan *core.Plan) SlotReport {
 		}
 	}
 	sr.NetProfit = sr.Revenue - sr.EnergyCost - sr.TransferCost
+	for k := 0; k < K; k++ {
+		if dropped := sr.OfferedByType[k] - sr.ServedByType[k]; dropped > 0 {
+			sr.LostRevenue += dropped * sys.Classes[k].TUF.MaxUtility()
+		}
+	}
 	return sr
 }
 
 // Compare runs several planners over the same configuration, one
 // goroutine per planner. The configuration is only read; each planner
 // instance is driven by exactly one goroutine, so stateful planners (e.g.
-// the switching wrapper) remain safe as long as callers pass distinct
-// instances.
+// the switching wrapper or a resilient chain) remain safe as long as
+// callers pass distinct instances. A panicking planner is recovered and
+// reported as that planner's error without disturbing the other lanes;
+// the returned slice always holds whatever reports (possibly partial)
+// each lane produced, alongside the joined per-planner errors.
 func Compare(cfg Config, planners ...core.Planner) ([]*Report, error) {
 	out := make([]*Report, len(planners))
 	errs := make([]error, len(planners))
@@ -330,14 +457,14 @@ func Compare(cfg Config, planners ...core.Planner) ([]*Report, error) {
 		wg.Add(1)
 		go func(i int, p core.Planner) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("sim: planner %s panicked: %v", p.Name(), r)
+				}
+			}()
 			out[i], errs[i] = Run(cfg, p)
 		}(i, p)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, errors.Join(errs...)
 }

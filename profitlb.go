@@ -28,9 +28,11 @@ import (
 	"profitlb/internal/datacenter"
 	"profitlb/internal/des"
 	"profitlb/internal/exp"
+	"profitlb/internal/fault"
 	"profitlb/internal/forecast"
 	"profitlb/internal/lp"
 	"profitlb/internal/market"
+	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
 	"profitlb/internal/switching"
 	"profitlb/internal/tuf"
@@ -271,6 +273,31 @@ type AdvisorConfig = advisor.Config
 // horizon and ranks the candidates by profit gain per added server,
 // cross-checked against the slot LPs' share shadow prices.
 func Advise(cfg AdvisorConfig) (*Advice, error) { return advisor.Advise(cfg) }
+
+// Fault injection and resilient planning (DESIGN.md §6).
+type (
+	// FaultSchedule is a replayable set of timed fault events: center
+	// outages/degradations, price spikes/blackouts, arrival-trace
+	// drops/corruptions, planner timeout/error/panic.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one timed fault (inclusive slot range).
+	FaultEvent = fault.Event
+	// FaultInjector wraps a planner so the schedule's planner faults fire
+	// at their slots.
+	FaultInjector = fault.Injector
+	// ResilientChain is an ordered planner fallback ladder with per-tier
+	// deadlines, panic recovery and feasibility gating.
+	ResilientChain = resilient.Chain
+	// StormConfig parameterizes the seeded random storm generator.
+	StormConfig = fault.StormConfig
+)
+
+// Storm draws a reproducible random fault schedule from a seed.
+func Storm(cfg StormConfig) (*FaultSchedule, error) { return fault.Storm(cfg) }
+
+// Resilient wraps a planner in the default degradation ladder:
+// planner → greedy level-search → balanced → last-plan replay → shed.
+func Resilient(primary Planner) *ResilientChain { return resilient.Wrap(primary) }
 
 // Experiments returns every registered paper-artifact reproduction.
 func Experiments() []*Experiment { return exp.All() }

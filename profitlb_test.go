@@ -3,6 +3,7 @@ package profitlb
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 // exampleSystem builds a small but complete topology through the facade.
@@ -131,8 +132,8 @@ func TestFacadeWorkloads(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	all := Experiments()
-	if len(all) != 43 {
-		t.Fatalf("%d experiments registered, want 43 (21 paper artifacts + 22 extensions)", len(all))
+	if len(all) != 44 {
+		t.Fatalf("%d experiments registered, want 44 (21 paper artifacts + 23 extensions)", len(all))
 	}
 	e, ok := ExperimentByID("fig6")
 	if !ok {
@@ -265,5 +266,37 @@ func TestFacadeScenario(t *testing.T) {
 	}
 	if rep.TotalNetProfit() <= 0 {
 		t.Fatal("scenario unprofitable")
+	}
+}
+
+func TestFacadeFaultStorm(t *testing.T) {
+	sys := exampleSystem()
+	base := WorldCupLike(WorldCupConfig{Seed: 11, Base: 2500})
+	storm, err := Storm(StormConfig{
+		Seed: 5, Slots: 6, Centers: 2, FrontEnds: 1,
+		Outages: 1, Spikes: 1, PlannerFaults: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{
+		Sys:              sys,
+		Traces:           []*Trace{ShiftTypes("fe1", base, 2, 3)},
+		Prices:           []*PriceTrace{Houston(), Atlanta()},
+		Slots:            6,
+		Faults:           storm,
+		DegradeOnFailure: true,
+	}
+	chain := Resilient(&FaultInjector{Planner: NewOptimized(), Sched: storm})
+	chain.Timeout = 20 * time.Millisecond // below the injector's hang
+	rep, err := Simulate(cfg, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Slots) != 6 {
+		t.Fatalf("storm horizon stopped at %d slots", len(rep.Slots))
+	}
+	if rep.DegradedSlots() == 0 {
+		t.Fatal("injected planner fault never degraded a slot")
 	}
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify bench
+.PHONY: build test vet race fuzz verify bench bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,23 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/workload/
 	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
 
-# verify is the repo's full check tier: build, vet, tests, race tests.
-verify: build vet test race
+# verify is the repo's full check tier: build, vet, tests, race tests,
+# and a one-iteration smoke of the plan-search benchmarks.
+verify: build vet test race bench-smoke
 
+# bench compares the serial and parallel plan searches on the
+# rob2-chaos-scale slot. The -count runs feed benchstat directly
+# (`make bench | benchstat -`), and the timing trajectory — speedup, LP
+# solves, cache hits — lands in BENCH_plan.json.
 bench:
+	$(GO) test -bench=BenchmarkPlanSearch -benchtime=5x -count=6 -run=NONE .
+	BENCH_PLAN_JSON=BENCH_plan.json $(GO) test -count=1 -run=TestPlanSearchTrajectory .
+
+# bench-smoke proves every plan-search benchmark still runs (one
+# iteration, no timing claims); wired into verify.
+bench-smoke:
+	$(GO) test -bench=BenchmarkPlanSearch -benchtime=1x -run=NONE .
+
+# benchall sweeps the full paper-artifact benchmark suite once.
+benchall:
 	$(GO) test -bench=. -benchtime=1x -run=NONE ./...

@@ -8,10 +8,15 @@ package profitlb
 // Run with: go test -bench=. -benchmem
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
 	"profitlb/internal/exp"
 	"profitlb/internal/lp"
 	"profitlb/internal/sim"
@@ -317,3 +322,133 @@ func BenchmarkVal5Arrivals(b *testing.B)    { benchExperiment(b, "val5-arrivals"
 
 func BenchmarkAbl16Pooling(b *testing.B) { benchExperiment(b, "abl16-pooling") }
 func BenchmarkAbl17Week(b *testing.B)    { benchExperiment(b, "abl17-week") }
+
+// rob2ChaosScaleInput is the planning slot of the parallel-search
+// benchmarks: the Section VII two-level topology grown to the scale of
+// the rob2-chaos storm experiment — a third request class and a third,
+// energy-expensive data center that is unprofitable for every class.
+// The exhaustive level space has 2^9 = 512 assignments, but every
+// choice on the unprofitable center's pairs filters to the same
+// commodity set, so only 2^6 = 64 distinct subset LPs exist: the
+// redundancy the engine's memo cache is built to collapse.
+func rob2ChaosScaleInput() *core.Input {
+	sys := &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "request1", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.005}, {Utility: 4, Deadline: 0.02}}), TransferCostPerMile: 0.0002},
+			{Name: "request2", TUF: tuf.MustNew([]tuf.Level{{Utility: 20, Deadline: 0.004}, {Utility: 8, Deadline: 0.015}}), TransferCostPerMile: 0.0003},
+			{Name: "request3", TUF: tuf.MustNew([]tuf.Level{{Utility: 15, Deadline: 0.006}, {Utility: 6, Deadline: 0.03}}), TransferCostPerMile: 0.0002},
+		},
+		FrontEnds: []datacenter.FrontEnd{{Name: "frontend", DistanceMiles: []float64{1000, 2000, 1500}}},
+		Centers: []datacenter.DataCenter{
+			{Name: "dc1", Servers: 6, Capacity: 1, ServiceRate: []float64{1500, 600, 1000}, EnergyPerRequest: []float64{0.0004, 0.0006, 0.0005}},
+			{Name: "dc2", Servers: 6, Capacity: 1, ServiceRate: []float64{1200, 900, 1100}, EnergyPerRequest: []float64{0.0005, 0.0005, 0.0005}},
+			{Name: "dc3", Servers: 6, Capacity: 1, ServiceRate: []float64{1000, 1000, 1000}, EnergyPerRequest: []float64{0.9, 0.9, 0.9}},
+		},
+	}
+	return &core.Input{Sys: sys, Arrivals: [][]float64{{3000, 2500, 2800}}, Prices: []float64{40, 45, 60}}
+}
+
+// planSearchPlanners enumerates the engine planners benchmarked serial
+// (Parallelism 0, the legacy uncached search) vs parallel (all CPUs +
+// memo cache).
+func planSearchPlanners(par int, stats *core.SearchStats) map[string]core.Planner {
+	ls := core.NewLevelSearch()
+	ls.Strategy = core.Exhaustive
+	ls.Parallelism = par
+	ls.Stats = stats
+	o := core.NewOptimized()
+	o.Parallelism = par
+	o.Stats = stats
+	return map[string]core.Planner{"level-search": ls, "optimized": o}
+}
+
+// BenchmarkPlanSearch is the serial-vs-parallel comparison on the
+// rob2-chaos-scale slot. Compare with benchstat:
+//
+//	go test -bench BenchmarkPlanSearch -count 10 -run NONE .
+func BenchmarkPlanSearch(b *testing.B) {
+	in := rob2ChaosScaleInput()
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 0}, {"parallel", -1}} {
+		for name, p := range planSearchPlanners(mode.par, nil) {
+			p := p
+			b.Run(name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Plan(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPlanSearchTrajectory measures the serial-vs-parallel plan times on
+// the rob2-chaos-scale slot and writes the trajectory point to the file
+// named by BENCH_PLAN_JSON (skipped when unset; `make bench` sets it).
+// It also enforces the engine's headline claim: the parallel exhaustive
+// search must finish the slot at least twice as fast as the legacy
+// serial search, while committing a bit-identical plan.
+func TestPlanSearchTrajectory(t *testing.T) {
+	out := os.Getenv("BENCH_PLAN_JSON")
+	if out == "" {
+		t.Skip("set BENCH_PLAN_JSON=FILE to record the benchmark trajectory")
+	}
+	in := rob2ChaosScaleInput()
+	bestOf := func(p core.Planner) (time.Duration, *core.Plan) {
+		best := time.Duration(1 << 62)
+		var plan *core.Plan
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			got, err := p.Plan(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best, plan = d, got
+			}
+		}
+		return best, plan
+	}
+	type point struct {
+		Planner    string  `json:"planner"`
+		SerialNs   int64   `json:"serial_ns"`
+		ParallelNs int64   `json:"parallel_ns"`
+		Speedup    float64 `json:"speedup"`
+		LPSolves   int64   `json:"lp_solves"`
+		CacheHits  int64   `json:"cache_hits"`
+	}
+	var points []point
+	for _, name := range []string{"level-search", "optimized"} {
+		stats := &core.SearchStats{}
+		serialT, serialPlan := bestOf(planSearchPlanners(0, nil)[name])
+		parT, parPlan := bestOf(planSearchPlanners(-1, stats)[name])
+		if serialPlan.Objective != parPlan.Objective {
+			t.Fatalf("%s: parallel objective %v != serial %v", name, parPlan.Objective, serialPlan.Objective)
+		}
+		speedup := float64(serialT) / float64(parT)
+		if name == "level-search" && speedup < 2 {
+			t.Errorf("level-search parallel speedup %.2fx, want >= 2x (serial %v, parallel %v)", speedup, serialT, parT)
+		}
+		points = append(points, point{
+			Planner: name, SerialNs: serialT.Nanoseconds(), ParallelNs: parT.Nanoseconds(),
+			Speedup: speedup, LPSolves: stats.Solves, CacheHits: stats.CacheHits,
+		})
+	}
+	blob, err := json.MarshalIndent(map[string]any{
+		"bench":    "plan-search",
+		"scenario": "rob2-chaos-scale",
+		"workers":  runtime.NumCPU(),
+		"results":  points,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trajectory written to %s: %s", out, blob)
+}

@@ -8,9 +8,11 @@
 //	profitlb prices               print the embedded electricity traces
 //	profitlb trace [-seed N]      print a workload trace (-stats for summary)
 //	profitlb bench [-servers N]   time one planner invocation per planner
+//	                              (-parallel N engages the search engine)
 //	profitlb scaffold             print an example JSON scenario
 //	profitlb simulate -config F   run a JSON scenario and print the report
-//	                              (-faults F|storm, -resilient, -seed N)
+//	                              (-faults F|storm, -resilient, -seed N,
+//	                              -parallel N for the plan-search engine)
 //	profitlb chaos -config F      profit retention per planner under a
 //	                              seeded outage + price-spike storm
 //	profitlb compare -config F    run a scenario under every planner
@@ -94,10 +96,12 @@ commands:
   prices               print the embedded electricity price traces (Fig. 1)
   trace [-seed N]      print a World-Cup-like workload trace (Fig. 5 generator)
   bench [-servers N]   time one planning call per planner variant
+                       (-parallel N engages the plan-search engine)
   scaffold             print an example JSON scenario to stdout
   simulate -config F   run a JSON scenario file and print the report
                        (-faults F|storm injects failures, -resilient wraps
-                       the planner in the fallback chain, -seed N seeds storms)
+                       the planner in the fallback chain, -seed N seeds
+                       storms, -parallel N sets plan-search workers)
   chaos -config F      profit retention per planner under a seeded fault
                        storm (outages + price spikes), resilient chains on
   analyze -config F    capacity advice + shadow prices for a scenario
@@ -277,6 +281,7 @@ func cmdSimulate(args []string) error {
 	faultsArg := fs.String("faults", "", "fault schedule: a JSON file of events, or 'storm' for a seeded outage+spike storm")
 	seed := fs.Int64("seed", 1, "storm seed (with -faults storm)")
 	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
+	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -287,6 +292,13 @@ func cmdSimulate(args []string) error {
 	if *resilient {
 		sc.Resilient = true
 	}
+	// Only an explicitly given -parallel overrides the scenario, so that
+	// `-parallel 0` can force the legacy serial search too.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			sc.Parallelism = *parallel
+		}
+	})
 	if err := applyFaultsFlag(sc, *faultsArg, *seed); err != nil {
 		return err
 	}
@@ -541,17 +553,27 @@ func cmdTrace(args []string) error {
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	servers := fs.Int("servers", 6, "servers per data center")
+	parallel := fs.Int("parallel", 0, "plan-search workers for the engine planners (0 serial, -1 all CPUs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	planners := []core.Planner{
-		core.NewOptimized(),
+		func() core.Planner {
+			o := core.NewOptimized()
+			o.Parallelism = *parallel
+			return o
+		}(),
 		func() core.Planner {
 			o := core.NewOptimized()
 			o.PerServer = true
+			o.Parallelism = *parallel
 			return o
 		}(),
-		core.NewLevelSearch(),
+		func() core.Planner {
+			ls := core.NewLevelSearch()
+			ls.Parallelism = *parallel
+			return ls
+		}(),
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "PLANNER\tSERVERS/CENTER\tTIME")

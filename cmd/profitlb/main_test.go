@@ -326,3 +326,41 @@ func TestCmdTraceStats(t *testing.T) {
 		t.Fatalf("trace -stats output unexpected: %q", out)
 	}
 }
+
+func TestCmdSimulateParallelMatchesSerial(t *testing.T) {
+	scaffoldOut, err := capture(t, func() error { return run([]string{"scaffold"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/s.json"
+	if err := os.WriteFile(path, []byte(scaffoldOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := capture(t, func() error { return run([]string{"simulate", "-config", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine commits bit-identical plans, so the whole report — every
+	// dollar figure on every slot — must match the serial run byte for byte.
+	for _, par := range []string{"1", "-1"} {
+		out, err := capture(t, func() error {
+			return run([]string{"simulate", "-config", path, "-parallel", par})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != serial {
+			t.Fatalf("-parallel %s report differs from the serial report", par)
+		}
+	}
+}
+
+func TestCmdBenchParallel(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"bench", "-servers", "2", "-parallel", "2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "level-search") {
+		t.Fatal("bench -parallel output missing planner")
+	}
+}

@@ -42,6 +42,12 @@ type Scenario struct {
 	// "optimized/per-server", "level-search", "balanced", "nearest",
 	// "greedy-profit" or "random".
 	Planner string `json:"planner,omitempty"`
+	// Parallelism configures the plan-search engine of the optimized and
+	// level-search planners (ignored by the baselines): 0 keeps the
+	// legacy serial search, n ≥ 1 runs n workers over the subset-LP memo
+	// cache, negative uses every CPU. Plans are bit-identical across all
+	// settings; see DESIGN.md §7.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Faults optionally injects a deterministic fault schedule (center
 	// outages/degradations, price spikes/blackouts, arrival-trace
 	// drops/corruptions, planner timeout/error/panic). See DESIGN.md
@@ -158,17 +164,23 @@ func (s *Scenario) BuildPlanner() (core.Planner, error) {
 	return p, nil
 }
 
-// basePlanner resolves the planner name.
+// basePlanner resolves the planner name and applies the scenario's
+// Parallelism to the planners that have a search engine.
 func (s *Scenario) basePlanner() (core.Planner, error) {
 	switch strings.ToLower(strings.TrimSpace(s.Planner)) {
 	case "", "optimized":
-		return core.NewOptimized(), nil
+		p := core.NewOptimized()
+		p.Parallelism = s.Parallelism
+		return p, nil
 	case "optimized/per-server":
 		p := core.NewOptimized()
 		p.PerServer = true
+		p.Parallelism = s.Parallelism
 		return p, nil
 	case "level-search":
-		return core.NewLevelSearch(), nil
+		p := core.NewLevelSearch()
+		p.Parallelism = s.Parallelism
+		return p, nil
 	case "balanced":
 		return baseline.NewBalanced(), nil
 	case "nearest":

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"profitlb/internal/lp"
+)
+
+// SearchStats carries diagnostic counters from one Plan call when the
+// parallel engine is enabled. Like the planner that fills it, it must
+// not be shared between concurrent Plan calls.
+type SearchStats struct {
+	// Solves counts dispatch LPs actually handed to the simplex solver.
+	Solves int64
+	// CacheHits counts solves answered from the subset memo cache.
+	CacheHits int64
+}
+
+// subsetCache memoizes dispatch-LP solves within a single planning
+// call. The search procedures re-solve byte-identical commodity subsets
+// constantly — both refine seeds of Optimized walk overlapping
+// neighborhoods, and LevelSearch maps many level vectors onto the same
+// filtered commodity set — so a hit skips a full simplex solve.
+//
+// Keys cover everything the LP reads: the canonical (k,q,l sorted)
+// commodity set with each commodity's utility and deadline, the
+// variable layout (aggregated or per-server), the completion floors and
+// the solver options, all prefixed with a fingerprint of the Input so
+// an entry can never be replayed for a different slot. Entries are
+// deduplicated with a sync.Once per key: concurrent workers asking for
+// the same subset block on one solve and share the result, which is
+// also why cached rates must be treated as read-only.
+//
+// Invalidation is by construction: the cache is created per Plan call
+// and dropped with it, so there is no cross-slot state to invalidate.
+type subsetCache struct {
+	fingerprint uint64
+	mu          sync.Mutex
+	entries     map[string]*cacheEntry
+	hits        atomic.Int64
+	solves      atomic.Int64
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	rates [][]float64
+	obj   float64
+	err   error
+}
+
+func newSubsetCache(in *Input) *subsetCache {
+	return &subsetCache{fingerprint: inputFingerprint(in), entries: make(map[string]*cacheEntry)}
+}
+
+// solve answers a dispatch-LP solve through the cache. comms must be in
+// canonical sortCommodities order so that equal sets produce equal keys.
+func (c *subsetCache) solve(in *Input, comms []commodity, perServer bool, floors []float64, opts lp.Options) ([][]float64, float64, error) {
+	e := c.entry(c.key(comms, perServer, floors, opts))
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		c.solves.Add(1)
+		e.rates, e.obj, e.err = solveDispatchLP(in, comms, perServer, floors, opts)
+	})
+	if hit {
+		c.hits.Add(1)
+	}
+	return e.rates, e.obj, e.err
+}
+
+func (c *subsetCache) entry(k string) *cacheEntry {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	return e
+}
+
+// key serializes every LP-visible input of a solve. bestCoef and the
+// floored flag are deliberately absent: they steer subset construction,
+// not the LP itself.
+func (c *subsetCache) key(comms []commodity, perServer bool, floors []float64, opts lp.Options) string {
+	buf := make([]byte, 0, 40+8*len(floors)+40*len(comms))
+	var u8 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u8[:], v)
+		buf = append(buf, u8[:]...)
+	}
+	putF := func(f float64) { put(math.Float64bits(f)) }
+	put(c.fingerprint)
+	var flags uint64
+	if perServer {
+		flags |= 1
+	}
+	if opts.Bland {
+		flags |= 2
+	}
+	put(flags)
+	put(uint64(opts.MaxIterations))
+	putF(opts.Tol)
+	put(uint64(len(floors)))
+	for _, f := range floors {
+		putF(f)
+	}
+	for _, cm := range comms {
+		put(uint64(cm.k))
+		put(uint64(cm.q))
+		put(uint64(cm.l))
+		putF(cm.utility)
+		putF(cm.deadline)
+	}
+	return string(buf)
+}
+
+// inputFingerprint hashes the parts of the Input the dispatch LP reads:
+// topology dimensions, slot length, arrivals, prices, per-center fleet
+// and service parameters, and the per-class transfer-cost and distance
+// data behind UnitProfit. FNV-1a over the raw float bits.
+func inputFingerprint(in *Input) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mixF := func(f float64) { mix(math.Float64bits(f)) }
+	sys := in.Sys
+	mix(uint64(sys.K()))
+	mix(uint64(sys.S()))
+	mix(uint64(sys.L()))
+	mixF(sys.Slot())
+	for _, row := range in.Arrivals {
+		for _, v := range row {
+			mixF(v)
+		}
+	}
+	for _, p := range in.Prices {
+		mixF(p)
+	}
+	for l := range sys.Centers {
+		dc := &sys.Centers[l]
+		mix(uint64(dc.Servers))
+		mixF(dc.Capacity)
+		mixF(dc.EffectivePUE())
+		for _, mu := range dc.ServiceRate {
+			mixF(mu)
+		}
+		for _, e := range dc.EnergyPerRequest {
+			mixF(e)
+		}
+	}
+	for k := range sys.Classes {
+		mixF(sys.Classes[k].TransferCostPerMile)
+	}
+	for s := range sys.FrontEnds {
+		for _, d := range sys.FrontEnds[s].DistanceMiles {
+			mixF(d)
+		}
+	}
+	return h
+}

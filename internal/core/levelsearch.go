@@ -61,6 +61,14 @@ type LevelSearch struct {
 	Consolidate bool
 	// LPOpts tunes the simplex solver.
 	LPOpts lp.Options
+	// Parallelism controls the plan-search engine exactly as on
+	// Optimized: 0 is the legacy serial search, n ≥ 1 enables n workers
+	// plus the subset-LP memo cache, negative uses all CPUs. Results
+	// are bit-identical at every setting.
+	Parallelism int
+	// Stats, when non-nil, receives the engine's solver counters after
+	// each Plan call (zero when Parallelism == 0). Diagnostics only.
+	Stats *SearchStats
 }
 
 // NewLevelSearch returns a LevelSearch with the defaults used in the
@@ -104,15 +112,17 @@ func (ls *LevelSearch) Plan(in *Input) (*Plan, error) {
 		}
 	}
 
+	eng := newEngine(ls.Parallelism, in)
+	defer eng.report(ls.Stats)
 	var best assignment
 	var err error
 	switch strategy {
 	case Exhaustive:
-		best, err = ls.exhaustive(in, pairs)
+		best, err = ls.exhaustive(eng, in, pairs)
 	case Greedy:
-		best, err = ls.greedy(in, pairs)
+		best, err = ls.greedy(eng, in, pairs)
 	case BranchBound:
-		best, err = ls.branchBound(in, pairs)
+		best, err = ls.branchBound(eng, in, pairs)
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", ls.Strategy)
 	}
@@ -143,7 +153,7 @@ type assignment struct {
 // evaluate builds the one-level-per-pair commodity set and solves its LP.
 // Unprofitable or reservation-overloaded pairs are excluded (equivalent to
 // the LP routing nothing there).
-func (ls *LevelSearch) evaluate(in *Input, pairs []pair, levels []int) (assignment, error) {
+func (ls *LevelSearch) evaluate(eng *engine, in *Input, pairs []pair, levels []int) (assignment, error) {
 	sys := in.Sys
 	var comms []commodity
 	for pi, p := range pairs {
@@ -159,11 +169,15 @@ func (ls *LevelSearch) evaluate(in *Input, pairs []pair, levels []int) (assignme
 		}
 		comms = append(comms, commodity{k: p.k, q: levels[pi], l: p.l, utility: lev.Utility, deadline: lev.Deadline, bestCoef: best})
 	}
+	// Canonical order before eviction and solving: distinct level
+	// vectors that map to the same filtered commodity set share one
+	// cache entry.
+	sortCommodities(comms)
 	comms = capReservations(in, comms)
 	if len(comms) == 0 {
 		return assignment{levels: append([]int(nil), levels...)}, nil
 	}
-	rates, obj, err := solveDispatchLP(in, comms, ls.PerServer, nil, ls.LPOpts)
+	rates, obj, err := eng.solve(in, comms, ls.PerServer, nil, ls.LPOpts)
 	if err == lp.ErrInfeasible {
 		return assignment{levels: append([]int(nil), levels...), obj: math.Inf(-1)}, nil
 	}
@@ -173,61 +187,90 @@ func (ls *LevelSearch) evaluate(in *Input, pairs []pair, levels []int) (assignme
 	return assignment{levels: append([]int(nil), levels...), comms: comms, rates: rates, obj: obj}, nil
 }
 
-func (ls *LevelSearch) exhaustive(in *Input, pairs []pair) (assignment, error) {
+// exhaustive enumerates the mixed-radix level space in odometer order.
+// Batches of consecutive assignments are evaluated concurrently and
+// reduced strictly in enumeration order, so the winner — the first
+// assignment to reach the maximum — is the same at every worker count.
+func (ls *LevelSearch) exhaustive(eng *engine, in *Input, pairs []pair) (assignment, error) {
 	sys := in.Sys
 	levels := make([]int, len(pairs))
 	best := assignment{obj: math.Inf(-1)}
-	for {
-		a, err := ls.evaluate(in, pairs, levels)
+	batch := 1
+	if w := eng.workerCount(); w > 1 {
+		batch = 8 * w
+	}
+	done := false
+	for !done {
+		vecs := make([][]int, 0, batch)
+		for len(vecs) < batch && !done {
+			vecs = append(vecs, append([]int(nil), levels...))
+			// Odometer increment over the mixed-radix level space.
+			i := 0
+			for ; i < len(pairs); i++ {
+				levels[i]++
+				if levels[i] < sys.Classes[pairs[i].k].TUF.NumLevels() {
+					break
+				}
+				levels[i] = 0
+			}
+			if i == len(pairs) {
+				done = true
+			}
+		}
+		results, err := mapOrdered(eng.workerCount(), len(vecs), func(i int) (assignment, error) {
+			return ls.evaluate(eng, in, pairs, vecs[i])
+		})
 		if err != nil {
 			return assignment{}, err
 		}
-		if a.obj > best.obj || best.rates == nil && a.rates != nil {
-			best = a
-		}
-		// Odometer increment over the mixed-radix level space.
-		i := 0
-		for ; i < len(pairs); i++ {
-			levels[i]++
-			if levels[i] < sys.Classes[pairs[i].k].TUF.NumLevels() {
-				break
+		for _, a := range results {
+			if a.obj > best.obj || best.rates == nil && a.rates != nil {
+				best = a
 			}
-			levels[i] = 0
-		}
-		if i == len(pairs) {
-			return best, nil
 		}
 	}
+	return best, nil
 }
 
-func (ls *LevelSearch) greedy(in *Input, pairs []pair) (assignment, error) {
+// greedy hill-climbs over single-pair level moves, first improvement.
+// Moves run through speculativePass: neighbors are evaluated
+// concurrently against a frozen state but accepted in exactly the
+// serial order, so the climb path is identical at every worker count.
+func (ls *LevelSearch) greedy(eng *engine, in *Input, pairs []pair) (assignment, error) {
 	sys := in.Sys
 	levels := make([]int, len(pairs))
-	best, err := ls.evaluate(in, pairs, levels)
+	best, err := ls.evaluate(eng, in, pairs, levels)
 	if err != nil {
 		return assignment{}, err
 	}
+	type move struct{ pi, q int }
+	var moves []move
+	for pi := range pairs {
+		for q := 0; q < sys.Classes[pairs[pi].k].TUF.NumLevels(); q++ {
+			moves = append(moves, move{pi, q})
+		}
+	}
 	for {
-		improved := false
-		for pi := range pairs {
-			n := sys.Classes[pairs[pi].k].TUF.NumLevels()
-			orig := levels[pi]
-			for q := 0; q < n; q++ {
-				if q == orig {
-					continue
+		improved, err := speculativePass(eng.workerCount(), len(moves),
+			func(i int) (assignment, error) {
+				mv := moves[i]
+				if mv.q == levels[mv.pi] {
+					return assignment{obj: math.Inf(-1)}, nil // no-op move
 				}
-				levels[pi] = q
-				a, err := ls.evaluate(in, pairs, levels)
-				if err != nil {
-					return assignment{}, err
+				trial := append([]int(nil), levels...)
+				trial[mv.pi] = mv.q
+				return ls.evaluate(eng, in, pairs, trial)
+			},
+			func(i int, a assignment) bool {
+				if a.obj <= best.obj+1e-9 {
+					return false
 				}
-				if a.obj > best.obj+1e-9 {
-					best = a
-					orig = q
-					improved = true
-				}
-			}
-			levels[pi] = orig
+				best = a
+				levels[moves[i].pi] = moves[i].q
+				return true
+			})
+		if err != nil {
+			return assignment{}, err
 		}
 		if !improved {
 			return best, nil
@@ -238,31 +281,94 @@ func (ls *LevelSearch) greedy(in *Input, pairs []pair) (assignment, error) {
 // branchBound explores assignments depth first; the bound at a partial
 // node relaxes every unassigned pair to its best utility with its loosest
 // deadline, which can only overestimate the achievable profit.
-func (ls *LevelSearch) branchBound(in *Input, pairs []pair) (assignment, error) {
-	sys := in.Sys
+//
+// The engine splits the tree into sibling prefix subtrees explored
+// concurrently with a shared atomic incumbent. The incumbent tightens
+// pruning asynchronously, but the committed plan never depends on its
+// timing because pruning keeps a margin: a subtree is cut only when its
+// relaxation bound is strictly below the incumbent minus 1e-9. The
+// incumbent never exceeds the true optimum F, while every ancestor of
+// an optimal leaf has bound ≥ F — so no assignment tied with the
+// optimum is ever pruned, under any schedule. Among ties the winner is
+// fixed by the ordered reduction over subtrees (and DFS order within
+// one), with the greedy seed winning all ties — the serial result.
+func (ls *LevelSearch) branchBound(eng *engine, in *Input, pairs []pair) (assignment, error) {
 	// Seed the incumbent with the greedy solution so pruning bites early.
-	best, err := ls.greedy(in, pairs)
+	best, err := ls.greedy(eng, in, pairs)
 	if err != nil {
 		return assignment{}, err
 	}
+	inc := newAtomicFloat(best.obj)
+	prefixes := bbPrefixes(in, pairs, eng.workerCount())
+	results, err := mapOrdered(eng.workerCount(), len(prefixes), func(i int) (assignment, error) {
+		return ls.bbSubtree(eng, in, pairs, prefixes[i], inc)
+	})
+	if err != nil {
+		return assignment{}, err
+	}
+	for _, a := range results {
+		if a.obj > best.obj {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+// bbPrefixes expands the first tree levels into enough sibling subtrees
+// (in DFS order) to keep the worker pool busy. With one worker the
+// whole tree is a single subtree rooted at depth zero — exactly the
+// serial search.
+func bbPrefixes(in *Input, pairs []pair, workers int) [][]int {
+	prefixes := [][]int{{}}
+	if workers <= 1 {
+		return prefixes
+	}
+	target := 4 * workers
+	for depth := 0; len(prefixes) < target && depth < len(pairs); depth++ {
+		n := in.Sys.Classes[pairs[depth].k].TUF.NumLevels()
+		next := make([][]int, 0, len(prefixes)*n)
+		for _, p := range prefixes {
+			for q := 0; q < n; q++ {
+				next = append(next, append(append([]int(nil), p...), q))
+			}
+		}
+		prefixes = next
+	}
+	return prefixes
+}
+
+// bbSubtree runs the depth-first search under one fixed level prefix,
+// returning the subtree's best leaf (ties broken by DFS order).
+func (ls *LevelSearch) bbSubtree(eng *engine, in *Input, pairs []pair, prefix []int, inc *atomicFloat) (assignment, error) {
+	sys := in.Sys
 	levels := make([]int, len(pairs))
+	copy(levels, prefix)
+	local := assignment{obj: math.Inf(-1)}
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == len(pairs) {
-			a, err := ls.evaluate(in, pairs, levels)
+			a, err := ls.evaluate(eng, in, pairs, levels)
 			if err != nil {
 				return err
 			}
-			if a.obj > best.obj {
-				best = a
+			if a.obj > local.obj {
+				local = a
 			}
+			inc.raise(a.obj)
 			return nil
 		}
-		ub, err := ls.upperBound(in, pairs, levels, depth)
+		ub, err := ls.upperBound(eng, in, pairs, levels, depth)
 		if err != nil {
 			return err
 		}
-		if ub <= best.obj+1e-9 {
+		cut := local.obj
+		if g := inc.load(); g > cut {
+			cut = g
+		}
+		// Margin pruning: only cut subtrees strictly dominated by the
+		// incumbent; an infeasible relaxation proves every leaf below
+		// is infeasible too.
+		if ub < cut-1e-9 || math.IsInf(ub, -1) {
 			return nil
 		}
 		for q := 0; q < sys.Classes[pairs[depth].k].TUF.NumLevels(); q++ {
@@ -274,16 +380,16 @@ func (ls *LevelSearch) branchBound(in *Input, pairs []pair) (assignment, error) 
 		levels[depth] = 0
 		return nil
 	}
-	if err := rec(0); err != nil {
+	if err := rec(len(prefix)); err != nil {
 		return assignment{}, err
 	}
-	return best, nil
+	return local, nil
 }
 
 // upperBound solves the relaxed LP where pairs below depth keep their
 // assigned level and pairs at or beyond depth get max utility with the
 // loosest deadline.
-func (ls *LevelSearch) upperBound(in *Input, pairs []pair, levels []int, depth int) (float64, error) {
+func (ls *LevelSearch) upperBound(eng *engine, in *Input, pairs []pair, levels []int, depth int) (float64, error) {
 	sys := in.Sys
 	var comms []commodity
 	for pi, p := range pairs {
@@ -307,11 +413,12 @@ func (ls *LevelSearch) upperBound(in *Input, pairs []pair, levels []int, depth i
 		}
 		comms = append(comms, commodity{k: p.k, q: q, l: p.l, utility: u, deadline: d, bestCoef: bestC})
 	}
+	sortCommodities(comms)
 	comms = capReservations(in, comms)
 	if len(comms) == 0 {
 		return 0, nil
 	}
-	_, obj, err := solveDispatchLP(in, comms, false, nil, ls.LPOpts)
+	_, obj, err := eng.solve(in, comms, false, nil, ls.LPOpts)
 	if err == lp.ErrInfeasible {
 		return math.Inf(-1), nil
 	}

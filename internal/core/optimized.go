@@ -16,6 +16,10 @@ type commodity struct {
 	utility  float64
 	deadline float64
 	bestCoef float64
+	// floored marks a commodity of a class carrying a completion floor:
+	// admitted even at a loss, and exempt from reservation eviction
+	// while any non-floored commodity remains (see capReservations).
+	floored bool
 }
 
 // Optimized is the paper's "Optimized" planner: it maximizes paper Eq. 5
@@ -55,6 +59,18 @@ type Optimized struct {
 	MinCompletion []float64
 	// LPOpts tunes the simplex solver.
 	LPOpts lp.Options
+	// Parallelism controls the plan-search engine. 0 (the default)
+	// keeps the legacy strictly serial, uncached search; n ≥ 1 enables
+	// the engine with n workers and the subset-LP memo cache (n = 1 is
+	// the serial engine: identical search order, answered from cache);
+	// negative values use runtime.NumCPU(). Parallel and serial runs
+	// commit bit-identical plans — see DESIGN.md §7. The engine's
+	// goroutines live entirely inside one Plan call; the planner itself
+	// must still be driven by a single caller at a time.
+	Parallelism int
+	// Stats, when non-nil, receives the engine's solver counters after
+	// each Plan call (zero when Parallelism == 0). Diagnostics only.
+	Stats *SearchStats
 }
 
 // NewOptimized returns the planner with the paper-faithful defaults:
@@ -76,13 +92,15 @@ func (o *Optimized) Plan(in *Input) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	eng := newEngine(o.Parallelism, in)
+	defer eng.report(o.Stats)
 	full := admissibleCommodities(in, o.MinCompletion)
-	best, err := o.solveSubset(in, capReservations(in, full))
+	best, err := o.solveSubset(eng, in, capReservations(in, full))
 	if err != nil {
 		return nil, err
 	}
 	if o.Refine {
-		improved, err := o.toggleSearch(in, full, best)
+		improved, err := o.toggleSearch(eng, in, full, best)
 		if err != nil {
 			return nil, err
 		}
@@ -91,17 +109,17 @@ func (o *Optimized) Plan(in *Input) (*Plan, error) {
 		// all but one level per (type, center) and sometimes escapes the
 		// full set's reservation load.
 		if multiLevel(in) {
-			seed, err := o.greedySeed(in)
+			seed, err := o.greedySeed(eng, in)
 			if err != nil {
 				return nil, err
 			}
 			// Re-evaluate the seed subset under this planner's own
 			// constraints (the greedy search knows nothing of floors).
-			seedEval, err := o.solveSubset(in, seed.comms)
+			seedEval, err := o.solveSubset(eng, in, seed.comms)
 			if err != nil {
 				return nil, err
 			}
-			fromSeed, err := o.toggleSearch(in, full, seedEval)
+			fromSeed, err := o.toggleSearch(eng, in, full, seedEval)
 			if err != nil {
 				return nil, err
 			}
@@ -142,7 +160,7 @@ func admissibleCommodities(in *Input, floors []float64) []commodity {
 					}
 				}
 				if best > 0 || floored {
-					out = append(out, commodity{k: k, q: q, l: l, utility: lev.Utility, deadline: lev.Deadline, bestCoef: best})
+					out = append(out, commodity{k: k, q: q, l: l, utility: lev.Utility, deadline: lev.Deadline, bestCoef: best, floored: floored})
 				}
 			}
 		}
@@ -153,8 +171,14 @@ func admissibleCommodities(in *Input, floors []float64) []commodity {
 // capReservations enforces per-center feasibility of the paper's
 // linearized deadline constraint at zero load: the shares reserved by the
 // admitted commodities, Σ 1/(D·C·μ), must fit in one server. Commodities
-// with the lowest value are evicted first. The input slice is not
-// modified.
+// with the lowest value are evicted first, except that floor-carrying
+// commodities — admitted by admissibleCommodities precisely so a
+// completion floor can be met, at a loss if necessary — are
+// eviction-exempt until no non-floored commodity remains at the center.
+// Their bestCoef is usually the lowest in the set (often negative), so
+// value-ordered eviction would strip a floored type of every commodity
+// and turn a feasible instance into a spurious "floors exceed what the
+// fleet can serve" failure. The input slice is not modified.
 func capReservations(in *Input, orig []commodity) []commodity {
 	comms := append([]commodity(nil), orig...)
 	sys := in.Sys
@@ -162,18 +186,18 @@ func capReservations(in *Input, orig []commodity) []commodity {
 	for l := 0; l < sys.L(); l++ {
 		for {
 			var sum float64
-			worst, worstVal := -1, math.Inf(1)
-			for ci, c := range comms {
+			for _, c := range comms {
 				if c.l != l {
 					continue
 				}
 				dc := &sys.Centers[l]
 				sum += 1 / (c.deadline * dc.Capacity * dc.ServiceRate[c.k])
-				if c.bestCoef < worstVal {
-					worst, worstVal = ci, c.bestCoef
-				}
 			}
-			if sum <= margin || worst < 0 {
+			if sum <= margin {
+				break
+			}
+			worst := worstEvictable(comms, l)
+			if worst < 0 {
 				break
 			}
 			comms = append(comms[:worst], comms[worst+1:]...)
@@ -182,13 +206,33 @@ func capReservations(in *Input, orig []commodity) []commodity {
 	return comms
 }
 
-func dropWorst(comms []commodity) []commodity {
+// worstEvictable picks the eviction victim among the commodities of
+// center l (any center when l < 0): the lowest bestCoef among
+// non-floored commodities, falling back to floored ones only when no
+// other candidate exists.
+func worstEvictable(comms []commodity, l int) int {
 	worst, worstVal := -1, math.Inf(1)
+	worstFl, worstFlVal := -1, math.Inf(1)
 	for ci, c := range comms {
-		if c.bestCoef < worstVal {
+		if l >= 0 && c.l != l {
+			continue
+		}
+		if c.floored {
+			if c.bestCoef < worstFlVal {
+				worstFl, worstFlVal = ci, c.bestCoef
+			}
+		} else if c.bestCoef < worstVal {
 			worst, worstVal = ci, c.bestCoef
 		}
 	}
+	if worst < 0 {
+		return worstFl
+	}
+	return worst
+}
+
+func dropWorst(comms []commodity) []commodity {
+	worst := worstEvictable(comms, -1)
 	if worst < 0 {
 		return comms[:0]
 	}
@@ -199,11 +243,14 @@ func dropWorst(comms []commodity) []commodity {
 // completion floors, numerically rare infeasibility retries with the
 // least valuable commodity dropped; with floors, an infeasible subset is
 // reported as a -Inf assignment so the subset search can route around it.
-func (o *Optimized) solveSubset(in *Input, comms []commodity) (assignment, error) {
+func (o *Optimized) solveSubset(eng *engine, in *Input, comms []commodity) (assignment, error) {
 	comms = append([]commodity(nil), comms...)
+	// Canonical order: keys the memo cache and keeps the LP layout
+	// independent of how the candidate subset was constructed.
+	sortCommodities(comms)
 	withFloors := floorsActive(in, o.MinCompletion)
 	for {
-		rates, obj, err := solveDispatchLP(in, comms, o.PerServer, o.MinCompletion, o.LPOpts)
+		rates, obj, err := eng.solve(in, comms, o.PerServer, o.MinCompletion, o.LPOpts)
 		if err == nil {
 			return assignment{comms: comms, rates: rates, obj: obj}, nil
 		}
@@ -223,41 +270,57 @@ type commodityKey struct{ k, q, l int }
 func keyOf(c commodity) commodityKey { return commodityKey{c.k, c.q, c.l} }
 
 // toggleSearch hill-climbs over commodity subsets by single add/remove
-// moves, starting from start and drawing candidates from full.
-func (o *Optimized) toggleSearch(in *Input, full []commodity, start assignment) (assignment, error) {
+// moves, starting from start and drawing candidates from full. Candidate
+// moves are evaluated through speculativePass, so the engine solves
+// several trial subsets concurrently while committing exactly the same
+// first-improvement sequence as the serial search.
+func (o *Optimized) toggleSearch(eng *engine, in *Input, full []commodity, start assignment) (assignment, error) {
 	best := start
 	inSet := make(map[commodityKey]bool, len(best.comms))
 	for _, c := range best.comms {
 		inSet[keyOf(c)] = true
 	}
+	// trialFor builds the subset for toggling cand against the current
+	// best set; ok is false when adding cand would overload a center's
+	// reservations (the move is skipped). Read-only on the search state,
+	// so concurrent speculative evaluations are race-free.
+	trialFor := func(cand commodity) (trial []commodity, ok bool) {
+		key := keyOf(cand)
+		if inSet[key] {
+			for _, c := range best.comms {
+				if keyOf(c) != key {
+					trial = append(trial, c)
+				}
+			}
+			return trial, true
+		}
+		trial = append(append([]commodity(nil), best.comms...), cand)
+		capped := capReservations(in, trial)
+		if len(capped) != len(trial) {
+			return nil, false
+		}
+		return capped, true
+	}
 	for iter := 0; iter < 60; iter++ {
-		improved := false
-		for _, cand := range full {
-			key := keyOf(cand)
-			var trial []commodity
-			if inSet[key] {
-				for _, c := range best.comms {
-					if keyOf(c) != key {
-						trial = append(trial, c)
-					}
+		improved, err := speculativePass(eng.workerCount(), len(full),
+			func(i int) (assignment, error) {
+				trial, ok := trialFor(full[i])
+				if !ok {
+					return assignment{obj: math.Inf(-1)}, nil // skipped move
 				}
-			} else {
-				trial = append(append([]commodity(nil), best.comms...), cand)
-				capped := capReservations(in, trial)
-				if len(capped) != len(trial) {
-					continue // adding it overloads a center's reservations
+				return o.solveSubset(eng, in, trial)
+			},
+			func(i int, a assignment) bool {
+				if a.obj <= best.obj+1e-9 {
+					return false
 				}
-				trial = capped
-			}
-			a, err := o.solveSubset(in, trial)
-			if err != nil {
-				return assignment{}, err
-			}
-			if a.obj > best.obj+1e-9 {
 				best = a
+				key := keyOf(full[i])
 				inSet[key] = !inSet[key]
-				improved = true
-			}
+				return true
+			})
+		if err != nil {
+			return assignment{}, err
 		}
 		if !improved {
 			break
@@ -267,8 +330,9 @@ func (o *Optimized) toggleSearch(in *Input, full []commodity, start assignment) 
 }
 
 // greedySeed runs the greedy single-level commitment of LevelSearch to
-// seed the subset search.
-func (o *Optimized) greedySeed(in *Input) (assignment, error) {
+// seed the subset search. It shares the caller's engine, so its LP
+// solves land in (and draw from) the same memo cache.
+func (o *Optimized) greedySeed(eng *engine, in *Input) (assignment, error) {
 	ls := &LevelSearch{Strategy: Greedy, PerServer: o.PerServer, LPOpts: o.LPOpts}
 	var pairs []pair
 	for k := 0; k < in.Sys.K(); k++ {
@@ -276,7 +340,7 @@ func (o *Optimized) greedySeed(in *Input) (assignment, error) {
 			pairs = append(pairs, pair{k, l})
 		}
 	}
-	return ls.greedy(in, pairs)
+	return ls.greedy(eng, in, pairs)
 }
 
 // multiLevel reports whether any class has more than one TUF level.
@@ -574,6 +638,17 @@ func planFromRates(in *Input, comms []commodity, rates [][]float64, consolidate,
 // activeKey identifies a used commodity within one center.
 type activeKey struct{ k, q int }
 
+// shareFeasTol is the single share-budget tolerance of allocateCenter:
+// both the full-fleet feasibility gate and the consolidation binary
+// search accept a server count whose summed shares overshoot 1 by at
+// most this much. It matches the tolerance Verify is called with
+// throughout the repo, so consolidation never settles on a count the
+// verifier would reject — and, with one constant, the search cannot
+// converge on a larger fleet than the gate itself accepts (the old
+// 1e-9 search bound treated counts in the (1e-9, 1e-6] overshoot band
+// as infeasible that the gate had already admitted).
+const shareFeasTol = 1e-6
+
 // allocateCenter decides ServersOn[l] and Phi[l] from the center's
 // dispatched rates. The minimum server count n satisfies
 //
@@ -608,14 +683,14 @@ func allocateCenter(in *Input, plan *Plan, l int, consolidate, topUp bool) error
 		return sum
 	}
 	n := dc.Servers
-	if shareAt(n) > 1+1e-6 {
+	if shareAt(n) > 1+shareFeasTol {
 		return fmt.Errorf("core: center %d cannot host planned load on %d servers (share %g)", l, n, shareAt(n))
 	}
 	if consolidate {
 		lo, hi := 1, dc.Servers // invariant: hi always feasible
 		for lo < hi {
 			mid := (lo + hi) / 2
-			if shareAt(mid) <= 1+1e-9 {
+			if shareAt(mid) <= 1+shareFeasTol {
 				hi = mid
 			} else {
 				lo = mid + 1
@@ -676,8 +751,10 @@ func planObjective(in *Input, plan *Plan) float64 {
 	return sum
 }
 
-// sortCommodities orders commodities deterministically (by k, q, l); used
-// by tests to compare planner variants.
+// sortCommodities orders commodities canonically (by k, q, l). Every
+// search path sorts before solving, which keys the memo cache and makes
+// the LP layout — hence the committed plan — independent of both subset
+// construction order and worker count.
 func sortCommodities(comms []commodity) {
 	sort.Slice(comms, func(i, j int) bool {
 		a, b := comms[i], comms[j]

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// determinismInputs is the seed battery for the parallel-vs-serial
+// equivalence suite: the fixed fixtures plus a couple of random systems.
+func determinismInputs() []struct {
+	name string
+	in   *Input
+} {
+	battery := []struct {
+		name string
+		in   *Input
+	}{
+		{"one-dc", &Input{Sys: oneDCSystem(), Arrivals: [][]float64{{50}}, Prices: []float64{0.1}}},
+		{"two-dc", &Input{Sys: twoDCSystem(), Arrivals: [][]float64{{200}}, Prices: []float64{0.1, 0.05}}},
+		{"multi-level", &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}},
+	}
+	for _, seed := range []int64{5, 11} {
+		_, in := randomSystem(rand.New(rand.NewSource(seed)))
+		battery = append(battery, struct {
+			name string
+			in   *Input
+		}{fmt.Sprintf("random-%d", seed), in})
+	}
+	return battery
+}
+
+// levelSpace counts the level-assignment space of an input, to keep the
+// exhaustive strategies off the largest random systems.
+func levelSpace(in *Input) float64 {
+	space := 1.0
+	for k := 0; k < in.Sys.K(); k++ {
+		for l := 0; l < in.Sys.L(); l++ {
+			space *= float64(in.Sys.Classes[k].TUF.NumLevels())
+		}
+	}
+	return space
+}
+
+// TestParallelPlansBitIdentical is the determinism suite of the parallel
+// plan-search engine: for every planner strategy and every Parallelism
+// in {1, 4, NumCPU}, the committed plan — objective, rates, phi,
+// servers-on — must be bit-identical to the Parallelism=0 legacy serial
+// plan on every input of the seed battery.
+func TestParallelPlansBitIdentical(t *testing.T) {
+	planners := []struct {
+		name      string
+		make      func(par int) Planner
+		exhaustve bool // enumerates the full level space
+	}{
+		{"optimized", func(p int) Planner { o := NewOptimized(); o.Parallelism = p; return o }, false},
+		{"optimized/per-server", func(p int) Planner {
+			o := NewOptimized()
+			o.PerServer = true
+			o.Parallelism = p
+			return o
+		}, false},
+		{"optimized/floors", func(p int) Planner {
+			o := NewOptimized()
+			o.MinCompletion = []float64{0.3}
+			o.Parallelism = p
+			return o
+		}, false},
+		{"level-search/exhaustive", func(p int) Planner {
+			ls := NewLevelSearch()
+			ls.Strategy = Exhaustive
+			ls.Parallelism = p
+			return ls
+		}, true},
+		{"level-search/greedy", func(p int) Planner {
+			ls := NewLevelSearch()
+			ls.Strategy = Greedy
+			ls.Parallelism = p
+			return ls
+		}, false},
+		{"level-search/branch-bound", func(p int) Planner {
+			ls := NewLevelSearch()
+			ls.Strategy = BranchBound
+			ls.Parallelism = p
+			return ls
+		}, true},
+		{"level-search/auto", func(p int) Planner {
+			ls := NewLevelSearch()
+			ls.Parallelism = p
+			return ls
+		}, false},
+	}
+	parallelisms := []int{1, 4, runtime.NumCPU()}
+	for _, tc := range determinismInputs() {
+		for _, pl := range planners {
+			if pl.exhaustve && levelSpace(tc.in) > 512 {
+				continue
+			}
+			t.Run(tc.name+"/"+pl.name, func(t *testing.T) {
+				serial, serr := pl.make(0).Plan(tc.in)
+				for _, par := range parallelisms {
+					got, gerr := pl.make(par).Plan(tc.in)
+					if (serr == nil) != (gerr == nil) {
+						t.Fatalf("parallelism %d: error mismatch: serial=%v parallel=%v", par, serr, gerr)
+					}
+					if serr != nil {
+						continue
+					}
+					if got.Objective != serial.Objective {
+						t.Fatalf("parallelism %d: objective %v != serial %v", par, got.Objective, serial.Objective)
+					}
+					if !reflect.DeepEqual(got.Rate, serial.Rate) {
+						t.Fatalf("parallelism %d: rates differ from serial", par)
+					}
+					if !reflect.DeepEqual(got.Phi, serial.Phi) {
+						t.Fatalf("parallelism %d: phi differs from serial", par)
+					}
+					if !reflect.DeepEqual(got.ServersOn, serial.ServersOn) {
+						t.Fatalf("parallelism %d: servers-on %v != serial %v", par, got.ServersOn, serial.ServersOn)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMemoCacheHits proves the subset-LP cache actually fires on the
+// redundant solves the searches generate, and that the planner reports
+// its counters through Stats.
+func TestMemoCacheHits(t *testing.T) {
+	in := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	o := NewOptimized()
+	o.Parallelism = 1
+	o.Stats = &SearchStats{}
+	mustPlan(t, o, in)
+	if o.Stats.Solves == 0 {
+		t.Fatal("engine reported no LP solves")
+	}
+	if o.Stats.CacheHits == 0 {
+		t.Fatal("subset cache never hit during the refine search")
+	}
+
+	ls := NewLevelSearch()
+	ls.Strategy = BranchBound
+	ls.Parallelism = 1
+	ls.Stats = &SearchStats{}
+	mustPlan(t, ls, in)
+	if ls.Stats.CacheHits == 0 {
+		t.Fatal("subset cache never hit during branch-and-bound")
+	}
+}
+
+// TestStatsZeroWhenSerial: the legacy path must not engage the engine.
+func TestStatsZeroWhenSerial(t *testing.T) {
+	in := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	o := NewOptimized()
+	o.Stats = &SearchStats{}
+	mustPlan(t, o, in)
+	if o.Stats.Solves != 0 || o.Stats.CacheHits != 0 {
+		t.Fatalf("Parallelism=0 must bypass the engine, got stats %+v", *o.Stats)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got, err := mapOrdered(workers, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapOrderedLowestErrorWins(t *testing.T) {
+	boom3 := errors.New("boom 3")
+	boom7 := errors.New("boom 7")
+	for _, workers := range []int{1, 4} {
+		_, err := mapOrdered(workers, 10, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, boom3
+			case 7:
+				return 0, boom7
+			default:
+				return i, nil
+			}
+		})
+		if err != boom3 {
+			t.Fatalf("workers=%d: want lowest-index error %v, got %v", workers, boom3, err)
+		}
+	}
+}
+
+// TestSpeculativePassBatchInvariant: the accept sequence of a
+// first-improvement pass must not depend on the worker count.
+func TestSpeculativePassBatchInvariant(t *testing.T) {
+	vals := []float64{1, 5, 2, 9, 3, 9.5, 0.5, 12, 11, 13}
+	run := func(workers int) []int {
+		state := 4.0
+		var accepts []int
+		for {
+			improved, err := speculativePass(workers, len(vals),
+				func(i int) (assignment, error) {
+					// Pure function of (state, i), like a subset solve.
+					return assignment{obj: vals[i] - state}, nil
+				},
+				func(i int, a assignment) bool {
+					if a.obj <= 1e-9 {
+						return false
+					}
+					state = vals[i]
+					accepts = append(accepts, i)
+					return true
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !improved {
+				return accepts
+			}
+		}
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: accept sequence %v != serial %v", workers, got, want)
+		}
+	}
+}
+
+func TestAtomicFloatRaise(t *testing.T) {
+	f := newAtomicFloat(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.raise(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := f.load(); got != 7999 {
+		t.Fatalf("raise lost the maximum: got %v", got)
+	}
+	f.raise(5)
+	if got := f.load(); got != 7999 {
+		t.Fatalf("raise went backwards: got %v", got)
+	}
+}

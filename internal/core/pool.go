@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"profitlb/internal/lp"
+)
+
+// engine is the per-Plan-call execution context of the plan search: a
+// worker budget for evaluating independent subset/assignment LPs
+// concurrently plus a memoization cache for dispatch-LP solves. A nil
+// engine is the legacy strictly serial, uncached search. The engine
+// never outlives the Plan call that created it, so cached entries are
+// always for the call's own Input.
+type engine struct {
+	workers int
+	cache   *subsetCache
+}
+
+// newEngine resolves a planner's Parallelism knob. 0 (the zero value)
+// keeps the legacy serial path with no cache; n ≥ 1 enables the engine
+// with n workers and the subset-LP memo cache (n = 1 is the serial
+// engine: the same search order, answered from cache when possible);
+// negative values use all CPUs.
+func newEngine(parallelism int, in *Input) *engine {
+	if parallelism == 0 {
+		return nil
+	}
+	return &engine{workers: resolveWorkers(parallelism), cache: newSubsetCache(in)}
+}
+
+// resolveWorkers maps the Parallelism knob to a concrete worker count.
+func resolveWorkers(p int) int {
+	if p < 0 {
+		return runtime.NumCPU()
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// workerCount is nil-safe: a nil engine runs everything inline.
+func (e *engine) workerCount() int {
+	if e == nil {
+		return 1
+	}
+	return e.workers
+}
+
+// solve routes a dispatch-LP solve through the memo cache when the
+// engine is enabled. comms must already be in canonical sortCommodities
+// order (every search path canonicalizes before solving); the returned
+// rates may be shared with other callers and must be treated as
+// read-only.
+func (e *engine) solve(in *Input, comms []commodity, perServer bool, floors []float64, opts lp.Options) ([][]float64, float64, error) {
+	if e == nil || e.cache == nil || len(comms) == 0 {
+		return solveDispatchLP(in, comms, perServer, floors, opts)
+	}
+	return e.cache.solve(in, comms, perServer, floors, opts)
+}
+
+// report copies the engine's solver counters into a caller-provided
+// stats sink; both sides are nil-safe.
+func (e *engine) report(stats *SearchStats) {
+	if e == nil || e.cache == nil || stats == nil {
+		return
+	}
+	stats.Solves = e.cache.solves.Load()
+	stats.CacheHits = e.cache.hits.Load()
+}
+
+// mapOrdered evaluates fn(0..n-1) on up to workers goroutines and
+// returns the results in index order. When several calls fail, the
+// error of the lowest failing index is returned, so the surfaced error
+// does not depend on goroutine scheduling. workers ≤ 1 runs inline with
+// no goroutines.
+func mapOrdered[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// speculativePass runs one first-improvement pass over n ordered
+// candidates. eval(i) evaluates candidate i against the current search
+// state without mutating it; tryAccept(i, a) applies the move when it
+// improves the state and reports whether it did.
+//
+// Candidates are evaluated speculatively in batches against a frozen
+// state: the batch is scanned in candidate order, the first improving
+// candidate is accepted, and every later result in the batch is
+// discarded (it was computed against the now-stale state) and
+// re-evaluated in the next batch. The accept sequence is therefore
+// identical for every batch size, which is what makes the search
+// bit-identical at any worker count. Batch size only shifts work
+// between wasted speculation and parallelism; it grows while no move is
+// accepted (converged passes become one big parallel map) and resets on
+// every accept.
+func speculativePass(workers, n int, eval func(int) (assignment, error), tryAccept func(int, assignment) bool) (bool, error) {
+	improved := false
+	batch := workers
+	if batch < 1 {
+		batch = 1
+	}
+	maxBatch := 4 * workers
+	for i := 0; i < n; {
+		b := batch
+		if b > n-i {
+			b = n - i
+		}
+		results, err := mapOrdered(workers, b, func(j int) (assignment, error) {
+			return eval(i + j)
+		})
+		if err != nil {
+			return false, err
+		}
+		accepted := false
+		for j, a := range results {
+			if tryAccept(i+j, a) {
+				improved, accepted = true, true
+				i += j + 1
+				break
+			}
+		}
+		if !accepted {
+			i += b
+			if workers > 1 && batch < maxBatch {
+				batch *= 2
+			}
+		} else {
+			batch = workers
+		}
+	}
+	return improved, nil
+}
+
+// atomicFloat is a lock-free monotonic maximum, used as the shared
+// branch-and-bound incumbent. It only ever rises, so concurrent raises
+// can interleave freely: pruning against a stale (lower) value is
+// always safe.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func newAtomicFloat(v float64) *atomicFloat {
+	f := &atomicFloat{}
+	f.bits.Store(math.Float64bits(v))
+	return f
+}
+
+func (f *atomicFloat) load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+// raise lifts the stored value to at least v.
+func (f *atomicFloat) raise(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -37,14 +37,16 @@ func (o *Optimized) Sensitivity(in *Input) (*Sensitivity, error) {
 	comms := capReservations(in, full)
 	if o.Refine {
 		// Use the same subset the planner would commit to, so the prices
-		// describe the plan actually executed.
+		// describe the plan actually executed. The copied struct carries
+		// Parallelism along, so the refinement runs on its own engine.
 		agg := *o
 		agg.PerServer = false
-		best, err := agg.solveSubset(in, comms)
+		eng := newEngine(agg.Parallelism, in)
+		best, err := agg.solveSubset(eng, in, comms)
 		if err != nil {
 			return nil, err
 		}
-		improved, err := agg.toggleSearch(in, full, best)
+		improved, err := agg.toggleSearch(eng, in, full, best)
 		if err != nil {
 			return nil, err
 		}

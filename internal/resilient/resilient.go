@@ -69,7 +69,11 @@ type Decision struct {
 
 // Chain is a resilient planner. It implements core.Planner and, like
 // every stateful planner in this codebase, must be driven by exactly one
-// goroutine; sim.Compare callers pass one instance per lane.
+// goroutine; sim.Compare callers pass one instance per lane. Tiers with
+// core's Parallelism knob enabled are fine here: their worker
+// goroutines live entirely inside a single Plan call and never touch
+// chain state, so the single-caller contract is unchanged (the race
+// tests drive a parallel planner through a faulted chain to prove it).
 type Chain struct {
 	// Tiers are tried in order. Must be non-empty.
 	Tiers []core.Planner
@@ -145,7 +149,15 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 	commit := func(plan *core.Plan, tier int, name string) *core.Plan {
 		dec.Tier, dec.TierName, dec.Degraded = tier, name, tier > 0
 		c.dec = dec
-		c.last = plan.Clone()
+		// The replay tier only learns plans that actually dispatch
+		// traffic. Recording the shed plan (or any other zero-dispatch
+		// commit) here would overwrite the last useful plan with
+		// emptiness, leaving replay nothing to offer on the next failed
+		// slot even though a perfectly serviceable plan had been
+		// committed earlier in the horizon.
+		if planDispatches(plan) {
+			c.last = plan.Clone()
+		}
 		return plan
 	}
 	for i, p := range c.Tiers {
@@ -164,6 +176,22 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 		}
 	}
 	return commit(core.NewPlan(in.Sys), n+1, "shed"), nil
+}
+
+// planDispatches reports whether the plan serves any traffic at all.
+func planDispatches(p *core.Plan) bool {
+	for k := range p.Rate {
+		for q := range p.Rate[k] {
+			for s := range p.Rate[k][q] {
+				for _, v := range p.Rate[k][q][s] {
+					if v > 0 {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
 }
 
 // attempt runs one tier under the deadline with panic recovery, and

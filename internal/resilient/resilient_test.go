@@ -3,6 +3,7 @@ package resilient_test
 import (
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -319,5 +320,106 @@ func TestSimReproducibleUnderFaults(t *testing.T) {
 	a, b := run(), run()
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("identical fault schedules produced different reports")
+	}
+}
+
+// TestShedDoesNotPoisonReplay covers the fail → shed → recover → fail →
+// replay sequence: committing the shed plan used to overwrite the
+// chain's replay memory with an empty plan, so every later failure
+// could only "replay" zero dispatch even though a perfectly good plan
+// had been committed earlier in the horizon.
+func TestShedDoesNotPoisonReplay(t *testing.T) {
+	flaky := &misbehaver{name: "t0"}
+	chain := resilient.New(flaky)
+
+	// Slot 0: healthy; commits a dispatching plan the chain should remember.
+	if _, err := chain.Plan(testInput(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slot 1: the planner fails AND the fleet is so degraded that replaying
+	// the slot-0 plan fails verification — the chain must shed.
+	flaky.mode = "error"
+	in1 := testInput(1)
+	in1.Sys.Centers[0].ServiceRate[0] *= 0.01
+	in1.Sys.Centers[1].ServiceRate[0] *= 0.01
+	if _, err := chain.Plan(in1); err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.LastDecision().TierName; got != "shed" {
+		t.Fatalf("degraded slot committed %q, want shed", got)
+	}
+
+	// Slot 2: fleet recovered, planner still down. Replay must bring back
+	// the slot-0 plan — before the fix the shed commit had erased it and
+	// the chain replayed emptiness here.
+	plan, err := chain.Plan(testInput(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.LastDecision().TierName; got != "replay" {
+		t.Fatalf("recovered slot committed %q, want replay", got)
+	}
+	if got := plan.Served(0); got < 100 {
+		t.Fatalf("replay serves %g, want the slot-0 plan's dispatch back", got)
+	}
+
+	// Slots 3–4: a healthy commit refreshes the memory, and the next
+	// failure replays that newer plan.
+	flaky.mode = ""
+	if _, err := chain.Plan(testInput(3)); err != nil {
+		t.Fatal(err)
+	}
+	flaky.mode = "error"
+	plan, err = chain.Plan(testInput(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.LastDecision().TierName; got != "replay" || plan.Served(0) < 100 {
+		t.Fatalf("post-recovery failure committed %q serving %g, want a replay of the slot-3 plan", got, plan.Served(0))
+	}
+}
+
+// TestChainWithParallelPlanner drives chains whose fallback tier uses
+// core's Parallelism knob, concurrently from two goroutines (one chain
+// per goroutine, per the single-caller contract), and checks every
+// committed plan is identical to a serial chain's. Under `make race`
+// this is the proof of the chain/engine concurrency contract.
+func TestChainWithParallelPlanner(t *testing.T) {
+	runChain := func(par int) []*core.Plan {
+		prim := &misbehaver{name: "t0"}
+		o := core.NewOptimized()
+		o.Parallelism = par
+		chain := resilient.New(prim, o)
+		var plans []*core.Plan
+		for slot := 0; slot < 4; slot++ {
+			prim.mode = ""
+			if slot%2 == 1 {
+				prim.mode = "error" // odd slots fall through to the parallel tier
+			}
+			plan, err := chain.Plan(testInput(slot))
+			if err != nil {
+				t.Errorf("slot %d: %v", slot, err)
+				return nil
+			}
+			plans = append(plans, plan)
+		}
+		return plans
+	}
+	serial := runChain(0)
+	results := make([][]*core.Plan, 2)
+	var wg sync.WaitGroup
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = runChain(4)
+		}(g)
+	}
+	wg.Wait()
+	for g, plans := range results {
+		if !reflect.DeepEqual(plans, serial) {
+			t.Fatalf("goroutine %d: parallel-tier chain diverged from the serial chain", g)
+		}
 	}
 }

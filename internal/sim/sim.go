@@ -445,7 +445,10 @@ func account(in *core.Input, plan *core.Plan) SlotReport {
 // goroutine per planner. The configuration is only read; each planner
 // instance is driven by exactly one goroutine, so stateful planners (e.g.
 // the switching wrapper or a resilient chain) remain safe as long as
-// callers pass distinct instances. A panicking planner is recovered and
+// callers pass distinct instances. Planners with core's Parallelism
+// knob enabled compose with this: their internal worker goroutines are
+// scoped to one Plan call, so lanes never share search state even when
+// every lane plans in parallel. A panicking planner is recovered and
 // reported as that planner's error without disturbing the other lanes;
 // the returned slice always holds whatever reports (possibly partial)
 // each lane produced, alongside the joined per-planner errors.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify bench bench-smoke benchall
+.PHONY: build test vet race fuzz verify verify-feeds bench bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -16,14 +16,25 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# fuzz gives each fuzz target a short budget beyond its checked-in corpus.
+# fuzz gives each fuzz target a short budget beyond its checked-in
+# corpus. FuzzLoad's seeds include feeds blocks and feed fault events,
+# so the feed config decoder is fuzzed here too.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/workload/
 	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
 
 # verify is the repo's full check tier: build, vet, tests, race tests,
-# and a one-iteration smoke of the plan-search benchmarks.
-verify: build vet test race bench-smoke
+# a one-iteration smoke of the plan-search benchmarks, and the feed-layer
+# resilience tier.
+verify: build vet test race bench-smoke verify-feeds
+
+# verify-feeds is the telemetry-resilience tier: the feed package (and
+# its sim integration) under the race detector, plus a one-shot
+# chaos-with-feeds smoke through the CLI.
+verify-feeds:
+	$(GO) test -race ./internal/feed/ ./internal/resilient/
+	$(GO) test -race -run 'TestFeedPath|TestCompareLanes|TestDarkFeeds|TestFeedEscalation' ./internal/sim/
+	$(GO) test -count=1 -run 'TestCmdChaosFeeds|TestCmdSimulateFeeds' ./cmd/profitlb/
 
 # bench compares the serial and parallel plan searches on the
 # rob2-chaos-scale slot. The -count runs feed benchstat directly

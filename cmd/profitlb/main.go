@@ -12,9 +12,12 @@
 //	profitlb scaffold             print an example JSON scenario
 //	profitlb simulate -config F   run a JSON scenario and print the report
 //	                              (-faults F|storm, -resilient, -seed N,
-//	                              -parallel N for the plan-search engine)
+//	                              -parallel N for the plan-search engine,
+//	                              -feeds on|F for the telemetry feed layer)
 //	profitlb chaos -config F      profit retention per planner under a
 //	                              seeded outage + price-spike storm
+//	                              (-feeds adds feed faults and routes inputs
+//	                              through the feed layer, -parallel N)
 //	profitlb compare -config F    run a scenario under every planner
 //	profitlb analyze -config F    capacity advice + shadow prices
 //	profitlb export-lp -config F  dump a slot's dispatch LP (CPLEX format)
@@ -36,7 +39,9 @@ import (
 	"profitlb/internal/core"
 	"profitlb/internal/exp"
 	"profitlb/internal/fault"
+	"profitlb/internal/feed"
 	"profitlb/internal/market"
+	"profitlb/internal/report"
 	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
 	"profitlb/internal/stats"
@@ -101,9 +106,12 @@ commands:
   simulate -config F   run a JSON scenario file and print the report
                        (-faults F|storm injects failures, -resilient wraps
                        the planner in the fallback chain, -seed N seeds
-                       storms, -parallel N sets plan-search workers)
+                       storms, -parallel N sets plan-search workers,
+                       -feeds on|F routes inputs through the feed layer)
   chaos -config F      profit retention per planner under a seeded fault
                        storm (outages + price spikes), resilient chains on
+                       (-feeds adds feed faults + the feed layer,
+                       -parallel N sets plan-search workers)
   analyze -config F    capacity advice + shadow prices for a scenario
   compare -config F    run a scenario under every planner
   export-lp -config F  dump one slot's dispatch LP in CPLEX LP format`)
@@ -197,7 +205,7 @@ func cmdCompare(args []string) error {
 	}
 	for _, r := range reports {
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f%%\t%.2f\n",
-			r.Planner, r.TotalNetProfit(), 100*r.TotalNetProfit()/best, r.TotalCost())
+			r.Planner, r.TotalNetProfit(), 100*report.Frac(r.TotalNetProfit(), best), r.TotalCost())
 	}
 	return w.Flush()
 }
@@ -275,6 +283,34 @@ func applyFaultsFlag(sc *config.Scenario, faultsArg string, seed int64) error {
 	return sc.Validate()
 }
 
+// applyFeedsFlag resolves the -feeds flag onto the scenario: "on" (or
+// "default") routes the planner's inputs through the telemetry feed
+// layer with default settings, any other value is a path to a
+// feed-config JSON file. An empty flag leaves the scenario's own feeds
+// block (if any) in force.
+func applyFeedsFlag(sc *config.Scenario, feedsArg string) error {
+	switch feedsArg {
+	case "":
+		return nil
+	case "on", "default":
+		sc.Feeds = &feed.Config{}
+	default:
+		f, err := os.Open(feedsArg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var cfg feed.Config
+		dec := json.NewDecoder(f)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return fmt.Errorf("feeds file %s: %w", feedsArg, err)
+		}
+		sc.Feeds = &cfg
+	}
+	return sc.Validate()
+}
+
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
@@ -282,6 +318,7 @@ func cmdSimulate(args []string) error {
 	seed := fs.Int64("seed", 1, "storm seed (with -faults storm)")
 	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
+	feedsArg := fs.String("feeds", "", "telemetry feed layer: 'on' for defaults, or a feed-config JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -302,11 +339,15 @@ func cmdSimulate(args []string) error {
 	if err := applyFaultsFlag(sc, *faultsArg, *seed); err != nil {
 		return err
 	}
+	if err := applyFeedsFlag(sc, *feedsArg); err != nil {
+		return err
+	}
 	rep, err := sc.Run()
 	if err != nil {
 		return err
 	}
 	withFaults := !sc.Faults.Empty() || sc.Resilient
+	withFeeds := sc.Feeds != nil
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "scenario %s: planner %s, %d slots\n", sc.Name, rep.Planner, len(rep.Slots))
 	if !sc.Faults.Empty() {
@@ -316,16 +357,22 @@ func cmdSimulate(args []string) error {
 		}
 		fmt.Fprintf(w, "fault schedule: %s\n", strings.Join(names, " "))
 	}
+	header := "SLOT\tOFFERED\tSERVED\tREVENUE($)\tENERGY($)\tTRANSFER($)\tNET($)\tSERVERS"
 	if withFaults {
-		fmt.Fprintln(w, "SLOT\tOFFERED\tSERVED\tREVENUE($)\tENERGY($)\tTRANSFER($)\tNET($)\tSERVERS\tTIER\tFAULTS")
-	} else {
-		fmt.Fprintln(w, "SLOT\tOFFERED\tSERVED\tREVENUE($)\tENERGY($)\tTRANSFER($)\tNET($)\tSERVERS")
+		header += "\tTIER\tFAULTS"
 	}
+	if withFeeds {
+		header += "\tFEEDS"
+	}
+	fmt.Fprintln(w, header)
 	for _, s := range rep.Slots {
 		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\t%d",
 			s.Slot, s.Offered(), s.Served(), s.Revenue, s.EnergyCost, s.TransferCost, s.NetProfit, s.ServersOn)
 		if withFaults {
 			fmt.Fprintf(w, "\t%s\t%s", fallbackLabel(s), strings.Join(s.FaultsActive, " "))
+		}
+		if withFeeds {
+			fmt.Fprintf(w, "\t%s", feedLabel(s))
 		}
 		fmt.Fprintln(w)
 	}
@@ -334,7 +381,55 @@ func cmdSimulate(args []string) error {
 		fmt.Fprintf(w, "degraded slots %d of %d, lost revenue $%.2f\n",
 			rep.DegradedSlots(), len(rep.Slots), rep.TotalLostRevenue())
 	}
+	if withFeeds {
+		fmt.Fprintf(w, "feed tiers %s, mean staleness %.2f slots, breaker-open feed-slots %d\n",
+			tierMix(rep), rep.MeanFeedStaleness(), rep.BreakerOpenSlots())
+	}
 	return w.Flush()
+}
+
+// feedLabel compresses a slot's feed health for the report table:
+// "fresh" when every feed delivered a live sample, otherwise the
+// non-fresh feeds as e.g. "p0:lkg(1) a1:prior(3)!" (p = price feed of
+// center N, a = arrival feed of front-end N, bang = open breaker).
+func feedLabel(s sim.SlotReport) string {
+	if s.Feeds == nil {
+		return "-"
+	}
+	if s.Feeds.AllFresh() {
+		return "fresh"
+	}
+	var parts []string
+	for l, h := range s.Feeds.Prices {
+		if h.Tier != feed.TierFresh || h.Breaker != feed.Closed {
+			parts = append(parts, fmt.Sprintf("p%d:%s", l, h.Label()))
+		}
+	}
+	for fe, h := range s.Feeds.Arrivals {
+		if h.Tier != feed.TierFresh || h.Breaker != feed.Closed {
+			parts = append(parts, fmt.Sprintf("a%d:%s", fe, h.Label()))
+		}
+	}
+	if len(parts) == 0 {
+		return "fresh"
+	}
+	return strings.Join(parts, " ")
+}
+
+// tierMix renders a run's estimator-tier counts, e.g.
+// "fresh:40 lkg:5 prior:3".
+func tierMix(rep *sim.Report) string {
+	counts := rep.FeedTierCounts()
+	var parts []string
+	for _, tier := range []string{"fresh", "lkg", "forecast", "prior"} {
+		if counts[tier] > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", tier, counts[tier]))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
 }
 
 // fallbackLabel renders a slot's fallback state for the report table.
@@ -363,6 +458,8 @@ func cmdChaos(args []string) error {
 	outageSlots := fs.Int("outage-slots", 3, "slots each outage lasts")
 	spikes := fs.Int("spikes", 2, "price spikes to inject")
 	spikeFactor := fs.Float64("spike-factor", 2, "price multiplier during a spike")
+	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
+	feeds := fs.Bool("feeds", false, "route planner inputs through the telemetry feed layer and add feed faults to the storm")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -373,10 +470,17 @@ func cmdChaos(args []string) error {
 			return err
 		}
 	}
+	// Only an explicitly given -parallel overrides the scenario (same
+	// precedence as simulate), so `-parallel 0` can force serial search.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			sc.Parallelism = *parallel
+		}
+	})
 	if err := sc.Validate(); err != nil { // resolves named price references
 		return err
 	}
-	storm, err := fault.Storm(fault.StormConfig{
+	stormCfg := fault.StormConfig{
 		Seed:      *seed,
 		Start:     sc.StartSlot,
 		Slots:     sc.Slots,
@@ -384,22 +488,38 @@ func cmdChaos(args []string) error {
 		FrontEnds: sc.System.S(),
 		Outages:   *outages, OutageSlots: *outageSlots,
 		Spikes: *spikes, SpikeFactor: *spikeFactor,
-	})
+	}
+	if *feeds {
+		stormCfg.FeedDropouts, stormCfg.FeedNoises, stormCfg.FeedDelays = 2, 1, 1
+	}
+	storm, err := fault.Storm(stormCfg)
 	if err != nil {
 		return err
 	}
 	cleanCfg := sc.SimConfig()
-	stormCfg := cleanCfg
-	stormCfg.Faults = storm
-	stormCfg.DegradeOnFailure = true
+	faultedCfg := cleanCfg
+	faultedCfg.Faults = storm
+	faultedCfg.DegradeOnFailure = true
+	if *feeds && faultedCfg.Feeds == nil {
+		faultedCfg.Feeds = &feed.Config{}
+	}
 
 	type lane struct {
 		name    string
 		planner func() core.Planner
 	}
+	par := sc.Parallelism
 	lanes := []lane{
-		{"optimized", func() core.Planner { return core.NewOptimized() }},
-		{"level-search", func() core.Planner { return core.NewLevelSearch() }},
+		{"optimized", func() core.Planner {
+			p := core.NewOptimized()
+			p.Parallelism = par
+			return p
+		}},
+		{"level-search", func() core.Planner {
+			p := core.NewLevelSearch()
+			p.Parallelism = par
+			return p
+		}},
 		{"balanced", func() core.Planner { return baseline.NewBalanced() }},
 	}
 	cleanPlanners := make([]core.Planner, len(lanes))
@@ -412,7 +532,7 @@ func cmdChaos(args []string) error {
 	if err != nil {
 		return err
 	}
-	faulted, err := sim.Compare(stormCfg, stormPlanners...)
+	faulted, err := sim.Compare(faultedCfg, stormPlanners...)
 	if err != nil {
 		return err
 	}
@@ -424,22 +544,27 @@ func cmdChaos(args []string) error {
 		names = append(names, e.String())
 	}
 	fmt.Fprintf(w, "storm: %s\n", strings.Join(names, " "))
-	fmt.Fprintln(w, "PLANNER\tCLEAN($)\tSTORM($)\tRETAINED\tCOMPLETION\tDEGRADED\tLOST($)")
+	header := "PLANNER\tCLEAN($)\tSTORM($)\tRETAINED\tCOMPLETION\tDEGRADED\tLOST($)"
+	if *feeds {
+		header += "\tFEED TIERS"
+	}
+	fmt.Fprintln(w, header)
 	for i, ln := range lanes {
 		var completion float64
 		for k := 0; k < sc.System.K(); k++ {
 			completion += faulted[i].CompletionRate(k)
 		}
 		completion /= float64(sc.System.K())
-		retained := 0.0
-		if c := clean[i].TotalNetProfit(); c != 0 {
-			retained = faulted[i].TotalNetProfit() / c
-		}
-		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.1f%%\t%.1f%%\t%d/%d\t%.2f\n",
+		retained := report.Frac(faulted[i].TotalNetProfit(), clean[i].TotalNetProfit())
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.1f%%\t%.1f%%\t%d/%d\t%.2f",
 			ln.name, clean[i].TotalNetProfit(), faulted[i].TotalNetProfit(),
 			100*retained, 100*completion,
 			faulted[i].DegradedSlots(), len(faulted[i].Slots),
 			faulted[i].TotalLostRevenue())
+		if *feeds {
+			fmt.Fprintf(w, "\t%s", tierMix(faulted[i]))
+		}
+		fmt.Fprintln(w)
 	}
 	return w.Flush()
 }

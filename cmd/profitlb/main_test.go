@@ -364,3 +364,120 @@ func TestCmdBenchParallel(t *testing.T) {
 		t.Fatal("bench -parallel output missing planner")
 	}
 }
+
+// writeScaffold dumps the example scenario to a temp file, optionally
+// rewriting it first.
+func writeScaffold(t *testing.T, rewrite func(string) string) string {
+	t.Helper()
+	out, err := capture(t, func() error { return run([]string{"scaffold"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewrite != nil {
+		out = rewrite(out)
+	}
+	path := t.TempDir() + "/s.json"
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdChaosParallelPrecedence(t *testing.T) {
+	// Plans are bit-identical across parallelism settings, so the chaos
+	// table must be byte-identical whether the workers come from the
+	// scenario's parallelism field, the -parallel flag, or neither — and
+	// an explicit -parallel 0 must override a scenario that asks for all
+	// CPUs (same precedence rule as simulate).
+	plain := writeScaffold(t, nil)
+	parallelScenario := writeScaffold(t, func(s string) string {
+		return strings.Replace(s, `"slots": 24`, `"slots": 24, "parallelism": -1`, 1)
+	})
+	base, err := capture(t, func() error { return run([]string{"chaos", "-config", plain, "-seed", "3"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"chaos", "-config", plain, "-seed", "3", "-parallel", "-1"},
+		{"chaos", "-config", parallelScenario, "-seed", "3"},
+		{"chaos", "-config", parallelScenario, "-seed", "3", "-parallel", "0"},
+	}
+	for _, args := range cases {
+		out, err := capture(t, func() error { return run(args) })
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if out != base {
+			t.Fatalf("%v: report differs from the serial baseline", args)
+		}
+	}
+}
+
+// TestCmdChaosFeeds is the chaos+feeds smoke test (the `make
+// verify-feeds` tier runs it explicitly): one storm with feed faults,
+// inputs routed through the feed layer, reproducible by seed.
+func TestCmdChaosFeeds(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"chaos", "-seed", "5", "-feeds"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FEED TIERS", "fresh:", "feed-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos -feeds output missing %q:\n%.500s", want, out)
+		}
+	}
+	again, err := capture(t, func() error { return run([]string{"chaos", "-seed", "5", "-feeds"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatal("chaos -feeds with the same seed is not reproducible")
+	}
+}
+
+func TestCmdSimulateFeeds(t *testing.T) {
+	path := writeScaffold(t, nil)
+	out, err := capture(t, func() error { return run([]string{"simulate", "-config", path, "-feeds", "on"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FEEDS") || !strings.Contains(out, "feed tiers fresh:") {
+		t.Fatalf("simulate -feeds output missing feed health:\n%.500s", out)
+	}
+	// A feed-config file works too, and hostile files are rejected.
+	feedsPath := t.TempDir() + "/feeds.json"
+	if err := os.WriteFile(feedsPath, []byte(`{"ttl": 2, "staleMargin": 0.1, "seed": 3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"simulate", "-config", path, "-feeds", feedsPath})
+	}); err != nil {
+		t.Fatalf("simulate with feeds file: %v", err)
+	}
+	badPath := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(badPath, []byte(`{"bogusKnob": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"simulate", "-config", path, "-feeds", badPath})
+	}); err == nil {
+		t.Fatal("unknown feed-config field must be rejected")
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"simulate", "-config", path, "-feeds", "/nonexistent.json"})
+	}); err == nil {
+		t.Fatal("missing feeds file must error")
+	}
+}
+
+func TestCmdRunDarkFeedsExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"run", "rob3-darkfeeds"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dark", "prior", "feeds-clean", "100.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rob3-darkfeeds output missing %q", want)
+		}
+	}
+}

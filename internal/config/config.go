@@ -15,6 +15,7 @@ import (
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
 	"profitlb/internal/fault"
+	"profitlb/internal/feed"
 	"profitlb/internal/market"
 	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
@@ -59,6 +60,13 @@ type Scenario struct {
 	// degrade instead of aborting. It is implied whenever Faults carries
 	// planner-fault events.
 	Resilient bool `json:"resilient,omitempty"`
+	// Feeds routes the planner's price and arrival inputs through the
+	// telemetry feed layer (internal/feed): retry/backoff fetches, circuit
+	// breakers, last-known-good caching and the forecast/prior fallback
+	// chain. Feed fault events in Faults impair the transport. With a
+	// resilient chain, Feeds.EscalateOnDark makes the chain skip its
+	// primary tier on slots whose feeds are unusable.
+	Feeds *feed.Config `json:"feeds,omitempty"`
 }
 
 // ErrUnknownPlanner is returned for an unrecognized planner name.
@@ -136,6 +144,7 @@ func (s *Scenario) SimConfig() sim.Config {
 		Slots:            s.Slots,
 		StartSlot:        s.StartSlot,
 		Faults:           s.Faults,
+		Feeds:            s.Feeds,
 		DegradeOnFailure: s.Faults != nil || s.Resilient,
 	}
 }
@@ -158,6 +167,9 @@ func (s *Scenario) BuildPlanner() (core.Planner, error) {
 			// Injected hangs must overrun the per-tier deadline to
 			// register as timeouts rather than merely slow slots.
 			chain.Timeout = fault.DefaultHang / 2
+		}
+		if s.Feeds != nil && s.Feeds.EscalateOnDark {
+			chain.EscalateOnDegraded = true
 		}
 		return chain, nil
 	}

@@ -39,6 +39,34 @@ func FuzzLoad(f *testing.F) {
 		`"slots": 24, "faults": {"events": [{"kind":"center-degrade","center":0,"factor":-1,"from":5,"to":2}]}`, 1))
 	f.Add(strings.Replace(example.String(), `"slots": 24`,
 		`"slots": 24, "faults": {"events": null}`, 1))
+	// Feed configs, valid and hostile: the feeds block rides the same
+	// decoder, so the invariant (accepted ⇒ validates ⇒ round-trips)
+	// covers it too.
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": {}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": {"maxAttempts":5,"ttl":2,"decay":0.8,"staleMargin":0.1,"seed":7,"escalateOnDark":true}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "resilient": true, "feeds": {"escalateOnDark": true},
+		"faults": {"events": [{"kind":"feed-loss","feed":"price","center":0,"from":0,"to":23}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": {"decay": 1.5}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": {"pricePriors": [0.1]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": {"pricePriors": [-1, 0.2]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": {"arrivalPriors": [[1,2],[3]]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": {"deadlineMs": -5}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": {"bogusKnob": true}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "feeds": null`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "faults": {"events": [{"kind":"feed-dropout","feed":"arrival","frontEnd":9,"factor":0.5,"from":0,"to":1}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "faults": {"events": [{"kind":"feed-noise","feed":"volume","center":0,"factor":0.2,"from":0,"to":1}]}`, 1))
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := Load(strings.NewReader(in))
 		if err != nil {

@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl11-advisor", "abl12-fairness", "abl13-defer", "abl14-margin",
 		"abl15-priceblind", "abl16-pooling", "abl17-week",
 		"val1-mm1", "val2-utility", "val3-des", "val4-servicecv", "val5-arrivals",
-		"rob2-chaos",
+		"rob2-chaos", "rob3-darkfeeds",
 	}
 	for _, id := range want {
 		e, ok := Get(id)

@@ -56,6 +56,36 @@ const (
 	PlannerError Kind = "planner-error"
 	// PlannerPanic makes the wrapped planner panic.
 	PlannerPanic Kind = "planner-panic"
+
+	// The feed fault family degrades the telemetry feeds of internal/feed
+	// (they are inert unless the simulation routes planner inputs through
+	// feeds). Each event targets one feed, named by Event.Feed ("price" or
+	// "arrival") plus the matching Center / FrontEnd index.
+
+	// FeedDelay multiplies the feed's per-attempt fetch latency by Factor,
+	// so retries blow the per-slot deadline instead of answering.
+	FeedDelay Kind = "feed-delay"
+	// FeedDropout makes each fetch attempt fail with probability Factor.
+	FeedDropout Kind = "feed-dropout"
+	// FeedNoise perturbs fetched readings multiplicatively with relative
+	// standard deviation Factor. The value still arrives "fresh" — the
+	// feed cannot tell it is wrong.
+	FeedNoise Kind = "feed-noise"
+	// FeedCorrupt makes fetched readings detectably garbage; the feed's
+	// validator rejects the attempt.
+	FeedCorrupt Kind = "feed-corrupt"
+	// FeedLoss fails every fetch attempt for the range (a permanent loss
+	// when To reaches the end of the horizon).
+	FeedLoss Kind = "feed-loss"
+)
+
+// Feed target names for the feed fault family (Event.Feed).
+const (
+	// FeedPrice targets the electricity price feed of center Event.Center.
+	FeedPrice = "price"
+	// FeedArrival targets the arrival-telemetry feed of front-end
+	// Event.FrontEnd.
+	FeedArrival = "arrival"
 )
 
 // Event is one timed fault. From and To are absolute slot indices and the
@@ -70,8 +100,14 @@ type Event struct {
 	FrontEnd int `json:"frontEnd,omitempty"`
 	// Factor parameterizes the fault: surviving server fraction for
 	// center-degrade, price multiplier for price-spike, reading
-	// multiplier for trace-corrupt. Ignored by the other kinds.
+	// multiplier for trace-corrupt, latency multiplier for feed-delay,
+	// per-attempt failure probability for feed-dropout, relative noise
+	// standard deviation for feed-noise. Ignored by the other kinds.
 	Factor float64 `json:"factor,omitempty"`
+	// Feed names the telemetry feed a feed fault targets: "price"
+	// (indexed by Center) or "arrival" (indexed by FrontEnd). Ignored by
+	// the non-feed kinds.
+	Feed string `json:"feed,omitempty"`
 }
 
 // Active reports whether the event covers the slot.
@@ -90,9 +126,30 @@ func (e *Event) String() string {
 		return fmt.Sprintf("%s(s=%d,slots %d-%d)", e.Kind, e.FrontEnd, e.From, e.To)
 	case TraceCorrupt:
 		return fmt.Sprintf("%s(s=%d,×%g,slots %d-%d)", e.Kind, e.FrontEnd, e.Factor, e.From, e.To)
+	case FeedDelay, FeedDropout, FeedNoise:
+		return fmt.Sprintf("%s(%s %d,%g,slots %d-%d)", e.Kind, e.Feed, e.feedIndex(), e.Factor, e.From, e.To)
+	case FeedCorrupt, FeedLoss:
+		return fmt.Sprintf("%s(%s %d,slots %d-%d)", e.Kind, e.Feed, e.feedIndex(), e.From, e.To)
 	default:
 		return fmt.Sprintf("%s(slots %d-%d)", e.Kind, e.From, e.To)
 	}
+}
+
+// feedIndex returns the targeted feed's index under the Feed naming.
+func (e *Event) feedIndex() int {
+	if e.Feed == FeedArrival {
+		return e.FrontEnd
+	}
+	return e.Center
+}
+
+// isFeedKind reports whether the kind belongs to the feed fault family.
+func isFeedKind(k Kind) bool {
+	switch k {
+	case FeedDelay, FeedDropout, FeedNoise, FeedCorrupt, FeedLoss:
+		return true
+	}
+	return false
 }
 
 // validate checks one event against the topology dimensions.
@@ -132,6 +189,33 @@ func (e *Event) validate(i, centers, frontEnds int) error {
 		}
 	case PlannerTimeout, PlannerError, PlannerPanic:
 		// No target: planner faults hit whatever planner is wrapped.
+	case FeedDelay, FeedDropout, FeedNoise, FeedCorrupt, FeedLoss:
+		switch e.Feed {
+		case FeedPrice:
+			if e.Center < 0 || e.Center >= centers {
+				return fmt.Errorf("fault: event %d (%s) targets price feed %d of %d", i, e.Kind, e.Center, centers)
+			}
+		case FeedArrival:
+			if e.FrontEnd < 0 || e.FrontEnd >= frontEnds {
+				return fmt.Errorf("fault: event %d (%s) targets arrival feed %d of %d", i, e.Kind, e.FrontEnd, frontEnds)
+			}
+		default:
+			return fmt.Errorf("fault: event %d (%s) needs feed %q or %q, got %q", i, e.Kind, FeedPrice, FeedArrival, e.Feed)
+		}
+		switch e.Kind {
+		case FeedDelay:
+			if e.Factor <= 1 {
+				return fmt.Errorf("fault: event %d (feed-delay) needs latency factor > 1, got %g", i, e.Factor)
+			}
+		case FeedDropout:
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("fault: event %d (feed-dropout) needs probability in (0,1], got %g", i, e.Factor)
+			}
+		case FeedNoise:
+			if e.Factor <= 0 {
+				return fmt.Errorf("fault: event %d (feed-noise) needs positive sigma, got %g", i, e.Factor)
+			}
+		}
 	default:
 		return fmt.Errorf("fault: event %d has unknown kind %q", i, e.Kind)
 	}
@@ -302,6 +386,74 @@ func (sch *Schedule) ArrivalsFaulted(slot int) bool {
 	for i := range sch.Events {
 		e := &sch.Events[i]
 		if (e.Kind == TraceDrop || e.Kind == TraceCorrupt) && e.Active(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// FeedEffects is the combined impact of the active feed faults on one
+// feed during one slot. The zero value (with LatencyFactor 1) means an
+// unimpaired feed.
+type FeedEffects struct {
+	// Lost fails every fetch attempt (feed-loss).
+	Lost bool
+	// Corrupt makes every fetched reading detectably garbage (feed-corrupt).
+	Corrupt bool
+	// DropProb is the per-attempt failure probability (feed-dropout);
+	// overlapping dropouts compound as independent failures.
+	DropProb float64
+	// LatencyFactor multiplies per-attempt fetch latency (feed-delay);
+	// overlapping delays multiply.
+	LatencyFactor float64
+	// NoiseSigma is the relative standard deviation of multiplicative
+	// reading noise (feed-noise); overlapping noise keeps the worst sigma.
+	NoiseSigma float64
+}
+
+// Impaired reports whether any feed fault is in effect.
+func (fe FeedEffects) Impaired() bool {
+	return fe.Lost || fe.Corrupt || fe.DropProb > 0 || fe.LatencyFactor > 1 || fe.NoiseSigma > 0
+}
+
+// FeedEffects returns the combined feed faults covering the given feed
+// ("price"/"arrival" plus index) at the slot.
+func (sch *Schedule) FeedEffects(feedKind string, idx, slot int) FeedEffects {
+	eff := FeedEffects{LatencyFactor: 1}
+	if sch == nil {
+		return eff
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if !isFeedKind(e.Kind) || e.Feed != feedKind || e.feedIndex() != idx || !e.Active(slot) {
+			continue
+		}
+		switch e.Kind {
+		case FeedLoss:
+			eff.Lost = true
+		case FeedCorrupt:
+			eff.Corrupt = true
+		case FeedDropout:
+			eff.DropProb = 1 - (1-eff.DropProb)*(1-e.Factor)
+		case FeedDelay:
+			eff.LatencyFactor *= e.Factor
+		case FeedNoise:
+			if e.Factor > eff.NoiseSigma {
+				eff.NoiseSigma = e.Factor
+			}
+		}
+	}
+	return eff
+}
+
+// HasFeedFaults reports whether the schedule carries any feed fault
+// events (i.e. whether routing inputs through feeds changes anything).
+func (sch *Schedule) HasFeedFaults() bool {
+	if sch == nil {
+		return false
+	}
+	for i := range sch.Events {
+		if isFeedKind(sch.Events[i].Kind) {
 			return true
 		}
 	}

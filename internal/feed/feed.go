@@ -1,0 +1,629 @@
+// Package feed models the telemetry layer between the scenario oracle and
+// the planner: typed electricity-price and arrival-rate feeds with the
+// failure semantics of a real ingestion path. The paper's optimization
+// assumes every slot boundary delivers perfect p_l and λ_{k,s}; this
+// package is where that assumption goes to die gracefully.
+//
+// Each feed fetches its oracle reading once per slot under bounded retry
+// with exponential backoff and a per-slot latency deadline (time is
+// virtual — milliseconds are accounted, never slept). Fault events from
+// internal/fault (feed-delay, feed-dropout, feed-noise, feed-corrupt,
+// feed-loss) impair the transport; a per-feed circuit breaker (closed →
+// open → half-open) stops hammering a dead feed and probes it after a
+// cooldown. When the live fetch fails, a fallback estimator chain stands
+// in:
+//
+//	fresh sample → last-known-good (TTL, decayed toward the prior)
+//	→ Kalman one-step forecast (internal/forecast) → configured prior
+//
+// Every Fetch reports Health — estimator tier, staleness age, breaker
+// state, attempts spent — which the simulator records per slot and the
+// resilient planner chain uses to escalate. With no feed faults active
+// every fetch is a first-attempt fresh sample, so a feed-routed run is
+// bit-identical to the oracle path.
+//
+// All randomness (dropout draws, noise) is derived from a per-(feed,
+// slot) splitmix hash of the configured seed, so a Set replays
+// identically however many times it is rebuilt — sim.Compare lanes each
+// build their own Set and face the same degradation sequence.
+package feed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"profitlb/internal/fault"
+	"profitlb/internal/forecast"
+)
+
+// Tier identifies which estimator produced a slot's planner-facing value.
+type Tier int
+
+// The estimator chain, best to worst.
+const (
+	// TierFresh is a live sample fetched this slot (possibly noisy —
+	// feed-noise corrupts readings undetectably).
+	TierFresh Tier = iota
+	// TierLKG replays the last-known-good sample, decayed toward the
+	// prior, while its age is within the TTL.
+	TierLKG
+	// TierForecast is the Kalman filter's one-step-ahead prediction from
+	// the good samples seen so far.
+	TierForecast
+	// TierPrior is the configured prior — the feed is effectively dark.
+	TierPrior
+)
+
+// String renders the tier for reports.
+func (t Tier) String() string {
+	switch t {
+	case TierFresh:
+		return "fresh"
+	case TierLKG:
+		return "lkg"
+	case TierForecast:
+		return "forecast"
+	case TierPrior:
+		return "prior"
+	default:
+		return "unknown"
+	}
+}
+
+// Health is one feed's condition during one slot.
+type Health struct {
+	// Tier is the estimator that produced the value.
+	Tier Tier
+	// Staleness is the age in slots of the newest good sample backing the
+	// value: 0 when fresh, and the slots since the feed was born when no
+	// good sample has ever arrived.
+	Staleness int
+	// Breaker is the circuit breaker's state after this slot's fetch.
+	Breaker BreakerState
+	// Attempts is the number of fetch attempts spent (0 when the breaker
+	// was open and no fetch was tried).
+	Attempts int
+	// Noisy marks a fresh sample perturbed by an active feed-noise fault.
+	Noisy bool
+	// Failure is why the live fetch failed ("" on a fresh sample):
+	// "deadline", "dropout", "corrupt", "lost" or "breaker-open".
+	Failure string
+}
+
+// Label renders the health compactly, e.g. "fresh", "lkg(2)",
+// "prior(5)!" — the bang marks an open breaker.
+func (h Health) Label() string {
+	s := h.Tier.String()
+	if h.Tier != TierFresh {
+		s = fmt.Sprintf("%s(%d)", s, h.Staleness)
+	}
+	if h.Breaker == Open {
+		s += "!"
+	}
+	return s
+}
+
+// SlotHealth aggregates every feed's health for one slot.
+type SlotHealth struct {
+	// Prices[l] is the price feed of center l.
+	Prices []Health
+	// Arrivals[s] is the arrival feed of front-end s.
+	Arrivals []Health
+}
+
+// WorstTier returns the deepest estimator tier any feed fell to.
+func (sh *SlotHealth) WorstTier() Tier {
+	worst := TierFresh
+	for _, h := range sh.Prices {
+		if h.Tier > worst {
+			worst = h.Tier
+		}
+	}
+	for _, h := range sh.Arrivals {
+		if h.Tier > worst {
+			worst = h.Tier
+		}
+	}
+	return worst
+}
+
+// Unusable reports whether any feed is down to its prior — it has no
+// sample, no usable cache and no warmed forecast, i.e. the planner is
+// flying blind on at least one input. The resilient chain escalates past
+// its primary tier on unusable slots (Chain.EscalateOnDegraded).
+func (sh *SlotHealth) Unusable() bool { return sh.WorstTier() == TierPrior }
+
+// AllFresh reports whether every feed delivered a live sample.
+func (sh *SlotHealth) AllFresh() bool {
+	for _, h := range sh.Prices {
+		if h.Tier != TierFresh {
+			return false
+		}
+	}
+	for _, h := range sh.Arrivals {
+		if h.Tier != TierFresh {
+			return false
+		}
+	}
+	return true
+}
+
+// Config parameterizes every feed of a Set. The zero value is valid and
+// means "all defaults"; fields left zero take the documented default.
+type Config struct {
+	// MaxAttempts bounds fetch retries per slot (default 3).
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// AttemptLatencyMs is the virtual cost of one fetch attempt
+	// (default 20). Feed-delay faults multiply it.
+	AttemptLatencyMs float64 `json:"attemptLatencyMs,omitempty"`
+	// BaseBackoffMs is the backoff before the second attempt, doubling
+	// per retry (default 25).
+	BaseBackoffMs float64 `json:"baseBackoffMs,omitempty"`
+	// DeadlineMs is the per-slot fetch budget (default 250); attempts
+	// that would start past it fail the slot with "deadline".
+	DeadlineMs float64 `json:"deadlineMs,omitempty"`
+	// BreakerThreshold is the consecutive failed slots that open the
+	// circuit breaker (default 2).
+	BreakerThreshold int `json:"breakerThreshold,omitempty"`
+	// BreakerCooldown is the slots the breaker stays open before a
+	// half-open trial fetch (default 2).
+	BreakerCooldown int `json:"breakerCooldown,omitempty"`
+	// TTL is how many slots a last-known-good sample stays usable
+	// (default 3).
+	TTL int `json:"ttl,omitempty"`
+	// Decay blends an aging LKG sample toward the prior per slot of
+	// staleness: value = prior + (lkg-prior)·Decay^age. Default 1 (hold
+	// the sample); must be in (0,1].
+	Decay float64 `json:"decay,omitempty"`
+	// ProcessRel and MeasureRel set each element's Kalman filter noise
+	// relative to its prior magnitude: Q=(ProcessRel·prior)², likewise R
+	// (defaults 0.15 and 0.05) — scale-free across $/kWh prices and
+	// requests/s arrivals.
+	ProcessRel float64 `json:"processRel,omitempty"`
+	MeasureRel float64 `json:"measureRel,omitempty"`
+	// MinObservations gates the forecast tier: the filter must have
+	// consumed at least this many good samples (default 2).
+	MinObservations int `json:"minObservations,omitempty"`
+	// StaleMargin inflates the planner's arrival inputs by this fraction
+	// per slot of staleness (default 0.05), reserving headroom for the
+	// demand a stale estimate may be under-calling; MaxMargin caps the
+	// inflation (default 0.5). The simulator reconciles the committed
+	// plan against actual arrivals, so the margin costs reservation
+	// headroom, never phantom revenue.
+	StaleMargin float64 `json:"staleMargin,omitempty"`
+	MaxMargin   float64 `json:"maxMargin,omitempty"`
+	// EscalateOnDark makes the resilient chain skip its primary
+	// optimizer on slots where feeds report Unusable.
+	EscalateOnDark bool `json:"escalateOnDark,omitempty"`
+	// PricePriors and ArrivalPriors override the per-feed priors
+	// (defaults: the mean of each oracle trace, standing in for the
+	// provider's historical telemetry). PricePriors[l] must be positive;
+	// ArrivalPriors[s][k] non-negative.
+	PricePriors   []float64   `json:"pricePriors,omitempty"`
+	ArrivalPriors [][]float64 `json:"arrivalPriors,omitempty"`
+	// Seed drives dropout and noise draws; equal seeds replay equal
+	// degradation sequences.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// withDefaults returns a copy with every zero field set to its default.
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.AttemptLatencyMs <= 0 {
+		c.AttemptLatencyMs = 20
+	}
+	if c.BaseBackoffMs <= 0 {
+		c.BaseBackoffMs = 25
+	}
+	if c.DeadlineMs <= 0 {
+		c.DeadlineMs = 250
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 2
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2
+	}
+	if c.TTL <= 0 {
+		c.TTL = 3
+	}
+	if c.Decay <= 0 {
+		c.Decay = 1
+	}
+	if c.ProcessRel <= 0 {
+		c.ProcessRel = 0.15
+	}
+	if c.MeasureRel <= 0 {
+		c.MeasureRel = 0.05
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = 2
+	}
+	if c.StaleMargin == 0 {
+		c.StaleMargin = 0.05
+	}
+	if c.MaxMargin <= 0 {
+		c.MaxMargin = 0.5
+	}
+	return c
+}
+
+// Validate rejects configurations no defaulting can repair.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.MaxAttempts < 0 || c.TTL < 0 || c.BreakerThreshold < 0 || c.BreakerCooldown < 0 || c.MinObservations < 0 {
+		return fmt.Errorf("feed: negative counts in config")
+	}
+	for _, v := range []float64{c.AttemptLatencyMs, c.BaseBackoffMs, c.DeadlineMs, c.ProcessRel, c.MeasureRel, c.MaxMargin} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("feed: invalid config value %g", v)
+		}
+	}
+	if c.StaleMargin < 0 || math.IsNaN(c.StaleMargin) || math.IsInf(c.StaleMargin, 0) {
+		return fmt.Errorf("feed: invalid stale margin %g", c.StaleMargin)
+	}
+	if c.Decay < 0 || c.Decay > 1 || math.IsNaN(c.Decay) {
+		return fmt.Errorf("feed: decay %g outside [0,1]", c.Decay)
+	}
+	for l, p := range c.PricePriors {
+		if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("feed: price prior %d invalid: %g", l, p)
+		}
+	}
+	for s, row := range c.ArrivalPriors {
+		for k, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("feed: arrival prior [%d][%d] invalid: %g", s, k, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateDims checks the optional prior overrides against the topology.
+func (c *Config) ValidateDims(centers, frontEnds, types int) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if len(c.PricePriors) > 0 && len(c.PricePriors) != centers {
+		return fmt.Errorf("feed: %d price priors for %d centers", len(c.PricePriors), centers)
+	}
+	if len(c.ArrivalPriors) > 0 {
+		if len(c.ArrivalPriors) != frontEnds {
+			return fmt.Errorf("feed: %d arrival priors for %d front-ends", len(c.ArrivalPriors), frontEnds)
+		}
+		for s, row := range c.ArrivalPriors {
+			if len(row) != types {
+				return fmt.Errorf("feed: arrival prior %d has %d types, want %d", s, len(row), types)
+			}
+		}
+	}
+	return nil
+}
+
+// Feed is one telemetry feed: a vector source (width 1 for a price feed,
+// K for an arrival feed) behind the transport, breaker, cache and
+// estimator chain. Fetch must be called by a single goroutine with
+// non-decreasing slots — the simulator's slot loop is that driver.
+type Feed struct {
+	kind string // fault.FeedPrice or fault.FeedArrival
+	idx  int
+	cfg  Config
+	sch  *fault.Schedule
+	src  func(slot int) []float64
+	// prior is the estimator of last resort; floor is the smallest value
+	// the feed ever emits (a sliver of the prior for prices — electricity
+	// is never free — and zero for arrivals).
+	prior   []float64
+	floor   float64
+	br      breaker
+	filters []*forecast.Kalman
+	lkg     []float64
+	lkgSlot int
+	hasLKG  bool
+	born    int
+	started bool
+}
+
+// newFeed builds one feed; cfg must already carry defaults.
+func newFeed(kind string, idx int, cfg Config, sch *fault.Schedule, prior []float64, src func(int) []float64) (*Feed, error) {
+	f := &Feed{
+		kind: kind, idx: idx, cfg: cfg, sch: sch, src: src,
+		prior:   append([]float64(nil), prior...),
+		br:      breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
+		filters: make([]*forecast.Kalman, len(prior)),
+	}
+	if kind == fault.FeedPrice {
+		f.floor = prior[0] * 0.01
+	}
+	for i, p := range prior {
+		scale := p
+		if scale <= 0 {
+			scale = 1
+		}
+		k, err := forecast.NewKalman(sq(cfg.ProcessRel*scale), sq(cfg.MeasureRel*scale))
+		if err != nil {
+			return nil, fmt.Errorf("feed: %s %d: %w", kind, idx, err)
+		}
+		f.filters[i] = k
+	}
+	return f, nil
+}
+
+func sq(v float64) float64 { return v * v }
+
+// Fetch produces the slot's planner-facing reading and its health. The
+// returned slice is owned by the caller.
+func (f *Feed) Fetch(slot int) ([]float64, Health) {
+	if !f.started {
+		f.born, f.started = slot, true
+	}
+	h := Health{}
+	eff := f.sch.FeedEffects(f.kind, f.idx, slot)
+	var ok bool
+	if f.br.Allow(slot) {
+		rng := slotRNG(f.cfg.Seed, f.kind, f.idx, slot)
+		ok, h.Attempts, h.Failure = f.transport(rng, eff)
+		f.br.Record(slot, ok)
+		if ok {
+			out := f.observe(slot, rng, eff, &h)
+			h.Breaker = f.br.state
+			return out, h
+		}
+	} else {
+		h.Failure = "breaker-open"
+	}
+	out := f.estimate(slot, &h)
+	h.Breaker = f.br.state
+	return out, h
+}
+
+// transport runs the bounded-retry fetch against the slot's fault
+// effects, spending virtual latency against the per-slot deadline.
+func (f *Feed) transport(rng *rand.Rand, eff fault.FeedEffects) (ok bool, attempts int, failure string) {
+	elapsed := 0.0
+	backoff := f.cfg.BaseBackoffMs
+	for attempt := 1; attempt <= f.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			elapsed += backoff
+			backoff *= 2
+		}
+		elapsed += f.cfg.AttemptLatencyMs * eff.LatencyFactor
+		if elapsed > f.cfg.DeadlineMs {
+			return false, attempt, "deadline"
+		}
+		switch {
+		case eff.Lost:
+			failure = "lost"
+		case eff.DropProb > 0 && rng.Float64() < eff.DropProb:
+			failure = "dropout"
+		case eff.Corrupt:
+			failure = "corrupt"
+		default:
+			return true, attempt, ""
+		}
+		attempts = attempt
+	}
+	return false, attempts, failure
+}
+
+// observe turns a successful fetch into the fresh reading: the oracle
+// values, noise-perturbed under an active feed-noise fault, clamped to
+// the feed's floor, then folded into the LKG cache and the filters. A
+// noisy reading poisons the cache and the filters too — the feed cannot
+// tell it is wrong, which is exactly the exposure feed-noise models.
+func (f *Feed) observe(slot int, rng *rand.Rand, eff fault.FeedEffects, h *Health) []float64 {
+	row := f.src(slot)
+	out := make([]float64, len(f.prior))
+	copy(out, row)
+	if eff.NoiseSigma > 0 {
+		h.Noisy = true
+		for i := range out {
+			out[i] *= 1 + eff.NoiseSigma*rng.NormFloat64()
+			// Only noisy readings need the floor — an unperturbed sample is
+			// the oracle value and must pass through bit-identical.
+			if out[i] < f.floor || math.IsNaN(out[i]) {
+				out[i] = f.floor
+			}
+		}
+	}
+	for i := range out {
+		f.filters[i].Observe(out[i])
+	}
+	f.lkg = append(f.lkg[:0], out...)
+	f.lkgSlot, f.hasLKG = slot, true
+	h.Tier, h.Staleness = TierFresh, 0
+	return append([]float64(nil), out...)
+}
+
+// estimate runs the fallback chain for a slot whose live fetch failed.
+func (f *Feed) estimate(slot int, h *Health) []float64 {
+	out := make([]float64, len(f.prior))
+	switch {
+	case f.hasLKG && slot-f.lkgSlot <= f.cfg.TTL:
+		h.Tier, h.Staleness = TierLKG, slot-f.lkgSlot
+		decay := math.Pow(f.cfg.Decay, float64(h.Staleness))
+		for i := range out {
+			out[i] = f.prior[i] + (f.lkg[i]-f.prior[i])*decay
+		}
+	case f.filters[0].Warm(f.cfg.MinObservations):
+		h.Tier = TierForecast
+		h.Staleness = f.age(slot)
+		for i := range out {
+			est, _ := f.filters[i].Predict()
+			out[i] = est
+		}
+	default:
+		h.Tier = TierPrior
+		h.Staleness = f.age(slot)
+		copy(out, f.prior)
+	}
+	for i := range out {
+		if out[i] < f.floor || math.IsNaN(out[i]) {
+			out[i] = f.floor
+		}
+	}
+	return out
+}
+
+// age is the slots since the newest good sample (since birth when none).
+func (f *Feed) age(slot int) int {
+	if f.hasLKG {
+		return slot - f.lkgSlot
+	}
+	return slot - f.born + 1
+}
+
+// Set bundles one price feed per data center and one arrival feed per
+// front-end. Build one per simulation run: feeds are stateful (breaker,
+// cache, filters) and single-goroutine, and a freshly built Set replays
+// the same degradation sequence, which is what keeps sim.Compare lanes
+// aligned.
+type Set struct {
+	cfg      Config
+	prices   []*Feed
+	arrivals []*Feed
+}
+
+// NewSet builds the feed layer. priceSrc[l] and arrivalSrc[s] are the
+// oracle readings (already composed with any legacy observation faults);
+// pricePriors[l] and arrivalPriors[s][k] are the default priors, which
+// cfg.PricePriors / cfg.ArrivalPriors override.
+func NewSet(cfg Config, sch *fault.Schedule, priceSrc []func(int) float64, pricePriors []float64,
+	arrivalSrc []func(int) []float64, arrivalPriors [][]float64) (*Set, error) {
+	if err := cfg.ValidateDims(len(priceSrc), len(arrivalSrc), widthOf(arrivalPriors)); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	st := &Set{cfg: c}
+	for l := range priceSrc {
+		prior := pricePriors[l]
+		if len(c.PricePriors) > 0 {
+			prior = c.PricePriors[l]
+		}
+		if prior <= 0 {
+			return nil, fmt.Errorf("feed: price feed %d needs a positive prior, got %g", l, prior)
+		}
+		src := priceSrc[l]
+		f, err := newFeed(fault.FeedPrice, l, c, sch, []float64{prior},
+			func(slot int) []float64 { return []float64{src(slot)} })
+		if err != nil {
+			return nil, err
+		}
+		st.prices = append(st.prices, f)
+	}
+	for s := range arrivalSrc {
+		prior := arrivalPriors[s]
+		if len(c.ArrivalPriors) > 0 {
+			prior = c.ArrivalPriors[s]
+		}
+		f, err := newFeed(fault.FeedArrival, s, c, sch, prior, arrivalSrc[s])
+		if err != nil {
+			return nil, err
+		}
+		st.arrivals = append(st.arrivals, f)
+	}
+	return st, nil
+}
+
+// widthOf returns the type count of the arrival priors (0 when empty).
+func widthOf(priors [][]float64) int {
+	if len(priors) == 0 {
+		return 0
+	}
+	return len(priors[0])
+}
+
+// Sample is one slot's planner-facing inputs as the feed layer delivered
+// them.
+type Sample struct {
+	// Prices[l] and Arrivals[s][k] are the planner's inputs; stale
+	// arrival estimates are already inflated by the staleness margin.
+	Prices   []float64
+	Arrivals [][]float64
+	// Health records every feed's condition.
+	Health SlotHealth
+	// Distorted reports whether the planner's view may differ from the
+	// oracle readings (any non-fresh tier, noise, or margin inflation) —
+	// the simulator reconciles the committed plan against reality when
+	// set.
+	Distorted bool
+}
+
+// FetchSlot fetches every feed for the slot and applies the staleness
+// margin to non-fresh arrival estimates.
+func (st *Set) FetchSlot(slot int) *Sample {
+	out := &Sample{
+		Prices:   make([]float64, len(st.prices)),
+		Arrivals: make([][]float64, len(st.arrivals)),
+		Health: SlotHealth{
+			Prices:   make([]Health, len(st.prices)),
+			Arrivals: make([]Health, len(st.arrivals)),
+		},
+	}
+	for l, f := range st.prices {
+		v, h := f.Fetch(slot)
+		out.Prices[l], out.Health.Prices[l] = v[0], h
+		if h.Tier != TierFresh || h.Noisy {
+			out.Distorted = true
+		}
+	}
+	for s, f := range st.arrivals {
+		row, h := f.Fetch(slot)
+		if h.Tier != TierFresh {
+			m := st.cfg.StaleMargin * float64(h.Staleness)
+			if m > st.cfg.MaxMargin {
+				m = st.cfg.MaxMargin
+			}
+			for k := range row {
+				row[k] *= 1 + m
+			}
+		}
+		out.Arrivals[s], out.Health.Arrivals[s] = row, h
+		if h.Tier != TierFresh || h.Noisy {
+			out.Distorted = true
+		}
+	}
+	return out
+}
+
+// StaleMarginFor exposes the capped margin applied at the given
+// staleness, for reports and tests.
+func (st *Set) StaleMarginFor(staleness int) float64 {
+	m := st.cfg.StaleMargin * float64(staleness)
+	if m > st.cfg.MaxMargin {
+		m = st.cfg.MaxMargin
+	}
+	return m
+}
+
+// slotRNG derives the per-(feed, slot) random stream: a splitmix64 hash
+// of seed, feed identity and slot, so draws are independent of call
+// order across feeds and identical across rebuilt Sets.
+func slotRNG(seed int64, kind string, idx, slot int) *rand.Rand {
+	h := uint64(seed)
+	for _, b := range []byte(kind) {
+		h = splitmix64(h ^ uint64(b))
+	}
+	h = splitmix64(h ^ uint64(uint32(idx)))
+	h = splitmix64(h ^ uint64(uint32(slot)))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -60,6 +60,11 @@ func (k *Kalman) Predict() (estimate, variance float64) {
 // Observations returns how many measurements the filter has consumed.
 func (k *Kalman) Observations() int { return k.n }
 
+// Warm reports whether the filter has consumed at least min observations,
+// i.e. whether Predict is anchored to data rather than the prior. Feed
+// fallback chains (internal/feed) gate the forecast estimator tier on it.
+func (k *Kalman) Warm(min int) bool { return k.n >= min }
+
 // ErrShortTrace is returned when a trace is too short to predict from.
 var ErrShortTrace = errors.New("forecast: trace needs at least two slots")
 

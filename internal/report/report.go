@@ -142,6 +142,17 @@ func F(v float64) string {
 // Pct formats a ratio as a percentage.
 func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
 
+// Frac returns num/den, or 0 when den is zero — the guard every ratio
+// metric (completion rates, profit retention, share-of-best) should use
+// so a degenerate run renders as 0% instead of NaN/Inf poisoning a table
+// or a downstream mean.
+func Frac(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 // SeriesTable builds a table with one row per index and one column per
 // named series (plus a leading label column).
 func SeriesTable(title, indexName string, labels []string, names []string, series ...[]float64) *Table {

@@ -101,3 +101,18 @@ func TestTableWriteCSV(t *testing.T) {
 		t.Fatalf("csv = %q, want %q", b.String(), want)
 	}
 }
+
+func TestFracGuardsZeroDenominator(t *testing.T) {
+	if got := Frac(5, 0); got != 0 {
+		t.Fatalf("Frac(5,0) = %g, want 0", got)
+	}
+	if got := Frac(0, 0); got != 0 {
+		t.Fatalf("Frac(0,0) = %g, want 0", got)
+	}
+	if got := Frac(3, 4); got != 0.75 {
+		t.Fatalf("Frac(3,4) = %g, want 0.75", got)
+	}
+	if got := Frac(-2, 4); got != -0.5 {
+		t.Fatalf("Frac(-2,4) = %g, want -0.5", got)
+	}
+}

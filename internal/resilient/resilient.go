@@ -21,6 +21,7 @@ import (
 
 	"profitlb/internal/baseline"
 	"profitlb/internal/core"
+	"profitlb/internal/feed"
 )
 
 // Reason classifies why a tier was rejected.
@@ -36,6 +37,11 @@ const (
 	ReasonPanic Reason = "panic"
 	// ReasonInfeasible: the tier's plan failed core.Verify.
 	ReasonInfeasible Reason = "infeasible"
+	// ReasonDegradedInputs: the tier was skipped without running because
+	// the slot's telemetry feeds reported unusable inputs
+	// (Chain.EscalateOnDegraded) — spending the expensive optimizer on
+	// guesswork buys nothing over a cheap tier.
+	ReasonDegradedInputs Reason = "degraded-inputs"
 )
 
 // Attempt records one tier invocation.
@@ -85,9 +91,15 @@ type Chain struct {
 	VerifyTol float64
 	// DisableReplay skips the last-committed-plan tier.
 	DisableReplay bool
+	// EscalateOnDegraded skips the primary tier on slots whose telemetry
+	// feeds report unusable inputs (some feed fell all the way to its
+	// prior — see feed.SlotHealth.Unusable). The slot's health arrives
+	// via ObserveFeedHealth and applies to the next Plan call only.
+	EscalateOnDegraded bool
 
-	last *core.Plan
-	dec  Decision
+	last        *core.Plan
+	dec         Decision
+	inputHealth *feed.SlotHealth
 }
 
 // New builds a chain over the given tiers.
@@ -127,6 +139,11 @@ func (c *Chain) FallbackState() (tier int, tierName string, degraded bool) {
 	return c.dec.Tier, c.dec.TierName, c.dec.Degraded
 }
 
+// ObserveFeedHealth implements sim.FeedHealthObserver: the simulator
+// hands over the slot's feed health before asking for the plan. The
+// health is consumed by the next Plan call.
+func (c *Chain) ObserveFeedHealth(h *feed.SlotHealth) { c.inputHealth = h }
+
 // tol returns the feasibility tolerance.
 func (c *Chain) tol() float64 {
 	if c.VerifyTol > 0 {
@@ -160,7 +177,17 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 		}
 		return plan
 	}
-	for i, p := range c.Tiers {
+	start := 0
+	if c.EscalateOnDegraded && c.inputHealth != nil && c.inputHealth.Unusable() && len(c.Tiers) > 1 {
+		dec.Attempts = append(dec.Attempts, Attempt{
+			Planner: c.Tiers[0].Name(), Reason: ReasonDegradedInputs,
+			Err: "feeds report unusable inputs; escalating past primary tier",
+		})
+		start = 1
+	}
+	c.inputHealth = nil
+	for i := start; i < len(c.Tiers); i++ {
+		p := c.Tiers[i]
 		plan, at := c.attempt(p, in)
 		dec.Attempts = append(dec.Attempts, at)
 		if plan != nil {

@@ -14,6 +14,7 @@ import (
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
 	"profitlb/internal/fault"
+	"profitlb/internal/feed"
 	"profitlb/internal/market"
 	"profitlb/internal/workload"
 )
@@ -49,6 +50,15 @@ type Config struct {
 	// PlanTraces). Planner faults in the schedule only fire if the
 	// planner is wrapped in a fault.Injector.
 	Faults *fault.Schedule
+	// Feeds, when set, routes the planner's inputs through the telemetry
+	// feed layer (internal/feed): per-slot fetches with retry/backoff,
+	// circuit breakers, and the LKG → forecast → prior fallback chain.
+	// Feed fault events in Faults impair the transport; with no feed
+	// faults active every fetch is fresh and the run is bit-identical to
+	// the oracle path. The accounting always settles on true prices and
+	// actual arrivals — feeds distort only the planner's view, and
+	// distorted plans are reconciled like PlanTraces.
+	Feeds *feed.Config
 	// DegradeOnFailure continues the horizon when a slot's plan fails
 	// (planner error or panic, or an infeasible plan): the slot sheds all
 	// load — zero served, the foregone value accounted in LostRevenue —
@@ -104,6 +114,9 @@ func (c *Config) Validate() error {
 	if err := c.Faults.Validate(c.Sys.L(), c.Sys.S()); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
+	if err := c.Feeds.ValidateDims(c.Sys.L(), c.Sys.S(), c.Sys.K()); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
 }
 
@@ -141,7 +154,11 @@ type SlotReport struct {
 	FallbackName string
 	// FaultsActive lists the injected faults in effect during the slot.
 	FaultsActive []string
-	Plan         *core.Plan // nil unless Config.KeepPlans
+	// Feeds records every feed's health for the slot — estimator tier,
+	// staleness, breaker state — when the run routes inputs through the
+	// feed layer (Config.Feeds); nil on the oracle path.
+	Feeds *feed.SlotHealth
+	Plan  *core.Plan // nil unless Config.KeepPlans
 }
 
 // Offered returns the slot's total offered request count.
@@ -182,8 +199,10 @@ func (r *Report) TotalCost() float64 {
 	return s
 }
 
-// CompletionRate returns served/offered for type k over the whole run
-// (1 when nothing was offered).
+// CompletionRate returns served/offered for type k over the whole run.
+// Zero offered load returns 0, never NaN — a run that offered nothing
+// completed nothing, and downstream aggregation (tables, means across
+// types) must not be poisoned by a vacuous 1.0 or a NaN.
 func (r *Report) CompletionRate(k int) float64 {
 	var off, srv float64
 	for i := range r.Slots {
@@ -191,7 +210,7 @@ func (r *Report) CompletionRate(k int) float64 {
 		srv += r.Slots[i].ServedByType[k]
 	}
 	if off == 0 {
-		return 1
+		return 0
 	}
 	return srv / off
 }
@@ -229,6 +248,53 @@ func (r *Report) TotalLostRevenue() float64 {
 	return s
 }
 
+// FeedTierCounts counts feed-slots per estimator tier name ("fresh",
+// "lkg", "forecast", "prior") across every feed of every slot. Empty on
+// the oracle path.
+func (r *Report) FeedTierCounts() map[string]int {
+	out := map[string]int{}
+	r.eachFeedHealth(func(h feed.Health) { out[h.Tier.String()]++ })
+	return out
+}
+
+// MeanFeedStaleness averages the staleness age over every feed-slot (0
+// on the oracle path or when every fetch was fresh).
+func (r *Report) MeanFeedStaleness() float64 {
+	var sum float64
+	var n int
+	r.eachFeedHealth(func(h feed.Health) { sum += float64(h.Staleness); n++ })
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BreakerOpenSlots counts feed-slots that ended with an open breaker.
+func (r *Report) BreakerOpenSlots() int {
+	var n int
+	r.eachFeedHealth(func(h feed.Health) {
+		if h.Breaker == feed.Open {
+			n++
+		}
+	})
+	return n
+}
+
+func (r *Report) eachFeedHealth(fn func(feed.Health)) {
+	for i := range r.Slots {
+		sh := r.Slots[i].Feeds
+		if sh == nil {
+			continue
+		}
+		for _, h := range sh.Prices {
+			fn(h)
+		}
+		for _, h := range sh.Arrivals {
+			fn(h)
+		}
+	}
+}
+
 // NetProfitSeries returns the per-slot net profit (paper Figs. 4, 6, 8, 10).
 func (r *Report) NetProfitSeries() []float64 {
 	out := make([]float64, len(r.Slots))
@@ -255,6 +321,70 @@ type FallbackReporter interface {
 	FallbackState() (tier int, tierName string, degraded bool)
 }
 
+// FeedHealthObserver is implemented by planners that adapt to degraded
+// telemetry (see internal/resilient). When the run routes inputs through
+// the feed layer, Run forwards each slot's feed health before asking for
+// the plan, so the planner can e.g. skip an expensive optimizer whose
+// inputs are guesswork.
+type FeedHealthObserver interface {
+	ObserveFeedHealth(h *feed.SlotHealth)
+}
+
+// buildFeeds assembles the run's feed layer: one price feed per center
+// and one arrival feed per front-end, each sourcing the planner-facing
+// oracle reading (legacy observation faults included, so price blackouts
+// and trace drops compose underneath the feed transport), with the trace
+// mean as the default prior — the stand-in for the provider's historical
+// telemetry.
+func buildFeeds(cfg *Config) (*feed.Set, error) {
+	K, S, L := cfg.Sys.K(), cfg.Sys.S(), cfg.Sys.L()
+	priceSrc := make([]func(int) float64, L)
+	pricePriors := make([]float64, L)
+	for l := 0; l < L; l++ {
+		l := l
+		priceSrc[l] = func(abs int) float64 {
+			return cfg.Faults.ObservedPrice(cfg.Prices[l], l, abs)
+		}
+		_, _, pricePriors[l] = cfg.Prices[l].Stats()
+	}
+	arrivalSrc := make([]func(int) []float64, S)
+	arrivalPriors := make([][]float64, S)
+	for s := 0; s < S; s++ {
+		s := s
+		tr := cfg.Traces[s]
+		if cfg.PlanTraces != nil {
+			tr = cfg.PlanTraces[s]
+		}
+		arrivalSrc[s] = func(abs int) []float64 {
+			row := make([]float64, K)
+			for k := 0; k < K; k++ {
+				row[k] = cfg.Faults.ObservedArrival(tr.At(abs, k), s, abs)
+			}
+			return row
+		}
+		arrivalPriors[s] = traceMeans(cfg.Traces[s], K)
+	}
+	return feed.NewSet(*cfg.Feeds, cfg.Faults, priceSrc, pricePriors, arrivalSrc, arrivalPriors)
+}
+
+// traceMeans returns the per-type mean rate over the whole trace.
+func traceMeans(tr *workload.Trace, K int) []float64 {
+	out := make([]float64, K)
+	n := tr.Slots()
+	if n == 0 {
+		return out
+	}
+	for s := 0; s < n; s++ {
+		for k := 0; k < K; k++ {
+			out[k] += tr.At(s, k)
+		}
+	}
+	for k := 0; k < K; k++ {
+		out[k] /= float64(n)
+	}
+	return out
+}
+
 // Run simulates the configured horizon under the given planner. Every
 // slot's plan is verified against the physical invariants before it is
 // accounted. A planner panic is recovered into an error. A failed slot —
@@ -270,6 +400,13 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 	sys := cfg.Sys
 	K, S, L := sys.K(), sys.S(), sys.L()
 	report := &Report{Planner: planner.Name()}
+	var feeds *feed.Set
+	if cfg.Feeds != nil {
+		var err error
+		if feeds, err = buildFeeds(&cfg); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 
 	for slot := 0; slot < cfg.Slots; slot++ {
 		abs := cfg.StartSlot + slot
@@ -295,6 +432,21 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 		}
 		effSys, _ := cfg.Faults.EffectiveSystem(sys, abs)
 		planView := cfg.PlanTraces != nil || cfg.Faults.ArrivalsFaulted(abs)
+
+		var sample *feed.Sample
+		if feeds != nil {
+			// The feed layer replaces the planner's direct oracle view; its
+			// sources already fold in the legacy observation faults, so the
+			// raw planArr/planPrices above are superseded. Stale or noisy
+			// samples mark the view distorted and the committed plan is
+			// reconciled against actual arrivals like any forecast.
+			sample = feeds.FetchSlot(abs)
+			planPrices, planArr = sample.Prices, sample.Arrivals
+			planView = planView || sample.Distorted
+			if fo, ok := planner.(FeedHealthObserver); ok {
+				fo.ObserveFeedHealth(&sample.Health)
+			}
+		}
 
 		planIn := &core.Input{Sys: effSys, Arrivals: planArr, Prices: planPrices, Slot: abs}
 		plan, err := safePlan(planner, planIn)
@@ -333,6 +485,9 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 		}
 		sr.Slot = abs
 		sr.FaultsActive = cfg.Faults.ActiveNames(abs)
+		if sample != nil {
+			sr.Feeds = &sample.Health
+		}
 		if cfg.KeepPlans {
 			sr.Plan = plan
 		}
@@ -445,7 +600,10 @@ func account(in *core.Input, plan *core.Plan) SlotReport {
 // goroutine per planner. The configuration is only read; each planner
 // instance is driven by exactly one goroutine, so stateful planners (e.g.
 // the switching wrapper or a resilient chain) remain safe as long as
-// callers pass distinct instances. Planners with core's Parallelism
+// callers pass distinct instances. Fault schedules are shared read-only
+// and feed layers are rebuilt per lane with per-(feed, slot) seeded
+// randomness, so every lane observes the identical fault and degradation
+// sequence — profit deltas are attributable to the planners alone. Planners with core's Parallelism
 // knob enabled compose with this: their internal worker goroutines are
 // scoped to one Plan call, so lanes never share search state even when
 // every lane plans in parallel. A panicking planner is recovered and

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify verify-feeds bench bench-smoke benchall
+.PHONY: build test vet race fuzz verify verify-feeds verify-obs bench bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,19 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
 
 # verify is the repo's full check tier: build, vet, tests, race tests,
-# a one-iteration smoke of the plan-search benchmarks, and the feed-layer
-# resilience tier.
-verify: build vet test race bench-smoke verify-feeds
+# a one-iteration smoke of the plan-search benchmarks, the feed-layer
+# resilience tier, and the observability tier.
+verify: build vet test race bench-smoke verify-feeds verify-obs
+
+# verify-obs is the observability tier: the obs package under the race
+# detector, the sim-level integration tests (bit-identical guard,
+# escalation/trace agreement, golden trace), the worker-panic regression,
+# and the CLI -metrics/-trace/-pprof smokes.
+verify-obs:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'TestObs' ./internal/sim/
+	$(GO) test -race -run 'TestMapOrderedWorkerPanicBecomesError' ./internal/core/
+	$(GO) test -count=1 -run 'TestCmdSimulateObs|TestCmdChaosObs|TestCmdSimulatePprofSmoke' ./cmd/profitlb/
 
 # verify-feeds is the telemetry-resilience tier: the feed package (and
 # its sim integration) under the race detector, plus a one-shot

@@ -13,11 +13,13 @@
 //	profitlb simulate -config F   run a JSON scenario and print the report
 //	                              (-faults F|storm, -resilient, -seed N,
 //	                              -parallel N for the plan-search engine,
-//	                              -feeds on|F for the telemetry feed layer)
+//	                              -feeds on|F for the telemetry feed layer,
+//	                              -metrics/-trace/-pprof for observability)
 //	profitlb chaos -config F      profit retention per planner under a
 //	                              seeded outage + price-spike storm
 //	                              (-feeds adds feed faults and routes inputs
-//	                              through the feed layer, -parallel N)
+//	                              through the feed layer, -parallel N,
+//	                              -metrics/-trace/-pprof observe the storm)
 //	profitlb compare -config F    run a scenario under every planner
 //	profitlb analyze -config F    capacity advice + shadow prices
 //	profitlb export-lp -config F  dump a slot's dispatch LP (CPLEX format)
@@ -107,11 +109,15 @@ commands:
                        (-faults F|storm injects failures, -resilient wraps
                        the planner in the fallback chain, -seed N seeds
                        storms, -parallel N sets plan-search workers,
-                       -feeds on|F routes inputs through the feed layer)
+                       -feeds on|F routes inputs through the feed layer,
+                       -metrics F dumps run metrics, -trace F streams
+                       planner-decision events as JSON lines,
+                       -pprof ADDR serves net/http/pprof + /metrics)
   chaos -config F      profit retention per planner under a seeded fault
                        storm (outages + price spikes), resilient chains on
                        (-feeds adds feed faults + the feed layer,
-                       -parallel N sets plan-search workers)
+                       -parallel N sets plan-search workers;
+                       -metrics/-trace/-pprof observe the storm run)
   analyze -config F    capacity advice + shadow prices for a scenario
   compare -config F    run a scenario under every planner
   export-lp -config F  dump one slot's dispatch LP in CPLEX LP format`)
@@ -319,6 +325,9 @@ func cmdSimulate(args []string) error {
 	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
 	feedsArg := fs.String("feeds", "", "telemetry feed layer: 'on' for defaults, or a feed-config JSON file")
+	metricsPath := fs.String("metrics", "", "write the run's metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	tracePath := fs.String("trace", "", "stream structured planner-decision events to this file (JSON lines)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and live /metrics on this address (e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -326,6 +335,12 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
+	sess, err := openObs(*metricsPath, *tracePath, *pprofAddr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	sc.Obs = sess.Scope()
 	if *resilient {
 		sc.Resilient = true
 	}
@@ -385,7 +400,10 @@ func cmdSimulate(args []string) error {
 		fmt.Fprintf(w, "feed tiers %s, mean staleness %.2f slots, breaker-open feed-slots %d\n",
 			tierMix(rep), rep.MeanFeedStaleness(), rep.BreakerOpenSlots())
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return sess.Close()
 }
 
 // feedLabel compresses a slot's feed health for the report table:
@@ -460,6 +478,9 @@ func cmdChaos(args []string) error {
 	spikeFactor := fs.Float64("spike-factor", 2, "price multiplier during a spike")
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
 	feeds := fs.Bool("feeds", false, "route planner inputs through the telemetry feed layer and add feed faults to the storm")
+	metricsPath := fs.String("metrics", "", "write the storm run's metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	tracePath := fs.String("trace", "", "stream the storm run's planner-decision events to this file (JSON lines)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and live /metrics on this address (e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -470,6 +491,11 @@ func cmdChaos(args []string) error {
 			return err
 		}
 	}
+	sess, err := openObs(*metricsPath, *tracePath, *pprofAddr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 	// Only an explicitly given -parallel overrides the scenario (same
 	// precedence as simulate), so `-parallel 0` can force serial search.
 	fs.Visit(func(f *flag.Flag) {
@@ -497,9 +523,11 @@ func cmdChaos(args []string) error {
 		return err
 	}
 	cleanCfg := sc.SimConfig()
+	cleanCfg.Obs = nil // observe the storm run only: lanes share one scope
 	faultedCfg := cleanCfg
 	faultedCfg.Faults = storm
 	faultedCfg.DegradeOnFailure = true
+	faultedCfg.Obs = sess.Scope()
 	if *feeds && faultedCfg.Feeds == nil {
 		faultedCfg.Feeds = &feed.Config{}
 	}
@@ -526,7 +554,11 @@ func cmdChaos(args []string) error {
 	stormPlanners := make([]core.Planner, len(lanes))
 	for i, ln := range lanes {
 		cleanPlanners[i] = ln.planner()
-		stormPlanners[i] = resilient.Wrap(ln.planner())
+		sp := ln.planner()
+		attachObs(sp, sess.Scope())
+		chain := resilient.Wrap(sp)
+		chain.Obs = sess.Scope()
+		stormPlanners[i] = chain
 	}
 	clean, err := sim.Compare(cleanCfg, cleanPlanners...)
 	if err != nil {
@@ -554,7 +586,7 @@ func cmdChaos(args []string) error {
 		for k := 0; k < sc.System.K(); k++ {
 			completion += faulted[i].CompletionRate(k)
 		}
-		completion /= float64(sc.System.K())
+		completion = report.Frac(completion, float64(sc.System.K()))
 		retained := report.Frac(faulted[i].TotalNetProfit(), clean[i].TotalNetProfit())
 		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.1f%%\t%.1f%%\t%d/%d\t%.2f",
 			ln.name, clean[i].TotalNetProfit(), faulted[i].TotalNetProfit(),
@@ -566,7 +598,10 @@ func cmdChaos(args []string) error {
 		}
 		fmt.Fprintln(w)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return sess.Close()
 }
 
 func cmdList() error {

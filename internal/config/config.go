@@ -17,6 +17,7 @@ import (
 	"profitlb/internal/fault"
 	"profitlb/internal/feed"
 	"profitlb/internal/market"
+	"profitlb/internal/obs"
 	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
 	"profitlb/internal/tuf"
@@ -67,6 +68,12 @@ type Scenario struct {
 	// resilient chain, Feeds.EscalateOnDark makes the chain skip its
 	// primary tier on slots whose feeds are unusable.
 	Feeds *feed.Config `json:"feeds,omitempty"`
+	// Obs, when non-nil, threads the observability scope (internal/obs)
+	// through the run: the simulator's slot events, the resilient
+	// chain's escalations, the core engine's solver counters and the
+	// feed layer's health transitions all land on it. Set by the CLI's
+	// -metrics/-trace/-pprof flags; never serialized.
+	Obs *obs.Scope `json:"-"`
 }
 
 // ErrUnknownPlanner is returned for an unrecognized planner name.
@@ -145,6 +152,7 @@ func (s *Scenario) SimConfig() sim.Config {
 		StartSlot:        s.StartSlot,
 		Faults:           s.Faults,
 		Feeds:            s.Feeds,
+		Obs:              s.Obs,
 		DegradeOnFailure: s.Faults != nil || s.Resilient,
 	}
 }
@@ -163,6 +171,7 @@ func (s *Scenario) BuildPlanner() (core.Planner, error) {
 	}
 	if s.Resilient || s.Faults.HasPlannerFaults() {
 		chain := resilient.Wrap(p)
+		chain.Obs = s.Obs
 		if s.Faults.HasPlannerFaults() {
 			// Injected hangs must overrun the per-tier deadline to
 			// register as timeouts rather than merely slow slots.
@@ -183,15 +192,18 @@ func (s *Scenario) basePlanner() (core.Planner, error) {
 	case "", "optimized":
 		p := core.NewOptimized()
 		p.Parallelism = s.Parallelism
+		p.Obs = s.Obs
 		return p, nil
 	case "optimized/per-server":
 		p := core.NewOptimized()
 		p.PerServer = true
 		p.Parallelism = s.Parallelism
+		p.Obs = s.Obs
 		return p, nil
 	case "level-search":
 		p := core.NewLevelSearch()
 		p.Parallelism = s.Parallelism
+		p.Obs = s.Obs
 		return p, nil
 	case "balanced":
 		return baseline.NewBalanced(), nil

@@ -17,6 +17,9 @@ type SearchStats struct {
 	Solves int64
 	// CacheHits counts solves answered from the subset memo cache.
 	CacheHits int64
+	// SolveErrors counts solver invocations that returned an error
+	// (cache hits on a failed entry replay the error without recounting).
+	SolveErrors int64
 }
 
 // subsetCache memoizes dispatch-LP solves within a single planning
@@ -42,6 +45,7 @@ type subsetCache struct {
 	entries     map[string]*cacheEntry
 	hits        atomic.Int64
 	solves      atomic.Int64
+	errs        atomic.Int64
 }
 
 type cacheEntry struct {
@@ -64,6 +68,9 @@ func (c *subsetCache) solve(in *Input, comms []commodity, perServer bool, floors
 		hit = false
 		c.solves.Add(1)
 		e.rates, e.obj, e.err = solveDispatchLP(in, comms, perServer, floors, opts)
+		if e.err != nil {
+			c.errs.Add(1)
+		}
 	})
 	if hit {
 		c.hits.Add(1)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"profitlb/internal/lp"
+	"profitlb/internal/obs"
 )
 
 // Strategy selects how LevelSearch explores level assignments.
@@ -69,6 +70,9 @@ type LevelSearch struct {
 	// Stats, when non-nil, receives the engine's solver counters after
 	// each Plan call (zero when Parallelism == 0). Diagnostics only.
 	Stats *SearchStats
+	// Obs streams the engine's solver counters to the observability
+	// layer, exactly as on Optimized. Nil disables it.
+	Obs *obs.Scope
 }
 
 // NewLevelSearch returns a LevelSearch with the defaults used in the
@@ -112,7 +116,7 @@ func (ls *LevelSearch) Plan(in *Input) (*Plan, error) {
 		}
 	}
 
-	eng := newEngine(ls.Parallelism, in)
+	eng := newEngine(ls.Parallelism, in, ls.Name(), ls.Obs)
 	defer eng.report(ls.Stats)
 	var best assignment
 	var err error

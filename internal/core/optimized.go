@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"profitlb/internal/lp"
+	"profitlb/internal/obs"
 )
 
 // commodity is one (class k, TUF level q, data center l) triple admitted to
@@ -71,6 +72,12 @@ type Optimized struct {
 	// Stats, when non-nil, receives the engine's solver counters after
 	// each Plan call (zero when Parallelism == 0). Diagnostics only.
 	Stats *SearchStats
+	// Obs, when non-nil, streams the engine's LP-solve and cache
+	// counters (metrics plus one engine event per Plan call) to the
+	// observability layer. It only watches — plans are bit-identical
+	// with or without a scope. Zero when Parallelism == 0: the legacy
+	// serial path has no engine to count.
+	Obs *obs.Scope
 }
 
 // NewOptimized returns the planner with the paper-faithful defaults:
@@ -92,7 +99,7 @@ func (o *Optimized) Plan(in *Input) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	eng := newEngine(o.Parallelism, in)
+	eng := newEngine(o.Parallelism, in, o.Name(), o.Obs)
 	defer eng.report(o.Stats)
 	full := admissibleCommodities(in, o.MinCompletion)
 	best, err := o.solveSubset(eng, in, capReservations(in, full))

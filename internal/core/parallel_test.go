@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -255,5 +256,35 @@ func TestAtomicFloatRaise(t *testing.T) {
 	f.raise(5)
 	if got := f.load(); got != 7999 {
 		t.Fatalf("raise went backwards: got %v", got)
+	}
+}
+
+// TestMapOrderedWorkerPanicBecomesError guards the panic-recovery
+// contract of the worker pool: a panic inside fn on a worker goroutine
+// must surface as an error from mapOrdered — attributed to the lowest
+// failing index — instead of crashing the process. Run with -race.
+func TestMapOrderedWorkerPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			const n = 32
+			_, err := mapOrdered(workers, n, func(i int) (int, error) {
+				if i%7 == 3 {
+					panic(fmt.Sprintf("worker blew up at %d", i))
+				}
+				if i == 5 {
+					return 0, errors.New("plain failure at 5")
+				}
+				return i * i, nil
+			})
+			if err == nil {
+				t.Fatal("panic in worker was swallowed")
+			}
+			// Lowest failing index is 3 (the first panic), so the
+			// surfaced error must be the recovered panic, not the plain
+			// error at index 5 — regardless of goroutine scheduling.
+			if !strings.Contains(err.Error(), "index 3") || !strings.Contains(err.Error(), "panic") {
+				t.Fatalf("error = %v, want recovered panic at index 3", err)
+			}
+		})
 	}
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"profitlb/internal/lp"
+	"profitlb/internal/obs"
 )
 
 // engine is the per-Plan-call execution context of the plan search: a
@@ -18,6 +20,12 @@ import (
 type engine struct {
 	workers int
 	cache   *subsetCache
+	// sc streams the engine's solver counters to the observability
+	// layer when the owning planner carries a scope; slot and planner
+	// label the summary event. Nil-safe like everything in obs.
+	sc      *obs.Scope
+	slot    int
+	planner string
 }
 
 // newEngine resolves a planner's Parallelism knob. 0 (the zero value)
@@ -25,11 +33,15 @@ type engine struct {
 // with n workers and the subset-LP memo cache (n = 1 is the serial
 // engine: the same search order, answered from cache when possible);
 // negative values use all CPUs.
-func newEngine(parallelism int, in *Input) *engine {
+func newEngine(parallelism int, in *Input, planner string, sc *obs.Scope) *engine {
 	if parallelism == 0 {
 		return nil
 	}
-	return &engine{workers: resolveWorkers(parallelism), cache: newSubsetCache(in)}
+	return &engine{
+		workers: resolveWorkers(parallelism),
+		cache:   newSubsetCache(in),
+		sc:      sc, slot: in.Slot, planner: planner,
+	}
 }
 
 // resolveWorkers maps the Parallelism knob to a concrete worker count.
@@ -64,13 +76,28 @@ func (e *engine) solve(in *Input, comms []commodity, perServer bool, floors []fl
 }
 
 // report copies the engine's solver counters into a caller-provided
-// stats sink; both sides are nil-safe.
+// stats sink and, when the planner carries an observability scope,
+// publishes them as metrics plus one engine summary event per Plan
+// call; every side is nil-safe.
 func (e *engine) report(stats *SearchStats) {
-	if e == nil || e.cache == nil || stats == nil {
+	if e == nil || e.cache == nil {
 		return
 	}
-	stats.Solves = e.cache.solves.Load()
-	stats.CacheHits = e.cache.hits.Load()
+	solves, hits, errs := e.cache.solves.Load(), e.cache.hits.Load(), e.cache.errs.Load()
+	if stats != nil {
+		stats.Solves, stats.CacheHits, stats.SolveErrors = solves, hits, errs
+	}
+	if e.sc.Enabled() {
+		e.sc.Counter("core_lp_solves_total").Add(solves)
+		e.sc.Counter("core_lp_cache_hits_total").Add(hits)
+		e.sc.Counter("core_lp_solve_errors_total").Add(errs)
+		e.sc.Emit(obs.Event{Kind: obs.KindEngine, Slot: e.slot, Planner: e.planner,
+			Values: map[string]float64{
+				"lpSolves":      float64(solves),
+				"lpCacheHits":   float64(hits),
+				"lpSolveErrors": float64(errs),
+			}})
+	}
 }
 
 // mapOrdered evaluates fn(0..n-1) on up to workers goroutines and
@@ -78,6 +105,15 @@ func (e *engine) report(stats *SearchStats) {
 // error of the lowest failing index is returned, so the surfaced error
 // does not depend on goroutine scheduling. workers ≤ 1 runs inline with
 // no goroutines.
+//
+// A panic inside fn on a worker goroutine is recovered into that
+// index's error: on the inline path a panic unwinds to the caller,
+// where the resilient chain's per-tier recovery catches it, but a
+// goroutine panic would crash the whole process — no recover() further
+// up the stack can reach another goroutine. Converting it to an error
+// keeps the parallel search inside the same failure contract as the
+// serial one (the chain sees a planner error and falls through to the
+// next tier).
 func mapOrdered[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers <= 1 || n <= 1 {
@@ -105,7 +141,14 @@ func mapOrdered[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("core: panic in parallel search at index %d: %v", i, r)
+						}
+					}()
+					out[i], errs[i] = fn(i)
+				}()
 			}
 		}()
 	}

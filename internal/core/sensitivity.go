@@ -41,7 +41,7 @@ func (o *Optimized) Sensitivity(in *Input) (*Sensitivity, error) {
 		// Parallelism along, so the refinement runs on its own engine.
 		agg := *o
 		agg.PerServer = false
-		eng := newEngine(agg.Parallelism, in)
+		eng := newEngine(agg.Parallelism, in, agg.Name(), agg.Obs)
 		best, err := agg.solveSubset(eng, in, comms)
 		if err != nil {
 			return nil, err

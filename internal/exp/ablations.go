@@ -200,13 +200,13 @@ func runAblForecast() (*Result, error) {
 		"input", "net profit($)", "fraction of oracle")
 	t.AddRow("oracle rates", report.F(oracle.TotalNetProfit()), "100.00%")
 	t.AddRow("Kalman one-step forecasts", report.F(fc.TotalNetProfit()),
-		report.Pct(fc.TotalNetProfit()/oracle.TotalNetProfit()))
+		report.Pct(report.Frac(fc.TotalNetProfit(), oracle.TotalNetProfit())))
 	return &Result{ID: "abl5-forecast", Title: "Forecast-driven planning",
 		Tables: []*report.Table{t},
 		Notes: []string{fmt.Sprintf(
 			"mean MAPE of the forecasts: %s; planning on them keeps %s of the oracle profit (under-forecasted arrivals are dropped, over-forecasts waste reservations)",
-			report.Pct(mapeSum/float64(len(ts.Traces))),
-			report.Pct(fc.TotalNetProfit()/oracle.TotalNetProfit()))},
+			report.Pct(report.Frac(mapeSum, float64(len(ts.Traces)))),
+			report.Pct(report.Frac(fc.TotalNetProfit(), oracle.TotalNetProfit())))},
 	}, nil
 }
 

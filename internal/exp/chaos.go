@@ -83,11 +83,8 @@ func runChaosStorm() (*Result, error) {
 		for k := 0; k < K; k++ {
 			completion += faulted[i].CompletionRate(k)
 		}
-		completion /= float64(K)
-		retained := 0.0
-		if c := clean[i].TotalNetProfit(); c != 0 {
-			retained = faulted[i].TotalNetProfit() / c
-		}
+		completion = report.Frac(completion, float64(K))
+		retained := report.Frac(faulted[i].TotalNetProfit(), clean[i].TotalNetProfit())
 		t.AddRow(ln.name, report.F(clean[i].TotalNetProfit()), report.F(faulted[i].TotalNetProfit()),
 			report.Pct(retained), report.Pct(completion),
 			fmt.Sprintf("%d/%d", faulted[i].DegradedSlots(), len(faulted[i].Slots)),

@@ -54,20 +54,20 @@ func runAblPUE() (*Result, error) {
 			}
 		}
 		profit := opt.TotalNetProfit()
-		share := dc2 / total
+		share := report.Frac(dc2, total)
 		if first == 0 {
 			first, firstShare = profit, share
 		}
 		last, lastShare = profit, share
 		t.AddRow(report.F(pue), report.F(profit), report.Pct(share),
-			report.Pct(opt.TotalNetProfit()/bal.TotalNetProfit()-1))
+			report.Pct(report.Frac(opt.TotalNetProfit(), bal.TotalNetProfit())-1))
 	}
 	return &Result{
 		ID: "abl8-pue", Title: "PUE sweep",
 		Tables: []*report.Table{t},
 		Notes: []string{fmt.Sprintf(
 			"raising dc2's cooling overhead from 1.0 to 3.0 costs %s of net profit and cuts dc2's load share from %s to %s",
-			report.Pct(1-last/first), report.Pct(firstShare), report.Pct(lastShare))},
+			report.Pct(1-report.Frac(last, first)), report.Pct(firstShare), report.Pct(lastShare))},
 	}, nil
 }
 
@@ -151,6 +151,6 @@ func runAblScale() (*Result, error) {
 		Tables: []*report.Table{t},
 		Notes: []string{fmt.Sprintf(
 			"plan time grows x%s over a x%s variable growth — polynomial in the LP size, where the paper's MINLP grew exponentially",
-			report.F(lastMS/firstMS), report.F(float64(lastVars)/float64(firstVars)))},
+			report.F(report.Frac(lastMS, firstMS)), report.F(report.Frac(float64(lastVars), float64(firstVars))))},
 	}, nil
 }

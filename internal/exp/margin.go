@@ -68,7 +68,7 @@ func runAblMargin() (*Result, error) {
 		if profit > best {
 			best, bestMargin = profit, margin
 		}
-		t.AddRow(report.Pct(margin), report.F(profit), report.Pct(profit/oracle.TotalNetProfit()),
+		t.AddRow(report.Pct(margin), report.F(profit), report.Pct(report.Frac(profit, oracle.TotalNetProfit())),
 			fmt.Sprintf("%s/%s/%s", report.Pct(rep.CompletionRate(0)),
 				report.Pct(rep.CompletionRate(1)), report.Pct(rep.CompletionRate(2))))
 	}
@@ -77,6 +77,6 @@ func runAblMargin() (*Result, error) {
 		Tables: []*report.Table{t},
 		Notes: []string{fmt.Sprintf(
 			"a %s demand margin recovers %s over planning exactly to the forecast (oracle profit $%s)",
-			report.Pct(bestMargin), report.Pct(best/base-1), report.F(oracle.TotalNetProfit()))},
+			report.Pct(bestMargin), report.Pct(report.Frac(best, base)-1), report.F(oracle.TotalNetProfit()))},
 	}, nil
 }

@@ -63,7 +63,7 @@ func runAblPriceBlind() (*Result, error) {
 		full, blind, bal := reports[0], reports[1], reports[2]
 		t := report.NewTable(title, "planner", "net profit($)", "fraction of full")
 		for _, r := range []*sim.Report{full, blind, bal} {
-			t.AddRow(r.Planner, report.F(r.TotalNetProfit()), report.Pct(r.TotalNetProfit()/full.TotalNetProfit()))
+			t.AddRow(r.Planner, report.F(r.TotalNetProfit()), report.Pct(report.Frac(r.TotalNetProfit(), full.TotalNetProfit())))
 		}
 		gapTotal := full.TotalNetProfit() - bal.TotalNetProfit()
 		gapPrice := full.TotalNetProfit() - blind.TotalNetProfit()

@@ -44,7 +44,7 @@ func runValDES() (*Result, error) {
 		}
 		t.AddRow(fmt.Sprintf("h%02d", sr.Slot),
 			report.F(sr.PlannedNetProfit), report.F(sr.RealizedNetProfit),
-			report.Pct(sr.RealizedNetProfit/sr.PlannedNetProfit),
+			report.Pct(report.Frac(sr.RealizedNetProfit, sr.PlannedNetProfit)),
 			fmt.Sprintf("%d", served),
 			report.F(fluid.Slots[i].Served()))
 	}
@@ -66,7 +66,7 @@ func runValDES() (*Result, error) {
 		}
 		miss.AddRow(cls.Name, report.F(meanD), report.F(maxD), report.Pct(rep.MissRate(k)))
 	}
-	ratio := rep.TotalRealized() / rep.TotalPlanned()
+	ratio := report.Frac(rep.TotalRealized(), rep.TotalPlanned())
 	return &Result{
 		ID: "val3-des", Title: "Request-level realization",
 		Tables: []*report.Table{t, miss},

@@ -50,7 +50,7 @@ func runAblWeek() (*Result, error) {
 			o += opt.Slots[d*24+h].NetProfit
 			b += bal.Slots[d*24+h].NetProfit
 		}
-		gain := o/b - 1
+		gain := report.Frac(o, b) - 1
 		if d < 5 {
 			weekdayGain += gain / 5
 		} else {
@@ -59,7 +59,7 @@ func runAblWeek() (*Result, error) {
 		t.AddRow(days[d], report.F(o), report.F(b), report.Pct(gain))
 	}
 	t.AddRow("week", report.F(opt.TotalNetProfit()), report.F(bal.TotalNetProfit()),
-		report.Pct(opt.TotalNetProfit()/bal.TotalNetProfit()-1))
+		report.Pct(report.Frac(opt.TotalNetProfit(), bal.TotalNetProfit())-1))
 	return &Result{
 		ID: "abl17-week", Title: "Week-long run",
 		Tables: []*report.Table{t},

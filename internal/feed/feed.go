@@ -35,6 +35,7 @@ import (
 
 	"profitlb/internal/fault"
 	"profitlb/internal/forecast"
+	"profitlb/internal/obs"
 )
 
 // Tier identifies which estimator produced a slot's planner-facing value.
@@ -331,6 +332,13 @@ type Feed struct {
 	hasLKG  bool
 	born    int
 	started bool
+	// Observability (see obs.go): the attached scope plus the previous
+	// slot's tier and breaker state, so transitions emit exactly one
+	// trace event. All nil-safe; a scope never alters a reading.
+	sc          *obs.Scope
+	prevTier    Tier
+	prevBreaker BreakerState
+	prevKnown   bool
 }
 
 // newFeed builds one feed; cfg must already carry defaults.
@@ -363,6 +371,12 @@ func sq(v float64) float64 { return v * v }
 // Fetch produces the slot's planner-facing reading and its health. The
 // returned slice is owned by the caller.
 func (f *Feed) Fetch(slot int) ([]float64, Health) {
+	out, h := f.fetch(slot)
+	f.note(slot, h)
+	return out, h
+}
+
+func (f *Feed) fetch(slot int) ([]float64, Health) {
 	if !f.started {
 		f.born, f.started = slot, true
 	}

@@ -1,0 +1,54 @@
+package feed
+
+import (
+	"fmt"
+
+	"profitlb/internal/obs"
+)
+
+// Instrument attaches an observability scope to every feed of the Set.
+// The scope only watches: fetch counters, estimator-tier counters, and
+// one feed-transition trace event whenever a feed's tier or breaker
+// state changes between slots. Readings are never altered, so an
+// instrumented Set replays bit-identically. A nil or disabled scope is
+// a no-op; call before the first FetchSlot.
+func (st *Set) Instrument(sc *obs.Scope) {
+	if !sc.Enabled() {
+		return
+	}
+	for _, f := range st.prices {
+		f.sc = sc
+	}
+	for _, f := range st.arrivals {
+		f.sc = sc
+	}
+}
+
+// note publishes one slot's fetch outcome to the attached scope and
+// advances the transition tracker. The first observed slot emits a
+// transition only when the feed is already degraded — a fresh fetch on
+// a closed breaker is the steady state, not a transition.
+func (f *Feed) note(slot int, h Health) {
+	if !f.sc.Enabled() {
+		return
+	}
+	f.sc.Counter("feed_fetches_total", obs.L("kind", f.kind)).Add(1)
+	f.sc.Counter("feed_tier_total", obs.L("tier", h.Tier.String())).Add(1)
+	if h.Breaker == Open && (!f.prevKnown || f.prevBreaker != Open) {
+		f.sc.Counter("feed_breaker_opens_total", obs.L("kind", f.kind)).Add(1)
+	}
+	changed := f.prevKnown && (h.Tier != f.prevTier || h.Breaker != f.prevBreaker) ||
+		!f.prevKnown && (h.Tier != TierFresh || h.Breaker != Closed)
+	if changed {
+		f.sc.Emit(obs.Event{
+			Kind:      obs.KindFeedTransition,
+			Slot:      slot,
+			Feed:      fmt.Sprintf("%s/%d", f.kind, f.idx),
+			FeedTier:  h.Tier.String(),
+			Breaker:   h.Breaker.String(),
+			Staleness: h.Staleness,
+			Reason:    h.Failure,
+		})
+	}
+	f.prevTier, f.prevBreaker, f.prevKnown = h.Tier, h.Breaker, true
+}

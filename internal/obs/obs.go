@@ -1,0 +1,73 @@
+// Package obs is the simulator's observability layer: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms with
+// Prometheus text and JSON exposition), a structured trace sink emitting
+// one typed event per planner decision, and an HTTP server exposing
+// net/http/pprof plus the registry.
+//
+// Everything is built around the nil-safe Scope: a nil *Scope (or a
+// Scope with nil members) turns every call into a no-op, so the sim,
+// resilient, core and feed layers thread a Scope unconditionally and a
+// clean run — no -metrics, no -trace — executes the exact same planning
+// and accounting path as before the layer existed. The scope only
+// watches; it never feeds back into a decision, which is what keeps
+// instrumented runs bit-identical to uninstrumented ones.
+//
+// All registry operations and sinks are safe for concurrent use:
+// sim.Compare lanes and the core engine's worker goroutines may share
+// one Scope.
+package obs
+
+// Scope bundles a metrics registry and a trace sink for one run (or one
+// fleet of Compare lanes). Either member may be nil; a nil *Scope
+// disables everything.
+type Scope struct {
+	// Metrics receives counters, gauges and histograms.
+	Metrics *Registry
+	// Trace receives the structured event stream.
+	Trace Sink
+}
+
+// NewScope bundles a registry and a sink; both may be nil.
+func NewScope(reg *Registry, sink Sink) *Scope {
+	return &Scope{Metrics: reg, Trace: sink}
+}
+
+// Enabled reports whether any observation is wired up. Hot paths check
+// it once per slot and skip event construction entirely when false.
+func (s *Scope) Enabled() bool {
+	return s != nil && (s.Metrics != nil || s.Trace != nil)
+}
+
+// Counter resolves a counter on the scope's registry (nil-safe).
+func (s *Scope) Counter(name string, labels ...Label) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Counter(name, labels...)
+}
+
+// Gauge resolves a gauge on the scope's registry (nil-safe).
+func (s *Scope) Gauge(name string, labels ...Label) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name, labels...)
+}
+
+// Histogram resolves a histogram on the scope's registry (nil-safe).
+// buckets is only consulted when the histogram is first created; nil
+// means DefBuckets.
+func (s *Scope) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name, buckets, labels...)
+}
+
+// Emit forwards an event to the trace sink (nil-safe).
+func (s *Scope) Emit(ev Event) {
+	if s == nil || s.Trace == nil {
+		return
+	}
+	s.Trace.Emit(ev)
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Serve starts an HTTP server on addr exposing the Go profiler
+// (/debug/pprof/...), the registry in Prometheus text form (/metrics)
+// and as JSON (/metrics.json). The runtime gauges (goroutines, heap,
+// GC) are refreshed into reg on every /metrics scrape. reg may be nil —
+// the profiler still works, the metrics endpoints serve an empty
+// exposition.
+//
+// It returns the bound address (useful with ":0") and a shutdown
+// function that closes the listener and any in-flight connections.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		CaptureRuntime(reg)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		CaptureRuntime(reg)
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// CaptureRuntime refreshes the process-level runtime gauges: goroutine
+// count, heap in use, cumulative allocations and completed GC cycles.
+// Call it before snapshotting when the run is not serving /metrics.
+func CaptureRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("go_goroutines").Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("go_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	reg.Gauge("go_total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	reg.Gauge("go_gc_cycles_total").Set(float64(ms.NumGC))
+}

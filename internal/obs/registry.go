@@ -1,0 +1,382 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric. Labels are sorted by
+// key when forming the metric's identity, so call-site order never
+// matters.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label at a call site.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer. The nil *Counter is a
+// valid no-op, which is how a disabled registry costs nothing.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n; negative deltas are ignored
+// (counters only rise).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can move both ways.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current reading.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (Prometheus
+// semantics: bucket i counts observations ≤ Bounds[i], with an implicit
+// +Inf bucket at the end).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, i.e. le
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot copies the histogram state under its lock.
+func (h *Histogram) snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// DefBuckets is the default histogram bucket set, tuned for planning
+// latencies in seconds: 100µs up to 10s, one decade apart.
+var DefBuckets = []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start with the given factor between neighbours.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	for v := start; len(out) < n; v *= factor {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Registry holds every metric of one run. All methods are safe for
+// concurrent use, and every method on the nil *Registry is a no-op, so
+// callers never branch on whether metrics are enabled.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// metricID is the canonical identity: name, then sorted labels in
+// Prometheus series syntax.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitID undoes metricID: family name and the brace-less label body.
+func splitID(id string) (name, labelBody string) {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i], strings.TrimSuffix(id[i+1:], "}")
+	}
+	return id, ""
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[id]
+	if !ok {
+		c = &Counter{}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[id]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram for
+// name+labels. buckets (upper bounds) is consulted only at creation —
+// it is copied, sorted and deduplicated; nil or empty means DefBuckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[id]
+	if !ok {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		uniq := bounds[:0]
+		for i, b := range bounds {
+			if i == 0 || b != uniq[len(uniq)-1] {
+				uniq = append(uniq, b)
+			}
+		}
+		h = &Histogram{bounds: uniq, counts: make([]uint64, len(uniq)+1)}
+		r.hists[id] = h
+	}
+	return h
+}
+
+// HistSnapshot is a histogram's frozen state. Counts has one more entry
+// than Bounds: the trailing +Inf bucket.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot freezes every metric for export. Map keys are the canonical
+// metric ids (name plus sorted labels).
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for id, c := range r.counters {
+		counters[id] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for id, g := range r.gauges {
+		gauges[id] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for id, h := range r.hists {
+		hists[id] = h
+	}
+	r.mu.Unlock()
+	snap.Counters = make(map[string]int64, len(counters))
+	for id, c := range counters {
+		snap.Counters[id] = c.Value()
+	}
+	snap.Gauges = make(map[string]float64, len(gauges))
+	for id, g := range gauges {
+		snap.Gauges[id] = g.Value()
+	}
+	snap.Histograms = make(map[string]HistSnapshot, len(hists))
+	for id, h := range hists {
+		snap.Histograms[id] = h.snapshot()
+	}
+	return snap
+}
+
+// WriteJSON exports the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus exports the snapshot in the Prometheus text
+// exposition format, families and series sorted for deterministic
+// output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	writeFamilies(&b, "counter", sortedKeys(snap.Counters), func(id string) {
+		fmt.Fprintf(&b, "%s %d\n", id, snap.Counters[id])
+	})
+	writeFamilies(&b, "gauge", sortedKeys(snap.Gauges), func(id string) {
+		fmt.Fprintf(&b, "%s %s\n", id, formatValue(snap.Gauges[id]))
+	})
+	writeFamilies(&b, "histogram", sortedKeys(snap.Histograms), func(id string) {
+		h := snap.Histograms[id]
+		name, labelBody := splitID(id)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", name, labelPrefix(labelBody), formatValue(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix(labelBody), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", name, braced(labelBody), formatValue(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, braced(labelBody), h.Count)
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeFamilies emits a sorted series group with one TYPE line per
+// family name.
+func writeFamilies(b *strings.Builder, typ string, ids []string, line func(id string)) {
+	lastFam := ""
+	for _, id := range ids {
+		fam, _ := splitID(id)
+		if fam != lastFam {
+			fmt.Fprintf(b, "# TYPE %s %s\n", fam, typ)
+			lastFam = fam
+		}
+		line(id)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// labelPrefix renders "k=\"v\"," (trailing comma) or "" for series that
+// need an le label appended.
+func labelPrefix(labelBody string) string {
+	if labelBody == "" {
+		return ""
+	}
+	return labelBody + ","
+}
+
+// braced renders "{k=\"v\"}" or "".
+func braced(labelBody string) string {
+	if labelBody == "" {
+		return ""
+	}
+	return "{" + labelBody + "}"
+}
+
+// formatValue renders a float the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

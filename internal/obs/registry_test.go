@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only rise
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("requests_total", L("kind", "a")) != c {
+		t.Fatal("same name+labels must resolve to the same counter")
+	}
+	// Label order must not matter for identity.
+	c2 := r.Counter("multi", L("b", "2"), L("a", "1"))
+	if r.Counter("multi", L("a", "1"), L("b", "2")) != c2 {
+		t.Fatal("label order changed metric identity")
+	}
+	g := r.Gauge("level")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	// Prometheus le semantics: a value exactly on a bound lands in that
+	// bound's bucket.
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 99.9, 100, 101, math.Inf(1)} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	snap := h.snapshot()
+	// ≤1: {0.5, 1}; ≤10: {1.0000001, 10}; ≤100: {99.9, 100}; +Inf: {101, Inf}.
+	wantCounts := []uint64{2, 2, 2, 2}
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, snap.Counts[i], want, snap.Counts)
+		}
+	}
+	if snap.Count != 8 {
+		t.Fatalf("count = %d, want 8", snap.Count)
+	}
+	// Unsorted, duplicated bucket specs are canonicalized at creation.
+	h2 := r.Histogram("lat2", []float64{5, 1, 5, 3})
+	s2 := h2.snapshot()
+	if len(s2.Bounds) != 3 || s2.Bounds[0] != 1 || s2.Bounds[1] != 3 || s2.Bounds[2] != 5 {
+		t.Fatalf("bounds not canonicalized: %v", s2.Bounds)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c_total").Inc()
+				r.Counter("labeled_total", L("w", string(rune('a'+g%4)))).Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Gauge("adder").Add(1)
+				r.Histogram("h", []float64{10, 100}).Observe(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counters["c_total"]; got != goroutines*iters {
+		t.Fatalf("c_total = %d, want %d", got, goroutines*iters)
+	}
+	if got := snap.Gauges["adder"]; got != goroutines*iters {
+		t.Fatalf("adder = %g, want %d", got, goroutines*iters)
+	}
+	var labeled int64
+	for id, v := range snap.Counters {
+		if strings.HasPrefix(id, "labeled_total{") {
+			labeled += v
+		}
+	}
+	if labeled != goroutines*iters {
+		t.Fatalf("labeled sum = %d, want %d", labeled, goroutines*iters)
+	}
+	if h := snap.Histograms["h"]; h.Count != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count, goroutines*iters)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(3)
+	r.Counter("tiers_total", L("tier", "lkg")).Add(2)
+	r.Counter("tiers_total", L("tier", "fresh")).Add(7)
+	r.Gauge("profit").Set(12.5)
+	h := r.Histogram("plan_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE runs_total counter",
+		"runs_total 3",
+		`tiers_total{tier="fresh"} 7`,
+		`tiers_total{tier="lkg"} 2`,
+		"# TYPE profit gauge",
+		"profit 12.5",
+		"# TYPE plan_seconds histogram",
+		`plan_seconds_bucket{le="0.1"} 1`,
+		`plan_seconds_bucket{le="1"} 2`,
+		`plan_seconds_bucket{le="+Inf"} 3`,
+		"plan_seconds_sum 5.55",
+		"plan_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with several series.
+	if strings.Count(out, "# TYPE tiers_total counter") != 1 {
+		t.Fatalf("family TYPE line repeated:\n%s", out)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Gauge("b").Set(3)
+	r.Histogram("c", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if snap.Counters["a_total"] != 1 || snap.Gauges["b"] != 3 || snap.Histograms["c"].Count != 1 {
+		t.Fatalf("round-trip lost data: %+v", snap)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every call on nil scope/registry/metric handles must be a no-op,
+	// not a panic — this is the disabled path every clean run takes.
+	var s *Scope
+	if s.Enabled() {
+		t.Fatal("nil scope reports enabled")
+	}
+	s.Counter("x").Inc()
+	s.Counter("x").Add(2)
+	s.Gauge("y").Set(1)
+	s.Gauge("y").Add(1)
+	s.Histogram("z", nil).Observe(1)
+	s.Emit(Event{Kind: KindSlotStart})
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(1)
+	_ = r.Snapshot()
+	var j *JSONL
+	j.Emit(Event{})
+	if j.Err() != nil {
+		t.Fatal("nil JSONL reports an error")
+	}
+	var c *Collector
+	c.Emit(Event{})
+	if c.Len() != 0 || c.Events() != nil {
+		t.Fatal("nil collector not empty")
+	}
+	// A scope with only a trace sink must still be Enabled and not
+	// panic on metric calls.
+	col := &Collector{}
+	s2 := NewScope(nil, col)
+	if !s2.Enabled() {
+		t.Fatal("trace-only scope not enabled")
+	}
+	s2.Counter("x").Inc()
+	s2.Emit(Event{Kind: KindSlotStart, Slot: 7})
+	if col.Len() != 1 {
+		t.Fatal("trace-only scope dropped the event")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLEmitsOneObjectPerLine(t *testing.T) {
+	var b strings.Builder
+	j := NewJSONL(&b)
+	j.Emit(Event{Kind: KindSlotStart, Slot: 14, Planner: "optimized"})
+	j.Emit(Event{Kind: KindEscalation, Slot: 15, Planner: "optimized", Tier: 0,
+		Reason: "error", Err: "boom", Values: map[string]float64{"elapsedMs": 1.5}})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), b.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 2 does not parse: %v", err)
+	}
+	if ev.Kind != KindEscalation || ev.Slot != 15 || ev.Reason != "error" || ev.Values["elapsedMs"] != 1.5 {
+		t.Fatalf("round-trip mismatch: %+v", ev)
+	}
+	// Zero fields must be omitted so the stream stays compact.
+	if strings.Contains(lines[0], "tierName") || strings.Contains(lines[0], "values") {
+		t.Fatalf("zero fields not omitted: %q", lines[0])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestJSONLWriteErrorSticksAndSilences(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 1})
+	j.Emit(Event{Kind: KindSlotStart})
+	if j.Err() != nil {
+		t.Fatal("first write should succeed")
+	}
+	j.Emit(Event{Kind: KindSlotEnd})
+	if j.Err() == nil {
+		t.Fatal("write error not captured")
+	}
+	j.Emit(Event{Kind: KindSlotEnd}) // must not panic or clobber the error
+	if j.Err() == nil || !strings.Contains(j.Err().Error(), "disk full") {
+		t.Fatalf("sticky error lost: %v", j.Err())
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := &Collector{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Emit(Event{Kind: KindSlotStart, Slot: g*1000 + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 8*200 {
+		t.Fatalf("collected %d, want %d", c.Len(), 8*200)
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served_total").Add(9)
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stop() }()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return b.String()
+	}
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "served_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	// The scrape refreshes the runtime gauges into the registry.
+	if !strings.Contains(metrics, "go_goroutines") || !strings.Contains(metrics, "go_heap_alloc_bytes") {
+		t.Fatalf("/metrics missing runtime gauges:\n%s", metrics)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+	if snap.Counters["served_total"] != 9 {
+		t.Fatalf("json snapshot: %+v", snap.Counters)
+	}
+	if !strings.Contains(get("/debug/pprof/"), "pprof") {
+		t.Fatal("pprof index not served")
+	}
+}

@@ -33,17 +33,36 @@ func (t *Table) AddRow(cells ...string) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// Render writes the table to w.
-func (t *Table) Render(w io.Writer) error {
+// numCols returns the table's column count: the widest of the header
+// row and every data row. Render and WriteCSV both normalize to it, so
+// ragged AddRow calls come out consistently padded in either format.
+func (t *Table) numCols() int {
 	cols := len(t.Headers)
 	for _, r := range t.rows {
 		if len(r) > cols {
 			cols = len(r)
 		}
 	}
+	return cols
+}
+
+// padded returns row normalized to exactly cols cells: short rows gain
+// trailing empty cells, long rows are truncated.
+func padded(row []string, cols int) []string {
+	if len(row) == cols {
+		return row
+	}
+	out := make([]string, cols)
+	copy(out, row)
+	return out
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := t.numCols()
 	width := make([]int, cols)
 	measure := func(row []string) {
-		for i, c := range row {
+		for i, c := range padded(row, cols) {
 			if len(c) > width[i] {
 				width[i] = len(c)
 			}
@@ -59,11 +78,9 @@ func (t *Table) Render(w io.Writer) error {
 		b.WriteByte('\n')
 	}
 	writeRow := func(row []string) {
+		row = padded(row, cols)
 		for i := 0; i < cols; i++ {
-			cell := ""
-			if i < len(row) {
-				cell = row[i]
-			}
+			cell := row[i]
 			if i > 0 {
 				b.WriteString("  ")
 			}
@@ -92,16 +109,19 @@ func (t *Table) Render(w io.Writer) error {
 }
 
 // WriteCSV emits the table as CSV (headers first; the title is not
-// included — name the file after it).
+// included — name the file after it). Every record is padded to the
+// table's column count: encoding/csv's Writer happily emits ragged
+// records, but its Reader — and most consumers — reject them.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
+	cols := t.numCols()
 	if len(t.Headers) > 0 {
-		if err := cw.Write(t.Headers); err != nil {
+		if err := cw.Write(padded(t.Headers, cols)); err != nil {
 			return err
 		}
 	}
 	for _, r := range t.rows {
-		if err := cw.Write(r); err != nil {
+		if err := cw.Write(padded(r, cols)); err != nil {
 			return err
 		}
 	}
@@ -139,8 +159,17 @@ func F(v float64) string {
 	}
 }
 
-// Pct formats a ratio as a percentage.
-func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+// Pct formats a ratio as a percentage, guarding non-finite inputs the
+// same way F does (a NaN ratio must not render as "NaN%").
+func Pct(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return "Inf"
+	}
+	return fmt.Sprintf("%.2f%%", v*100)
+}
 
 // Frac returns num/den, or 0 when den is zero — the guard every ratio
 // metric (completion rates, profit retention, share-of-best) should use
@@ -158,7 +187,10 @@ func Frac(num, den float64) float64 {
 func SeriesTable(title, indexName string, labels []string, names []string, series ...[]float64) *Table {
 	headers := append([]string{indexName}, names...)
 	t := NewTable(title, headers...)
-	n := 0
+	// One row per index across the longest series AND the label list:
+	// trailing labels beyond every series still get a (empty-celled)
+	// row instead of being silently dropped.
+	n := len(labels)
 	for _, s := range series {
 		if len(s) > n {
 			n = len(s)

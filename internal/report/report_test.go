@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -103,16 +104,88 @@ func TestTableWriteCSV(t *testing.T) {
 }
 
 func TestFracGuardsZeroDenominator(t *testing.T) {
-	if got := Frac(5, 0); got != 0 {
-		t.Fatalf("Frac(5,0) = %g, want 0", got)
+	cases := []struct {
+		name     string
+		num, den float64
+		want     float64
+	}{
+		{"zero-den-positive-num", 5, 0, 0},
+		{"zero-den-zero-num", 0, 0, 0},
+		{"zero-den-negative-num", -7, 0, 0},
+		{"zero-den-inf-num", math.Inf(1), 0, 0},
+		{"plain-ratio", 3, 4, 0.75},
+		{"negative-ratio", -2, 4, -0.5},
+		{"negative-den", 2, -4, -0.5},
+		{"zero-num", 0, 9, 0},
 	}
-	if got := Frac(0, 0); got != 0 {
-		t.Fatalf("Frac(0,0) = %g, want 0", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Frac(tc.num, tc.den); got != tc.want {
+				t.Fatalf("Frac(%g, %g) = %g, want %g", tc.num, tc.den, got, tc.want)
+			}
+		})
 	}
-	if got := Frac(3, 4); got != 0.75 {
-		t.Fatalf("Frac(3,4) = %g, want 0.75", got)
+	// The pairing every call site relies on: a degenerate run renders as
+	// "0.00%", never NaN/Inf.
+	if got := Pct(Frac(3, 0)); got != "0.00%" {
+		t.Fatalf("Pct(Frac(3,0)) = %q", got)
 	}
-	if got := Frac(-2, 4); got != -0.5 {
-		t.Fatalf("Frac(-2,4) = %g, want -0.5", got)
+}
+
+func TestSeriesTableTrailingLabels(t *testing.T) {
+	// More labels than any series has points: the trailing labels must
+	// still produce rows (with empty value cells), not vanish.
+	tbl := SeriesTable("S", "hour", SlotLabels(0, 4), []string{"x"}, []float64{1, 2})
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", tbl.NumRows())
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "h02") || !strings.Contains(out, "h03") {
+		t.Fatalf("trailing label rows dropped: %q", out)
+	}
+	// Degenerate but legal: labels with no series at all.
+	onlyLabels := SeriesTable("L", "i", []string{"a", "b"}, nil)
+	if onlyLabels.NumRows() != 2 {
+		t.Fatalf("labels-only rows = %d, want 2", onlyLabels.NumRows())
+	}
+}
+
+func TestTableRaggedCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x")
+	tbl.AddRow("y", "z", "extra")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The acid test: encoding/csv's Reader rejects records with
+	// inconsistent field counts, which is exactly what the old ragged
+	// output produced.
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("ragged CSV emitted: %v\n%s", err, b.String())
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if len(r) != 3 {
+			t.Fatalf("record %d has %d fields, want 3: %v", i, len(r), r)
+		}
+	}
+	if recs[2][2] != "extra" {
+		t.Fatalf("extra cell lost: %v", recs[2])
+	}
+}
+
+func TestPctNonFinite(t *testing.T) {
+	if got := Pct(math.NaN()); got != "NaN" {
+		t.Fatalf("Pct(NaN) = %q", got)
+	}
+	if got := Pct(math.Inf(1)); got != "Inf" {
+		t.Fatalf("Pct(+Inf) = %q", got)
+	}
+	if got := Pct(math.Inf(-1)); got != "Inf" {
+		t.Fatalf("Pct(-Inf) = %q", got)
 	}
 }

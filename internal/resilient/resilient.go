@@ -22,6 +22,7 @@ import (
 	"profitlb/internal/baseline"
 	"profitlb/internal/core"
 	"profitlb/internal/feed"
+	"profitlb/internal/obs"
 )
 
 // Reason classifies why a tier was rejected.
@@ -96,6 +97,12 @@ type Chain struct {
 	// prior — see feed.SlotHealth.Unusable). The slot's health arrives
 	// via ObserveFeedHealth and applies to the next Plan call only.
 	EscalateOnDegraded bool
+	// Obs, when non-nil, streams every rejected tier (one escalation
+	// event per rejection, counted by reason) and every commit (one
+	// tier-commit event, counted by tier name) into the observability
+	// layer. The scope only watches; decisions are identical with or
+	// without it.
+	Obs *obs.Scope
 
 	last        *core.Plan
 	dec         Decision
@@ -166,6 +173,11 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 	commit := func(plan *core.Plan, tier int, name string) *core.Plan {
 		dec.Tier, dec.TierName, dec.Degraded = tier, name, tier > 0
 		c.dec = dec
+		if c.Obs.Enabled() {
+			c.Obs.Counter("resilient_commits_total", obs.L("tier", name)).Add(1)
+			c.Obs.Emit(obs.Event{Kind: obs.KindTierCommit, Slot: in.Slot,
+				Planner: c.Name(), Tier: tier, TierName: name})
+		}
 		// The replay tier only learns plans that actually dispatch
 		// traffic. Recording the shed plan (or any other zero-dispatch
 		// commit) here would overwrite the last useful plan with
@@ -179,10 +191,12 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 	}
 	start := 0
 	if c.EscalateOnDegraded && c.inputHealth != nil && c.inputHealth.Unusable() && len(c.Tiers) > 1 {
-		dec.Attempts = append(dec.Attempts, Attempt{
+		at := Attempt{
 			Planner: c.Tiers[0].Name(), Reason: ReasonDegradedInputs,
 			Err: "feeds report unusable inputs; escalating past primary tier",
-		})
+		}
+		dec.Attempts = append(dec.Attempts, at)
+		c.observeReject(in.Slot, 0, at)
 		start = 1
 	}
 	c.inputHealth = nil
@@ -193,6 +207,7 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 		if plan != nil {
 			return commit(plan, i, p.Name()), nil
 		}
+		c.observeReject(in.Slot, i, at)
 	}
 	n := len(c.Tiers)
 	if !c.DisableReplay {
@@ -201,8 +216,21 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 		if plan != nil {
 			return commit(plan, n, "replay"), nil
 		}
+		c.observeReject(in.Slot, n, at)
 	}
 	return commit(core.NewPlan(in.Sys), n+1, "shed"), nil
+}
+
+// observeReject publishes one rejected tier attempt as an escalation
+// event plus a by-reason counter. Nil-safe; no-op without a scope.
+func (c *Chain) observeReject(slot, tier int, at Attempt) {
+	if !c.Obs.Enabled() {
+		return
+	}
+	c.Obs.Counter("resilient_escalations_total", obs.L("reason", string(at.Reason))).Add(1)
+	c.Obs.Emit(obs.Event{Kind: obs.KindEscalation, Slot: slot, Planner: at.Planner,
+		Tier: tier, Reason: string(at.Reason), Err: at.Err,
+		Values: map[string]float64{"elapsedMs": float64(at.Elapsed) / float64(time.Millisecond)}})
 }
 
 // planDispatches reports whether the plan serves any traffic at all.

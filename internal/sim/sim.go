@@ -10,12 +10,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
 	"profitlb/internal/fault"
 	"profitlb/internal/feed"
 	"profitlb/internal/market"
+	"profitlb/internal/obs"
 	"profitlb/internal/workload"
 )
 
@@ -59,6 +61,14 @@ type Config struct {
 	// actual arrivals — feeds distort only the planner's view, and
 	// distorted plans are reconciled like PlanTraces.
 	Feeds *feed.Config
+	// Obs, when non-nil, streams the run's slot lifecycle — plan
+	// commits with their dollar flows, failures, fallback tiers, feed
+	// health transitions — into the observability layer (internal/obs)
+	// as metrics and trace events. The scope only watches: a run with a
+	// scope commits bit-identical reports to the same run without one
+	// (asserted by TestObsRunBitIdentical). Shared across Compare lanes;
+	// the registry and sinks are concurrency-safe.
+	Obs *obs.Scope
 	// DegradeOnFailure continues the horizon when a slot's plan fails
 	// (planner error or panic, or an infeasible plan): the slot sheds all
 	// load — zero served, the foregone value accounted in LostRevenue —
@@ -406,10 +416,17 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 		if feeds, err = buildFeeds(&cfg); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
+		feeds.Instrument(cfg.Obs)
 	}
+	sc := cfg.Obs
+	observed := sc.Enabled()
 
 	for slot := 0; slot < cfg.Slots; slot++ {
 		abs := cfg.StartSlot + slot
+		if observed {
+			sc.Counter("sim_slots_total", obs.L("planner", planner.Name())).Add(1)
+			sc.Emit(obs.Event{Kind: obs.KindSlotStart, Slot: abs, Planner: planner.Name()})
+		}
 		actual := make([][]float64, S)
 		planArr := make([][]float64, S)
 		for s := 0; s < S; s++ {
@@ -449,7 +466,15 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 		}
 
 		planIn := &core.Input{Sys: effSys, Arrivals: planArr, Prices: planPrices, Slot: abs}
+		var planStart time.Time
+		if observed {
+			planStart = time.Now()
+		}
 		plan, err := safePlan(planner, planIn)
+		if observed {
+			sc.Histogram("sim_plan_seconds", nil, obs.L("planner", planner.Name())).
+				Observe(time.Since(planStart).Seconds())
+		}
 		if err == nil {
 			if verr := core.Verify(planIn, plan, 1e-6); verr != nil {
 				err = fmt.Errorf("infeasible plan from %s: %w", planner.Name(), verr)
@@ -464,6 +489,10 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 		}
 		var sr SlotReport
 		if err != nil {
+			if observed {
+				sc.Counter("sim_plan_failures_total", obs.L("planner", planner.Name())).Add(1)
+				sc.Emit(obs.Event{Kind: obs.KindPlanFailed, Slot: abs, Planner: planner.Name(), Err: err.Error()})
+			}
 			if !cfg.DegradeOnFailure {
 				return report, fmt.Errorf("sim: slot %d: %w", slot, err)
 			}
@@ -490,6 +519,27 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 		}
 		if cfg.KeepPlans {
 			sr.Plan = plan
+		}
+		if observed {
+			if err == nil {
+				sc.Emit(obs.Event{Kind: obs.KindPlanCommitted, Slot: abs, Planner: planner.Name(),
+					Tier: sr.FallbackTier, TierName: sr.FallbackName,
+					Values: map[string]float64{
+						"revenue":      sr.Revenue,
+						"energyCost":   sr.EnergyCost,
+						"transferCost": sr.TransferCost,
+						"netProfit":    sr.NetProfit,
+						"serversOn":    float64(sr.ServersOn),
+						"offered":      sr.Offered(),
+						"served":       sr.Served(),
+					}})
+			}
+			if sr.Degraded {
+				sc.Counter("sim_degraded_slots_total", obs.L("planner", planner.Name())).Add(1)
+			}
+			sc.Gauge("sim_last_net_profit", obs.L("planner", planner.Name())).Set(sr.NetProfit)
+			sc.Gauge("sim_servers_on", obs.L("planner", planner.Name())).Set(float64(sr.ServersOn))
+			sc.Emit(obs.Event{Kind: obs.KindSlotEnd, Slot: abs, Planner: planner.Name()})
 		}
 		report.Slots = append(report.Slots, sr)
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify verify-feeds verify-obs bench bench-smoke benchall
+.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch bench bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -17,16 +17,28 @@ race:
 	$(GO) test -race ./...
 
 # fuzz gives each fuzz target a short budget beyond its checked-in
-# corpus. FuzzLoad's seeds include feeds blocks and feed fault events,
-# so the feed config decoder is fuzzed here too.
+# corpus. FuzzLoad's seeds include feeds blocks, feed fault events and
+# dispatch blocks, so those config decoders are fuzzed here too.
+# FuzzCompile drives arbitrary plans through the routing-table compiler.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/workload/
 	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
+	$(GO) test -run=NONE -fuzz=FuzzCompile -fuzztime=10s ./internal/dispatch/
 
 # verify is the repo's full check tier: build, vet, tests, race tests,
 # a one-iteration smoke of the plan-search benchmarks, the feed-layer
-# resilience tier, and the observability tier.
-verify: build vet test race bench-smoke verify-feeds verify-obs
+# resilience tier, the observability tier, and the dispatch-plane tier.
+verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch
+
+# verify-dispatch is the online serving tier: the dispatch and loadgen
+# packages under the race detector (seeded-routing determinism is
+# asserted there with concurrent callers), plus the serve smoke through
+# the CLI — boot the gateway on a free port, fire a burst with the load
+# generator, check every endpoint, and drain cleanly.
+verify-dispatch:
+	$(GO) vet ./internal/dispatch/ ./internal/loadgen/
+	$(GO) test -race ./internal/dispatch/ ./internal/loadgen/
+	$(GO) test -count=1 -run 'TestServe' ./cmd/profitlb/
 
 # verify-obs is the observability tier: the obs package under the race
 # detector, the sim-level integration tests (bit-identical guard,
@@ -53,6 +65,8 @@ verify-feeds:
 bench:
 	$(GO) test -bench=BenchmarkPlanSearch -benchtime=5x -count=6 -run=NONE .
 	BENCH_PLAN_JSON=BENCH_plan.json $(GO) test -count=1 -run=TestPlanSearchTrajectory .
+	$(GO) test -bench=BenchmarkDispatch -count=6 -run=NONE ./internal/dispatch/
+	BENCH_DISPATCH_JSON=$(CURDIR)/BENCH_dispatch.json $(GO) test -count=1 -run=TestDispatchHotPathTrajectory ./internal/dispatch/
 
 # bench-smoke proves every plan-search benchmark still runs (one
 # iteration, no timing claims); wired into verify.

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"profitlb/internal/dispatch"
+	"profitlb/internal/loadgen"
+	"profitlb/internal/obs"
+	"profitlb/internal/sim"
+)
+
+// cmdLoadtest replays a scenario against the dispatch plane at request
+// granularity and reports achieved vs planned traffic, shed fractions
+// and realized vs predicted profit. By default it runs the gateway
+// in-process (driver + load generator in virtual time); with -addr it
+// instead fires requests at a live `profitlb serve` gateway over HTTP.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
+	slots := fs.Int("slots", 0, "slots to replay (default: the scenario's horizon)")
+	seed := fs.Int64("seed", 1, "arrival-synthesis seed (and storm seed with -faults storm)")
+	burst := fs.Float64("burst-factor", 0, "open-loop burstiness: >1 switches Poisson to a two-state MMPP with this peak-to-mean ratio")
+	closed := fs.Bool("closed", false, "closed-loop load: think-time users per (type, front-end) stream instead of open-loop arrivals")
+	users := fs.Int("users", 0, "closed-loop users per stream (default 32)")
+	think := fs.Float64("think", 0, "closed-loop mean think time in virtual time units (default: slot/8)")
+	faultsArg := fs.String("faults", "", "fault schedule: a JSON file of events, or 'storm' for a seeded outage+spike storm")
+	feedsArg := fs.String("feeds", "", "telemetry feed layer: 'on' for defaults, or a feed-config JSON file")
+	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
+	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
+	minPlanned := fs.Float64("min-planned", 500, "lanes below this planned request count are excluded from the rate-error gate")
+	addr := fs.String("addr", "", "HTTP mode: base URL of a live gateway (e.g. http://127.0.0.1:8080)")
+	n := fs.Int("n", 1000, "HTTP mode: requests to fire")
+	metricsPath := fs.String("metrics", "", "write the replay's metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := loadScenario(*path)
+	if err != nil {
+		return err
+	}
+	if *addr != "" {
+		res, err := loadgen.FireHTTP(*addr, sc.System, *n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loadtest %s: %d requests → %d admitted, %d shed, %d rejected\n",
+			*addr, res.Sent, res.Admitted, res.Shed, res.Rejected)
+		return nil
+	}
+	if *resilient {
+		sc.Resilient = true
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			sc.Parallelism = *parallel
+		}
+	})
+	if err := applyFaultsFlag(sc, *faultsArg, *seed); err != nil {
+		return err
+	}
+	if err := applyFeedsFlag(sc, *feedsArg); err != nil {
+		return err
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	// The gateway always runs instrumented here: the summary cross-checks
+	// the load generator's tallies against the dispatch counters.
+	reg := obs.NewRegistry()
+	scope := obs.NewScope(reg, nil)
+	sc.Obs = scope
+	planner, err := sc.BuildPlanner()
+	if err != nil {
+		return err
+	}
+	src, err := sim.NewInputSource(sc.SimConfig())
+	if err != nil {
+		return err
+	}
+	gw := dispatch.NewGateway(sc.System, sc.DispatchConfig(), scope)
+	d := &dispatch.Driver{Gateway: gw, Planner: planner, Source: src}
+	lcfg := loadgen.Config{
+		Seed:        *seed,
+		StartSlot:   sc.StartSlot,
+		Slots:       sc.Slots,
+		BurstFactor: *burst,
+		Closed:      *closed,
+		Users:       *users,
+		Think:       *think,
+	}
+	if *slots > 0 {
+		lcfg.Slots = *slots
+	}
+	rep, err := loadgen.Run(d, src, lcfg)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "loadtest %s: planner %s, %d slots, seed %d\n", sc.Name, rep.Planner, len(rep.Slots), *seed)
+	fmt.Fprintln(w, "SLOT\tOFFERED\tADMITTED\tSHED(BUDGET)\tSHED(UNPLANNED)\tNET($)\tPLANNED($)\tTIER")
+	for i := range rep.Slots {
+		s := &rep.Slots[i]
+		tier := s.Tier
+		if tier == "" {
+			tier = "primary"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f\t%s\n",
+			s.Slot, s.Offered, s.Admitted, s.ShedBudget, s.ShedUnplanned, s.NetProfit, s.PlannedProfit, tier)
+	}
+	offered, admitted, shed := rep.Totals()
+	fmt.Fprintf(w, "total\t%d\t%d\t%d\t\t%.2f\t%.2f\t\n", offered, admitted, shed,
+		rep.TotalNetProfit(), rep.TotalPlannedProfit())
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("shed fraction %.4f (%d budget, %d unplanned), max lane rate error %.2f%% (lanes ≥ %.0f planned), degraded slots %d/%d\n",
+		rep.ShedFraction(), rep.BudgetShed(), shed-rep.BudgetShed(),
+		100*rep.MaxLaneError(*minPlanned), *minPlanned, rep.DegradedSlots(), len(rep.Slots))
+
+	// Reconcile the generator's accounting with the gateway's counters:
+	// both watched the same requests through independent code paths.
+	cReq := scope.Counter("dispatch_requests_total").Value()
+	cAdmit := scope.Counter("dispatch_admitted_total").Value()
+	cShed := scope.Counter("dispatch_shed_total", obs.L("reason", "budget")).Value() +
+		scope.Counter("dispatch_shed_total", obs.L("reason", "unplanned")).Value()
+	if cReq == offered && cAdmit == admitted && cShed == shed {
+		fmt.Printf("obs counters reconcile: %d requests = %d admitted + %d shed\n", cReq, cAdmit, cShed)
+	} else {
+		fmt.Printf("obs counters DISAGREE: counters %d/%d/%d vs report %d/%d/%d\n",
+			cReq, cAdmit, cShed, offered, admitted, shed)
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		werr := error(nil)
+		if strings.HasSuffix(*metricsPath, ".json") {
+			werr = reg.WriteJSON(f)
+		} else {
+			werr = reg.WritePrometheus(f)
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}

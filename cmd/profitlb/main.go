@@ -23,6 +23,14 @@
 //	profitlb compare -config F    run a scenario under every planner
 //	profitlb analyze -config F    capacity advice + shadow prices
 //	profitlb export-lp -config F  dump a slot's dispatch LP (CPLEX format)
+//	profitlb serve -config F      run the online dispatch gateway over HTTP
+//	                              (-addr, -slot-seconds, -seed; graceful
+//	                              drain on SIGINT/SIGTERM)
+//	profitlb loadtest -config F   replay a scenario against the dispatch
+//	                              plane and report achieved vs planned rates
+//	                              (-slots, -seed, -burst-factor, -closed,
+//	                              -faults F|storm, -feeds, -resilient;
+//	                              -addr URL fires at a live gateway)
 package main
 
 import (
@@ -83,6 +91,10 @@ func run(args []string) error {
 		return cmdCompare(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "loadtest":
+		return cmdLoadtest(args[1:])
 	case "export-lp":
 		return cmdExportLP(args[1:])
 	case "help", "-h", "--help":
@@ -120,7 +132,21 @@ commands:
                        -metrics/-trace/-pprof observe the storm run)
   analyze -config F    capacity advice + shadow prices for a scenario
   compare -config F    run a scenario under every planner
-  export-lp -config F  dump one slot's dispatch LP in CPLEX LP format`)
+  export-lp -config F  dump one slot's dispatch LP in CPLEX LP format
+  serve -config F      run the online dispatch gateway: one HTTP endpoint
+                       per front-end (/dispatch/<front-end>/<class>),
+                       admin endpoints (/healthz /admin/plan /admin/stats
+                       /metrics), plan hot-swap at slot boundaries and
+                       graceful drain on SIGINT/SIGTERM (-addr,
+                       -slot-seconds N maps one plan slot onto N wall
+                       seconds, -seed N fixes the routing seed)
+  loadtest -config F   replay a scenario against the dispatch plane at
+                       request granularity and report achieved vs planned
+                       per-lane rates, shed fractions and realized profit
+                       (-slots, -seed, -burst-factor F, -closed -users N,
+                       -faults F|storm, -feeds on|F, -resilient,
+                       -metrics F; -addr URL -n N fires at a live
+                       'serve' gateway over HTTP instead)`)
 }
 
 func cmdAnalyze(args []string) error {

@@ -1,0 +1,323 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"profitlb/internal/config"
+	"profitlb/internal/dispatch"
+	"profitlb/internal/obs"
+	"profitlb/internal/sim"
+)
+
+// gatewayServer is the `profitlb serve` runtime: an HTTP front-end over
+// a dispatch.Gateway plus the background planner loop that hot-swaps the
+// routing table at slot boundaries. One loop goroutine owns the driver;
+// the HTTP handlers only touch the gateway (concurrency-safe) and
+// snapshots.
+type gatewayServer struct {
+	sc     *config.Scenario
+	dcfg   dispatch.Config
+	driver *dispatch.Driver
+	gw     *dispatch.Gateway
+	reg    *obs.Registry
+
+	srv *http.Server
+	ln  net.Listener
+
+	feByName    map[string]int
+	classByName map[string]int
+	exposed     []bool // by front-end index
+
+	startWall time.Time
+	draining  atomic.Bool
+	stopOnce  sync.Once
+	stopLoop  chan struct{}
+	loopDone  chan struct{}
+}
+
+// newGatewayServer assembles the gateway, planner loop and HTTP mux for
+// a validated scenario. addr is the listen address ("127.0.0.1:0" picks
+// a free port).
+func newGatewayServer(sc *config.Scenario, addr string) (*gatewayServer, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	planner, err := sc.BuildPlanner()
+	if err != nil {
+		return nil, err
+	}
+	src, err := sim.NewInputSource(sc.SimConfig())
+	if err != nil {
+		return nil, err
+	}
+	dcfg := sc.DispatchConfig()
+	reg := obs.NewRegistry()
+	scope := obs.NewScope(reg, nil)
+	gs := &gatewayServer{
+		sc:          sc,
+		dcfg:        dcfg,
+		reg:         reg,
+		gw:          dispatch.NewGateway(sc.System, dcfg, scope),
+		feByName:    map[string]int{},
+		classByName: map[string]int{},
+		exposed:     make([]bool, sc.System.S()),
+		stopLoop:    make(chan struct{}),
+		loopDone:    make(chan struct{}),
+	}
+	gs.driver = &dispatch.Driver{Gateway: gs.gw, Planner: planner, Source: src}
+	for i := range sc.System.FrontEnds {
+		gs.feByName[sc.System.FrontEnds[i].Name] = i
+	}
+	for i := range sc.System.Classes {
+		gs.classByName[sc.System.Classes[i].Name] = i
+	}
+	if len(dcfg.FrontEnds) == 0 {
+		for i := range gs.exposed {
+			gs.exposed[i] = true
+		}
+	} else {
+		for _, name := range dcfg.FrontEnds {
+			gs.exposed[gs.feByName[name]] = true // names validated by the config
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dispatch/", gs.handleDispatch)
+	mux.HandleFunc("/healthz", gs.handleHealth)
+	mux.HandleFunc("/admin/plan", gs.handlePlan)
+	mux.HandleFunc("/admin/stats", gs.handleStats)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	gs.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	gs.ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// Addr returns the bound listen address.
+func (gs *gatewayServer) Addr() string { return gs.ln.Addr().String() }
+
+// now maps wall-clock time onto the gateway's virtual clock: one
+// SlotSeconds of wall time is one slot length T of virtual time.
+func (gs *gatewayServer) now() float64 {
+	return time.Since(gs.startWall).Seconds() / gs.dcfg.SlotSeconds * gs.sc.System.Slot()
+}
+
+// Start installs the first slot's table and begins serving and slot
+// rotation. It returns once the server is accepting requests.
+func (gs *gatewayServer) Start() error {
+	gs.startWall = time.Now()
+	if _, err := gs.driver.BeginSlot(gs.sc.StartSlot, 0); err != nil {
+		return err
+	}
+	go gs.slotLoop()
+	go func() { _ = gs.srv.Serve(gs.ln) }()
+	return nil
+}
+
+// slotLoop rotates the plan at slot boundaries: slot i begins
+// i*SlotSeconds after start. The loop goroutine is the only driver
+// caller after Start.
+func (gs *gatewayServer) slotLoop() {
+	defer close(gs.loopDone)
+	period := time.Duration(gs.dcfg.SlotSeconds * float64(time.Second))
+	for i := 1; ; i++ {
+		next := gs.startWall.Add(time.Duration(i) * period)
+		timer := time.NewTimer(time.Until(next))
+		select {
+		case <-gs.stopLoop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		abs := gs.sc.StartSlot + i
+		if _, err := gs.driver.BeginSlot(abs, float64(i)*gs.sc.System.Slot()); err != nil {
+			// Wiring errors only; the driver degrades plan failures to
+			// an all-shed table on its own.
+			fmt.Fprintf(os.Stderr, "profitlb: serve: slot %d: %v\n", abs, err)
+		}
+	}
+}
+
+// Shutdown drains the gateway: new requests are refused with 503, the
+// slot loop stops, and in-flight requests finish (bounded by the drain
+// deadline). A clean drain returns nil. Safe to call more than once.
+func (gs *gatewayServer) Shutdown(ctx context.Context) error {
+	gs.draining.Store(true)
+	gs.stopOnce.Do(func() { close(gs.stopLoop) })
+	err := gs.srv.Shutdown(ctx)
+	<-gs.loopDone
+	return err
+}
+
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleDispatch is the request hot path: /dispatch/<front-end>/<class>,
+// where both segments accept a name or an index. Admitted requests get
+// 200 with the serving center and level; shed requests get 429 with the
+// reason; a draining gateway refuses with 503.
+func (gs *gatewayServer) handleDispatch(w http.ResponseWriter, r *http.Request) {
+	if gs.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"outcome": "draining"})
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/dispatch/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "want /dispatch/<front-end>/<class>"})
+		return
+	}
+	s, ok := gs.lookup(parts[0], gs.feByName, gs.sc.System.S())
+	if !ok || !gs.exposed[s] {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown front-end %q", parts[0])})
+		return
+	}
+	k, ok := gs.lookup(parts[1], gs.classByName, gs.sc.System.K())
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown class %q", parts[1])})
+		return
+	}
+	dec := gs.gw.Handle(k, s, gs.now())
+	switch dec.Outcome {
+	case dispatch.Admitted:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"outcome": dec.Outcome.String(),
+			"center":  gs.sc.System.Centers[dec.Center].Name,
+			"level":   dec.Level,
+		})
+	case dispatch.ShedUnplanned, dispatch.ShedBudget:
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"outcome": dec.Outcome.String()})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"outcome": dec.Outcome.String()})
+	}
+}
+
+// lookup resolves a path segment as a name or a bare index.
+func (gs *gatewayServer) lookup(seg string, byName map[string]int, n int) (int, bool) {
+	if i, ok := byName[seg]; ok {
+		return i, true
+	}
+	if i, err := strconv.Atoi(seg); err == nil && i >= 0 && i < n {
+		return i, true
+	}
+	return 0, false
+}
+
+// handleHealth reports liveness: 200 while serving, 503 while draining.
+func (gs *gatewayServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := gs.gw.Stats(gs.now())
+	status := http.StatusOK
+	state := "ok"
+	if gs.draining.Load() {
+		status, state = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"slot":     st.Slot,
+		"degraded": st.Degraded,
+		"tier":     st.Tier,
+		"swaps":    st.Swaps,
+	})
+}
+
+// handlePlan dumps the committed routing table.
+func (gs *gatewayServer) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	t := gs.gw.Table()
+	if t == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no table installed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slot":      t.Slot,
+		"objective": t.Objective,
+		"serversOn": t.ServersOn,
+		"degraded":  t.Degraded,
+		"tier":      t.Tier,
+		"seed":      t.Seed,
+		"lanes":     t.Lanes,
+	})
+}
+
+// handleStats dumps the gateway counters and per-lane tallies.
+func (gs *gatewayServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, gs.gw.Stats(gs.now()))
+}
+
+// cmdServe boots the HTTP gateway for a scenario and runs until
+// interrupted, then drains gracefully.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	slotSeconds := fs.Float64("slot-seconds", 0, "wall seconds per plan slot (overrides the scenario's dispatch block)")
+	seed := fs.Uint64("seed", 0, "routing seed (overrides the scenario's dispatch block)")
+	resilient := fs.Bool("resilient", true, "wrap the planner in the resilient fallback chain")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := loadScenario(*path)
+	if err != nil {
+		return err
+	}
+	if *resilient {
+		sc.Resilient = true
+	}
+	if sc.Dispatch == nil {
+		d := dispatch.Config{}.WithDefaults()
+		sc.Dispatch = &d
+	}
+	if *slotSeconds > 0 {
+		sc.Dispatch.SlotSeconds = *slotSeconds
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			sc.Dispatch.Seed = *seed
+		}
+	})
+	gs, err := newGatewayServer(sc, *addr)
+	if err != nil {
+		return err
+	}
+	if err := gs.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("profitlb: serving scenario %s on http://%s (slot %d, %gs per slot)\n",
+		sc.Name, gs.Addr(), sc.StartSlot, sc.Dispatch.SlotSeconds)
+	fmt.Printf("profitlb: endpoints: /dispatch/<front-end>/<class>, /healthz, /admin/plan, /admin/stats, /metrics\n")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	drainCtx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(gs.dcfg.DrainSeconds*float64(time.Second)))
+	defer cancel()
+	fmt.Println("profitlb: draining...")
+	if err := gs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	st := gs.gw.Stats(gs.now())
+	fmt.Printf("profitlb: drained cleanly: %d requests, %d admitted, %d shed\n",
+		st.TotalRequests, st.TotalAdmitted, st.TotalShed)
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"profitlb/internal/baseline"
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
+	"profitlb/internal/dispatch"
 	"profitlb/internal/fault"
 	"profitlb/internal/feed"
 	"profitlb/internal/market"
@@ -68,6 +69,11 @@ type Scenario struct {
 	// resilient chain, Feeds.EscalateOnDark makes the chain skip its
 	// primary tier on slots whose feeds are unusable.
 	Feeds *feed.Config `json:"feeds,omitempty"`
+	// Dispatch configures the online serving plane for `profitlb serve`
+	// and `profitlb loadtest` (internal/dispatch): token-bucket burst,
+	// the wall-clock slot length, the routing seed and the exposed
+	// front-ends. Simulation commands ignore it.
+	Dispatch *dispatch.Config `json:"dispatch,omitempty"`
 	// Obs, when non-nil, threads the observability scope (internal/obs)
 	// through the run: the simulator's slot events, the resilient
 	// chain's escalations, the core engine's solver counters and the
@@ -136,8 +142,20 @@ func (s *Scenario) Validate() error {
 	if err := s.resolvePrices(); err != nil {
 		return err
 	}
+	if err := s.Dispatch.Validate(s.System); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
 	cfg := s.SimConfig()
 	return cfg.Validate()
+}
+
+// DispatchConfig returns the scenario's dispatch block, or the defaults
+// when the scenario has none.
+func (s *Scenario) DispatchConfig() dispatch.Config {
+	if s.Dispatch == nil {
+		return dispatch.Config{}.WithDefaults()
+	}
+	return s.Dispatch.WithDefaults()
 }
 
 // SimConfig converts the scenario into a simulator configuration. A

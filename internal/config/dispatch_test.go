@@ -1,0 +1,107 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// exampleWithDispatch splices a dispatch block into the example scenario
+// JSON.
+func exampleWithDispatch(t *testing.T, block string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Example().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.Replace(buf.String(), `"slots": 24`, `"slots": 24, "dispatch": `+block, 1)
+	if out == buf.String() {
+		t.Fatal("splice anchor not found in example JSON")
+	}
+	return out
+}
+
+// TestDispatchBlockValidation drives the scenario `dispatch` block
+// through Load: hand-written files with broken bucket, slot or front-end
+// settings must be rejected with a pointed error.
+func TestDispatchBlockValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		block string
+		want  string // error substring, "" for accepted
+	}{
+		{"valid", `{"slotSeconds": 30, "burst": 0.1, "seed": 7}`, ""},
+		{"valid with front-ends", `{"slotSeconds": 30, "frontEnds": ["us-east", "us-west"]}`, ""},
+		{"negative burst", `{"slotSeconds": 30, "burst": -0.5}`, "negative burst"},
+		{"negative minBurst", `{"slotSeconds": 30, "minBurst": -2}`, "negative minBurst"},
+		{"zero slot length", `{"burst": 0.1}`, "positive length"},
+		{"negative slot length", `{"slotSeconds": -10}`, "positive length"},
+		{"negative drain", `{"slotSeconds": 30, "drainSeconds": -1}`, "negative drainSeconds"},
+		{"unknown front-end", `{"slotSeconds": 30, "frontEnds": ["eu-central"]}`, `unknown front-end "eu-central"`},
+		{"duplicate front-end", `{"slotSeconds": 30, "frontEnds": ["us-east", "us-east"]}`, "listed twice"},
+		{"unknown field", `{"slotSeconds": 30, "bogusKnob": 1}`, "bogusKnob"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := Load(strings.NewReader(exampleWithDispatch(t, tc.block)))
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Load() = %v, want accepted", err)
+				}
+				if sc.Dispatch == nil {
+					t.Fatal("accepted scenario lost its dispatch block")
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Load() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDispatchBlockRoundTrip: the block survives Save/Load.
+func TestDispatchBlockRoundTrip(t *testing.T) {
+	sc, err := Load(strings.NewReader(exampleWithDispatch(t,
+		`{"slotSeconds": 15, "burst": 0.2, "minBurst": 4, "seed": 99, "frontEnds": ["us-west"], "drainSeconds": 5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if again.Dispatch == nil {
+		t.Fatal("round trip dropped the dispatch block")
+	}
+	d := *again.Dispatch
+	if d.SlotSeconds != 15 || d.Burst != 0.2 || d.MinBurst != 4 || d.Seed != 99 ||
+		d.DrainSeconds != 5 || len(d.FrontEnds) != 1 || d.FrontEnds[0] != "us-west" {
+		t.Fatalf("round-tripped block: %+v", d)
+	}
+}
+
+// TestDispatchConfigDefaults: scenarios without a block get the package
+// defaults; scenarios with one get it defaulted, not replaced.
+func TestDispatchConfigDefaults(t *testing.T) {
+	sc := Example()
+	d := sc.DispatchConfig()
+	if d.SlotSeconds <= 0 || d.Burst <= 0 || d.MinBurst <= 0 || d.DrainSeconds <= 0 {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	withBlock, err := Load(strings.NewReader(exampleWithDispatch(t, `{"slotSeconds": 5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := withBlock.DispatchConfig()
+	if got.SlotSeconds != 5 {
+		t.Fatalf("block slotSeconds clobbered: %+v", got)
+	}
+	if got.Burst != d.Burst {
+		t.Fatalf("unset block fields not defaulted: %+v", got)
+	}
+}

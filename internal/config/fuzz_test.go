@@ -67,6 +67,23 @@ func FuzzLoad(f *testing.F) {
 		`"slots": 24, "faults": {"events": [{"kind":"feed-dropout","feed":"arrival","frontEnd":9,"factor":0.5,"from":0,"to":1}]}`, 1))
 	f.Add(strings.Replace(example.String(), `"slots": 24`,
 		`"slots": 24, "faults": {"events": [{"kind":"feed-noise","feed":"volume","center":0,"factor":0.2,"from":0,"to":1}]}`, 1))
+	// Dispatch blocks, valid and hostile: the online serving plane's
+	// config rides the same decoder and the same accepted-⇒-validates
+	// invariant.
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "dispatch": {"slotSeconds": 30, "burst": 0.1, "minBurst": 4, "seed": 7}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "dispatch": {"slotSeconds": 30, "frontEnds": ["us-east", "us-west"], "drainSeconds": 5}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "dispatch": {"burst": -1}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "dispatch": {"slotSeconds": 0}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "dispatch": {"slotSeconds": 30, "frontEnds": ["mars"]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "dispatch": {"slotSeconds": 1e308, "minBurst": 1e308}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "dispatch": null`, 1))
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := Load(strings.NewReader(in))
 		if err != nil {

@@ -1,0 +1,127 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"profitlb/internal/core"
+)
+
+// benchGateway compiles the fixture plan and installs it.
+func benchGateway(b testing.TB) *Gateway {
+	in := testInput(testSystem())
+	plan, err := core.NewOptimized().Plan(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Seed: 1, SlotSeconds: 60}
+	tab, err := Compile(in, plan, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw := NewGateway(in.Sys, cfg, nil)
+	gw.Install(tab, 0, 0)
+	return gw
+}
+
+// BenchmarkDispatchHotPath times Gateway.Handle — the per-request path —
+// on the fixture plan. The target is 0 allocs/op: the alias draw, the
+// bucket take and the Decision are all value operations.
+func BenchmarkDispatchHotPath(b *testing.B) {
+	gw := benchGateway(b)
+	T := gw.Table().SlotLen
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := T * float64(i%1000) / 1000
+		gw.Handle(i&1, (i>>1)&1, now)
+	}
+}
+
+// BenchmarkDispatchHotPathParallel exercises the same path from all
+// procs: the only contention is the drawn lane's bucket mutex.
+func BenchmarkDispatchHotPathParallel(b *testing.B) {
+	gw := benchGateway(b)
+	T := gw.Table().SlotLen
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			now := T * float64(i%1000) / 1000
+			gw.Handle(i&1, (i>>1)&1, now)
+			i++
+		}
+	})
+}
+
+// BenchmarkCompile times the slot-boundary cost: freezing a committed
+// plan into a routing table.
+func BenchmarkCompile(b *testing.B) {
+	in := testInput(testSystem())
+	plan, err := core.NewOptimized().Plan(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Seed: 1, SlotSeconds: 60}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(in, plan, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDispatchHotPathTrajectory measures the request path — ns/op and
+// allocs/op — and writes the point to the file named by
+// BENCH_DISPATCH_JSON (skipped when unset; `make bench` sets it). It
+// also enforces the subsystem's headline property: the hot path must not
+// allocate.
+func TestDispatchHotPathTrajectory(t *testing.T) {
+	out := os.Getenv("BENCH_DISPATCH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_DISPATCH_JSON=FILE to record the benchmark trajectory")
+	}
+	gw := benchGateway(t)
+	T := gw.Table().SlotLen
+	var i int
+	allocs := testing.AllocsPerRun(10000, func() {
+		now := T * float64(i%1000) / 1000
+		gw.Handle(i&1, (i>>1)&1, now)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+	const n = 2_000_000
+	best := time.Duration(1 << 62)
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for j := 0; j < n; j++ {
+			now := T * float64(j%1000) / 1000
+			gw.Handle(j&1, (j>>1)&1, now)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	nsPerOp := float64(best.Nanoseconds()) / n
+	blob, err := json.MarshalIndent(map[string]any{
+		"bench":     "dispatch-hot-path",
+		"scenario":  "2x2x2 optimized plan",
+		"workers":   runtime.NumCPU(),
+		"ns_per_op": nsPerOp,
+		"allocs_op": allocs,
+		"lanes":     len(gw.Table().Lanes),
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trajectory written to %s: %s", out, blob)
+}

@@ -1,0 +1,62 @@
+package dispatch
+
+import "sync"
+
+// bucket is a token bucket in virtual time: tokens accrue at the lane's
+// planned rate up to the burst capacity, and each admitted request spends
+// one token. Buckets start full so a plan swap does not starve the first
+// arrivals of a slot. Each lane owns one bucket; the per-lane mutex is
+// the only lock on the request path.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   float64
+	_      [24]byte // pad toward a cache line to keep hot lanes from false sharing
+}
+
+// take refills the bucket to virtual time now and spends one token if
+// available. Time moving backwards (concurrent requests observed out of
+// order) refills nothing — tokens never decay, so admission is monotone
+// in the tokens actually accrued. It returns whether the request is
+// admitted and the post-decision token level.
+func (b *bucket) take(now, rate, burst float64) (ok bool, level float64) {
+	b.mu.Lock()
+	if now > b.last {
+		b.tokens += (now - b.last) * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		ok = true
+	}
+	level = b.tokens
+	b.mu.Unlock()
+	return ok, level
+}
+
+// peek refills the bucket to virtual time now and returns the token
+// level without spending anything.
+func (b *bucket) peek(now, rate, burst float64) float64 {
+	b.mu.Lock()
+	if now > b.last {
+		b.tokens += (now - b.last) * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+	level := b.tokens
+	b.mu.Unlock()
+	return level
+}
+
+// reset refills the bucket to full at virtual time now.
+func (b *bucket) reset(now, burst float64) {
+	b.mu.Lock()
+	b.tokens = burst
+	b.last = now
+	b.mu.Unlock()
+}

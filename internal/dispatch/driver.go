@@ -1,0 +1,105 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"profitlb/internal/core"
+)
+
+// PlanSource yields the planner-facing input for an absolute slot. The
+// production implementation is the simulator's InputSource, which folds
+// in fault observation and the telemetry feed layer; it is stateful and
+// must be asked for slots in order. *sim.InputSource satisfies this
+// interface structurally (no import needed).
+type PlanSource interface {
+	PlannerInput(abs int) (*core.Input, error)
+}
+
+// Driver is the gateway's slot engine: each BeginSlot it pulls the
+// slot's planner input from the source, asks the planner for a plan,
+// verifies it, compiles the routing table and hot-swaps it into the
+// gateway. Any failure along the way degrades to an all-shed table — a
+// serving plane must keep answering requests even when planning is on
+// fire — and the failure is recorded on the table, never returned as an
+// error. Like every stateful planner holder in this codebase, a Driver
+// is driven by exactly one goroutine (the serve loop or the load
+// generator); the Gateway it feeds is the concurrency boundary.
+type Driver struct {
+	Gateway *Gateway
+	Planner core.Planner
+	Source  PlanSource
+	// VerifyTol gates compiled plans through core.Verify (0 means 1e-6).
+	VerifyTol float64
+
+	// LastErr records why the most recent slot degraded (nil otherwise).
+	LastErr error
+}
+
+// tol returns the feasibility-gate tolerance.
+func (d *Driver) tol() float64 {
+	if d.VerifyTol > 0 {
+		return d.VerifyTol
+	}
+	return 1e-6
+}
+
+// BeginSlot plans, compiles and installs slot abs, with the swap taking
+// effect at virtual time now. It returns the installed table; the only
+// errors are wiring mistakes (missing gateway/planner/source). A slot
+// whose input, plan or compile fails installs ShedTable and parks the
+// cause in LastErr — the gateway sheds instead of erroring.
+func (d *Driver) BeginSlot(abs int, now float64) (*Table, error) {
+	if d.Gateway == nil || d.Planner == nil || d.Source == nil {
+		return nil, errors.New("dispatch: driver needs a gateway, a planner and a plan source")
+	}
+	start := time.Now()
+	t, err := d.buildTable(abs)
+	d.LastErr = err
+	if err != nil {
+		t = ShedTable(d.Gateway.sys, abs, d.Gateway.cfg)
+	}
+	d.Gateway.Install(t, now, time.Since(start))
+	return t, nil
+}
+
+// buildTable produces the slot's routing table from a fresh plan.
+func (d *Driver) buildTable(abs int) (*Table, error) {
+	in, err := d.Source.PlannerInput(abs)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: slot %d input: %w", abs, err)
+	}
+	plan, err := d.safePlan(in)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: slot %d plan: %w", abs, err)
+	}
+	if err := core.Verify(in, plan, d.tol()); err != nil {
+		return nil, fmt.Errorf("dispatch: slot %d infeasible plan from %s: %w", abs, d.Planner.Name(), err)
+	}
+	t, err := Compile(in, plan, d.Gateway.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: slot %d compile: %w", abs, err)
+	}
+	if fr, ok := d.Planner.(interface {
+		FallbackState() (tier int, tierName string, degraded bool)
+	}); ok {
+		if tier, name, degraded := fr.FallbackState(); degraded {
+			t.Degraded = true
+			t.Tier = name
+			_ = tier
+		}
+	}
+	return t, nil
+}
+
+// safePlan invokes the planner, recovering a panic into an error so a
+// crashing solver degrades the slot instead of killing the gateway.
+func (d *Driver) safePlan(in *core.Input) (plan *core.Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, fmt.Errorf("planner %s panicked: %v", d.Planner.Name(), r)
+		}
+	}()
+	return d.Planner.Plan(in)
+}

@@ -1,0 +1,298 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"time"
+
+	"profitlb/internal/datacenter"
+	"profitlb/internal/obs"
+)
+
+// Outcome classifies one request decision.
+type Outcome uint8
+
+const (
+	// Admitted: the request was routed to its lane and fit the budget.
+	Admitted Outcome = iota
+	// ShedUnplanned: the plan dispatches nothing for the request's
+	// (type, front-end) stream — no capacity was bought for it anywhere.
+	ShedUnplanned
+	// ShedBudget: the request drew a lane whose token bucket was empty —
+	// arrivals ran ahead of the plan's budget λ·T (+burst).
+	ShedBudget
+	// Invalid: the request named a type or front-end outside the
+	// topology, or hit a gateway with no table installed yet.
+	Invalid
+)
+
+// String names the outcome for reports and HTTP bodies.
+func (o Outcome) String() string {
+	switch o {
+	case Admitted:
+		return "admitted"
+	case ShedUnplanned:
+		return "shed-unplanned"
+	case ShedBudget:
+		return "shed-budget"
+	default:
+		return "invalid"
+	}
+}
+
+// Decision is the gateway's answer for one request. Admitted requests
+// carry the serving lane; shed requests carry Lane -1.
+type Decision struct {
+	Outcome Outcome
+	// Lane indexes Table.Lanes for admitted requests; -1 otherwise.
+	Lane int32
+	// Level and Center are the admitted lane's TUF level and data center
+	// (-1 when shed).
+	Level, Center int32
+}
+
+// compiled is a Table plus its mutable run state. One compiled value is
+// installed at a time; a hot swap replaces the whole value so bucket and
+// tally state never leaks across slots.
+type compiled struct {
+	t *Table
+	// buckets[i] guards Lanes[i].
+	buckets []bucket
+	// admitted[i] counts requests admitted on Lanes[i].
+	admitted []atomic.Int64
+	// seq[k*S+s] numbers the stream's alias draws.
+	seq []atomic.Uint64
+	// offered / shedUnplanned / shedBudget tally the slot.
+	offered       atomic.Int64
+	shedUnplanned atomic.Int64
+	shedBudget    atomic.Int64
+	start         float64 // virtual time the table was installed
+}
+
+// Gateway executes the current slot's routing table. Handle is safe for
+// concurrent use and allocation-free; Install atomically hot-swaps the
+// table (typically from the Driver's background planner loop) without
+// pausing the request path.
+type Gateway struct {
+	sys *datacenter.System
+	cfg Config
+
+	cur atomic.Pointer[compiled]
+
+	// Totals survive swaps (the per-slot tallies reset with each table).
+	totalRequests atomic.Int64
+	totalAdmitted atomic.Int64
+	totalShed     atomic.Int64
+	swaps         atomic.Int64
+
+	// Pre-resolved observability instruments; nil without a scope (all
+	// methods on them are nil-safe no-ops).
+	cReq, cAdmit, cShedBudget, cShedUnplanned, cInvalid *obs.Counter
+	hSwap                                               *obs.Histogram
+	scope                                               *obs.Scope
+}
+
+// NewGateway builds a gateway for the system. The scope may be nil; when
+// set, the hot path bumps pre-resolved counters (no per-request metric
+// lookups) and Install records the swap-latency histogram.
+func NewGateway(sys *datacenter.System, cfg Config, scope *obs.Scope) *Gateway {
+	g := &Gateway{sys: sys, cfg: cfg.WithDefaults(), scope: scope}
+	if scope != nil && scope.Metrics != nil {
+		g.cReq = scope.Counter("dispatch_requests_total")
+		g.cAdmit = scope.Counter("dispatch_admitted_total")
+		g.cShedBudget = scope.Counter("dispatch_shed_total", obs.L("reason", "budget"))
+		g.cShedUnplanned = scope.Counter("dispatch_shed_total", obs.L("reason", "unplanned"))
+		g.cInvalid = scope.Counter("dispatch_invalid_total")
+		g.hSwap = scope.Histogram("dispatch_swap_seconds", obs.ExpBuckets(1e-6, 4, 12))
+	}
+	return g
+}
+
+// System returns the topology the gateway serves.
+func (g *Gateway) System() *datacenter.System { return g.sys }
+
+// Config returns the gateway's (defaulted) configuration.
+func (g *Gateway) Config() Config { return g.cfg }
+
+// Install hot-swaps the routing table: the new compiled state (fresh
+// buckets, zero tallies) becomes current in one atomic pointer store.
+// now is the virtual time of the swap — the instant bucket refill starts.
+// The elapsed argument is the plan+compile latency the caller measured;
+// it lands in the swap histogram. Publishing per-lane occupancy gauges
+// for the outgoing table happens here, off the request path.
+func (g *Gateway) Install(t *Table, now float64, elapsed time.Duration) {
+	c := &compiled{
+		t:        t,
+		buckets:  make([]bucket, len(t.Lanes)),
+		admitted: make([]atomic.Int64, len(t.Lanes)),
+		seq:      make([]atomic.Uint64, t.k*t.s),
+		start:    now,
+	}
+	for i := range c.buckets {
+		c.buckets[i].reset(now, t.Lanes[i].Burst)
+	}
+	old := g.cur.Swap(c)
+	g.swaps.Add(1)
+	g.hSwap.Observe(elapsed.Seconds())
+	if g.scope.Enabled() {
+		g.scope.Gauge("dispatch_current_slot").Set(float64(t.Slot))
+		g.scope.Gauge("dispatch_lanes").Set(float64(len(t.Lanes)))
+		g.scope.Gauge("dispatch_plan_objective").Set(t.Objective)
+		if old != nil {
+			g.publishOccupancy(old, now)
+		}
+	}
+}
+
+// publishOccupancy exports the outgoing table's final per-lane bucket
+// occupancy (tokens as a fraction of burst) as gauges, labelled by lane
+// coordinates. Called on swap only — never on the request path.
+func (g *Gateway) publishOccupancy(c *compiled, now float64) {
+	for i := range c.t.Lanes {
+		ln := &c.t.Lanes[i]
+		level := c.buckets[i].peek(now, ln.Rate, ln.Burst)
+		occ := 0.0
+		if ln.Burst > 0 {
+			occ = level / ln.Burst
+		}
+		g.scope.Gauge("dispatch_lane_occupancy",
+			obs.L("k", itoa(ln.K)), obs.L("q", itoa(ln.Q)),
+			obs.L("s", itoa(ln.S)), obs.L("l", itoa(ln.L))).Set(occ)
+	}
+}
+
+// Table returns the currently installed table (nil before the first
+// Install).
+func (g *Gateway) Table() *Table {
+	c := g.cur.Load()
+	if c == nil {
+		return nil
+	}
+	return c.t
+}
+
+// Handle decides one request of type k arriving at front-end s at
+// virtual time now. It is the hot path: no allocations, no locks beyond
+// the drawn lane's bucket mutex, and deterministic per (k, s) stream
+// under a fixed table and seed — request i of a stream always draws the
+// same lane, and the admit/shed answer depends only on the stream's
+// arrival times.
+func (g *Gateway) Handle(k, s int, now float64) Decision {
+	g.totalRequests.Add(1)
+	g.cReq.Inc()
+	c := g.cur.Load()
+	if c == nil || k < 0 || k >= c.t.k || s < 0 || s >= c.t.s {
+		g.cInvalid.Inc()
+		return Decision{Outcome: Invalid, Lane: -1, Level: -1, Center: -1}
+	}
+	c.offered.Add(1)
+	e := &c.t.entries[k][s]
+	seq := c.seq[k*c.t.s+s].Add(1) - 1
+	lane := e.draw(seq)
+	if lane < 0 {
+		c.shedUnplanned.Add(1)
+		g.totalShed.Add(1)
+		g.cShedUnplanned.Inc()
+		return Decision{Outcome: ShedUnplanned, Lane: -1, Level: -1, Center: -1}
+	}
+	ln := &c.t.Lanes[lane]
+	ok, _ := c.buckets[lane].take(now, ln.Rate, ln.Burst)
+	if !ok {
+		c.shedBudget.Add(1)
+		g.totalShed.Add(1)
+		g.cShedBudget.Inc()
+		return Decision{Outcome: ShedBudget, Lane: -1, Level: -1, Center: -1}
+	}
+	c.admitted[lane].Add(1)
+	g.totalAdmitted.Add(1)
+	g.cAdmit.Inc()
+	return Decision{Outcome: Admitted, Lane: lane, Level: int32(ln.Q), Center: int32(ln.L)}
+}
+
+// LaneCount is one lane's slot tally.
+type LaneCount struct {
+	Lane
+	Admitted int64
+	// Occupancy is the bucket's current token level as a fraction of
+	// burst (1 = full, 0 = exhausted).
+	Occupancy float64
+}
+
+// Stats is a point-in-time snapshot of the gateway.
+type Stats struct {
+	// Slot and Degraded/Tier describe the installed table.
+	Slot     int
+	Degraded bool
+	Tier     string
+	// Offered/Admitted/ShedUnplanned/ShedBudget tally the current slot.
+	Offered, Admitted, ShedUnplanned, ShedBudget int64
+	// TotalRequests/TotalAdmitted/TotalShed/Swaps tally the gateway's
+	// lifetime across swaps.
+	TotalRequests, TotalAdmitted, TotalShed, Swaps int64
+	// Lanes carries the per-lane admitted counts and bucket occupancy.
+	Lanes []LaneCount
+}
+
+// Stats snapshots the gateway (allocates; not for the request path). now
+// refills buckets before reading occupancy so the fractions are current.
+func (g *Gateway) Stats(now float64) Stats {
+	st := Stats{
+		TotalRequests: g.totalRequests.Load(),
+		TotalAdmitted: g.totalAdmitted.Load(),
+		TotalShed:     g.totalShed.Load(),
+		Swaps:         g.swaps.Load(),
+		Slot:          -1,
+	}
+	c := g.cur.Load()
+	if c == nil {
+		return st
+	}
+	st.Slot = c.t.Slot
+	st.Degraded = c.t.Degraded
+	st.Tier = c.t.Tier
+	st.Offered = c.offered.Load()
+	st.ShedUnplanned = c.shedUnplanned.Load()
+	st.ShedBudget = c.shedBudget.Load()
+	st.Lanes = make([]LaneCount, len(c.t.Lanes))
+	for i := range c.t.Lanes {
+		ln := c.t.Lanes[i]
+		n := c.admitted[i].Load()
+		st.Admitted += n
+		level := c.buckets[i].peek(now, ln.Rate, ln.Burst)
+		occ := 0.0
+		if ln.Burst > 0 {
+			occ = level / ln.Burst
+		}
+		st.Lanes[i] = LaneCount{Lane: ln, Admitted: n, Occupancy: occ}
+	}
+	return st
+}
+
+// LaneAdmitted returns the current slot's admitted count per lane,
+// aligned with Table().Lanes. Nil before the first Install.
+func (g *Gateway) LaneAdmitted() []int64 {
+	c := g.cur.Load()
+	if c == nil {
+		return nil
+	}
+	out := make([]int64, len(c.admitted))
+	for i := range c.admitted {
+		out[i] = c.admitted[i].Load()
+	}
+	return out
+}
+
+// itoa renders small non-negative ints without strconv allocations on
+// the swap path (label values are tiny).
+func itoa(n int) string {
+	if n < 10 {
+		return string([]byte{byte('0' + n)})
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

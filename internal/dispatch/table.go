@@ -1,0 +1,274 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+)
+
+// rateEps is the rate below which a commodity's dispatch entry is treated
+// as LP noise and excluded from the routing table.
+const rateEps = 1e-9
+
+// Lane is one (type, level, front-end, center) dispatch stream of the
+// compiled plan, with the per-request economics frozen at compile time so
+// the hot path and the load-test accounting never re-derive them.
+type Lane struct {
+	K, Q, S, L int
+	// Rate is the plan's dispatch rate λ_{k,q,s,l}, requests per unit
+	// virtual time.
+	Rate float64
+	// Burst is the lane's token-bucket capacity in requests.
+	Burst float64
+	// Delay is the commodity's expected M/M/1 delay under the plan, in
+	// virtual time units (the closed-loop load generator's response time).
+	Delay float64
+	// Utility is the per-request revenue at the plan's expected delay for
+	// the commodity (the TUF evaluated exactly as the simulator does).
+	Utility float64
+	// UnitEnergy and UnitTransfer are the per-request dollar costs at the
+	// slot's electricity price and the (front-end, center) distance.
+	UnitEnergy   float64
+	UnitTransfer float64
+}
+
+// entry is the per-(k, s) routing state: a Walker alias table over the
+// stream's lanes plus the stream's plan budgets.
+type entry struct {
+	lanes []int32   // lane index per alias cell
+	prob  []float64 // alias acceptance probability per cell
+	alias []int32   // alias cell redirect
+	// planned is the stream's total planned dispatch rate Σ_q,l λ.
+	planned float64
+	// arrival is the arrival rate the planner budgeted for the stream.
+	arrival float64
+	// seed is the base of the stream's per-request draw sequence.
+	seed uint64
+}
+
+// Table is a compiled routing table for one slot: the immutable part of
+// the gateway's hot state. Mutable run state (token buckets, draw
+// counters, tallies) lives in the gateway's compiled wrapper so a Table
+// can be inspected, serialized or re-installed freely.
+type Table struct {
+	// Slot is the absolute slot the plan was committed for.
+	Slot int
+	// SlotLen is the slot length T in virtual time units (sys.Slot()).
+	SlotLen float64
+	// Seed is the routing seed the table was compiled under.
+	Seed uint64
+	// Objective is the committed plan's predicted net profit.
+	Objective float64
+	// ServersOn mirrors the plan's powered-on counts.
+	ServersOn []int
+	// IdleCost is the slot's idle-draw dollar cost of the powered-on
+	// servers (zero under the paper's purely per-request energy model).
+	IdleCost float64
+	// Degraded and Tier record how the plan was obtained: Tier is the
+	// resilient fallback tier name when one fired, or "" for a primary
+	// plan; an all-shed emergency table sets Degraded with Tier "shed".
+	Degraded bool
+	Tier     string
+	// Lanes lists every dispatch stream with positive planned rate.
+	Lanes []Lane
+
+	entries [][]entry // [k][s]
+	k, s    int
+}
+
+// K and S report the table's type and front-end dimensions.
+func (t *Table) K() int { return t.k }
+
+// S reports the table's front-end dimension.
+func (t *Table) S() int { return t.s }
+
+// Planned returns the plan's total dispatch rate for stream (k, s), and
+// the arrival rate the planner budgeted for it.
+func (t *Table) Planned(k, s int) (planned, arrival float64) {
+	e := &t.entries[k][s]
+	return e.planned, e.arrival
+}
+
+// ShedTable builds the emergency table for a slot with no usable plan:
+// every stream exists with zero lanes, so each request is shed as
+// unplanned and the gateway stays up.
+func ShedTable(sys *datacenter.System, slot int, cfg Config) *Table {
+	t := &Table{
+		Slot:      slot,
+		SlotLen:   sys.Slot(),
+		Seed:      cfg.Seed,
+		ServersOn: make([]int, sys.L()),
+		Degraded:  true,
+		Tier:      "shed",
+		k:         sys.K(),
+		s:         sys.S(),
+	}
+	t.entries = make([][]entry, t.k)
+	for k := 0; k < t.k; k++ {
+		t.entries[k] = make([]entry, t.s)
+		for s := 0; s < t.s; s++ {
+			t.entries[k][s] = entry{seed: streamSeed(cfg.Seed, slot, k, s)}
+		}
+	}
+	return t
+}
+
+// Compile freezes a committed plan into a routing table: one alias table
+// per (type, front-end) stream over the plan's positive (level, center)
+// lanes, per-lane token-bucket capacities, and the per-request economics
+// at the slot's prices. The input must be the one the plan was committed
+// against (it supplies the topology, budgets and prices). Compile does
+// not re-verify feasibility — the Driver gates plans through core.Verify
+// before compiling.
+func Compile(in *core.Input, plan *core.Plan, cfg Config) (*Table, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	cfg = cfg.WithDefaults()
+	sys := in.Sys
+	K, S, L := sys.K(), sys.S(), sys.L()
+	if len(plan.Rate) != K || len(plan.ServersOn) != L {
+		return nil, fmt.Errorf("dispatch: plan shaped %d types × %d centers, system has %d × %d",
+			len(plan.Rate), len(plan.ServersOn), K, L)
+	}
+	T := sys.Slot()
+	t := &Table{
+		Slot:      in.Slot,
+		SlotLen:   T,
+		Seed:      cfg.Seed,
+		Objective: plan.Objective,
+		ServersOn: append([]int(nil), plan.ServersOn...),
+		k:         K,
+		s:         S,
+	}
+	for l := 0; l < L; l++ {
+		t.IdleCost += sys.IdleCost(l, in.Prices[l]) * float64(plan.ServersOn[l])
+	}
+	t.entries = make([][]entry, K)
+	for k := 0; k < K; k++ {
+		t.entries[k] = make([]entry, S)
+		cls := sys.Classes[k].TUF
+		levels := cls.Levels()
+		if len(plan.Rate[k]) != len(levels) {
+			return nil, fmt.Errorf("dispatch: type %d plan has %d levels, TUF has %d", k, len(plan.Rate[k]), len(levels))
+		}
+		for s := 0; s < S; s++ {
+			e := entry{
+				arrival: in.Arrivals[s][k],
+				seed:    streamSeed(cfg.Seed, in.Slot, k, s),
+			}
+			var weights []float64
+			for q := range plan.Rate[k] {
+				if len(plan.Rate[k][q]) != S {
+					return nil, fmt.Errorf("dispatch: type %d level %d plan has %d front-ends, system has %d",
+						k, q, len(plan.Rate[k][q]), S)
+				}
+				if len(plan.Rate[k][q][s]) != L {
+					return nil, fmt.Errorf("dispatch: type %d level %d front-end %d plan has %d centers, system has %d",
+						k, q, s, len(plan.Rate[k][q][s]), L)
+				}
+				for l, rate := range plan.Rate[k][q][s] {
+					if rate <= rateEps {
+						continue
+					}
+					if math.IsNaN(rate) || math.IsInf(rate, 0) {
+						return nil, fmt.Errorf("dispatch: invalid rate %g at k=%d q=%d s=%d l=%d", rate, k, q, s, l)
+					}
+					// The achieved delay (and so the per-request utility)
+					// is the simulator's: the commodity's expected M/M/1
+					// delay under the plan, snapped onto the level
+					// deadline when the LP meets it with equality.
+					d := plan.Delay(sys, k, q, l)
+					if dq := levels[q].Deadline; d > dq && d <= dq*(1+1e-9) {
+						d = dq
+					}
+					lane := Lane{
+						K: k, Q: q, S: s, L: l,
+						Rate:         rate,
+						Burst:        math.Max(cfg.MinBurst, cfg.Burst*rate*T),
+						Delay:        d,
+						Utility:      cls.Utility(d),
+						UnitEnergy:   sys.EnergyCost(k, l, in.Prices[l]),
+						UnitTransfer: sys.TransferCost(k, s, l),
+					}
+					e.lanes = append(e.lanes, int32(len(t.Lanes)))
+					weights = append(weights, rate)
+					t.Lanes = append(t.Lanes, lane)
+					e.planned += rate
+				}
+			}
+			e.prob, e.alias = buildAlias(weights)
+			t.entries[k][s] = e
+		}
+	}
+	return t, nil
+}
+
+// buildAlias constructs a Walker alias table (Vose's algorithm) over the
+// weights. Sampling cell i accepts i with probability prob[i] and
+// otherwise redirects to alias[i]; the stationary distribution is
+// weights/Σweights. The construction is deterministic: worklists are
+// filled in ascending index order.
+func buildAlias(weights []float64) (prob []float64, alias []int32) {
+	n := len(weights)
+	if n == 0 {
+		return nil, nil
+	}
+	prob = make([]float64, n)
+	alias = make([]int32, n)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers: whatever remains has weight 1 up to rounding.
+	for _, i := range large {
+		prob[i] = 1
+	}
+	for _, i := range small {
+		prob[i] = 1
+	}
+	return prob, alias
+}
+
+// draw samples a lane index for the stream's seq-th request. It returns
+// -1 when the stream has no lanes. Allocation-free.
+func (e *entry) draw(seq uint64) int32 {
+	n := uint64(len(e.lanes))
+	if n == 0 {
+		return -1
+	}
+	u := splitmix64(e.seed + seq*0x9e3779b97f4a7c15)
+	cell := (u >> 32) * n >> 32
+	frac := float64(u&0xffffffff) / (1 << 32)
+	if frac < e.prob[cell] {
+		return e.lanes[cell]
+	}
+	return e.lanes[e.alias[cell]]
+}

@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"time"
+
+	"profitlb/internal/datacenter"
+)
+
+// HTTPResult tallies a burst of requests fired at a live gateway over
+// HTTP (the `profitlb serve` front-end).
+type HTTPResult struct {
+	Sent, Admitted, Shed, Rejected int
+}
+
+// FireHTTP fires n requests at the gateway's dispatch endpoints,
+// spreading them across every (front-end, class) pair in a seeded random
+// order. 200 counts as admitted, 429 as shed, anything else (unknown
+// endpoint, draining 503) as rejected. It is the client half of the
+// serve smoke test and of `profitlb loadtest -addr`.
+func FireHTTP(baseURL string, sys *datacenter.System, n int, seed int64) (HTTPResult, error) {
+	var res HTTPResult
+	client := &http.Client{Timeout: 10 * time.Second}
+	rng := rand.New(rand.NewSource(seed))
+	S, K := sys.S(), sys.K()
+	if S == 0 || K == 0 {
+		return res, fmt.Errorf("loadgen: system has no front-ends or classes")
+	}
+	for i := 0; i < n; i++ {
+		s := rng.Intn(S)
+		k := rng.Intn(K)
+		u := fmt.Sprintf("%s/dispatch/%s/%s", baseURL,
+			url.PathEscape(sys.FrontEnds[s].Name), url.PathEscape(sys.Classes[k].Name))
+		resp, err := client.Get(u)
+		if err != nil {
+			return res, fmt.Errorf("loadgen: firing %s: %w", u, err)
+		}
+		resp.Body.Close()
+		res.Sent++
+		switch resp.StatusCode {
+		case http.StatusOK:
+			res.Admitted++
+		case http.StatusTooManyRequests:
+			res.Shed++
+		default:
+			res.Rejected++
+		}
+	}
+	return res, nil
+}

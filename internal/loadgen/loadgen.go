@@ -1,0 +1,350 @@
+// Package loadgen replays a scenario against the online dispatch plane
+// at request granularity: it drives a dispatch.Driver slot by slot in
+// virtual time, synthesizes the slot's individual arrivals from the
+// scenario's true rates — open-loop Poisson, open-loop MMPP bursts
+// (reusing internal/workload's process), or a closed loop of think-time
+// users — and reports what the gateway actually did against what the
+// plan promised: per-lane achieved vs planned rates, shed fractions by
+// reason, and realized vs predicted profit.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"profitlb/internal/dispatch"
+	"profitlb/internal/sim"
+	"profitlb/internal/workload"
+)
+
+// Config shapes a replay.
+type Config struct {
+	// Seed drives the arrival synthesis (one derived stream per
+	// (slot, front-end, type), so streams are independent and the whole
+	// replay is reproducible).
+	Seed int64
+	// StartSlot and Slots bound the replayed window.
+	StartSlot int
+	Slots     int
+	// BurstFactor selects the open-loop arrival process: <= 1 is Poisson
+	// at the slot's true rate; > 1 is a two-state MMPP with that
+	// peak-to-mean ratio (mean preserved), the burstiness the paper's
+	// slot-average formulation never sees.
+	BurstFactor float64
+	// Closed switches to a closed loop: Users virtual users per
+	// (type, front-end) stream, each issuing a request, waiting the
+	// lane's expected delay, thinking Exp(Think), and repeating.
+	Closed bool
+	// Users is the closed-loop population per stream (default 32).
+	Users int
+	// Think is the closed-loop mean think time in virtual time units
+	// (default: one slot length / 8).
+	Think float64
+}
+
+// LaneStat compares one lane's achieved traffic with its plan.
+type LaneStat struct {
+	dispatch.Lane
+	// Planned is the lane's budgeted request count λ·T for the slot.
+	Planned float64
+	// Admitted is the number of requests the gateway served on the lane.
+	Admitted int64
+	// AchievedRate is Admitted/T, the realized λ.
+	AchievedRate float64
+}
+
+// RelErr returns |achieved − planned| / planned (0 for unused lanes).
+func (ls *LaneStat) RelErr() float64 {
+	if ls.Planned <= 0 {
+		return 0
+	}
+	return math.Abs(float64(ls.Admitted)-ls.Planned) / ls.Planned
+}
+
+// SlotResult is one slot's replay accounting.
+type SlotResult struct {
+	Slot int
+	// Offered counts synthesized arrivals; Admitted/ShedBudget/
+	// ShedUnplanned/Invalid partition the gateway's answers.
+	Offered, Admitted, ShedBudget, ShedUnplanned, Invalid int64
+	// Lanes aligns with the slot table's Lanes.
+	Lanes []LaneStat
+	// Revenue/EnergyCost/TransferCost/NetProfit account the *admitted*
+	// requests at the table's frozen per-request economics; PlannedProfit
+	// is the plan's predicted objective for the slot.
+	Revenue, EnergyCost, TransferCost, NetProfit float64
+	PlannedProfit                                float64
+	// Degraded and Tier mirror the slot table (resilient fallbacks and
+	// emergency shed tables).
+	Degraded bool
+	Tier     string
+}
+
+// Report is a whole replay.
+type Report struct {
+	Planner string
+	Slots   []SlotResult
+}
+
+// Totals sums the per-slot tallies.
+func (r *Report) Totals() (offered, admitted, shed int64) {
+	for i := range r.Slots {
+		s := &r.Slots[i]
+		offered += s.Offered
+		admitted += s.Admitted
+		shed += s.ShedBudget + s.ShedUnplanned
+	}
+	return offered, admitted, shed
+}
+
+// ShedFraction returns total shed / total offered (0 when nothing was
+// offered).
+func (r *Report) ShedFraction() float64 {
+	offered, _, shed := r.Totals()
+	if offered == 0 {
+		return 0
+	}
+	return float64(shed) / float64(offered)
+}
+
+// BudgetShed counts requests shed by an exhausted token bucket.
+func (r *Report) BudgetShed() int64 {
+	var n int64
+	for i := range r.Slots {
+		n += r.Slots[i].ShedBudget
+	}
+	return n
+}
+
+// MaxLaneError returns the worst per-lane |achieved − planned|/planned
+// over lanes whose planned slot budget is at least minPlanned requests
+// (thin lanes drown in Poisson noise; the 5% acceptance gate uses
+// minPlanned ≈ 500).
+func (r *Report) MaxLaneError(minPlanned float64) float64 {
+	var worst float64
+	for i := range r.Slots {
+		for j := range r.Slots[i].Lanes {
+			ls := &r.Slots[i].Lanes[j]
+			if ls.Planned < minPlanned {
+				continue
+			}
+			if e := ls.RelErr(); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// TotalNetProfit sums the realized per-slot profit.
+func (r *Report) TotalNetProfit() float64 {
+	var s float64
+	for i := range r.Slots {
+		s += r.Slots[i].NetProfit
+	}
+	return s
+}
+
+// TotalPlannedProfit sums the plans' predicted objectives.
+func (r *Report) TotalPlannedProfit() float64 {
+	var s float64
+	for i := range r.Slots {
+		s += r.Slots[i].PlannedProfit
+	}
+	return s
+}
+
+// DegradedSlots counts slots served by a fallback or emergency table.
+func (r *Report) DegradedSlots() int {
+	var n int
+	for i := range r.Slots {
+		if r.Slots[i].Degraded {
+			n++
+		}
+	}
+	return n
+}
+
+// Run replays cfg.Slots slots against the driver's gateway. The driver's
+// PlanSource must be (or share views with) src: Run begins each slot via
+// the driver — which pulls the planner-facing input from the source —
+// and then synthesizes the slot's arrivals from the same source's view
+// of the *true* rates, exactly the split the simulator enforces between
+// planner view and settlement.
+func Run(d *dispatch.Driver, src *sim.InputSource, cfg Config) (*Report, error) {
+	if d == nil || d.Gateway == nil || src == nil {
+		return nil, errors.New("loadgen: need a driver with a gateway and an input source")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive slot count %d", cfg.Slots)
+	}
+	if cfg.Closed {
+		if cfg.Users == 0 {
+			cfg.Users = 32
+		}
+		if cfg.Users < 0 {
+			return nil, fmt.Errorf("loadgen: negative closed-loop population %d", cfg.Users)
+		}
+	}
+	gw := d.Gateway
+	T := gw.System().Slot()
+	if cfg.Think == 0 {
+		cfg.Think = T / 8
+	}
+	rep := &Report{Planner: d.Planner.Name()}
+	for i := 0; i < cfg.Slots; i++ {
+		abs := cfg.StartSlot + i
+		start := float64(i) * T
+		table, err := d.BeginSlot(abs, start)
+		if err != nil {
+			return rep, err
+		}
+		view, err := src.View(abs)
+		if err != nil {
+			return rep, err
+		}
+		res := SlotResult{
+			Slot:          abs,
+			PlannedProfit: table.Objective,
+			Degraded:      table.Degraded,
+			Tier:          table.Tier,
+		}
+		laneAdmitted := make([]int64, len(table.Lanes))
+		rates := view.Actual.Arrivals
+		for s := range rates {
+			for k := range rates[s] {
+				rate := rates[s][k]
+				if rate <= 0 {
+					continue
+				}
+				seed := streamSeed(cfg.Seed, abs, s, k)
+				arrivals, err := synthesize(rate, T, seed, &cfg, table, k, s)
+				if err != nil {
+					return rep, err
+				}
+				for _, at := range arrivals {
+					dec := gw.Handle(k, s, start+at)
+					res.Offered++
+					switch dec.Outcome {
+					case dispatch.Admitted:
+						res.Admitted++
+						laneAdmitted[dec.Lane]++
+					case dispatch.ShedBudget:
+						res.ShedBudget++
+					case dispatch.ShedUnplanned:
+						res.ShedUnplanned++
+					default:
+						res.Invalid++
+					}
+				}
+			}
+		}
+		res.Lanes = make([]LaneStat, len(table.Lanes))
+		for j := range table.Lanes {
+			ln := table.Lanes[j]
+			n := laneAdmitted[j]
+			res.Lanes[j] = LaneStat{
+				Lane:         ln,
+				Planned:      ln.Rate * T,
+				Admitted:     n,
+				AchievedRate: float64(n) / T,
+			}
+			res.Revenue += float64(n) * ln.Utility
+			res.EnergyCost += float64(n) * ln.UnitEnergy
+			res.TransferCost += float64(n) * ln.UnitTransfer
+		}
+		res.EnergyCost += table.IdleCost
+		res.NetProfit = res.Revenue - res.EnergyCost - res.TransferCost
+		rep.Slots = append(rep.Slots, res)
+	}
+	return rep, nil
+}
+
+// streamSeed derives the arrival-synthesis seed for one (slot, s, k)
+// stream (SplitMix64 over the user seed and the coordinates).
+func streamSeed(seed int64, abs, s, k int) int64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range [3]uint64{uint64(int64(abs)), uint64(s), uint64(k)} {
+		x ^= v
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return int64(x >> 1) // non-negative for rand.NewSource
+}
+
+// synthesize produces the stream's arrival offsets in [0, T), sorted.
+func synthesize(rate, T float64, seed int64, cfg *Config, table *dispatch.Table, k, s int) ([]float64, error) {
+	switch {
+	case cfg.Closed:
+		return closedLoop(rate, T, seed, cfg, table, k, s), nil
+	case cfg.BurstFactor > 1:
+		f := cfg.BurstFactor
+		p := workload.MMPP{
+			RateLow:  2 * rate / (1 + f),
+			RateHigh: 2 * rate * f / (1 + f),
+			MeanLow:  T / 8,
+			MeanHigh: T / 8,
+		}
+		return p.Arrivals(T, seed)
+	default:
+		return poisson(rate, T, seed), nil
+	}
+}
+
+// poisson generates a homogeneous Poisson stream at the given rate.
+func poisson(rate, T float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, int(rate*T)+16)
+	for t := rng.ExpFloat64() / rate; t < T; t += rng.ExpFloat64() / rate {
+		out = append(out, t)
+	}
+	return out
+}
+
+// closedLoop simulates cfg.Users users on the stream: each issues a
+// request, experiences the plan's expected delay for the (k, s) stream
+// (the dispatch-rate-weighted mean over the stream's lanes — the users
+// do not know which lane the gateway will draw), thinks Exp(Think), and
+// repeats until the slot ends. The offered rate is therefore
+// Users/(delay+Think) per stream, independent of the planned rate: a
+// genuinely closed feedback loop.
+func closedLoop(rate, T float64, seed int64, cfg *Config, table *dispatch.Table, k, s int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	// Expected response: rate-weighted lane delay for the stream.
+	var wsum, dsum float64
+	for _, ln := range table.Lanes {
+		if ln.K == k && ln.S == s {
+			wsum += ln.Rate
+			dsum += ln.Rate * ln.Delay
+		}
+	}
+	delay := 0.0
+	if wsum > 0 {
+		delay = dsum / wsum
+	}
+	next := make([]float64, cfg.Users)
+	for u := range next {
+		// Users phase in over the first think interval.
+		next[u] = rng.ExpFloat64() * cfg.Think
+	}
+	var out []float64
+	for {
+		best := -1
+		for u, t := range next {
+			if t < T && (best < 0 || t < next[best]) {
+				best = u
+			}
+		}
+		if best < 0 {
+			break
+		}
+		t := next[best]
+		out = append(out, t)
+		next[best] = t + delay + rng.ExpFloat64()*cfg.Think
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+	"profitlb/internal/dispatch"
+	"profitlb/internal/fault"
+	"profitlb/internal/market"
+	"profitlb/internal/obs"
+	"profitlb/internal/resilient"
+	"profitlb/internal/sim"
+	"profitlb/internal/tuf"
+	"profitlb/internal/workload"
+)
+
+// testSystem is sized so the optimized planner serves every arrival:
+// streams are fat (λ·T ≥ 5000), which keeps each lane's Poisson
+// fluctuation far inside its token-bucket burst.
+func testSystem() *datacenter.System {
+	return &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "web", TUF: tuf.MustNew([]tuf.Level{{Utility: 0.01, Deadline: 0.01}}),
+				TransferCostPerMile: 1e-7},
+			{Name: "batch", TUF: tuf.MustNew([]tuf.Level{
+				{Utility: 0.05, Deadline: 0.05}, {Utility: 0.02, Deadline: 0.25}}),
+				TransferCostPerMile: 2e-7},
+		},
+		FrontEnds: []datacenter.FrontEnd{
+			{Name: "east", DistanceMiles: []float64{300, 2400}},
+			{Name: "west", DistanceMiles: []float64{2500, 200}},
+		},
+		Centers: []datacenter.DataCenter{
+			{Name: "tx", Servers: 8, Capacity: 1,
+				ServiceRate: []float64{20000, 3000}, EnergyPerRequest: []float64{0.0003, 0.004}},
+			{Name: "ca", Servers: 8, Capacity: 1,
+				ServiceRate: []float64{18000, 3500}, EnergyPerRequest: []float64{0.0003, 0.0035}},
+		},
+	}
+}
+
+// testSimConfig uses constant traces: every slot offers the same fat
+// streams, well inside capacity.
+func testSimConfig(slots int) sim.Config {
+	return sim.Config{
+		Sys: testSystem(),
+		Traces: []*workload.Trace{
+			{Name: "east", Rates: [][]float64{{18000, 1500}}},
+			{Name: "west", Rates: [][]float64{{15000, 1100}}},
+		},
+		Prices: []*market.PriceTrace{
+			{Name: "tx", Prices: []float64{0.05}},
+			{Name: "ca", Prices: []float64{0.08}},
+		},
+		Slots: slots,
+	}
+}
+
+// harness builds the full in-process stack: input source, planner,
+// gateway (instrumented when scope is non-nil) and driver.
+func harness(t *testing.T, cfg sim.Config, planner core.Planner, scope *obs.Scope) (*dispatch.Driver, *sim.InputSource) {
+	t.Helper()
+	src, err := sim.NewInputSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := dispatch.NewGateway(cfg.Sys, dispatch.Config{Seed: 11, SlotSeconds: 60}, scope)
+	return &dispatch.Driver{Gateway: gw, Planner: planner, Source: src}, src
+}
+
+// TestCleanScenario is the subsystem's acceptance gate: replaying a
+// clean scenario, every fat lane's achieved rate lands within 5% of the
+// planned λ and nothing is shed.
+func TestCleanScenario(t *testing.T) {
+	cfg := testSimConfig(3)
+	d, src := harness(t, cfg, core.NewOptimized(), nil)
+	rep, err := Run(d, src, Config{Seed: 1, Slots: cfg.Slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered, admitted, shed := rep.Totals()
+	if offered == 0 {
+		t.Fatal("no requests offered")
+	}
+	if shed != 0 {
+		t.Fatalf("clean scenario shed %d of %d requests", shed, offered)
+	}
+	if admitted != offered {
+		t.Fatalf("admitted %d of %d offered with zero shed", admitted, offered)
+	}
+	if e := rep.MaxLaneError(500); e > 0.05 {
+		t.Fatalf("max lane rate error %.4f, want <= 0.05", e)
+	}
+	if rep.DegradedSlots() != 0 {
+		t.Fatalf("%d degraded slots on the clean path", rep.DegradedSlots())
+	}
+	// Realized profit tracks the plan's prediction: same economics, the
+	// only gap is Poisson noise on the admitted counts.
+	got, want := rep.TotalNetProfit(), rep.TotalPlannedProfit()
+	if want <= 0 {
+		t.Fatalf("planned profit %g", want)
+	}
+	if diff := got/want - 1; diff < -0.05 || diff > 0.05 {
+		t.Fatalf("realized profit %.2f vs planned %.2f (%.1f%% off)", got, want, 100*diff)
+	}
+}
+
+// TestDeterministicReplay: the same scenario and seed reproduce the
+// byte-identical report, including per-lane tallies.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []byte {
+		cfg := testSimConfig(2)
+		d, src := harness(t, cfg, core.NewOptimized(), nil)
+		rep, err := Run(d, src, Config{Seed: 7, Slots: cfg.Slots, BurstFactor: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("same seed, different reports:\n%s\n%s", a, b)
+	}
+}
+
+// TestSeedMatters: different arrival seeds produce different traffic.
+func TestSeedMatters(t *testing.T) {
+	offered := func(seed int64) int64 {
+		cfg := testSimConfig(1)
+		d, src := harness(t, cfg, core.NewOptimized(), nil)
+		rep, err := Run(d, src, Config{Seed: seed, Slots: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _, _ := rep.Totals()
+		return n
+	}
+	if offered(1) == offered(2) {
+		t.Fatal("two seeds produced identical offered counts (suspicious)")
+	}
+}
+
+// TestFaultStorm replays under center outages and price spikes with the
+// resilient chain: the gateway must stay up for the whole horizon,
+// degrade by shedding (never by erroring), and the dispatch counters
+// must reconcile with the report.
+func TestFaultStorm(t *testing.T) {
+	cfg := testSimConfig(6)
+	storm, err := fault.Storm(fault.StormConfig{
+		Seed:    3,
+		Slots:   cfg.Slots,
+		Centers: cfg.Sys.L(), FrontEnds: cfg.Sys.S(),
+		Outages: 2, OutageSlots: 2,
+		Spikes: 2, SpikeFactor: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = storm
+	cfg.DegradeOnFailure = true
+	reg := obs.NewRegistry()
+	scope := obs.NewScope(reg, nil)
+	d, src := harness(t, cfg, resilient.Wrap(core.NewOptimized()), scope)
+	rep, err := Run(d, src, Config{Seed: 5, Slots: cfg.Slots})
+	if err != nil {
+		t.Fatalf("the gateway went down under the storm: %v", err)
+	}
+	if len(rep.Slots) != cfg.Slots {
+		t.Fatalf("replayed %d of %d slots", len(rep.Slots), cfg.Slots)
+	}
+	offered, admitted, shed := rep.Totals()
+	if offered == 0 || admitted == 0 {
+		t.Fatalf("storm starved the replay: offered %d admitted %d", offered, admitted)
+	}
+	var invalid int64
+	for i := range rep.Slots {
+		invalid += rep.Slots[i].Invalid
+	}
+	if invalid != 0 {
+		t.Fatalf("%d requests answered invalid; faults must shed, not error", invalid)
+	}
+	// The gateway's own counters saw exactly what the report tallied.
+	cReq := scope.Counter("dispatch_requests_total").Value()
+	cAdmit := scope.Counter("dispatch_admitted_total").Value()
+	cShed := scope.Counter("dispatch_shed_total", obs.L("reason", "budget")).Value() +
+		scope.Counter("dispatch_shed_total", obs.L("reason", "unplanned")).Value()
+	if cReq != offered || cAdmit != admitted || cShed != shed {
+		t.Fatalf("counters %d/%d/%d, report %d/%d/%d", cReq, cAdmit, cShed, offered, admitted, shed)
+	}
+}
+
+// TestClosedLoop: the closed-loop generator produces traffic that is a
+// function of the population and think time, and the gateway absorbs it.
+func TestClosedLoop(t *testing.T) {
+	cfg := testSimConfig(2)
+	d, src := harness(t, cfg, core.NewOptimized(), nil)
+	rep, err := Run(d, src, Config{Seed: 2, Slots: cfg.Slots, Closed: true, Users: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered, _, _ := rep.Totals()
+	if offered == 0 {
+		t.Fatal("closed loop offered nothing")
+	}
+	for i := range rep.Slots {
+		if rep.Slots[i].Invalid != 0 {
+			t.Fatalf("slot %d: %d invalid answers", rep.Slots[i].Slot, rep.Slots[i].Invalid)
+		}
+	}
+}
+
+// TestBurstyArrivals: an MMPP with peak-to-mean 4 overruns the plan's
+// slot-average budget in bursts, so the bucket sheds some load — that is
+// the budget doing its job — but the replay completes and most traffic
+// is still served.
+func TestBurstyArrivals(t *testing.T) {
+	cfg := testSimConfig(2)
+	d, src := harness(t, cfg, core.NewOptimized(), nil)
+	rep, err := Run(d, src, Config{Seed: 3, Slots: cfg.Slots, BurstFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered, _, _ := rep.Totals()
+	if offered == 0 {
+		t.Fatal("no bursty traffic offered")
+	}
+	if f := rep.ShedFraction(); f > 0.5 {
+		t.Fatalf("shed fraction %.3f under bursts, want < 0.5", f)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := testSimConfig(1)
+	d, src := harness(t, cfg, core.NewOptimized(), nil)
+	if _, err := Run(nil, src, Config{Slots: 1}); err == nil {
+		t.Fatal("nil driver accepted")
+	}
+	if _, err := Run(d, src, Config{Slots: 0}); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+	if _, err := Run(d, src, Config{Slots: 1, Closed: true, Users: -1}); err == nil {
+		t.Fatal("negative population accepted")
+	}
+}

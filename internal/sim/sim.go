@@ -407,8 +407,6 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sys := cfg.Sys
-	K, S, L := sys.K(), sys.S(), sys.L()
 	report := &Report{Planner: planner.Name()}
 	var feeds *feed.Set
 	if cfg.Feeds != nil {
@@ -420,6 +418,10 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 	}
 	sc := cfg.Obs
 	observed := sc.Enabled()
+	// The per-slot input assembly — fault observation, feed fetches, the
+	// effective topology — lives in the InputSource so the online
+	// dispatch plane sees byte-identical planner views (see source.go).
+	src := newInputSourceFor(cfg, feeds)
 
 	for slot := 0; slot < cfg.Slots; slot++ {
 		abs := cfg.StartSlot + slot
@@ -427,45 +429,18 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 			sc.Counter("sim_slots_total", obs.L("planner", planner.Name())).Add(1)
 			sc.Emit(obs.Event{Kind: obs.KindSlotStart, Slot: abs, Planner: planner.Name()})
 		}
-		actual := make([][]float64, S)
-		planArr := make([][]float64, S)
-		for s := 0; s < S; s++ {
-			actual[s] = make([]float64, K)
-			planArr[s] = make([]float64, K)
-			for k := 0; k < K; k++ {
-				actual[s][k] = cfg.Traces[s].At(abs, k)
-				v := actual[s][k]
-				if cfg.PlanTraces != nil {
-					v = cfg.PlanTraces[s].At(abs, k)
-				}
-				planArr[s][k] = cfg.Faults.ObservedArrival(v, s, abs)
-			}
+		view, verr := src.View(abs)
+		if verr != nil {
+			return report, fmt.Errorf("sim: slot %d: %w", slot, verr)
 		}
-		prices := make([]float64, L)     // true settlement prices
-		planPrices := make([]float64, L) // the planner's (possibly stale) feed
-		for l := 0; l < L; l++ {
-			prices[l] = cfg.Faults.TruePrice(cfg.Prices[l], l, abs)
-			planPrices[l] = cfg.Faults.ObservedPrice(cfg.Prices[l], l, abs)
-		}
-		effSys, _ := cfg.Faults.EffectiveSystem(sys, abs)
-		planView := cfg.PlanTraces != nil || cfg.Faults.ArrivalsFaulted(abs)
-
-		var sample *feed.Sample
-		if feeds != nil {
-			// The feed layer replaces the planner's direct oracle view; its
-			// sources already fold in the legacy observation faults, so the
-			// raw planArr/planPrices above are superseded. Stale or noisy
-			// samples mark the view distorted and the committed plan is
-			// reconciled against actual arrivals like any forecast.
-			sample = feeds.FetchSlot(abs)
-			planPrices, planArr = sample.Prices, sample.Arrivals
-			planView = planView || sample.Distorted
+		planView := view.Distorted
+		if view.Health != nil {
 			if fo, ok := planner.(FeedHealthObserver); ok {
-				fo.ObserveFeedHealth(&sample.Health)
+				fo.ObserveFeedHealth(view.Health)
 			}
 		}
 
-		planIn := &core.Input{Sys: effSys, Arrivals: planArr, Prices: planPrices, Slot: abs}
+		planIn := view.Plan
 		var planStart time.Time
 		if observed {
 			planStart = time.Now()
@@ -480,9 +455,9 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 				err = fmt.Errorf("infeasible plan from %s: %w", planner.Name(), verr)
 			}
 		}
-		in := &core.Input{Sys: effSys, Arrivals: actual, Prices: prices, Slot: abs}
+		in := view.Actual
 		if err == nil && planView {
-			Reconcile(plan, actual)
+			Reconcile(plan, in.Arrivals)
 			if verr := core.Verify(in, plan, 1e-6); verr != nil {
 				err = fmt.Errorf("reconciled plan infeasible: %w", verr)
 			}
@@ -499,7 +474,7 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 			// Graceful degradation: shed the slot's load. Nothing is
 			// served and nothing is spent; the foregone value lands in
 			// LostRevenue and the horizon continues.
-			plan = core.NewPlan(effSys)
+			plan = core.NewPlan(in.Sys)
 			sr = account(in, plan)
 			sr.FallbackTier = -1
 			sr.Degraded = true
@@ -514,9 +489,7 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 		}
 		sr.Slot = abs
 		sr.FaultsActive = cfg.Faults.ActiveNames(abs)
-		if sample != nil {
-			sr.Feeds = &sample.Health
-		}
+		sr.Feeds = view.Health
 		if cfg.KeepPlans {
 			sr.Plan = plan
 		}

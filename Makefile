@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch bench bench-smoke benchall
+.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster bench bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,10 @@ race:
 	$(GO) test -race ./...
 
 # fuzz gives each fuzz target a short budget beyond its checked-in
-# corpus. FuzzLoad's seeds include feeds blocks, feed fault events and
-# dispatch blocks, so those config decoders are fuzzed here too.
-# FuzzCompile drives arbitrary plans through the routing-table compiler.
+# corpus. FuzzLoad's seeds include feeds blocks, feed fault events,
+# dispatch blocks, cluster blocks and cluster fault events, so those
+# config decoders are fuzzed here too. FuzzCompile drives arbitrary
+# plans through the routing-table compiler.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/workload/
 	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
@@ -27,8 +28,23 @@ fuzz:
 
 # verify is the repo's full check tier: build, vet, tests, race tests,
 # a one-iteration smoke of the plan-search benchmarks, the feed-layer
-# resilience tier, the observability tier, and the dispatch-plane tier.
-verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch
+# resilience tier, the observability tier, the dispatch-plane tier, and
+# the replicated-fleet tier.
+verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch verify-cluster
+
+# verify-cluster is the replicated-fleet tier: the cluster package
+# (epoch fencing, membership, staleness TTL, HTTP long-poll subscriber)
+# under the race detector; the fleet replays — including the seeded
+# replica-kill chaos smoke (TestFleetReplicaKillStorm) and the
+# publisher-outage stale-serving gate; the dispatch-side cluster
+# primitives (epoch fence, token carry, subdivision, wire round-trip,
+# driver multi-slot recovery); and the fleet/join/readyz serve smokes.
+verify-cluster:
+	$(GO) vet ./internal/cluster/
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race -run 'TestFleet|TestRunFleet' ./internal/loadgen/
+	$(GO) test -race -run 'TestEpochFence|TestTokenCarry|TestSubdivide|TestWireRoundTrip|TestFromWireRejectsHostile|TestScaleConservativeShed|TestDriverMultiSlotRecovery' ./internal/dispatch/
+	$(GO) test -count=1 -run 'TestServeReadyz|TestServeFleetSmoke|TestServeJoinSmoke' ./cmd/profitlb/
 
 # verify-dispatch is the online serving tier: the dispatch and loadgen
 # packages under the race detector (seeded-routing determinism is

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"profitlb/internal/loadgen"
+)
+
+// startModeServer boots a server with explicit options and registers the
+// drain cleanup.
+func startModeServer(t *testing.T, opt serveOptions) *gatewayServer {
+	t.Helper()
+	gs, err := newServer(serveScenario(t), "127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = gs.Shutdown(ctx)
+	})
+	return gs
+}
+
+// waitForHTTP polls cond for up to 5 seconds.
+func waitForHTTP(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServeReadyz: /readyz answers 503 until the first plan epoch is
+// applied, 200 once it is, and 503 again while draining — distinct from
+// /healthz, which stays green before the first plan.
+func TestServeReadyz(t *testing.T) {
+	gs, err := newServer(serveScenario(t), "127.0.0.1:0", serveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before Start no plan epoch has been applied: not ready.
+	rec := httptest.NewRecorder()
+	gs.handleReady(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before the first plan = %d, want 503", rec.Code)
+	}
+	var body map[string]any
+	if rec.Body.Len() == 0 {
+		t.Fatal("empty /readyz body")
+	}
+	if code := decodeBody(t, rec, &body); code != http.StatusServiceUnavailable ||
+		body["ready"] != false || body["reason"] != "no plan epoch applied yet" {
+		t.Fatalf("/readyz before the first plan: %d %v", code, body)
+	}
+	// But the process is live.
+	rec = httptest.NewRecorder()
+	gs.handleHealth(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz before the first plan = %d, want 200 (liveness, not readiness)", rec.Code)
+	}
+
+	if err := gs.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = gs.Shutdown(ctx)
+	})
+	base := "http://" + gs.Addr()
+	var ready map[string]any
+	if code := getJSON(t, base+"/readyz", &ready); code != http.StatusOK || ready["ready"] != true {
+		t.Fatalf("/readyz after the first plan: %d %v", code, ready)
+	}
+
+	gs.draining.Store(true)
+	if code := getJSON(t, base+"/readyz", &ready); code != http.StatusServiceUnavailable ||
+		ready["reason"] != "draining" {
+		t.Fatalf("/readyz while draining: %d %v", code, ready)
+	}
+}
+
+// decodeBody decodes a recorded JSON response.
+func decodeBody(t *testing.T, rec *httptest.ResponseRecorder, v any) int {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		t.Fatalf("decoding recorded body: %v", err)
+	}
+	return rec.Code
+}
+
+// TestServeFleetSmoke: a 3-replica fleet server admits a burst spread
+// over its replicas, every replica serves the same epoch, and the
+// per-replica counters sum to the burst exactly.
+func TestServeFleetSmoke(t *testing.T) {
+	gs := startModeServer(t, serveOptions{Replicas: 3})
+	if gs.mode != "fleet" {
+		t.Fatalf("mode %q, want fleet", gs.mode)
+	}
+	base := "http://" + gs.Addr()
+
+	var ready map[string]any
+	if code := getJSON(t, base+"/readyz", &ready); code != http.StatusOK || ready["mode"] != "fleet" {
+		t.Fatalf("/readyz on a booted fleet: %d %v", code, ready)
+	}
+
+	const n = 300
+	res, err := loadgen.FireHTTP(base, gs.sc.System, n, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != n || res.Rejected != 0 {
+		t.Fatalf("fired %+v, want %d sent and 0 rejected", res, n)
+	}
+	if res.Admitted == 0 {
+		t.Fatalf("fleet admitted nothing: %+v", res)
+	}
+
+	var stats map[string]any
+	if code := getJSON(t, base+"/admin/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/admin/stats = %d", code)
+	}
+	rows, ok := stats["replicas"].([]any)
+	if !ok || len(rows) != 3 {
+		t.Fatalf("stats replicas: %v", stats["replicas"])
+	}
+	published := stats["publishedEpoch"].(float64)
+	if published == 0 {
+		t.Fatal("fleet has no published epoch after boot")
+	}
+	var total float64
+	for _, row := range rows {
+		r := row.(map[string]any)
+		if r["ready"] != true {
+			t.Fatalf("replica %v not ready after boot", r["id"])
+		}
+		if r["epoch"].(float64) != published {
+			t.Fatalf("replica %v at epoch %v, published %v", r["id"], r["epoch"], published)
+		}
+		total += r["stats"].(map[string]any)["TotalRequests"].(float64)
+	}
+	if int(total) != n {
+		t.Fatalf("replica counters sum to %d requests, want %d", int(total), n)
+	}
+	if members, ok := stats["members"].([]any); !ok || len(members) != 3 {
+		t.Fatalf("fleet members: %v", stats["members"])
+	}
+
+	// The control plane is mounted: an external joiner's first pull joins
+	// it to the membership and gets a freshly re-spread epoch.
+	var pub map[string]any
+	if code := getJSON(t, base+"/cluster/plan?after=0&id=probe&wait=10", &pub); code != http.StatusOK {
+		t.Fatalf("/cluster/plan = %d, want 200", code)
+	}
+	if pub["epoch"].(float64) < published {
+		t.Fatalf("/cluster/plan epoch %v below published %v", pub["epoch"], published)
+	}
+	probeJoined := false
+	for _, m := range pub["members"].([]any) {
+		if m == "probe" {
+			probeJoined = true
+		}
+	}
+	if !probeJoined {
+		t.Fatalf("first pull did not join the prober: %v", pub["members"])
+	}
+}
+
+// TestServeJoinSmoke: a join-mode server (no planner) pulls its plan
+// from a fleet server, turns ready once the first epoch lands, and then
+// serves dispatch traffic of its own.
+func TestServeJoinSmoke(t *testing.T) {
+	fleet := startModeServer(t, serveOptions{Replicas: 2})
+	join := startModeServer(t, serveOptions{JoinURL: "http://" + fleet.Addr(), JoinID: "ext-test"})
+	if join.mode != "join" {
+		t.Fatalf("mode %q, want join", join.mode)
+	}
+	jbase := "http://" + join.Addr()
+
+	waitForHTTP(t, "the joiner to apply its first epoch", func() bool {
+		resp, err := http.Get(jbase + "/readyz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// The joiner shows up in the fleet's membership.
+	var fstats map[string]any
+	if code := getJSON(t, "http://"+fleet.Addr()+"/admin/stats", &fstats); code != http.StatusOK {
+		t.Fatalf("fleet /admin/stats = %d", code)
+	}
+	found := false
+	for _, m := range fstats["members"].([]any) {
+		if m == "ext-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("joiner missing from fleet members: %v", fstats["members"])
+	}
+
+	// And serves requests through its own gateway.
+	sc := join.sc
+	u := fmt.Sprintf("%s/dispatch/%s/%s", jbase, sc.System.FrontEnds[0].Name, sc.System.Classes[0].Name)
+	var dec map[string]any
+	if code := getJSON(t, u, &dec); code != http.StatusOK && code != http.StatusTooManyRequests {
+		t.Fatalf("join-mode dispatch = %d, want 200 or 429", code)
+	}
+
+	var jstats map[string]any
+	if code := getJSON(t, jbase+"/admin/stats", &jstats); code != http.StatusOK {
+		t.Fatalf("join /admin/stats = %d", code)
+	}
+	if jstats["mode"] != "join" {
+		t.Fatalf("join stats mode: %v", jstats["mode"])
+	}
+	sub, ok := jstats["subscriber"].(map[string]any)
+	if !ok || sub["rounds"].(float64) < 1 {
+		t.Fatalf("join subscriber stats: %v", jstats["subscriber"])
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"profitlb/internal/cluster"
+	"profitlb/internal/config"
 	"profitlb/internal/dispatch"
 	"profitlb/internal/loadgen"
 	"profitlb/internal/obs"
@@ -32,8 +34,9 @@ func cmdLoadtest(args []string) error {
 	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
 	minPlanned := fs.Float64("min-planned", 500, "lanes below this planned request count are excluded from the rate-error gate")
-	addr := fs.String("addr", "", "HTTP mode: base URL of a live gateway (e.g. http://127.0.0.1:8080)")
+	addr := fs.String("addr", "", "HTTP mode: base URL of a live gateway, or a comma-separated list of replica URLs")
 	n := fs.Int("n", 1000, "HTTP mode: requests to fire")
+	replicas := fs.Int("replicas", 0, "replay against an in-process replicated gateway fleet of this size (overrides the scenario's cluster block)")
 	metricsPath := fs.String("metrics", "", "write the replay's metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,12 +46,26 @@ func cmdLoadtest(args []string) error {
 		return err
 	}
 	if *addr != "" {
-		res, err := loadgen.FireHTTP(*addr, sc.System, *n, *seed)
+		targets := strings.Split(*addr, ",")
+		if len(targets) == 1 {
+			res, err := loadgen.FireHTTP(targets[0], sc.System, *n, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("loadtest %s: %d requests → %d admitted, %d shed, %d rejected (%d retries)\n",
+				targets[0], res.Sent, res.Admitted, res.Shed, res.Rejected, res.Retries)
+			return nil
+		}
+		total, per, err := loadgen.FireHTTPMulti(targets, sc.System, *n, *seed, loadgen.FireConfig{})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loadtest %s: %d requests → %d admitted, %d shed, %d rejected\n",
-			*addr, res.Sent, res.Admitted, res.Shed, res.Rejected)
+		for i, p := range per {
+			fmt.Printf("  %s: %d requests → %d admitted, %d shed, %d rejected (%d retries)\n",
+				targets[i], p.Sent, p.Admitted, p.Shed, p.Rejected, p.Retries)
+		}
+		fmt.Printf("loadtest fleet of %d: %d requests → %d admitted, %d shed, %d rejected (%d retries)\n",
+			len(targets), total.Sent, total.Admitted, total.Shed, total.Rejected, total.Retries)
 		return nil
 	}
 	if *resilient {
@@ -94,6 +111,13 @@ func cmdLoadtest(args []string) error {
 	}
 	if *slots > 0 {
 		lcfg.Slots = *slots
+	}
+	ccfg := sc.ClusterConfig()
+	if *replicas > 0 {
+		ccfg.Replicas = *replicas
+	}
+	if ccfg.Replicas > 1 {
+		return fleetLoadtest(sc, ccfg, d, src, lcfg, scope, *minPlanned)
 	}
 	rep, err := loadgen.Run(d, src, lcfg)
 	if err != nil {
@@ -149,6 +173,66 @@ func cmdLoadtest(args []string) error {
 		if werr != nil {
 			return werr
 		}
+	}
+	return nil
+}
+
+// fleetLoadtest replays the scenario against an in-process replicated
+// gateway fleet and reconciles each replica's gateway counters against
+// the generator's per-replica tallies.
+func fleetLoadtest(sc *config.Scenario, ccfg cluster.Config, d *dispatch.Driver, src *sim.InputSource, lcfg loadgen.Config, scope *obs.Scope, minPlanned float64) error {
+	f, err := cluster.NewFleet(sc.System, sc.DispatchConfig(), ccfg, d, sc.Faults, scope)
+	if err != nil {
+		return err
+	}
+	rep, err := loadgen.RunFleet(f, src, lcfg)
+	if err != nil {
+		return err
+	}
+	rep.Planner = d.Planner.Name()
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "loadtest %s: planner %s, fleet of %d, %d slots, seed %d\n",
+		sc.Name, rep.Planner, rep.Replicas, len(rep.Slots), lcfg.Seed)
+	fmt.Fprintln(w, "SLOT\tEPOCH\tLIVE\tSTALE\tOFFERED\tADMITTED\tSHED(BUDGET)\tSHED(UNPLANNED)\tINVALID\tTIER")
+	for i := range rep.Slots {
+		s := &rep.Slots[i]
+		tier := s.Tier
+		if tier == "" {
+			tier = "primary"
+		}
+		if s.Epoch == 0 {
+			tier = "outage"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			s.Slot, s.Epoch, s.Live, s.Stale, s.Offered, s.Admitted, s.ShedBudget, s.ShedUnplanned, s.Invalid, tier)
+	}
+	offered, admitted, shed := rep.Totals()
+	fmt.Fprintf(w, "total\t\t\t\t%d\t%d\t%d\t\t%d\t\n", offered, admitted, shed, rep.Invalid())
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("max fleet lane rate error %.2f%% (lanes ≥ %.0f planned), invalid answers %d\n",
+		100*rep.MaxLaneError(minPlanned), minPlanned, rep.Invalid())
+
+	// Reconcile each replica's gateway counters against the generator's
+	// per-replica ground truth: every request the balancer fired at a
+	// replica must be in that replica's own accounting, exactly.
+	now := float64(len(rep.Slots)) * sc.System.Slot()
+	ok := true
+	for i, pr := range rep.PerReplica {
+		st := f.Replicas[i].Gateway().Stats(now)
+		if st.TotalRequests != pr.Offered || st.TotalAdmitted != pr.Admitted ||
+			st.TotalShed != pr.ShedBudget+pr.ShedUnplanned {
+			ok = false
+			fmt.Printf("replica %s DISAGREES: gateway %d/%d/%d vs generator %d/%d/%d\n",
+				pr.ID, st.TotalRequests, st.TotalAdmitted, st.TotalShed,
+				pr.Offered, pr.Admitted, pr.ShedBudget+pr.ShedUnplanned)
+		}
+	}
+	if ok {
+		fmt.Printf("per-replica counters reconcile across %d replicas: %d requests = %d admitted + %d shed\n",
+			rep.Replicas, offered, admitted, shed)
 	}
 	return nil
 }

@@ -24,13 +24,16 @@
 //	profitlb analyze -config F    capacity advice + shadow prices
 //	profitlb export-lp -config F  dump a slot's dispatch LP (CPLEX format)
 //	profitlb serve -config F      run the online dispatch gateway over HTTP
-//	                              (-addr, -slot-seconds, -seed; graceful
+//	                              (-addr, -slot-seconds, -seed; -replicas N
+//	                              runs a replicated fleet, -join URL joins
+//	                              one as a data-plane replica; graceful
 //	                              drain on SIGINT/SIGTERM)
 //	profitlb loadtest -config F   replay a scenario against the dispatch
 //	                              plane and report achieved vs planned rates
 //	                              (-slots, -seed, -burst-factor, -closed,
-//	                              -faults F|storm, -feeds, -resilient;
-//	                              -addr URL fires at a live gateway)
+//	                              -faults F|storm, -feeds, -resilient,
+//	                              -replicas N replays against a fleet;
+//	                              -addr URL[,URL...] fires at live gateways)
 package main
 
 import (
@@ -135,18 +138,24 @@ commands:
   export-lp -config F  dump one slot's dispatch LP in CPLEX LP format
   serve -config F      run the online dispatch gateway: one HTTP endpoint
                        per front-end (/dispatch/<front-end>/<class>),
-                       admin endpoints (/healthz /admin/plan /admin/stats
-                       /metrics), plan hot-swap at slot boundaries and
-                       graceful drain on SIGINT/SIGTERM (-addr,
-                       -slot-seconds N maps one plan slot onto N wall
-                       seconds, -seed N fixes the routing seed)
+                       admin endpoints (/healthz /readyz /admin/plan
+                       /admin/stats /metrics), plan hot-swap at slot
+                       boundaries and graceful drain on SIGINT/SIGTERM
+                       (-addr, -slot-seconds N maps one plan slot onto N
+                       wall seconds, -seed N fixes the routing seed;
+                       -replicas N serves a replicated gateway fleet with
+                       epoch-fenced plan distribution at /cluster/plan,
+                       -join URL -id NAME joins a remote fleet as a
+                       planner-less data-plane replica)
   loadtest -config F   replay a scenario against the dispatch plane at
                        request granularity and report achieved vs planned
                        per-lane rates, shed fractions and realized profit
                        (-slots, -seed, -burst-factor F, -closed -users N,
                        -faults F|storm, -feeds on|F, -resilient,
-                       -metrics F; -addr URL -n N fires at a live
-                       'serve' gateway over HTTP instead)`)
+                       -metrics F; -replicas N replays against an
+                       in-process fleet with per-replica reconciliation;
+                       -addr URL[,URL...] -n N fires at live 'serve'
+                       gateways over HTTP instead)`)
 }
 
 func cmdAnalyze(args []string) error {

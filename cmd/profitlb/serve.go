@@ -16,22 +16,38 @@ import (
 	"syscall"
 	"time"
 
+	"profitlb/internal/cluster"
 	"profitlb/internal/config"
 	"profitlb/internal/dispatch"
 	"profitlb/internal/obs"
 	"profitlb/internal/sim"
 )
 
-// gatewayServer is the `profitlb serve` runtime: an HTTP front-end over
-// a dispatch.Gateway plus the background planner loop that hot-swaps the
-// routing table at slot boundaries. One loop goroutine owns the driver;
-// the HTTP handlers only touch the gateway (concurrency-safe) and
+// gatewayServer is the `profitlb serve` runtime in one of three modes:
+//
+//   - single: one gateway, one in-process planner loop (the original).
+//   - fleet: a control plane (cluster.Publisher over the driver) plus N
+//     in-process gateway replicas; /dispatch round-robins over ready
+//     replicas and /cluster/plan lets external join-mode servers pull
+//     the same epochs.
+//   - join: one data-plane replica with no planner at all, pulling
+//     epoch-fenced plans from a remote fleet server's /cluster endpoint.
+//
+// One loop goroutine owns the driver (or the staleness ticker in join
+// mode); the HTTP handlers only touch gateways (concurrency-safe) and
 // snapshots.
 type gatewayServer struct {
-	sc     *config.Scenario
-	dcfg   dispatch.Config
+	sc   *config.Scenario
+	dcfg dispatch.Config
+	ccfg cluster.Config
+	mode string // "single", "fleet" or "join"
+
 	driver *dispatch.Driver
-	gw     *dispatch.Gateway
+	gw     *dispatch.Gateway // single mode only
+	pub    *cluster.Publisher
+	reps   []*cluster.Replica
+	sub    *cluster.Subscriber
+	rr     atomic.Uint64
 	reg    *obs.Registry
 
 	srv *http.Server
@@ -48,61 +64,115 @@ type gatewayServer struct {
 	loopDone  chan struct{}
 }
 
-// newGatewayServer assembles the gateway, planner loop and HTTP mux for
-// a validated scenario. addr is the listen address ("127.0.0.1:0" picks
-// a free port).
+// serveOptions selects the server mode.
+type serveOptions struct {
+	// Replicas > 1 (or a scenario cluster block) selects fleet mode.
+	Replicas int
+	// JoinURL selects join mode: the base URL of a fleet server.
+	JoinURL string
+	// JoinID is the replica identity a join-mode server announces.
+	JoinID string
+}
+
+// newGatewayServer assembles the single-mode gateway, planner loop and
+// HTTP mux for a validated scenario. addr is the listen address
+// ("127.0.0.1:0" picks a free port).
 func newGatewayServer(sc *config.Scenario, addr string) (*gatewayServer, error) {
+	return newServer(sc, addr, serveOptions{})
+}
+
+// newServer assembles a server in the mode the options select.
+func newServer(sc *config.Scenario, addr string, opt serveOptions) (*gatewayServer, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	planner, err := sc.BuildPlanner()
-	if err != nil {
-		return nil, err
-	}
-	src, err := sim.NewInputSource(sc.SimConfig())
-	if err != nil {
-		return nil, err
-	}
-	dcfg := sc.DispatchConfig()
 	reg := obs.NewRegistry()
 	scope := obs.NewScope(reg, nil)
 	gs := &gatewayServer{
 		sc:          sc,
-		dcfg:        dcfg,
+		dcfg:        sc.DispatchConfig(),
+		ccfg:        sc.ClusterConfig(),
+		mode:        "single",
 		reg:         reg,
-		gw:          dispatch.NewGateway(sc.System, dcfg, scope),
 		feByName:    map[string]int{},
 		classByName: map[string]int{},
 		exposed:     make([]bool, sc.System.S()),
 		stopLoop:    make(chan struct{}),
 		loopDone:    make(chan struct{}),
 	}
-	gs.driver = &dispatch.Driver{Gateway: gs.gw, Planner: planner, Source: src}
+	if opt.Replicas > 0 {
+		gs.ccfg.Replicas = opt.Replicas
+	}
 	for i := range sc.System.FrontEnds {
 		gs.feByName[sc.System.FrontEnds[i].Name] = i
 	}
 	for i := range sc.System.Classes {
 		gs.classByName[sc.System.Classes[i].Name] = i
 	}
-	if len(dcfg.FrontEnds) == 0 {
+	if len(gs.dcfg.FrontEnds) == 0 {
 		for i := range gs.exposed {
 			gs.exposed[i] = true
 		}
 	} else {
-		for _, name := range dcfg.FrontEnds {
+		for _, name := range gs.dcfg.FrontEnds {
 			gs.exposed[gs.feByName[name]] = true // names validated by the config
 		}
 	}
+
+	switch {
+	case opt.JoinURL != "":
+		gs.mode = "join"
+		id := opt.JoinID
+		if id == "" {
+			id = fmt.Sprintf("ext-%d", os.Getpid())
+		}
+		rep := cluster.NewReplica(id, sc.System, gs.dcfg, gs.ccfg, scope)
+		gs.reps = []*cluster.Replica{rep}
+		gs.sub = cluster.NewSubscriber(strings.TrimSuffix(opt.JoinURL, "/")+"/cluster", rep, gs.ccfg, gs.now)
+	case gs.ccfg.Replicas > 1:
+		gs.mode = "fleet"
+		fallthrough
+	default:
+		planner, err := sc.BuildPlanner()
+		if err != nil {
+			return nil, err
+		}
+		src, err := sim.NewInputSource(sc.SimConfig())
+		if err != nil {
+			return nil, err
+		}
+		if gs.mode == "fleet" {
+			// The driver still needs a gateway for compile configuration
+			// and scope, but in fleet mode it never serves requests.
+			gs.driver = &dispatch.Driver{
+				Gateway: dispatch.NewGateway(sc.System, gs.dcfg, scope),
+				Planner: planner, Source: src,
+			}
+			gs.pub = cluster.NewPublisher(gs.ccfg, gs.driver, scope)
+			for i := 0; i < gs.ccfg.Replicas; i++ {
+				gs.reps = append(gs.reps, cluster.NewReplica(cluster.ReplicaID(i), sc.System, gs.dcfg, gs.ccfg, scope))
+			}
+		} else {
+			gs.gw = dispatch.NewGateway(sc.System, gs.dcfg, scope)
+			gs.driver = &dispatch.Driver{Gateway: gs.gw, Planner: planner, Source: src}
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/dispatch/", gs.handleDispatch)
 	mux.HandleFunc("/healthz", gs.handleHealth)
+	mux.HandleFunc("/readyz", gs.handleReady)
 	mux.HandleFunc("/admin/plan", gs.handlePlan)
 	mux.HandleFunc("/admin/stats", gs.handleStats)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = reg.WritePrometheus(w)
 	})
+	if gs.pub != nil {
+		mux.Handle("/cluster/", http.StripPrefix("/cluster", gs.pub.Handler()))
+	}
 	gs.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	var err error
 	gs.ln, err = net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -119,24 +189,96 @@ func (gs *gatewayServer) now() float64 {
 	return time.Since(gs.startWall).Seconds() / gs.dcfg.SlotSeconds * gs.sc.System.Slot()
 }
 
-// Start installs the first slot's table and begins serving and slot
-// rotation. It returns once the server is accepting requests.
+// pick returns the gateway serving the next request: the single gateway,
+// or the next ready replica in round-robin order (falling back to any
+// replica — a not-ready gateway answers Invalid, which maps to 503).
+func (gs *gatewayServer) pick() *dispatch.Gateway {
+	if len(gs.reps) == 0 {
+		return gs.gw
+	}
+	n := len(gs.reps)
+	start := int(gs.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		r := gs.reps[(start+i)%n]
+		if r.Ready() {
+			return r.Gateway()
+		}
+	}
+	return gs.reps[start].Gateway()
+}
+
+// ready reports whether the serving plane has applied a first plan
+// epoch: in cluster modes, at least one replica; in single mode, the
+// gateway. Draining is never ready.
+func (gs *gatewayServer) ready() bool {
+	if gs.draining.Load() {
+		return false
+	}
+	if len(gs.reps) > 0 {
+		for _, r := range gs.reps {
+			if r.Ready() {
+				return true
+			}
+		}
+		return false
+	}
+	return gs.gw.Table() != nil
+}
+
+// Start installs the first slot's plan (single and fleet modes; join
+// mode starts its pull loop instead and becomes ready when the first
+// epoch lands) and begins serving and slot rotation. It returns once the
+// server is accepting requests.
 func (gs *gatewayServer) Start() error {
 	gs.startWall = time.Now()
-	if _, err := gs.driver.BeginSlot(gs.sc.StartSlot, 0); err != nil {
-		return err
+	switch gs.mode {
+	case "join":
+		gs.sub.Start()
+	case "fleet":
+		if err := gs.fleetSlot(gs.sc.StartSlot, 0); err != nil {
+			return err
+		}
+	default:
+		if _, err := gs.driver.BeginSlot(gs.sc.StartSlot, 0); err != nil {
+			return err
+		}
 	}
 	go gs.slotLoop()
 	go func() { _ = gs.srv.Serve(gs.ln) }()
 	return nil
 }
 
+// fleetSlot runs one control-plane slot cycle: heartbeat the in-process
+// replicas (external joiners beat through their pulls), sweep health,
+// publish the slot's plan under its new epoch, and deliver + tick the
+// in-process replicas. External joiners receive the publish through
+// their parked long-polls.
+func (gs *gatewayServer) fleetSlot(abs int, now float64) error {
+	for _, r := range gs.reps {
+		gs.pub.Beat(r.ID, abs)
+	}
+	gs.pub.SweepHealth(abs)
+	pub, err := gs.pub.PublishSlot(abs)
+	if err != nil {
+		return err
+	}
+	for _, r := range gs.reps {
+		if _, err := r.Apply(pub, now); err != nil {
+			fmt.Fprintf(os.Stderr, "profitlb: serve: %v\n", err)
+		}
+		r.Tick(abs, now)
+	}
+	return nil
+}
+
 // slotLoop rotates the plan at slot boundaries: slot i begins
 // i*SlotSeconds after start. The loop goroutine is the only driver
-// caller after Start.
+// caller after Start. In join mode the loop only advances staleness —
+// the subscriber goroutine applies whatever the control plane sends.
 func (gs *gatewayServer) slotLoop() {
 	defer close(gs.loopDone)
 	period := time.Duration(gs.dcfg.SlotSeconds * float64(time.Second))
+	joinSlot := -1
 	for i := 1; ; i++ {
 		next := gs.startWall.Add(time.Duration(i) * period)
 		timer := time.NewTimer(time.Until(next))
@@ -147,10 +289,33 @@ func (gs *gatewayServer) slotLoop() {
 		case <-timer.C:
 		}
 		abs := gs.sc.StartSlot + i
-		if _, err := gs.driver.BeginSlot(abs, float64(i)*gs.sc.System.Slot()); err != nil {
-			// Wiring errors only; the driver degrades plan failures to
-			// an all-shed table on its own.
-			fmt.Fprintf(os.Stderr, "profitlb: serve: slot %d: %v\n", abs, err)
+		now := float64(i) * gs.sc.System.Slot()
+		switch gs.mode {
+		case "join":
+			// Track the applied slot when plans flow; count boundaries
+			// past it when they stop, so staleness (and the TTL
+			// downgrade) advances even though this server never plans.
+			r := gs.reps[0]
+			t := r.Gateway().Table()
+			if t == nil {
+				continue
+			}
+			if t.Slot > joinSlot {
+				joinSlot = t.Slot
+			} else {
+				joinSlot++
+			}
+			r.Tick(joinSlot, now)
+		case "fleet":
+			if err := gs.fleetSlot(abs, now); err != nil {
+				fmt.Fprintf(os.Stderr, "profitlb: serve: slot %d: %v\n", abs, err)
+			}
+		default:
+			if _, err := gs.driver.BeginSlot(abs, now); err != nil {
+				// Wiring errors only; the driver degrades plan failures to
+				// an all-shed table on its own.
+				fmt.Fprintf(os.Stderr, "profitlb: serve: slot %d: %v\n", abs, err)
+			}
 		}
 	}
 }
@@ -161,6 +326,9 @@ func (gs *gatewayServer) slotLoop() {
 func (gs *gatewayServer) Shutdown(ctx context.Context) error {
 	gs.draining.Store(true)
 	gs.stopOnce.Do(func() { close(gs.stopLoop) })
+	if gs.sub != nil {
+		gs.sub.Stop()
+	}
 	err := gs.srv.Shutdown(ctx)
 	<-gs.loopDone
 	return err
@@ -198,7 +366,7 @@ func (gs *gatewayServer) handleDispatch(w http.ResponseWriter, r *http.Request) 
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown class %q", parts[1])})
 		return
 	}
-	dec := gs.gw.Handle(k, s, gs.now())
+	dec := gs.pick().Handle(k, s, gs.now())
 	switch dec.Outcome {
 	case dispatch.Admitted:
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -224,9 +392,11 @@ func (gs *gatewayServer) lookup(seg string, byName map[string]int, n int) (int, 
 	return 0, false
 }
 
-// handleHealth reports liveness: 200 while serving, 503 while draining.
+// handleHealth reports liveness: 200 while the process serves (even
+// before the first plan — that is readiness, not liveness), 503 while
+// draining.
 func (gs *gatewayServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	st := gs.gw.Stats(gs.now())
+	st := gs.pick().Stats(gs.now())
 	status := http.StatusOK
 	state := "ok"
 	if gs.draining.Load() {
@@ -234,6 +404,7 @@ func (gs *gatewayServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, status, map[string]any{
 		"status":   state,
+		"mode":     gs.mode,
 		"slot":     st.Slot,
 		"degraded": st.Degraded,
 		"tier":     st.Tier,
@@ -241,15 +412,34 @@ func (gs *gatewayServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handlePlan dumps the committed routing table.
+// handleReady reports readiness: 200 only once a first plan epoch is
+// applied and the server is not draining. Load balancers gate on this;
+// liveness (/healthz) stays green while a fresh replica is still waiting
+// for its first epoch.
+func (gs *gatewayServer) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if gs.ready() {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "mode": gs.mode})
+		return
+	}
+	reason := "no plan epoch applied yet"
+	if gs.draining.Load() {
+		reason = "draining"
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "mode": gs.mode, "reason": reason})
+}
+
+// handlePlan dumps the committed routing table (in cluster modes, the
+// picked replica's — all ready replicas serve the same epoch outside
+// failure windows).
 func (gs *gatewayServer) handlePlan(w http.ResponseWriter, _ *http.Request) {
-	t := gs.gw.Table()
+	t := gs.pick().Table()
 	if t == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no table installed"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"slot":      t.Slot,
+		"epoch":     t.Epoch,
 		"objective": t.Objective,
 		"serversOn": t.ServersOn,
 		"degraded":  t.Degraded,
@@ -259,9 +449,48 @@ func (gs *gatewayServer) handlePlan(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleStats dumps the gateway counters and per-lane tallies.
+// replicaStatus is one replica's row in the cluster stats block.
+type replicaStatus struct {
+	ID        string         `json:"id"`
+	Ready     bool           `json:"ready"`
+	Epoch     uint64         `json:"epoch"`
+	Staleness int            `json:"staleness"`
+	Degraded  bool           `json:"degraded"`
+	Stats     dispatch.Stats `json:"stats"`
+}
+
+// handleStats dumps the gateway counters and per-lane tallies; cluster
+// modes add the fleet status (published epoch, membership, per-replica
+// epochs/staleness/fence counters).
 func (gs *gatewayServer) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, gs.gw.Stats(gs.now()))
+	if len(gs.reps) == 0 {
+		writeJSON(w, http.StatusOK, gs.gw.Stats(gs.now()))
+		return
+	}
+	now := gs.now()
+	out := map[string]any{"mode": gs.mode}
+	var rows []replicaStatus
+	for _, r := range gs.reps {
+		rows = append(rows, replicaStatus{
+			ID: r.ID, Ready: r.Ready(), Epoch: r.Epoch(),
+			Staleness: r.Staleness(), Degraded: r.Degraded(),
+			Stats: r.Gateway().Stats(now),
+		})
+	}
+	out["replicas"] = rows
+	if gs.pub != nil {
+		out["publishedEpoch"] = gs.pub.Epoch()
+		out["members"] = gs.pub.Members()
+	}
+	if gs.sub != nil {
+		rounds, failures, lastErr := gs.sub.Stats()
+		sub := map[string]any{"rounds": rounds, "failures": failures}
+		if lastErr != nil {
+			sub["lastErr"] = lastErr.Error()
+		}
+		out["subscriber"] = sub
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // cmdServe boots the HTTP gateway for a scenario and runs until
@@ -273,6 +502,9 @@ func cmdServe(args []string) error {
 	slotSeconds := fs.Float64("slot-seconds", 0, "wall seconds per plan slot (overrides the scenario's dispatch block)")
 	seed := fs.Uint64("seed", 0, "routing seed (overrides the scenario's dispatch block)")
 	resilient := fs.Bool("resilient", true, "wrap the planner in the resilient fallback chain")
+	replicas := fs.Int("replicas", 0, "run a replicated gateway fleet with this many in-process replicas (overrides the scenario's cluster block)")
+	join := fs.String("join", "", "join an existing fleet as a data-plane replica: base URL of a fleet server (no planner runs locally)")
+	joinID := fs.String("id", "", "replica identity announced when joining (default ext-<pid>)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -295,16 +527,25 @@ func cmdServe(args []string) error {
 			sc.Dispatch.Seed = *seed
 		}
 	})
-	gs, err := newGatewayServer(sc, *addr)
+	gs, err := newServer(sc, *addr, serveOptions{Replicas: *replicas, JoinURL: *join, JoinID: *joinID})
 	if err != nil {
 		return err
 	}
 	if err := gs.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("profitlb: serving scenario %s on http://%s (slot %d, %gs per slot)\n",
-		sc.Name, gs.Addr(), sc.StartSlot, sc.Dispatch.SlotSeconds)
-	fmt.Printf("profitlb: endpoints: /dispatch/<front-end>/<class>, /healthz, /admin/plan, /admin/stats, /metrics\n")
+	switch gs.mode {
+	case "fleet":
+		fmt.Printf("profitlb: serving scenario %s on http://%s as a %d-replica fleet (slot %d, %gs per slot)\n",
+			sc.Name, gs.Addr(), len(gs.reps), sc.StartSlot, sc.Dispatch.SlotSeconds)
+	case "join":
+		fmt.Printf("profitlb: serving scenario %s on http://%s, joining fleet at %s as %s\n",
+			sc.Name, gs.Addr(), *join, gs.reps[0].ID)
+	default:
+		fmt.Printf("profitlb: serving scenario %s on http://%s (slot %d, %gs per slot)\n",
+			sc.Name, gs.Addr(), sc.StartSlot, sc.Dispatch.SlotSeconds)
+	}
+	fmt.Printf("profitlb: endpoints: /dispatch/<front-end>/<class>, /healthz, /readyz, /admin/plan, /admin/stats, /metrics\n")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
@@ -316,7 +557,7 @@ func cmdServe(args []string) error {
 	if err := gs.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	st := gs.gw.Stats(gs.now())
+	st := gs.pick().Stats(gs.now())
 	fmt.Printf("profitlb: drained cleanly: %d requests, %d admitted, %d shed\n",
 		st.TotalRequests, st.TotalAdmitted, st.TotalShed)
 	return nil

@@ -1,0 +1,104 @@
+// Package cluster replicates the dispatch gateway into a fleet: one
+// control plane (a Publisher wrapping the slot engine's Driver) plans
+// each slot, stamps the compiled routing table with a monotonically
+// increasing epoch, and publishes it; N data-plane Replicas pull the
+// table — over HTTP long-poll in production, or synchronously in the
+// deterministic Fleet harness — fence it against their current epoch
+// (stale, duplicate and out-of-order deliveries are rejected and
+// counted, never applied), subdivide the fleet-wide plan into their own
+// share of every lane's budget, and hot-swap it into a local Gateway.
+//
+// The failure discipline mirrors the planning plane's: a replica that
+// misses a slot boundary keeps serving its last good epoch with a rising
+// staleness gauge, and past a configurable TTL it escalates to
+// conservative-shed serving (the stale plan at a fraction of its budget)
+// rather than guessing. A replica that stops heartbeating is evicted
+// after consecutive missed health rounds and its share re-spreads across
+// the survivors on the next epoch; it rejoins by heartbeating again. A
+// dead control plane publishes nothing — the whole fleet degrades to
+// last-known-epoch serving and reconverges the moment publishing
+// resumes. Requests are shed, never errored: the fleet's invariant is
+// the gateway's, extended across processes.
+package cluster
+
+import "fmt"
+
+// Config is the cluster block of a scenario configuration. The zero
+// value is "no cluster" (Replicas 0); WithDefaults fills the tunables.
+type Config struct {
+	// Replicas is the gateway fleet size. 0 disables clustering; 1 is a
+	// degenerate but valid fleet (useful for the join-mode server).
+	Replicas int `json:"replicas"`
+	// StaleSlots is the staleness TTL: after serving this many slot
+	// boundaries without a fresh epoch, a replica downgrades to
+	// conservative-shed serving. Default 2.
+	StaleSlots int `json:"staleSlots,omitempty"`
+	// StaleFactor is the budget fraction a stale replica keeps serving
+	// at once past the TTL, in (0,1]. Default 0.5.
+	StaleFactor float64 `json:"staleFactor,omitempty"`
+	// FailThreshold is the number of consecutive missed health rounds
+	// after which the control plane evicts a replica. Default 2.
+	FailThreshold int `json:"failThreshold,omitempty"`
+	// PollWaitMs is how long the control plane holds a long-poll open
+	// waiting for a fresher epoch before answering 204. Default 2000.
+	PollWaitMs int `json:"pollWaitMs,omitempty"`
+	// MaxAttempts bounds one pull round's retries before the subscriber
+	// gives up on the round (and keeps serving stale). Default 4.
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// BaseBackoffMs is the first retry backoff; it doubles per attempt.
+	// Default 50.
+	BaseBackoffMs int `json:"baseBackoffMs,omitempty"`
+	// TimeoutMs is the per-attempt transport deadline (on top of the
+	// long-poll hold). Default 1000.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// WithDefaults fills unset tunables, leaving Replicas as given.
+func (c Config) WithDefaults() Config {
+	if c.StaleSlots <= 0 {
+		c.StaleSlots = 2
+	}
+	if c.StaleFactor <= 0 || c.StaleFactor > 1 {
+		c.StaleFactor = 0.5
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.PollWaitMs <= 0 {
+		c.PollWaitMs = 2000
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoffMs <= 0 {
+		c.BaseBackoffMs = 50
+	}
+	if c.TimeoutMs <= 0 {
+		c.TimeoutMs = 1000
+	}
+	return c
+}
+
+// Validate rejects configurations the defaults cannot repair.
+func (c Config) Validate() error {
+	if c.Replicas < 0 {
+		return fmt.Errorf("cluster: %d replicas", c.Replicas)
+	}
+	if c.Replicas > 64 {
+		return fmt.Errorf("cluster: %d replicas exceeds the supported fleet size (64)", c.Replicas)
+	}
+	if c.StaleFactor < 0 || c.StaleFactor > 1 {
+		return fmt.Errorf("cluster: stale factor %g outside [0,1]", c.StaleFactor)
+	}
+	if c.StaleSlots < 0 {
+		return fmt.Errorf("cluster: negative staleness TTL %d", c.StaleSlots)
+	}
+	if c.FailThreshold < 0 {
+		return fmt.Errorf("cluster: negative fail threshold %d", c.FailThreshold)
+	}
+	return nil
+}
+
+// ReplicaID names fleet replica i ("r0", "r1", ...): the identity used
+// for membership, heartbeats and trace events.
+func ReplicaID(i int) string { return fmt.Sprintf("r%d", i) }

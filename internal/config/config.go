@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"profitlb/internal/baseline"
+	"profitlb/internal/cluster"
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
 	"profitlb/internal/dispatch"
@@ -74,6 +75,12 @@ type Scenario struct {
 	// the wall-clock slot length, the routing seed and the exposed
 	// front-ends. Simulation commands ignore it.
 	Dispatch *dispatch.Config `json:"dispatch,omitempty"`
+	// Cluster configures the replicated gateway fleet (internal/cluster)
+	// for `profitlb serve -replicas` and `profitlb loadtest -replicas`:
+	// fleet size, staleness TTL and downgrade factor, heartbeat eviction
+	// threshold and the plan-pull transport discipline. Nil (or zero
+	// replicas) means a single gateway. Simulation commands ignore it.
+	Cluster *cluster.Config `json:"cluster,omitempty"`
 	// Obs, when non-nil, threads the observability scope (internal/obs)
 	// through the run: the simulator's slot events, the resilient
 	// chain's escalations, the core engine's solver counters and the
@@ -145,8 +152,27 @@ func (s *Scenario) Validate() error {
 	if err := s.Dispatch.Validate(s.System); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
+	if s.Cluster != nil {
+		if err := s.Cluster.Validate(); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+		if err := s.Faults.ValidateCluster(s.Cluster.Replicas); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+	} else if s.Faults.HasClusterFaults() {
+		return errors.New("config: scenario carries cluster fault events but no cluster block")
+	}
 	cfg := s.SimConfig()
 	return cfg.Validate()
+}
+
+// ClusterConfig returns the scenario's cluster block with defaults
+// applied, or the zero (no-cluster) configuration when absent.
+func (s *Scenario) ClusterConfig() cluster.Config {
+	if s.Cluster == nil {
+		return cluster.Config{}
+	}
+	return s.Cluster.WithDefaults()
 }
 
 // DispatchConfig returns the scenario's dispatch block, or the defaults

@@ -84,6 +84,31 @@ func FuzzLoad(f *testing.F) {
 		`"slots": 24, "dispatch": {"slotSeconds": 1e308, "minBurst": 1e308}`, 1))
 	f.Add(strings.Replace(example.String(), `"slots": 24`,
 		`"slots": 24, "dispatch": null`, 1))
+	// Cluster blocks, valid and hostile: fleet size bounds, the stale
+	// tunables, and cluster fault events that need a cluster block to
+	// bound their replica indices.
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "cluster": {"replicas": 4}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "cluster": {"replicas": 4, "staleSlots": 3, "staleFactor": 0.25, "failThreshold": 1}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "cluster": {"replicas": -1}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "cluster": {"replicas": 1000}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "cluster": {"replicas": 2, "staleFactor": 7}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "cluster": {"replicas": 4},
+		"faults": {"events": [{"kind":"replica-kill","replica":2,"from":3,"to":4},
+			{"kind":"replica-partition","replica":0,"from":6,"to":7},
+			{"kind":"publisher-outage","from":9,"to":9}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "cluster": {"replicas": 2},
+		"faults": {"events": [{"kind":"replica-kill","replica":5,"from":0,"to":0}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "faults": {"events": [{"kind":"publisher-outage","from":0,"to":0}]}`, 1))
+	f.Add(strings.Replace(example.String(), `"slots": 24`,
+		`"slots": 24, "cluster": null`, 1))
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := Load(strings.NewReader(in))
 		if err != nil {

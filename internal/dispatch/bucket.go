@@ -60,3 +60,13 @@ func (b *bucket) reset(now, burst float64) {
 	b.last = now
 	b.mu.Unlock()
 }
+
+// set pins the bucket to an exact token level at virtual time now — the
+// hot-swap carry path, where a new table's lane inherits the old lane's
+// accumulated (possibly fractional) tokens instead of refilling to full.
+func (b *bucket) set(now, tokens float64) {
+	b.mu.Lock()
+	b.tokens = tokens
+	b.last = now
+	b.mu.Unlock()
+}

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"profitlb/internal/core"
@@ -35,7 +36,23 @@ type Driver struct {
 
 	// LastErr records why the most recent slot degraded (nil otherwise).
 	LastErr error
+
+	// epoch numbers every table the driver mints, monotonically: the
+	// driver is the fleet's single source of planning truth, and each
+	// plan it commits — primary, fallback or emergency shed — gets the
+	// next epoch. Replicas fence on it. Atomic because the cluster
+	// publisher mints re-spread epochs from HTTP handler goroutines
+	// while the slot loop plans.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the last epoch minted (0 before the first slot).
+func (d *Driver) Epoch() uint64 { return d.epoch.Load() }
+
+// NextEpoch mints the next plan epoch. The cluster publisher also draws
+// from this sequence when a membership change forces a re-spread of the
+// current plan without a new solve.
+func (d *Driver) NextEpoch() uint64 { return d.epoch.Add(1) }
 
 // tol returns the feasibility-gate tolerance.
 func (d *Driver) tol() float64 {
@@ -51,16 +68,36 @@ func (d *Driver) tol() float64 {
 // whose input, plan or compile fails installs ShedTable and parks the
 // cause in LastErr — the gateway sheds instead of erroring.
 func (d *Driver) BeginSlot(abs int, now float64) (*Table, error) {
+	start := time.Now()
+	t, err := d.PlanTable(abs)
+	if err != nil {
+		return nil, err
+	}
+	d.Gateway.Install(t, now, time.Since(start))
+	return t, nil
+}
+
+// PlanTable plans and compiles slot abs without installing it — the
+// cluster publisher path, where the control plane mints tables for a
+// fleet of replicas instead of a local gateway. The returned table is
+// epoch-stamped; failures degrade to an all-shed table with the cause in
+// LastErr, exactly as BeginSlot does. The only error is a wiring mistake.
+func (d *Driver) PlanTable(abs int) (*Table, error) {
 	if d.Gateway == nil || d.Planner == nil || d.Source == nil {
 		return nil, errors.New("dispatch: driver needs a gateway, a planner and a plan source")
 	}
-	start := time.Now()
 	t, err := d.buildTable(abs)
 	d.LastErr = err
 	if err != nil {
 		t = ShedTable(d.Gateway.sys, abs, d.Gateway.cfg)
 	}
-	d.Gateway.Install(t, now, time.Since(start))
+	t.Epoch = d.NextEpoch()
+	if scope := d.Gateway.Scope(); scope.Enabled() {
+		scope.Counter("dispatch_slots_total").Inc()
+		if t.Degraded {
+			scope.Counter("dispatch_slots_degraded_total").Inc()
+		}
+	}
 	return t, nil
 }
 

@@ -78,15 +78,22 @@ type Gateway struct {
 
 	cur atomic.Pointer[compiled]
 
+	// epoch is the highest plan epoch installed so far; InstallIfNewer
+	// fences anything at or below it.
+	epoch atomic.Uint64
+
 	// Totals survive swaps (the per-slot tallies reset with each table).
 	totalRequests atomic.Int64
 	totalAdmitted atomic.Int64
 	totalShed     atomic.Int64
 	swaps         atomic.Int64
+	fencedStale   atomic.Int64
+	fencedDup     atomic.Int64
 
 	// Pre-resolved observability instruments; nil without a scope (all
 	// methods on them are nil-safe no-ops).
 	cReq, cAdmit, cShedBudget, cShedUnplanned, cInvalid *obs.Counter
+	cFencedStale, cFencedDup                            *obs.Counter
 	hSwap                                               *obs.Histogram
 	scope                                               *obs.Scope
 }
@@ -102,9 +109,25 @@ func NewGateway(sys *datacenter.System, cfg Config, scope *obs.Scope) *Gateway {
 		g.cShedBudget = scope.Counter("dispatch_shed_total", obs.L("reason", "budget"))
 		g.cShedUnplanned = scope.Counter("dispatch_shed_total", obs.L("reason", "unplanned"))
 		g.cInvalid = scope.Counter("dispatch_invalid_total")
+		g.cFencedStale = scope.Counter("dispatch_fenced_total", obs.L("reason", "stale"))
+		g.cFencedDup = scope.Counter("dispatch_fenced_total", obs.L("reason", "duplicate"))
 		g.hSwap = scope.Histogram("dispatch_swap_seconds", obs.ExpBuckets(1e-6, 4, 12))
 	}
 	return g
+}
+
+// Scope returns the gateway's observability scope (possibly nil); the
+// slot engine shares it for its own counters.
+func (g *Gateway) Scope() *obs.Scope { return g.scope }
+
+// Epoch returns the highest plan epoch installed so far (0 before any
+// epoch-stamped install).
+func (g *Gateway) Epoch() uint64 { return g.epoch.Load() }
+
+// Fenced returns the lifetime counts of rejected installs: stale (epoch
+// below current) and duplicate (epoch equal to current).
+func (g *Gateway) Fenced() (stale, dup int64) {
+	return g.fencedStale.Load(), g.fencedDup.Load()
 }
 
 // System returns the topology the gateway serves.
@@ -113,12 +136,22 @@ func (g *Gateway) System() *datacenter.System { return g.sys }
 // Config returns the gateway's (defaulted) configuration.
 func (g *Gateway) Config() Config { return g.cfg }
 
-// Install hot-swaps the routing table: the new compiled state (fresh
-// buckets, zero tallies) becomes current in one atomic pointer store.
-// now is the virtual time of the swap — the instant bucket refill starts.
-// The elapsed argument is the plan+compile latency the caller measured;
-// it lands in the swap histogram. Publishing per-lane occupancy gauges
-// for the outgoing table happens here, off the request path.
+// Install hot-swaps the routing table: the new compiled state becomes
+// current in one atomic pointer store. now is the virtual time of the
+// swap — the instant bucket refill starts. The elapsed argument is the
+// plan+compile latency the caller measured; it lands in the swap
+// histogram. Publishing per-lane occupancy gauges for the outgoing table
+// happens here, off the request path.
+//
+// Bucket state across the swap: a table for a *new* slot starts every
+// bucket full (a fresh slot is a fresh budget, and a full bucket does not
+// starve the slot's first arrivals). A table for the *same* slot — a
+// mid-slot re-spread after a cluster membership change, or a staleness
+// downgrade — carries each matching lane's accumulated token level,
+// fractional part included, clamped to the new capacity: refilling to
+// full on every re-spread would hand the fleet a free burst per swap, and
+// discarding the fraction would bias admission low by up to one request
+// per lane per swap.
 func (g *Gateway) Install(t *Table, now float64, elapsed time.Duration) {
 	c := &compiled{
 		t:        t,
@@ -127,20 +160,71 @@ func (g *Gateway) Install(t *Table, now float64, elapsed time.Duration) {
 		seq:      make([]atomic.Uint64, t.k*t.s),
 		start:    now,
 	}
-	for i := range c.buckets {
-		c.buckets[i].reset(now, t.Lanes[i].Burst)
+	old := g.cur.Load()
+	var carry map[Lane]int
+	if old != nil && old.t.Slot == t.Slot {
+		carry = make(map[Lane]int, len(old.t.Lanes))
+		for i := range old.t.Lanes {
+			carry[laneCoord(&old.t.Lanes[i])] = i
+		}
 	}
-	old := g.cur.Swap(c)
+	for i := range c.buckets {
+		burst := t.Lanes[i].Burst
+		if j, ok := carry[laneCoord(&t.Lanes[i])]; ok {
+			ln := &old.t.Lanes[j]
+			level := old.buckets[j].peek(now, ln.Rate, ln.Burst)
+			if level > burst {
+				level = burst
+			}
+			c.buckets[i].set(now, level)
+			continue
+		}
+		c.buckets[i].reset(now, burst)
+	}
+	if t.Epoch > g.epoch.Load() {
+		g.epoch.Store(t.Epoch)
+	}
+	g.cur.Store(c)
 	g.swaps.Add(1)
 	g.hSwap.Observe(elapsed.Seconds())
 	if g.scope.Enabled() {
 		g.scope.Gauge("dispatch_current_slot").Set(float64(t.Slot))
+		g.scope.Gauge("dispatch_current_epoch").Set(float64(t.Epoch))
 		g.scope.Gauge("dispatch_lanes").Set(float64(len(t.Lanes)))
 		g.scope.Gauge("dispatch_plan_objective").Set(t.Objective)
 		if old != nil {
 			g.publishOccupancy(old, now)
 		}
 	}
+}
+
+// laneCoord strips a lane to its (k, q, s, l) identity for carry
+// matching across tables (the economics and rate fields are zeroed so
+// re-spread shares of the same lane still match).
+func laneCoord(ln *Lane) Lane {
+	return Lane{K: ln.K, Q: ln.Q, S: ln.S, L: ln.L}
+}
+
+// InstallIfNewer installs the table only if its epoch advances past the
+// gateway's current one — the fence that makes distributed plan
+// application safe against stale, duplicate and out-of-order deliveries.
+// It reports whether the table was installed; fenced tables bump the
+// stale/duplicate counters and leave the serving state untouched.
+// Like Install, it is meant for a single installer goroutine per gateway.
+func (g *Gateway) InstallIfNewer(t *Table, now float64, elapsed time.Duration) bool {
+	cur := g.epoch.Load()
+	if t.Epoch <= cur {
+		if t.Epoch == cur {
+			g.fencedDup.Add(1)
+			g.cFencedDup.Inc()
+		} else {
+			g.fencedStale.Add(1)
+			g.cFencedStale.Inc()
+		}
+		return false
+	}
+	g.Install(t, now, elapsed)
+	return true
 }
 
 // publishOccupancy exports the outgoing table's final per-lane bucket
@@ -219,10 +303,15 @@ type LaneCount struct {
 
 // Stats is a point-in-time snapshot of the gateway.
 type Stats struct {
-	// Slot and Degraded/Tier describe the installed table.
+	// Slot and Degraded/Tier describe the installed table; Epoch is the
+	// highest plan epoch applied.
 	Slot     int
+	Epoch    uint64
 	Degraded bool
 	Tier     string
+	// FencedStale and FencedDup count installs rejected by the epoch
+	// fence over the gateway's lifetime.
+	FencedStale, FencedDup int64
 	// Offered/Admitted/ShedUnplanned/ShedBudget tally the current slot.
 	Offered, Admitted, ShedUnplanned, ShedBudget int64
 	// TotalRequests/TotalAdmitted/TotalShed/Swaps tally the gateway's
@@ -240,6 +329,9 @@ func (g *Gateway) Stats(now float64) Stats {
 		TotalAdmitted: g.totalAdmitted.Load(),
 		TotalShed:     g.totalShed.Load(),
 		Swaps:         g.swaps.Load(),
+		Epoch:         g.epoch.Load(),
+		FencedStale:   g.fencedStale.Load(),
+		FencedDup:     g.fencedDup.Load(),
 		Slot:          -1,
 	}
 	c := g.cur.Load()

@@ -1,0 +1,110 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+)
+
+// shardBurstSigmas floors a subdivided lane's burst at this many standard
+// deviations of its slot budget (σ = √(λ·T) for a Poisson slice), so thin
+// per-replica shares do not shed on ordinary clumping.
+const shardBurstSigmas = 6
+
+// Subdivide splits the fleet-wide table into replica idx's share of an
+// n-replica fleet: every lane's planned rate λ becomes the telescoping
+// share λ·(idx+1)/n − λ·idx/n, so the n shares sum to exactly λ with the
+// floating-point remainder spread across replicas — no replica needs a
+// global lock or a view of its peers to admit its slice of the budget.
+// Token-bucket capacities are re-derived from the share with a √n slack
+// factor, and floored at both cfg.MinBurst and shardBurstSigmas standard
+// deviations of the share's slot budget: a replica's slice of a Poisson
+// stream fluctuates with the square root of its share, not linearly, so
+// a linearly-scaled burst would shed traffic the fleet-wide plan admits,
+// and a thin share's burst must cover its clumping outright. The fleet's
+// aggregate burst therefore exceeds the single-gateway burst, which only
+// ever errs permissive. The alias
+// tables are shared with the parent — routing probabilities are
+// rate-ratios, which subdivision leaves unchanged — but each replica's
+// draw seed is re-mixed with (idx, n) so replicas walk independent
+// routing sequences. Objective, idle cost and per-stream budgets scale by
+// the share fraction so per-replica accounting sums back to the plan.
+func (t *Table) Subdivide(idx, n int, cfg Config) (*Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dispatch: subdivide into %d replicas", n)
+	}
+	if idx < 0 || idx >= n {
+		return nil, fmt.Errorf("dispatch: replica index %d outside fleet of %d", idx, n)
+	}
+	cfg = cfg.WithDefaults()
+	lo := float64(idx) / float64(n)
+	hi := float64(idx+1) / float64(n)
+	share := hi - lo
+	sub := &Table{
+		Epoch:     t.Epoch,
+		Slot:      t.Slot,
+		SlotLen:   t.SlotLen,
+		Seed:      t.Seed,
+		Objective: t.Objective * share,
+		IdleCost:  t.IdleCost * share,
+		ServersOn: append([]int(nil), t.ServersOn...),
+		Degraded:  t.Degraded,
+		Tier:      t.Tier,
+		k:         t.k,
+		s:         t.s,
+	}
+	slack := math.Sqrt(float64(n))
+	sub.Lanes = make([]Lane, len(t.Lanes))
+	for i, ln := range t.Lanes {
+		ln.Rate = t.Lanes[i].Rate*hi - t.Lanes[i].Rate*lo
+		budget := ln.Rate * t.SlotLen
+		ln.Burst = math.Max(cfg.MinBurst,
+			math.Max(cfg.Burst*budget*slack, shardBurstSigmas*math.Sqrt(budget)))
+		sub.Lanes[i] = ln
+	}
+	sub.entries = make([][]entry, t.k)
+	for k := range t.entries {
+		sub.entries[k] = make([]entry, t.s)
+		for s := range t.entries[k] {
+			e := t.entries[k][s] // alias slices shared: immutable after compile
+			e.planned = e.planned*hi - e.planned*lo
+			e.arrival *= share
+			e.seed = splitmix64(e.seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15 ^ uint64(n)<<32)
+			sub.entries[k][s] = e
+		}
+	}
+	return sub, nil
+}
+
+// Scale returns a copy of the table with every lane's admission rate (and
+// bucket capacity) multiplied by factor, routing distribution unchanged.
+// It is the conservative-shed transform a replica applies when its plan
+// goes stale past the cluster TTL: the last good epoch keeps serving, at
+// a fraction of its budget. The result is marked Degraded with the given
+// tier name.
+func (t *Table) Scale(factor float64, tier string, cfg Config) *Table {
+	if factor < 0 {
+		factor = 0
+	}
+	cfg = cfg.WithDefaults()
+	out := *t
+	out.Degraded = true
+	out.Tier = tier
+	out.Objective = t.Objective * factor
+	out.ServersOn = append([]int(nil), t.ServersOn...)
+	out.Lanes = make([]Lane, len(t.Lanes))
+	for i, ln := range t.Lanes {
+		ln.Rate *= factor
+		ln.Burst = math.Max(cfg.MinBurst, cfg.Burst*ln.Rate*t.SlotLen)
+		out.Lanes[i] = ln
+	}
+	out.entries = make([][]entry, t.k)
+	for k := range t.entries {
+		out.entries[k] = make([]entry, t.s)
+		for s := range t.entries[k] {
+			e := t.entries[k][s]
+			e.planned *= factor
+			out.entries[k][s] = e
+		}
+	}
+	return &out
+}

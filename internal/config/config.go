@@ -52,6 +52,11 @@ type Scenario struct {
 	// cache, negative uses every CPU. Plans are bit-identical across all
 	// settings; see DESIGN.md §7.
 	Parallelism int `json:"parallelism,omitempty"`
+	// WarmStart overrides the warm-started simplex re-solves of the
+	// optimized and level-search planners (DESIGN.md §12). Absent keeps
+	// the planner default (on); false forces every slot LP to solve cold,
+	// bit-identical to the classic path.
+	WarmStart *bool `json:"warmStart,omitempty"`
 	// Faults optionally injects a deterministic fault schedule (center
 	// outages/degradations, price spikes/blackouts, arrival-trace
 	// drops/corruptions, planner timeout/error/panic). See DESIGN.md
@@ -236,17 +241,26 @@ func (s *Scenario) basePlanner() (core.Planner, error) {
 	case "", "optimized":
 		p := core.NewOptimized()
 		p.Parallelism = s.Parallelism
+		if s.WarmStart != nil {
+			p.WarmStart = *s.WarmStart
+		}
 		p.Obs = s.Obs
 		return p, nil
 	case "optimized/per-server":
 		p := core.NewOptimized()
 		p.PerServer = true
 		p.Parallelism = s.Parallelism
+		if s.WarmStart != nil {
+			p.WarmStart = *s.WarmStart
+		}
 		p.Obs = s.Obs
 		return p, nil
 	case "level-search":
 		p := core.NewLevelSearch()
 		p.Parallelism = s.Parallelism
+		if s.WarmStart != nil {
+			p.WarmStart = *s.WarmStart
+		}
 		p.Obs = s.Obs
 		return p, nil
 	case "balanced":

@@ -249,3 +249,52 @@ func TestParallelismRoundTripAndWiring(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWarmStartRoundTripAndWiring(t *testing.T) {
+	s := Example()
+	// Absent: planner defaults apply (warm on).
+	p, err := s.BuildPlanner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, ok := p.(*core.Optimized); !ok || !o.WarmStart {
+		t.Fatalf("default planner %T should have WarmStart on", p)
+	}
+
+	off := false
+	s.WarmStart = &off
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.WarmStart == nil || *back.WarmStart {
+		t.Fatal("warmStart=false lost in round trip")
+	}
+	for _, name := range []string{"", "optimized/per-server"} {
+		back.Planner = name
+		p, err := back.BuildPlanner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o, ok := p.(*core.Optimized); !ok || o.WarmStart {
+			t.Fatalf("planner %q: %T with WarmStart not forced off", name, p)
+		}
+	}
+	back.Planner = "level-search"
+	p, err = back.BuildPlanner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls, ok := p.(*core.LevelSearch); !ok || ls.WarmStart {
+		t.Fatalf("level-search: %T with WarmStart not forced off", p)
+	}
+	// Baselines ignore the knob.
+	back.Planner = "nearest"
+	if _, err := back.BuildPlanner(); err != nil {
+		t.Fatal(err)
+	}
+}

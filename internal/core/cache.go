@@ -20,6 +20,16 @@ type SearchStats struct {
 	// SolveErrors counts solver invocations that returned an error
 	// (cache hits on a failed entry replay the error without recounting).
 	SolveErrors int64
+	// WarmHits counts LP solves answered by a warm path (hot re-solve or
+	// basis import) of the planner's warm-start machinery; WarmFallbacks
+	// counts warm attempts that fell back to the cold two-phase solve.
+	// Both are zero when WarmStart is off.
+	WarmHits      int64
+	WarmFallbacks int64
+	// WarmPivots and ColdPivots split the simplex pivot spend of the Plan
+	// call by path — the raw material of the warm-speedup benchmarks.
+	WarmPivots int64
+	ColdPivots int64
 }
 
 // subsetCache memoizes dispatch-LP solves within a single planning
@@ -39,13 +49,27 @@ type SearchStats struct {
 //
 // Invalidation is by construction: the cache is created per Plan call
 // and dropped with it, so there is no cross-slot state to invalidate.
+//
+// The entry map is sharded by a hash of the key: every speculative
+// evaluation of every worker funnels through the cache, so a single
+// map mutex serializes the whole parallel search during its lookup
+// bursts. Sharding keeps lookups for different subsets contention-free
+// while sync.Once still deduplicates work within each entry.
 type subsetCache struct {
 	fingerprint uint64
-	mu          sync.Mutex
-	entries     map[string]*cacheEntry
+	shards      [cacheShards]cacheShard
 	hits        atomic.Int64
 	solves      atomic.Int64
 	errs        atomic.Int64
+}
+
+// cacheShards is a power of two comfortably above any worker count the
+// engine resolves, so two workers rarely collide on a shard lock.
+const cacheShards = 16
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
 }
 
 type cacheEntry struct {
@@ -56,18 +80,24 @@ type cacheEntry struct {
 }
 
 func newSubsetCache(in *Input) *subsetCache {
-	return &subsetCache{fingerprint: inputFingerprint(in), entries: make(map[string]*cacheEntry)}
+	c := &subsetCache{fingerprint: inputFingerprint(in)}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+	}
+	return c
 }
 
 // solve answers a dispatch-LP solve through the cache. comms must be in
 // canonical sortCommodities order so that equal sets produce equal keys.
-func (c *subsetCache) solve(in *Input, comms []commodity, perServer bool, floors []float64, opts lp.Options) ([][]float64, float64, error) {
+// w, when non-nil, warm-starts the underlying simplex solve; the cached
+// value is whichever audited result the one solve for this key produced.
+func (c *subsetCache) solve(in *Input, comms []commodity, perServer bool, floors []float64, opts lp.Options, w *warmState) ([][]float64, float64, error) {
 	e := c.entry(c.key(comms, perServer, floors, opts))
 	hit := true
 	e.once.Do(func() {
 		hit = false
 		c.solves.Add(1)
-		e.rates, e.obj, e.err = solveDispatchLP(in, comms, perServer, floors, opts)
+		e.rates, e.obj, e.err = solveDispatchLPW(in, comms, perServer, floors, opts, w)
 		if e.err != nil {
 			c.errs.Add(1)
 		}
@@ -79,21 +109,36 @@ func (c *subsetCache) solve(in *Input, comms []commodity, perServer bool, floors
 }
 
 func (c *subsetCache) entry(k string) *cacheEntry {
-	c.mu.Lock()
-	e, ok := c.entries[k]
+	sh := &c.shards[shardOf(k)]
+	sh.mu.Lock()
+	e, ok := sh.entries[k]
 	if !ok {
 		e = &cacheEntry{}
-		c.entries[k] = e
+		sh.entries[k] = e
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return e
+}
+
+// shardOf hashes a cache key to its shard (FNV-1a over the raw bytes).
+func shardOf(k string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return h & (cacheShards - 1)
 }
 
 // key serializes every LP-visible input of a solve. bestCoef and the
 // floored flag are deliberately absent: they steer subset construction,
-// not the LP itself.
+// not the LP itself. Each commodity packs to one word: its utility and
+// deadline are functions of (k, q) through the class TUF, which is
+// fixed for the Plan-call lifetime of the cache, so (k, q, l) is the
+// commodity's full identity here. The key is built per lookup on the
+// search's hottest path — packing matters.
 func (c *subsetCache) key(comms []commodity, perServer bool, floors []float64, opts lp.Options) string {
-	buf := make([]byte, 0, 40+8*len(floors)+40*len(comms))
+	buf := make([]byte, 0, 40+8*len(floors)+8*len(comms))
 	var u8 [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(u8[:], v)
@@ -116,11 +161,9 @@ func (c *subsetCache) key(comms []commodity, perServer bool, floors []float64, o
 		putF(f)
 	}
 	for _, cm := range comms {
-		put(uint64(cm.k))
-		put(uint64(cm.q))
-		put(uint64(cm.l))
-		putF(cm.utility)
-		putF(cm.deadline)
+		// k:24 | q:8 | l:32 bits — far beyond any deployable topology
+		// (TUF ladders have a handful of levels).
+		put(uint64(cm.k)<<40 | uint64(cm.q)<<32 | uint64(cm.l))
 	}
 	return string(buf)
 }

@@ -84,11 +84,76 @@ type horizonVar struct {
 }
 
 // PlanHorizon solves the joint multi-slot LP and splits the solution into
-// per-slot plans with consolidated server counts.
+// per-slot plans with consolidated server counts. Every call solves cold;
+// use a HorizonPlanner to warm-start a rolling sequence of windows.
 func PlanHorizon(h *HorizonInput, opts lp.Options) (*HorizonPlan, error) {
 	if err := h.Validate(); err != nil {
 		return nil, err
 	}
+	b := buildHorizonLP(h)
+	res, err := b.model.SolveOpts(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: horizon LP failed: %w", err)
+	}
+	return b.extract(h, res)
+}
+
+// HorizonPlanner plans successive horizon windows with warm-started
+// re-solves: a rolling-horizon controller re-plans a shifted window every
+// slot, and consecutive windows share most of their structure, so the
+// previous window's optimal basis is imported as the starting vertex.
+// Results are audited exactly like the slot planners' (lp.Solver); with
+// WarmStart false every window solves cold, bit-identical to PlanHorizon.
+// Like the slot planners, a HorizonPlanner must be driven by one caller
+// at a time.
+type HorizonPlanner struct {
+	// WarmStart seeds each window's LP from the previous window's
+	// exported basis (on via NewHorizonPlanner).
+	WarmStart bool
+	// LPOpts tunes the simplex solver.
+	LPOpts lp.Options
+	solver lp.Solver
+	prev   *lp.Basis
+}
+
+// NewHorizonPlanner returns a horizon planner with warm starts on.
+func NewHorizonPlanner() *HorizonPlanner { return &HorizonPlanner{WarmStart: true} }
+
+// Plan solves one window, reusing the planner's retained solver state.
+func (hp *HorizonPlanner) Plan(h *HorizonInput) (*HorizonPlan, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	b := buildHorizonLP(h)
+	var res *lp.Result
+	var err error
+	if hp.WarmStart {
+		res, err = hp.solver.SolveWarm(b.model, hp.prev, hp.LPOpts)
+		if err == nil {
+			if bas, ok := hp.solver.ExportBasis(); ok {
+				hp.prev = bas
+			}
+		}
+	} else {
+		res, err = b.model.SolveOpts(hp.LPOpts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: horizon LP failed: %w", err)
+	}
+	return b.extract(h, res)
+}
+
+// horizonLP is the joint window LP with the handles needed to read the
+// solution back out per slot.
+type horizonLP struct {
+	model *lp.Model
+	comms [][]commodity
+	xIdx  map[horizonVar]int
+	fVar  [][]int // [t][ci]
+}
+
+// buildHorizonLP assembles the joint LP over the window.
+func buildHorizonLP(h *HorizonInput) *horizonLP {
 	sys := h.Sys
 	T := sys.Slot()
 	K, S := sys.K(), sys.S()
@@ -104,7 +169,6 @@ func PlanHorizon(h *HorizonInput, opts lp.Options) (*HorizonPlan, error) {
 	}
 
 	m := lp.NewModel()
-	var vars []horizonVar
 	xIdx := map[horizonVar]int{}
 	fVar := make([][]int, H) // [t][ci]
 	for t := 0; t < H; t++ {
@@ -117,7 +181,6 @@ func PlanHorizon(h *HorizonInput, opts lp.Options) (*HorizonPlan, error) {
 				for d := 0; d <= maxD && d <= t; d++ {
 					v := horizonVar{ts: t, ci: ci, s: s, d: d}
 					xIdx[v] = m.AddVariable(fmt.Sprintf("x_t%d_k%d_q%d_s%d_l%d_d%d", t, c.k, c.q, s, c.l, d), coef)
-					vars = append(vars, v)
 				}
 			}
 		}
@@ -172,11 +235,15 @@ func PlanHorizon(h *HorizonInput, opts lp.Options) (*HorizonPlan, error) {
 		}
 	}
 
-	res, err := m.SolveOpts(opts)
-	if err != nil {
-		return nil, fmt.Errorf("core: horizon LP failed: %w", err)
-	}
+	return &horizonLP{model: m, comms: comms, xIdx: xIdx, fVar: fVar}
+}
 
+// extract splits an optimal window solution into per-slot plans.
+func (b *horizonLP) extract(h *HorizonInput, res *lp.Result) (*HorizonPlan, error) {
+	sys := h.Sys
+	K, S := sys.K(), sys.S()
+	H := len(h.Arrivals)
+	comms := b.comms
 	out := &HorizonPlan{DeferredFraction: make([]float64, K)}
 	servedTotal := make([]float64, K)
 	deferred := make([]float64, K)
@@ -186,7 +253,7 @@ func PlanHorizon(h *HorizonInput, opts lp.Options) (*HorizonPlan, error) {
 			rates[ci] = make([]float64, S)
 			for s := 0; s < S; s++ {
 				for d := 0; d <= h.MaxDefer[comms[t][ci].k] && d <= t; d++ {
-					v := res.Value(xIdx[horizonVar{t, ci, s, d}])
+					v := res.Value(b.xIdx[horizonVar{t, ci, s, d}])
 					if v <= 0 {
 						continue
 					}

@@ -67,8 +67,16 @@ type LevelSearch struct {
 	// plus the subset-LP memo cache, negative uses all CPUs. Results
 	// are bit-identical at every setting.
 	Parallelism int
+	// WarmStart re-solves dispatch LPs from the previous slot's optimal
+	// basis, exactly as on Optimized (on via NewLevelSearch; audited,
+	// worker-count invariant, off reproduces the cold path bit for bit;
+	// ignored under PerServer).
+	WarmStart bool
+	// warm is the retained cross-slot solver state behind WarmStart.
+	warm *warmState
 	// Stats, when non-nil, receives the engine's solver counters after
-	// each Plan call (zero when Parallelism == 0). Diagnostics only.
+	// each Plan call (zero when the engine is off, i.e. Parallelism == 0
+	// and WarmStart == false). Diagnostics only.
 	Stats *SearchStats
 	// Obs streams the engine's solver counters to the observability
 	// layer, exactly as on Optimized. Nil disables it.
@@ -76,9 +84,9 @@ type LevelSearch struct {
 }
 
 // NewLevelSearch returns a LevelSearch with the defaults used in the
-// paper reproduction (auto strategy, consolidation on).
+// paper reproduction (auto strategy, consolidation and warm starts on).
 func NewLevelSearch() *LevelSearch {
-	return &LevelSearch{Consolidate: true}
+	return &LevelSearch{Consolidate: true, WarmStart: true}
 }
 
 // Name implements Planner.
@@ -116,8 +124,28 @@ func (ls *LevelSearch) Plan(in *Input) (*Plan, error) {
 		}
 	}
 
-	eng := newEngine(ls.Parallelism, in, ls.Name(), ls.Obs)
+	var w *warmState
+	if ls.WarmStart && !ls.PerServer {
+		if ls.warm == nil {
+			ls.warm = newWarmState()
+		}
+		w = ls.warm
+	}
+	eng := newEngine(ls.Parallelism, in, ls.Name(), ls.Obs, w)
 	defer eng.report(ls.Stats)
+	if w != nil {
+		// Capture solve: every strategy starts from the all-tightest
+		// (all-zeros) assignment — exhaustive enumerates it first, greedy
+		// climbs from it, branch-and-bound seeds with greedy — so
+		// evaluating it here, strictly sequentially, runs the hot chain
+		// and exports the next slot's seed basis while the result lands
+		// in the memo cache for the strategy to reuse.
+		w.capture = true
+		if _, err := ls.evaluate(eng, in, pairs, make([]int, len(pairs))); err != nil {
+			return nil, err
+		}
+		w.capture = false
+	}
 	var best assignment
 	var err error
 	switch strategy {
@@ -404,7 +432,12 @@ func (ls *LevelSearch) upperBound(eng *engine, in *Input, pairs []pair, levels [
 			lev := cls.Level(levels[pi])
 			u, d, q = lev.Utility, lev.Deadline, levels[pi]
 		} else {
-			u, d, q = cls.MaxUtility(), cls.Deadline(), 0
+			// Relaxed pairs combine max utility with the loosest deadline —
+			// a combination no real level has — and carry the NumLevels
+			// sentinel so the memo cache, whose key identifies a commodity
+			// by (k, q, l), can never conflate a relaxation with the real
+			// level-0 solve of the same pair.
+			u, d, q = cls.MaxUtility(), cls.Deadline(), cls.NumLevels()
 		}
 		bestC := math.Inf(-1)
 		for s := 0; s < sys.S(); s++ {

@@ -69,21 +69,36 @@ type Optimized struct {
 	// goroutines live entirely inside one Plan call; the planner itself
 	// must still be driven by a single caller at a time.
 	Parallelism int
+	// WarmStart re-solves successive dispatch LPs from the optimal
+	// basis of the previous slot instead of from scratch (on via
+	// NewOptimized; see DESIGN.md §12). Warm results are audited
+	// against the model before use and identical at every Parallelism
+	// setting, but may differ from cold results at floating-point
+	// round-off level; set WarmStart to false for solves bit-identical
+	// to the classic cold path. Ignored under PerServer, whose variable
+	// layout changes with the commodity set too quickly to seed.
+	// WarmStart routes solves through the engine and memo cache even at
+	// Parallelism == 0, so Stats and Obs become live there too.
+	WarmStart bool
+	// warm is the retained cross-slot solver state behind WarmStart.
+	warm *warmState
 	// Stats, when non-nil, receives the engine's solver counters after
-	// each Plan call (zero when Parallelism == 0). Diagnostics only.
+	// each Plan call (zero when the engine is off, i.e. Parallelism == 0
+	// and WarmStart == false). Diagnostics only.
 	Stats *SearchStats
 	// Obs, when non-nil, streams the engine's LP-solve and cache
 	// counters (metrics plus one engine event per Plan call) to the
 	// observability layer. It only watches — plans are bit-identical
-	// with or without a scope. Zero when Parallelism == 0: the legacy
+	// with or without a scope. Zero when the engine is off: the legacy
 	// serial path has no engine to count.
 	Obs *obs.Scope
 }
 
 // NewOptimized returns the planner with the paper-faithful defaults:
-// aggregated variables, refinement and consolidation on, top-up off.
+// aggregated variables, refinement, consolidation and warm-started
+// re-solves on, top-up off.
 func NewOptimized() *Optimized {
-	return &Optimized{Refine: true, Consolidate: true}
+	return &Optimized{Refine: true, Consolidate: true, WarmStart: true}
 }
 
 // Name implements Planner.
@@ -99,10 +114,27 @@ func (o *Optimized) Plan(in *Input) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	eng := newEngine(o.Parallelism, in, o.Name(), o.Obs)
+	var w *warmState
+	if o.WarmStart && !o.PerServer {
+		if o.warm == nil {
+			o.warm = newWarmState()
+		}
+		w = o.warm
+	}
+	eng := newEngine(o.Parallelism, in, o.Name(), o.Obs, w)
 	defer eng.report(o.Stats)
 	full := admissibleCommodities(in, o.MinCompletion)
+	// The first solve of the Plan call runs strictly sequentially, so it
+	// is the designated capture solve: it re-solves on the retained hot
+	// tableau and exports the basis that seeds the next slot. The window
+	// is closed explicitly in case the subset was empty and no LP ran.
+	if w != nil {
+		w.capture = true
+	}
 	best, err := o.solveSubset(eng, in, capReservations(in, full))
+	if w != nil {
+		w.capture = false
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -466,6 +498,11 @@ func (d *dispatchLP) solve(opts lp.Options) ([][]float64, *lp.Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return d.extractRates(res), res, nil
+}
+
+// extractRates reads the per-commodity dispatch rates out of a solution.
+func (d *dispatchLP) extractRates(res *lp.Result) [][]float64 {
 	S := 0
 	if len(d.xVar) > 0 {
 		S = len(d.xVar[0])
@@ -479,13 +516,21 @@ func (d *dispatchLP) solve(opts lp.Options) ([][]float64, *lp.Result, error) {
 			}
 		}
 	}
-	return rates, res, nil
+	return rates
 }
 
 // solveDispatchLP builds and solves the slot LP over the given commodities
 // and returns rates[ci][s] (the per-commodity dispatch from each front-end)
 // and the objective (dollars for the slot).
 func solveDispatchLP(in *Input, comms []commodity, perServer bool, floors []float64, opts lp.Options) ([][]float64, float64, error) {
+	return solveDispatchLPW(in, comms, perServer, floors, opts, nil)
+}
+
+// solveDispatchLPW is solveDispatchLP with an optional warm state: when
+// w is non-nil (and the layout is aggregated — the per-server layout is
+// never warm-started), the simplex runs from the planner's retained
+// basis instead of from scratch.
+func solveDispatchLPW(in *Input, comms []commodity, perServer bool, floors []float64, opts lp.Options, w *warmState) ([][]float64, float64, error) {
 	if len(comms) == 0 {
 		if floorsActive(in, floors) {
 			return nil, 0, lp.ErrInfeasible
@@ -495,11 +540,18 @@ func solveDispatchLP(in *Input, comms []commodity, perServer bool, floors []floa
 	if perServer {
 		return solvePerServerLP(in, comms, floors, opts)
 	}
-	rates, res, err := buildDispatchLP(in, comms, floors).solve(opts)
+	d := buildDispatchLP(in, comms, floors)
+	var res *lp.Result
+	var err error
+	if w != nil {
+		res, err = w.solveModel(d.model, opts)
+	} else {
+		res, err = d.model.SolveOpts(opts)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
-	return rates, res.Objective, nil
+	return d.extractRates(res), res.Objective, nil
 }
 
 // floorsActive reports whether any completion floor binds a type with

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"profitlb/internal/lp"
 )
 
 // determinismInputs is the seed battery for the parallel-vs-serial
@@ -155,14 +157,60 @@ func TestMemoCacheHits(t *testing.T) {
 	}
 }
 
-// TestStatsZeroWhenSerial: the legacy path must not engage the engine.
+// TestCacheKeySeparatesRelaxations guards the packed cache key's core
+// invariant: a commodity is identified by (k, q, l) because utility and
+// deadline are functions of (k, q) through the class TUF. The one
+// producer of off-ladder combinations — branch-and-bound's relaxation,
+// which pairs max utility with the loosest deadline — must therefore
+// carry the NumLevels sentinel, never a real level, or its cache
+// entries would be conflated with the real level-0 solves of the same
+// pairs within one Plan call.
+func TestCacheKeySeparatesRelaxations(t *testing.T) {
+	in := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	c := newSubsetCache(in)
+	cls := in.Sys.Classes[0].TUF
+	if cls.Deadline() == cls.Level(0).Deadline {
+		t.Fatal("fixture must have a loosest deadline distinct from level 0")
+	}
+	real := []commodity{{k: 0, q: 0, l: 0, utility: cls.Level(0).Utility, deadline: cls.Level(0).Deadline}}
+	relax := []commodity{{k: 0, q: cls.NumLevels(), l: 0, utility: cls.MaxUtility(), deadline: cls.Deadline()}}
+	var opts lp.Options
+	if c.key(real, false, nil, opts) == c.key(relax, false, nil, opts) {
+		t.Fatal("relaxation commodity shares a cache key with the real level-0 commodity")
+	}
+}
+
+// TestStatsZeroWhenSerial: with warm starting off, Parallelism=0 is the
+// legacy path and must not engage the engine.
 func TestStatsZeroWhenSerial(t *testing.T) {
 	in := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
 	o := NewOptimized()
+	o.WarmStart = false
 	o.Stats = &SearchStats{}
 	mustPlan(t, o, in)
 	if o.Stats.Solves != 0 || o.Stats.CacheHits != 0 {
 		t.Fatalf("Parallelism=0 must bypass the engine, got stats %+v", *o.Stats)
+	}
+}
+
+// TestStatsLiveWhenWarmSerial: WarmStart forces the engine (and with it
+// the memo cache and stats) on even at Parallelism=0, so repeated
+// subsets resolve identically at every parallelism setting.
+func TestStatsLiveWhenWarmSerial(t *testing.T) {
+	in := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	o := NewOptimized()
+	o.Stats = &SearchStats{}
+	mustPlan(t, o, in)
+	if o.Stats.Solves == 0 {
+		t.Fatalf("WarmStart must engage the engine at Parallelism=0, got stats %+v", *o.Stats)
+	}
+	if o.Stats.ColdPivots == 0 {
+		t.Fatalf("first Plan of a fresh planner solves cold, got stats %+v", *o.Stats)
+	}
+	// The second slot re-solves from the first slot's exported basis.
+	mustPlan(t, o, in)
+	if o.Stats.WarmHits == 0 {
+		t.Fatalf("second Plan must warm-start, got stats %+v", *o.Stats)
 	}
 }
 

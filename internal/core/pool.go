@@ -20,6 +20,10 @@ import (
 type engine struct {
 	workers int
 	cache   *subsetCache
+	// warm, when non-nil, warm-starts every dispatch-LP solve from the
+	// owning planner's retained basis (see warm.go). The engine only
+	// forwards it; the warmState outlives the engine.
+	warm *warmState
 	// sc streams the engine's solver counters to the observability
 	// layer when the owning planner carries a scope; slot and planner
 	// label the summary event. Nil-safe like everything in obs.
@@ -33,24 +37,41 @@ type engine struct {
 // with n workers and the subset-LP memo cache (n = 1 is the serial
 // engine: the same search order, answered from cache when possible);
 // negative values use all CPUs.
-func newEngine(parallelism int, in *Input, planner string, sc *obs.Scope) *engine {
-	if parallelism == 0 {
+//
+// A non-nil warm state forces the engine on even at parallelism 0:
+// warm starting routes solves through the memo cache so that repeated
+// subsets are answered identically at every parallelism setting, which
+// is what keeps warm plans worker-count invariant. beginSlot is called
+// here — once per Plan call — to freeze the seed basis.
+func newEngine(parallelism int, in *Input, planner string, sc *obs.Scope, w *warmState) *engine {
+	if parallelism == 0 && w == nil {
 		return nil
 	}
+	w.beginSlot()
 	return &engine{
 		workers: resolveWorkers(parallelism),
 		cache:   newSubsetCache(in),
+		warm:    w,
 		sc:      sc, slot: in.Slot, planner: planner,
 	}
 }
 
-// resolveWorkers maps the Parallelism knob to a concrete worker count.
+// resolveWorkers maps the Parallelism knob to a concrete worker count,
+// capped at the CPU count: the search is CPU-bound, so workers beyond
+// the machine's parallelism only add speculative evaluations that real
+// concurrency cannot hide, plus goroutine churn. The cap never changes
+// the committed plan — the speculative accept order is batch-size
+// invariant by construction (see speculativePass).
 func resolveWorkers(p int) int {
+	n := runtime.NumCPU()
 	if p < 0 {
-		return runtime.NumCPU()
+		return n
 	}
 	if p < 1 {
 		return 1
+	}
+	if p > n {
+		return n
 	}
 	return p
 }
@@ -72,7 +93,7 @@ func (e *engine) solve(in *Input, comms []commodity, perServer bool, floors []fl
 	if e == nil || e.cache == nil || len(comms) == 0 {
 		return solveDispatchLP(in, comms, perServer, floors, opts)
 	}
-	return e.cache.solve(in, comms, perServer, floors, opts)
+	return e.cache.solve(in, comms, perServer, floors, opts, e.warm)
 }
 
 // report copies the engine's solver counters into a caller-provided
@@ -84,19 +105,37 @@ func (e *engine) report(stats *SearchStats) {
 		return
 	}
 	solves, hits, errs := e.cache.solves.Load(), e.cache.hits.Load(), e.cache.errs.Load()
+	var warmHits, warmFalls, warmPiv, coldPiv int64
+	if e.warm != nil {
+		warmHits, warmFalls = e.warm.hits.Load(), e.warm.fallbacks.Load()
+		warmPiv, coldPiv = e.warm.warmPivots.Load(), e.warm.coldPivots.Load()
+	}
 	if stats != nil {
 		stats.Solves, stats.CacheHits, stats.SolveErrors = solves, hits, errs
+		stats.WarmHits, stats.WarmFallbacks = warmHits, warmFalls
+		stats.WarmPivots, stats.ColdPivots = warmPiv, coldPiv
 	}
 	if e.sc.Enabled() {
 		e.sc.Counter("core_lp_solves_total").Add(solves)
 		e.sc.Counter("core_lp_cache_hits_total").Add(hits)
 		e.sc.Counter("core_lp_solve_errors_total").Add(errs)
+		values := map[string]float64{
+			"lpSolves":      float64(solves),
+			"lpCacheHits":   float64(hits),
+			"lpSolveErrors": float64(errs),
+		}
+		if e.warm != nil {
+			e.sc.Counter("core_lp_warm_hits_total").Add(warmHits)
+			e.sc.Counter("core_lp_warm_fallbacks_total").Add(warmFalls)
+			e.sc.Counter("core_lp_warm_pivots_total").Add(warmPiv)
+			e.sc.Counter("core_lp_cold_pivots_total").Add(coldPiv)
+			values["lpWarmHits"] = float64(warmHits)
+			values["lpWarmFallbacks"] = float64(warmFalls)
+			values["lpWarmPivots"] = float64(warmPiv)
+			values["lpColdPivots"] = float64(coldPiv)
+		}
 		e.sc.Emit(obs.Event{Kind: obs.KindEngine, Slot: e.slot, Planner: e.planner,
-			Values: map[string]float64{
-				"lpSolves":      float64(solves),
-				"lpCacheHits":   float64(hits),
-				"lpSolveErrors": float64(errs),
-			}})
+			Values: values})
 	}
 }
 

@@ -41,7 +41,11 @@ func (o *Optimized) Sensitivity(in *Input) (*Sensitivity, error) {
 		// Parallelism along, so the refinement runs on its own engine.
 		agg := *o
 		agg.PerServer = false
-		eng := newEngine(agg.Parallelism, in, agg.Name(), agg.Obs)
+		// Deliberately cold (nil warm state): the prices read out below
+		// are duals, which are exact at a cold-certified vertex, and the
+		// planner's retained hot chain must not be perturbed by a
+		// side-channel solve between Plan calls.
+		eng := newEngine(agg.Parallelism, in, agg.Name(), agg.Obs, nil)
 		best, err := agg.solveSubset(eng, in, comms)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"profitlb/internal/lp"
+)
+
+// slotSequence perturbs one base input into a deterministic sequence of
+// slot inputs: arrivals and prices drift a few percent per slot, the
+// topology stays fixed — the cross-slot shape warm starting targets.
+func slotSequence(base *Input, slots int) []*Input {
+	out := make([]*Input, slots)
+	for t := 0; t < slots; t++ {
+		in := &Input{Sys: base.Sys, Slot: t}
+		in.Arrivals = make([][]float64, len(base.Arrivals))
+		for s := range base.Arrivals {
+			in.Arrivals[s] = make([]float64, len(base.Arrivals[s]))
+			for k := range base.Arrivals[s] {
+				in.Arrivals[s][k] = base.Arrivals[s][k] * (1 + 0.03*math.Sin(float64(t)+float64(s+k)))
+			}
+		}
+		in.Prices = make([]float64, len(base.Prices))
+		for l := range base.Prices {
+			in.Prices[l] = base.Prices[l] * (1 + 0.02*math.Cos(float64(t)+float64(l)))
+		}
+		out[t] = in
+	}
+	return out
+}
+
+// planChain drives one retained planner down a slot sequence.
+func planChain(t *testing.T, p Planner, seq []*Input) []*Plan {
+	t.Helper()
+	plans := make([]*Plan, len(seq))
+	for i, in := range seq {
+		plan, err := p.Plan(in)
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		plans[i] = plan
+	}
+	return plans
+}
+
+func assertChainsEqual(t *testing.T, label string, want, got []*Plan) {
+	t.Helper()
+	for i := range want {
+		if got[i].Objective != want[i].Objective {
+			t.Fatalf("%s: slot %d objective %v != %v", label, i, got[i].Objective, want[i].Objective)
+		}
+		if !reflect.DeepEqual(got[i].Rate, want[i].Rate) ||
+			!reflect.DeepEqual(got[i].Phi, want[i].Phi) ||
+			!reflect.DeepEqual(got[i].ServersOn, want[i].ServersOn) {
+			t.Fatalf("%s: slot %d plans differ", label, i)
+		}
+	}
+}
+
+// TestWarmChainsWorkerCountInvariant is the warm analogue of
+// TestParallelPlansBitIdentical: a warm planner chained over a slot
+// sequence must commit bit-identical plans at every Parallelism
+// setting, because the capture solve runs on the sequential prologue at
+// every setting and the worker solves are pure functions of the frozen
+// seed.
+func TestWarmChainsWorkerCountInvariant(t *testing.T) {
+	base := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	seq := slotSequence(base, 5)
+	planners := map[string]func(par int) Planner{
+		"optimized": func(p int) Planner { o := NewOptimized(); o.Parallelism = p; return o },
+		"level-search/greedy": func(p int) Planner {
+			ls := NewLevelSearch()
+			ls.Strategy = Greedy
+			ls.Parallelism = p
+			return ls
+		},
+		"level-search/auto": func(p int) Planner { ls := NewLevelSearch(); ls.Parallelism = p; return ls },
+	}
+	for name, mk := range planners {
+		t.Run(name, func(t *testing.T) {
+			serial := planChain(t, mk(0), seq)
+			for _, par := range []int{1, 4} {
+				got := planChain(t, mk(par), seq)
+				assertChainsEqual(t, fmt.Sprintf("par=%d", par), serial, got)
+			}
+		})
+	}
+}
+
+// TestWarmChainMatchesColdChain: warm-started chains must agree with
+// cold chains on every slot's audited outcome — same feasible plans,
+// objectives within solver tolerance — and the warm machinery must
+// actually fire after the first slot.
+func TestWarmChainMatchesColdChain(t *testing.T) {
+	base := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	seq := slotSequence(base, 6)
+
+	warm := NewOptimized()
+	warm.Stats = &SearchStats{}
+	cold := NewOptimized()
+	cold.WarmStart = false
+
+	var warmHits int64
+	for i, in := range seq {
+		wp, err := warm.Plan(in)
+		if err != nil {
+			t.Fatalf("warm slot %d: %v", i, err)
+		}
+		cp, err := cold.Plan(in)
+		if err != nil {
+			t.Fatalf("cold slot %d: %v", i, err)
+		}
+		if err := Verify(in, wp, 1e-5); err != nil {
+			t.Fatalf("warm slot %d failed verification: %v", i, err)
+		}
+		if d := math.Abs(wp.Objective - cp.Objective); d > 1e-6*(1+math.Abs(cp.Objective)) {
+			t.Fatalf("slot %d: warm objective %v vs cold %v", i, wp.Objective, cp.Objective)
+		}
+		if i > 0 {
+			warmHits += warm.Stats.WarmHits
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("warm chain never warm-started after the first slot")
+	}
+}
+
+// TestLevelSearchWarmChain runs the same warm-vs-cold audit for the
+// discrete comparator planner.
+func TestLevelSearchWarmChain(t *testing.T) {
+	base := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	seq := slotSequence(base, 5)
+
+	warm := NewLevelSearch()
+	warm.Stats = &SearchStats{}
+	cold := NewLevelSearch()
+	cold.WarmStart = false
+
+	var warmHits int64
+	for i, in := range seq {
+		wp, err := warm.Plan(in)
+		if err != nil {
+			t.Fatalf("warm slot %d: %v", i, err)
+		}
+		cp, err := cold.Plan(in)
+		if err != nil {
+			t.Fatalf("cold slot %d: %v", i, err)
+		}
+		if err := Verify(in, wp, 1e-5); err != nil {
+			t.Fatalf("warm slot %d failed verification: %v", i, err)
+		}
+		if d := math.Abs(wp.Objective - cp.Objective); d > 1e-6*(1+math.Abs(cp.Objective)) {
+			t.Fatalf("slot %d: warm objective %v vs cold %v", i, wp.Objective, cp.Objective)
+		}
+		if i > 0 {
+			warmHits += warm.Stats.WarmHits
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("level-search warm chain never warm-started after the first slot")
+	}
+}
+
+// TestPerServerIgnoresWarmStart: the per-server layout is never
+// warm-started; with Parallelism 0 it must keep the legacy engine-off
+// path even though WarmStart defaults on.
+func TestPerServerIgnoresWarmStart(t *testing.T) {
+	in := &Input{Sys: twoDCSystem(), Arrivals: [][]float64{{200}}, Prices: []float64{0.1, 0.05}}
+	o := NewOptimized()
+	o.PerServer = true
+	o.Stats = &SearchStats{}
+	mustPlan(t, o, in)
+	if o.Stats.Solves != 0 {
+		t.Fatalf("per-server with Parallelism=0 must bypass the engine, got %+v", *o.Stats)
+	}
+}
+
+// TestIterationLimitEscalates: a starved iteration budget must surface
+// as a planner error carrying lp.ErrIterationLimit — never as a
+// silently degraded plan (the resilient chain distinguishes resource
+// exhaustion, which escalates to the next tier, from genuine
+// infeasibility, which it handles by shedding).
+func TestIterationLimitEscalates(t *testing.T) {
+	in := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	for _, warmOn := range []bool{true, false} {
+		o := NewOptimized()
+		o.WarmStart = warmOn
+		o.LPOpts.MaxIterations = 1
+		_, err := o.Plan(in)
+		if err == nil {
+			t.Fatalf("warm=%v: expected an error with MaxIterations=1", warmOn)
+		}
+		if !errors.Is(err, lp.ErrIterationLimit) {
+			t.Fatalf("warm=%v: error %v does not carry lp.ErrIterationLimit", warmOn, err)
+		}
+	}
+}
+
+// TestHorizonPlannerWarm: the rolling-horizon planner warm-starts
+// successive windows and still matches the cold PlanHorizon on every
+// window of a rolling sequence.
+func TestHorizonPlannerWarm(t *testing.T) {
+	hp := NewHorizonPlanner()
+	for w := 0; w < 4; w++ {
+		h := deferScenario(3)
+		h.MaxDefer[1] = 1
+		for t2 := range h.Arrivals {
+			h.Arrivals[t2][0][0] *= 1 + 0.05*math.Sin(float64(w+t2))
+			h.Prices[t2][0] *= 1 + 0.04*math.Cos(float64(w+t2))
+		}
+		warm, err := hp.Plan(h)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		cold, err := PlanHorizon(h, lp.Options{})
+		if err != nil {
+			t.Fatalf("window %d cold: %v", w, err)
+		}
+		if err := VerifyHorizon(h, warm, 1e-5); err != nil {
+			t.Fatalf("window %d warm plan failed verification: %v", w, err)
+		}
+		if d := math.Abs(warm.Objective - cold.Objective); d > 1e-6*(1+math.Abs(cold.Objective)) {
+			t.Fatalf("window %d: warm objective %v vs cold %v", w, warm.Objective, cold.Objective)
+		}
+	}
+	// A fresh planner with WarmStart off must replay the cold path.
+	hp2 := &HorizonPlanner{}
+	h := deferScenario(3)
+	got, err := hp2.Plan(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objective != want.Objective {
+		t.Fatalf("cold HorizonPlanner objective %v != PlanHorizon %v", got.Objective, want.Objective)
+	}
+}
+
+// BenchmarkSubsetCacheContention hammers the memo cache's entry lookup
+// from all procs over a working set of keys. Guards the sharded entry
+// map: before sharding, one global mutex serialized every speculative
+// evaluation of every worker.
+func BenchmarkSubsetCacheContention(b *testing.B) {
+	in := &Input{Sys: multiLevelSystem(), Arrivals: [][]float64{{400, 300}}, Prices: []float64{1.2, 0.9}}
+	c := newSubsetCache(in)
+	const nKeys = 256
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d-%032d", i, i*i)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.entry(keys[i%nKeys])
+			i++
+		}
+	})
+}

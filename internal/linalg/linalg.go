@@ -100,6 +100,25 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
 }
 
+// NewMatrixIn returns a zero Rows×Cols matrix backed by buf when buf has
+// sufficient capacity, growing it otherwise, along with the (possibly
+// reallocated) buffer for the caller to retain. Solvers use it to reuse
+// one tableau arena across solves instead of reallocating per solve.
+func NewMatrixIn(rows, cols int, buf []float64) (*Matrix, []float64) {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	n := rows * cols
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: buf}, buf
+}
+
 // At returns the element at row i, column j.
 func (m *Matrix) At(i, j int) float64 { return m.data[i*m.Cols+j] }
 

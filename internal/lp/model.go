@@ -174,6 +174,11 @@ type Result struct {
 	// slackness. Only populated at Optimal.
 	Duals      []float64
 	Iterations int
+	// Warm reports that the result came from a warm-started path (hot
+	// re-solve or basis import) of a Solver rather than the cold
+	// two-phase simplex. Warm results are audited against the model
+	// before being returned; see DESIGN.md §12.
+	Warm bool
 }
 
 // Value returns the solution value of variable v.

@@ -38,7 +38,11 @@ func (m *Model) Solve() (*Result, error) { return m.SolveOpts(Options{}) }
 // the status and the matching sentinel error.
 func (m *Model) SolveOpts(opts Options) (*Result, error) {
 	t := newTableau(m, opts)
-	status := t.run()
+	return t.result(t.run())
+}
+
+// result assembles the Result (and sentinel error) for a finished tableau.
+func (t *tableau) result(status Status) (*Result, error) {
 	res := &Result{Status: status, Iterations: t.iters}
 	if status != Optimal {
 		var err error
@@ -53,7 +57,7 @@ func (m *Model) SolveOpts(opts Options) (*Result, error) {
 		return res, err
 	}
 	res.X = t.extract()
-	res.Objective = m.ObjectiveValue(res.X)
+	res.Objective = t.m.ObjectiveValue(res.X)
 	res.Duals = t.duals()
 	return res, nil
 }
@@ -84,12 +88,89 @@ type tableau struct {
 	// an extra sign flip.
 	dualCol  []int
 	dualSign []float64
+	// rowSlack holds each row's slack/surplus column (-1 for EQ rows); it
+	// lets a Solver export the basis by name (DESIGN.md §12).
+	rowSlack []int
+	// ar, when non-nil, supplies reusable backing buffers so repeated
+	// solves through one Solver stay allocation-free.
+	ar *arena
 }
 
-func newTableau(m *Model, opts Options) *tableau {
+// arena holds the reusable backing buffers of a tableau. A Solver keeps
+// two (one for cold solves, one for the retained warm tableau) and threads
+// them through newTableauIn so successive solves reuse the dense state.
+type arena struct {
+	mat      []float64
+	z        []float64
+	basis    []int
+	rowSlack []int
+	dualCol  []int
+	dualSign []float64
+	rhs      []float64 // scratch for the warm rhs refresh
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// alloc sizes the tableau's matrix, basis and per-row bookkeeping for the
+// given shape, drawing from the arena when one is attached.
+func (t *tableau) alloc(rows int) {
+	cols := t.total + 1
+	if t.ar != nil {
+		t.a, t.ar.mat = linalg.NewMatrixIn(rows, cols, t.ar.mat)
+		t.ar.basis = growInts(t.ar.basis, rows)
+		t.basis = t.ar.basis
+		t.ar.rowSlack = growInts(t.ar.rowSlack, rows)
+		t.rowSlack = t.ar.rowSlack
+		t.ar.dualCol = growInts(t.ar.dualCol, rows)
+		t.dualCol = t.ar.dualCol
+		t.ar.dualSign = growFloats(t.ar.dualSign, rows)
+		t.dualSign = t.ar.dualSign
+		return
+	}
+	t.a = linalg.NewMatrix(rows, cols)
+	t.basis = make([]int, rows)
+	t.rowSlack = make([]int, rows)
+	t.dualCol = make([]int, rows)
+	t.dualSign = make([]float64, rows)
+}
+
+// newZ returns a zeroed objective row of length total+1, reusing the
+// arena's buffer when one is attached.
+func (t *tableau) newZ() linalg.Vector {
+	n := t.total + 1
+	if t.ar != nil {
+		t.ar.z = growFloats(t.ar.z, n)
+		return linalg.Vector(t.ar.z)
+	}
+	return linalg.NewVector(n)
+}
+
+func newTableau(m *Model, opts Options) *tableau { return newTableauIn(m, opts, nil) }
+
+func newTableauIn(m *Model, opts Options, ar *arena) *tableau {
 	rows := len(m.rows)
 	n := len(m.names)
-	t := &tableau{m: m, n: n}
+	t := &tableau{m: m, n: n, ar: ar}
 	t.opts = opts.withDefaults(rows, n)
 
 	// Count slack/surplus and artificial columns. Normalize rhs ≥ 0 by
@@ -122,14 +203,12 @@ func newTableau(m *Model, opts Options) *tableau {
 	}
 	t.total = n + slacks + arts
 	t.artStart = n + slacks
-	t.a = linalg.NewMatrix(rows, t.total+1)
-	t.basis = make([]int, rows)
+	t.alloc(rows)
 
 	slackCol := n
 	artCol := t.artStart
-	t.dualCol = make([]int, rows)
-	t.dualSign = make([]float64, rows)
 	for i, row := range m.rows {
+		t.rowSlack[i] = -1
 		r := t.a.Row(i)
 		sign := 1.0
 		if plans[i].flip {
@@ -144,10 +223,12 @@ func newTableau(m *Model, opts Options) *tableau {
 			r[slackCol] = 1
 			t.basis[i] = slackCol
 			t.dualCol[i], t.dualSign[i] = slackCol, sign
+			t.rowSlack[i] = slackCol
 			slackCol++
 		case GE:
 			r[slackCol] = -1
 			t.dualCol[i], t.dualSign[i] = slackCol, -sign
+			t.rowSlack[i] = slackCol
 			slackCol++
 			r[artCol] = 1
 			t.basis[i] = artCol
@@ -187,7 +268,7 @@ func (t *tableau) run() Status {
 	// by pricing out the basic artificial columns.
 	if t.artStart < t.total {
 		t.colLimit = t.total
-		t.z = linalg.NewVector(t.total + 1)
+		t.z = t.newZ()
 		for c := t.artStart; c < t.total; c++ {
 			t.z[c] = 1 // minimize sum of artificials
 		}
@@ -198,8 +279,14 @@ func (t *tableau) run() Status {
 			}
 		}
 		if st := t.iterate(); st != Optimal {
-			// Phase 1 is bounded below by 0, so Unbounded cannot happen;
-			// propagate iteration-limit.
+			// The phase-1 objective is bounded below by 0, so Unbounded is
+			// only ever numerical breakdown on a degenerate tableau, never a
+			// certificate about the model. Report it as IterationLimit so
+			// callers escalate (resilient chain, drop-worst retry) instead
+			// of acting on a false infeasible/unbounded verdict.
+			if st == Unbounded {
+				return IterationLimit
+			}
 			return st
 		}
 		if -t.z[t.total] > tol { // objective value = -z[rhs]
@@ -234,7 +321,16 @@ func (t *tableau) run() Status {
 	// Artificial columns are blocked from entering; any still basic are
 	// stuck at zero in redundant rows and stay there.
 	t.colLimit = t.artStart
-	t.z = linalg.NewVector(t.total + 1)
+	t.setPhase2Z()
+	return t.iterate()
+}
+
+// setPhase2Z rebuilds the reduced-cost row for the true objective by
+// pricing out the current basis. colLimit must already exclude any
+// artificial columns. The warm path calls it directly after refreshing
+// the rhs or importing a basis.
+func (t *tableau) setPhase2Z() {
+	t.z = t.newZ()
 	dir := 1.0
 	if t.m.minimize {
 		dir = -1.0
@@ -247,7 +343,6 @@ func (t *tableau) run() Status {
 			t.z.AddScaled(-coef, t.a.Row(r))
 		}
 	}
-	return t.iterate()
 }
 
 // iterate performs simplex pivots on the current objective row until

@@ -1,0 +1,514 @@
+package lp
+
+import "math"
+
+// Basis identifies an optimal basis by name: the basic structural
+// variables plus the rows whose slack/surplus variable is basic. Naming
+// (rather than indexing) makes a basis portable across related models —
+// the planner's memoized subset-LPs share variable and row names, so a
+// basis exported from one solve seeds a neighboring solve even when the
+// column order differs. A Basis is immutable once built.
+type Basis struct {
+	vars      []string
+	slackRows []string
+}
+
+// NewBasis builds a basis from explicit name lists. It is exposed for
+// tests and fuzzing; production code obtains bases from ExportBasis.
+func NewBasis(vars, slackRows []string) *Basis {
+	b := &Basis{
+		vars:      make([]string, len(vars)),
+		slackRows: make([]string, len(slackRows)),
+	}
+	copy(b.vars, vars)
+	copy(b.slackRows, slackRows)
+	return b
+}
+
+// Size returns the number of named basis members.
+func (b *Basis) Size() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.vars) + len(b.slackRows)
+}
+
+// Outcome describes how the most recent solve on a Solver ran.
+type Outcome struct {
+	// Path is "hot" (retained tableau, rhs refresh), "import" (seed basis
+	// crashed into a fresh warm tableau) or "cold" (two-phase simplex).
+	Path string
+	// FellBack reports that a warm attempt was abandoned for the cold
+	// path (singular import, infeasible repair, drift guard, limits).
+	FellBack bool
+	// WarmPivots and ColdPivots count simplex pivots spent on the
+	// respective path during this solve.
+	WarmPivots int
+	ColdPivots int
+}
+
+// SolverStats accumulates per-path counters across the life of a Solver.
+type SolverStats struct {
+	HotSolves    int64
+	ImportSolves int64
+	ColdSolves   int64
+	Fallbacks    int64 // warm attempts abandoned for the cold path
+	WarmPivots   int64
+	ColdPivots   int64
+}
+
+// Solver runs successive LP solves while retaining the dense tableau
+// arenas (allocation reuse) and, via SolveWarm, the factorized final
+// tableau of the previous solve (hot re-solves). See DESIGN.md §12.
+//
+// A Solver is not safe for concurrent use; the planner keeps one hot
+// solver for its sequential baseline chain and a pool for workers.
+type Solver struct {
+	coldAr arena
+	warmAr arena
+	ws     retained
+	last   lastSolve
+	out    Outcome
+	stats  SolverStats
+}
+
+// retained is the hot state kept between SolveWarm calls: the final warm
+// tableau of the previous solve, whose marker block holds B⁻¹.
+type retained struct {
+	t     *tableau
+	valid bool
+	uses  int
+}
+
+type lastSolve struct {
+	t  *tableau
+	ok bool
+}
+
+// maxHotUses bounds how many consecutive hot re-solves may reuse one
+// tableau before forcing a fresh import/refactorization, so floating-point
+// drift cannot accumulate without bound.
+const maxHotUses = 200
+
+// Solve runs the cold two-phase simplex, reusing the solver's arena. The
+// result is bit-identical to (*Model).SolveOpts.
+func (s *Solver) Solve(m *Model, opts Options) (*Result, error) {
+	s.begin()
+	s.out.Path = "cold"
+	return s.solveCold(m, opts)
+}
+
+// SolveWarm solves m using every warm path available, in order: a hot
+// re-solve on the retained tableau when the constraint matrix is
+// unchanged (only rhs and objective may differ — the cross-slot case), an
+// import of the seed basis otherwise, and the cold two-phase path as the
+// correctness anchor whenever a warm attempt fails. A warm result is
+// accepted only at status Optimal and after the model re-verifies the
+// solution, so correctness never depends on the warm path.
+func (s *Solver) SolveWarm(m *Model, seed *Basis, opts Options) (*Result, error) {
+	s.begin()
+	attempted := false
+	if s.ws.valid && s.ws.t != nil && sameStructure(s.ws.t.m, m) {
+		attempted = true
+		if res := s.hotSolve(m, opts); res != nil {
+			s.out.Path = "hot"
+			s.stats.HotSolves++
+			return res, nil
+		}
+	}
+	if seed.Size() > 0 {
+		attempted = true
+		if res := s.importSolve(m, seed, opts); res != nil {
+			s.out.Path = "import"
+			s.stats.ImportSolves++
+			return res, nil
+		}
+	}
+	if attempted {
+		s.out.FellBack = true
+		s.stats.Fallbacks++
+	}
+	s.out.Path = "cold"
+	return s.solveCold(m, opts)
+}
+
+// SolveSeeded solves m from an optional seed basis without consulting any
+// cross-call retained state, so the result is a pure function of
+// (model, seed, opts). The planner's parallel workers rely on that purity
+// for worker-count-invariant plans (DESIGN.md §7): any worker solving the
+// same subset from the same frozen seed produces the identical result.
+func (s *Solver) SolveSeeded(m *Model, seed *Basis, opts Options) (*Result, error) {
+	s.begin()
+	s.ws = retained{} // stateless by contract
+	if seed.Size() > 0 {
+		if res := s.importSolve(m, seed, opts); res != nil {
+			s.ws = retained{} // drop state armed by importSolve
+			s.out.Path = "import"
+			s.stats.ImportSolves++
+			return res, nil
+		}
+		s.out.FellBack = true
+		s.stats.Fallbacks++
+	}
+	s.out.Path = "cold"
+	return s.solveCold(m, opts)
+}
+
+// LastOutcome reports how the most recent solve ran.
+func (s *Solver) LastOutcome() Outcome { return s.out }
+
+// Stats returns the cumulative per-path counters.
+func (s *Solver) Stats() SolverStats { return s.stats }
+
+// ExportBasis returns the final basis of the immediately preceding solve
+// on this Solver, by name. It fails when that solve did not end Optimal
+// or when an artificial variable is still basic (degenerate redundant
+// rows), in which case the caller keeps its previous seed. The basis is
+// only meaningful until the next solve on this Solver.
+func (s *Solver) ExportBasis() (*Basis, bool) {
+	if !s.last.ok || s.last.t == nil {
+		return nil, false
+	}
+	t := s.last.t
+	m := t.m
+	slackOwner := make([]int, t.artStart-t.n)
+	for i := range slackOwner {
+		slackOwner[i] = -1
+	}
+	for r, c := range t.rowSlack {
+		if c >= 0 {
+			slackOwner[c-t.n] = r
+		}
+	}
+	b := &Basis{}
+	for _, c := range t.basis {
+		switch {
+		case c >= 0 && c < t.n:
+			b.vars = append(b.vars, m.names[c])
+		case c >= t.n && c < t.artStart:
+			r := slackOwner[c-t.n]
+			if r < 0 {
+				return nil, false
+			}
+			b.slackRows = append(b.slackRows, m.rows[r].name)
+		default:
+			// Artificial (cold path) or unassigned: not representable.
+			return nil, false
+		}
+	}
+	return b, true
+}
+
+func (s *Solver) begin() {
+	s.out = Outcome{}
+	s.last = lastSolve{}
+}
+
+func (s *Solver) setLast(t *tableau, ok bool) { s.last = lastSolve{t: t, ok: ok} }
+
+func (s *Solver) solveCold(m *Model, opts Options) (*Result, error) {
+	t := newTableauIn(m, opts, &s.coldAr)
+	st := t.run()
+	s.stats.ColdSolves++
+	s.stats.ColdPivots += int64(t.iters)
+	s.out.ColdPivots = t.iters
+	s.setLast(t, st == Optimal)
+	return t.result(st)
+}
+
+// hotSolve re-solves on the retained tableau: the marker block (B⁻¹)
+// turns the new rhs into the new basic solution in O(rows²) with no
+// refactorization; the dual simplex under the previous (still
+// dual-feasible) cost row repairs primal feasibility; then the new costs
+// are priced in and primal pivots finish. Any non-Optimal exit
+// invalidates the retained state and reports failure (nil) so the caller
+// falls back.
+func (s *Solver) hotSolve(m *Model, opts Options) *Result {
+	if s.ws.uses >= maxHotUses {
+		s.ws = retained{}
+		return nil
+	}
+	t := s.ws.t
+	t.m = m
+	t.opts = opts.withDefaults(t.a.Rows, t.n)
+	t.iters = 0
+	t.refreshRHS()
+	if st := t.dualIterate(); st != Optimal {
+		s.ws = retained{}
+		return nil
+	}
+	t.setPhase2Z()
+	if st := t.iterate(); st != Optimal {
+		s.ws = retained{}
+		return nil
+	}
+	res := s.acceptWarm(t)
+	if res == nil {
+		s.ws = retained{}
+		return nil
+	}
+	s.ws.uses++
+	return res
+}
+
+// importSolve crashes the seed basis into a fresh warm tableau. A basis
+// imported into a different model is generally neither primal nor dual
+// feasible; primal-feasible starts finish with primal pivots, and
+// primal-infeasible starts are repaired by a zero-cost dual phase (the
+// all-zero reduced-cost row is trivially dual feasible) before the true
+// costs are priced in.
+func (s *Solver) importSolve(m *Model, seed *Basis, opts Options) *Result {
+	s.ws = retained{} // the build below reuses the retained tableau's arena
+	t := newWarmTableauIn(m, opts, &s.warmAr)
+	if !t.importBasis(seed) {
+		return nil
+	}
+	if st := t.dualIterate(); st != Optimal {
+		return nil
+	}
+	t.setPhase2Z()
+	if st := t.iterate(); st != Optimal {
+		return nil
+	}
+	res := s.acceptWarm(t)
+	if res == nil {
+		return nil
+	}
+	s.ws = retained{t: t, valid: true}
+	return res
+}
+
+// warmFeasFactor scales the solver tolerance (per unit of rhs magnitude)
+// for the post-solve feasibility audit of warm results.
+const warmFeasFactor = 100
+
+// acceptWarm audits a warm tableau that claims optimality. The solution
+// must re-verify against the model within a tolerance proportional to the
+// rhs scale; numerical drift beyond it rejects the warm result so the
+// cold path re-solves from scratch.
+func (s *Solver) acceptWarm(t *tableau) *Result {
+	x := t.extract()
+	scale := 1.0
+	for i := range t.m.rows {
+		if a := math.Abs(t.m.rows[i].rhs); a > scale {
+			scale = a
+		}
+	}
+	if t.m.CheckFeasible(x, t.opts.Tol*warmFeasFactor*scale) != nil {
+		return nil
+	}
+	s.out.WarmPivots = t.iters
+	s.stats.WarmPivots += int64(t.iters)
+	s.setLast(t, true)
+	return &Result{
+		Status:     Optimal,
+		Objective:  t.m.ObjectiveValue(x),
+		X:          x,
+		Duals:      t.duals(),
+		Iterations: t.iters,
+		Warm:       true,
+	}
+}
+
+// sameStructure reports whether two models share variable names, senses
+// and constraint coefficients exactly — the condition under which a
+// retained tableau's marker block (B⁻¹) applies to the new model. Only
+// the rhs vector and objective coefficients may differ.
+func sameStructure(a, b *Model) bool {
+	if a == nil || b == nil || a.minimize != b.minimize ||
+		len(a.names) != len(b.names) || len(a.rows) != len(b.rows) {
+		return false
+	}
+	for i, n := range a.names {
+		if b.names[i] != n {
+			return false
+		}
+	}
+	for i := range a.rows {
+		ra, rb := &a.rows[i], &b.rows[i]
+		if ra.sense != rb.sense || len(ra.terms) != len(rb.terms) {
+			return false
+		}
+		for j, term := range ra.terms {
+			if rb.terms[j] != term {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// newWarmTableauIn builds the warm-layout tableau: rows kept unflipped,
+// one slack/surplus column per inequality row, no artificials, and a full
+// identity "marker" block — one zero-cost column per row that is never
+// eligible to enter the basis. After any pivot sequence the marker block
+// holds B⁻¹, which powers the hot rhs refresh and uniform dual recovery
+// (y_r = dir·z[marker_r]).
+func newWarmTableauIn(m *Model, opts Options, ar *arena) *tableau {
+	rows := len(m.rows)
+	n := len(m.names)
+	t := &tableau{m: m, n: n, ar: ar}
+	t.opts = opts.withDefaults(rows, n)
+	slacks := 0
+	for i := range m.rows {
+		if m.rows[i].sense != EQ {
+			slacks++
+		}
+	}
+	t.artStart = n + slacks
+	t.colLimit = t.artStart
+	t.total = t.artStart + rows
+	t.alloc(rows)
+	t.z = t.newZ()
+	slackCol := n
+	for i := range m.rows {
+		row := &m.rows[i]
+		r := t.a.Row(i)
+		t.rowSlack[i] = -1
+		for _, term := range row.terms {
+			r[term.Var] += term.Coef
+		}
+		r[t.total] = row.rhs
+		switch row.sense {
+		case LE:
+			r[slackCol] = 1
+			t.rowSlack[i] = slackCol
+			slackCol++
+		case GE:
+			r[slackCol] = -1
+			t.rowSlack[i] = slackCol
+			slackCol++
+		}
+		r[t.artStart+i] = 1
+		t.dualCol[i], t.dualSign[i] = t.artStart+i, 1
+		t.basis[i] = -1 // assigned by importBasis
+	}
+	return t
+}
+
+// importPivTol is the minimum pivot magnitude accepted while crashing a
+// named basis; anything smaller is treated as singular.
+const importPivTol = 1e-7
+
+// importBasis pivots the named basis members into the warm tableau.
+// Unknown names and columns that turn out linearly dependent are dropped;
+// rows left uncovered fall back to their own slack. It returns false —
+// leaving the caller to go cold — when a row cannot be covered at all
+// (uncovered EQ row, or a singular slack pivot).
+func (t *tableau) importBasis(b *Basis) bool {
+	m := t.m
+	varIdx := make(map[string]int, len(m.names))
+	for i, name := range m.names {
+		varIdx[name] = i
+	}
+	rowIdx := make(map[string]int, len(m.rows))
+	for i := range m.rows {
+		rowIdx[m.rows[i].name] = i
+	}
+	cols := make([]int, 0, b.Size())
+	for _, name := range b.vars {
+		if c, ok := varIdx[name]; ok {
+			cols = append(cols, c)
+		}
+	}
+	for _, name := range b.slackRows {
+		if r, ok := rowIdx[name]; ok {
+			if c := t.rowSlack[r]; c >= 0 {
+				cols = append(cols, c)
+			}
+		}
+	}
+	for _, c := range cols {
+		best, bestAbs := -1, importPivTol
+		for r := 0; r < t.a.Rows; r++ {
+			if t.basis[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(t.a.At(r, c)); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if best < 0 {
+			continue // dependent on columns already imported: drop it
+		}
+		t.pivot(best, c)
+	}
+	for r := 0; r < t.a.Rows; r++ {
+		if t.basis[r] >= 0 {
+			continue
+		}
+		c := t.rowSlack[r]
+		if c < 0 || math.Abs(t.a.At(r, c)) <= importPivTol {
+			return false
+		}
+		t.pivot(r, c)
+	}
+	return true
+}
+
+// refreshRHS recomputes the basic solution for the model's current rhs
+// vector through the marker block: rhs column ← B⁻¹·b. O(rows²), no
+// refactorization — this is the hot path's whole trick.
+func (t *tableau) refreshRHS() {
+	rows := t.a.Rows
+	var scratch []float64
+	if t.ar != nil {
+		t.ar.rhs = growFloats(t.ar.rhs, rows)
+		scratch = t.ar.rhs
+	} else {
+		scratch = make([]float64, rows)
+	}
+	for i := 0; i < rows; i++ {
+		r := t.a.Row(i)
+		var sum float64
+		for j := 0; j < rows; j++ {
+			sum += r[t.artStart+j] * t.m.rows[j].rhs
+		}
+		scratch[i] = sum
+	}
+	for i := 0; i < rows; i++ {
+		t.a.Set(i, t.total, scratch[i])
+	}
+}
+
+// dualIterate runs the dual simplex on the current reduced-cost row,
+// which must be dual feasible (z ≥ 0 over enterable columns): it drives
+// negative basic values out while preserving dual feasibility — exactly
+// the repair needed after an rhs perturbation. Returns Optimal when the
+// rhs is non-negative, Infeasible when a negative row has no eligible
+// entering column (a primal infeasibility certificate, which callers
+// re-confirm via the cold path), or IterationLimit.
+func (t *tableau) dualIterate() Status {
+	tol := t.opts.Tol
+	rhs := t.total
+	for {
+		if t.iters >= t.opts.MaxIterations {
+			return IterationLimit
+		}
+		leave, minVal := -1, -tol
+		for r := 0; r < t.a.Rows; r++ {
+			if v := t.a.At(r, rhs); v < minVal {
+				leave, minVal = r, v
+			}
+		}
+		if leave < 0 {
+			return Optimal
+		}
+		row := t.a.Row(leave)
+		enter, bestRatio := -1, math.Inf(1)
+		for c := 0; c < t.colLimit; c++ {
+			a := row[c]
+			if a >= -tol {
+				continue
+			}
+			if ratio := t.z[c] / -a; ratio < bestRatio {
+				enter, bestRatio = c, ratio
+			}
+		}
+		if enter < 0 {
+			return Infeasible
+		}
+		t.pivot(leave, enter)
+		t.iters++
+	}
+}

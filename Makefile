@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster verify-lp bench bench-smoke benchall
+.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster verify-control verify-lp bench bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -27,13 +27,31 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/workload/
 	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
 	$(GO) test -run=NONE -fuzz=FuzzCompile -fuzztime=10s ./internal/dispatch/
+	$(GO) test -run=NONE -fuzz=FuzzControlRescale -fuzztime=10s ./internal/dispatch/
 	$(GO) test -run=NONE -fuzz=FuzzWarmBasisImport -fuzztime=10s ./internal/lp/
 
 # verify is the repo's full check tier: build, vet, tests, race tests,
 # a one-iteration smoke of the plan-search benchmarks, the feed-layer
 # resilience tier, the observability tier, the dispatch-plane tier, the
 # replicated-fleet tier, and the warm-start solver tier.
-verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch verify-cluster verify-lp
+verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch verify-cluster verify-control verify-lp
+
+# verify-control is the closed-loop tier: the control package under the
+# race detector (step-disturbance monotone settling, dead-band/hysteresis
+# gates, freeze matrix, byte-identical actuation logs under concurrent
+# traffic); the loadgen acceptance gates — clean scenario bit-identical
+# with zero actuations, controller-beats-frozen under flash-crowd and
+# slow-center faults, burst targeting leaves untargeted streams Poisson;
+# the dispatch-side actuation primitives (Rescale, lexicographic (epoch,
+# sub) fencing, MaxRate headroom/telescoping); and the cluster sub-epoch
+# propagation suite.
+verify-control:
+	$(GO) vet ./internal/control/
+	$(GO) test -race ./internal/control/
+	$(GO) test -race -run 'TestControl|TestFleetControl|TestBurstTargeting|TestFlashCrowd|TestSlowCenter' ./internal/loadgen/
+	$(GO) test -race -run 'TestRescale|TestInstallIfNewerLexicographic|TestWireSubMaxRate|TestCompileMaxRateHeadroom|TestSubdivideMaxRateTelescopes' ./internal/dispatch/
+	$(GO) test -race -run 'TestPublishControl|TestReplicaSubEpochFence|TestPartitionedReplicaKeepsFencedSub|TestStaleDowngradeAppliesExactlyOnce' ./internal/cluster/
+	$(GO) test -count=1 -run 'TestServeControlSmoke' ./cmd/profitlb/
 
 # verify-lp is the solver tier: the lp package (cold/warm simplex,
 # basis export/import, hot re-solve audits) and the planner warm-start
@@ -99,6 +117,8 @@ bench:
 	BENCH_PLAN_JSON=BENCH_plan.json $(GO) test -count=1 -run='TestPlanSearchTrajectory|TestWarmStartTrajectory' .
 	$(GO) test -bench=BenchmarkDispatch -count=6 -run=NONE ./internal/dispatch/
 	BENCH_DISPATCH_JSON=$(CURDIR)/BENCH_dispatch.json $(GO) test -count=1 -run=TestDispatchHotPathTrajectory ./internal/dispatch/
+	$(GO) test -bench=BenchmarkControlTick -count=6 -run=NONE ./internal/control/
+	BENCH_DISPATCH_JSON=$(CURDIR)/BENCH_dispatch.json $(GO) test -count=1 -run=TestControlTickTrajectory ./internal/control/
 
 # bench-smoke proves every plan-search benchmark still runs (one
 # iteration, no timing claims); wired into verify.

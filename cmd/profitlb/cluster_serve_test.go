@@ -235,3 +235,60 @@ func TestServeJoinSmoke(t *testing.T) {
 		t.Fatalf("join subscriber stats: %v", jstats["subscriber"])
 	}
 }
+
+// TestServeControlSmoke: a fleet server with -control boots the drift
+// controller, ticks it between slot boundaries without freezing on a
+// healthy clock, surfaces its state in /admin/stats, and drains cleanly.
+// A single-mode server arms it too; a join-mode server refuses it.
+func TestServeControlSmoke(t *testing.T) {
+	sc := serveScenario(t)
+	sc.Dispatch.SlotSeconds = 2 // 8 ticks ⇒ one control tick every 250ms
+	gs, err := newServer(sc, "127.0.0.1:0", serveOptions{Replicas: 2, Control: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = gs.Shutdown(ctx)
+	})
+	base := "http://" + gs.Addr()
+	// Serve traffic across a few control ticks.
+	rep, err := loadgen.FireHTTP(base, sc.System, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 400 {
+		t.Fatalf("sent %d of 400 under control", rep.Sent)
+	}
+	time.Sleep(600 * time.Millisecond)
+	var stats map[string]any
+	if code := getJSON(t, base+"/admin/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/admin/stats = %d", code)
+	}
+	ctrl, ok := stats["control"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing control block: %v", stats)
+	}
+	if frozen, ok := ctrl["frozen"].(bool); !ok || frozen {
+		t.Fatalf("controller frozen on a healthy clock: %v", ctrl)
+	}
+
+	// Single mode arms the controller too.
+	single, err := newServer(serveScenario(t), "127.0.0.1:0", serveOptions{Control: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.ctrl == nil {
+		t.Fatal("single-mode server did not build a controller")
+	}
+
+	// Join mode has no local control plane to correct.
+	if _, err := newServer(serveScenario(t), "127.0.0.1:0",
+		serveOptions{JoinURL: "http://127.0.0.1:1", JoinID: "edge", Control: true}); err == nil {
+		t.Fatal("join-mode -control accepted")
+	}
+}

@@ -26,10 +26,12 @@ func cmdLoadtest(args []string) error {
 	slots := fs.Int("slots", 0, "slots to replay (default: the scenario's horizon)")
 	seed := fs.Int64("seed", 1, "arrival-synthesis seed (and storm seed with -faults storm)")
 	burst := fs.Float64("burst-factor", 0, "open-loop burstiness: >1 switches Poisson to a two-state MMPP with this peak-to-mean ratio")
+	burstFE := fs.Int("burst-front-end", -1, "pin the MMPP burst to this front-end index; other front-ends stay Poisson (-1 bursts all)")
+	controlOn := fs.Bool("control", false, "close the sub-slot loop: a drift controller re-scales routing tables mid-slot from achieved lane rates (tunable via the scenario's control block)")
 	closed := fs.Bool("closed", false, "closed-loop load: think-time users per (type, front-end) stream instead of open-loop arrivals")
 	users := fs.Int("users", 0, "closed-loop users per stream (default 32)")
 	think := fs.Float64("think", 0, "closed-loop mean think time in virtual time units (default: slot/8)")
-	faultsArg := fs.String("faults", "", "fault schedule: a JSON file of events, or 'storm' for a seeded outage+spike storm")
+	faultsArg := fs.String("faults", "", "fault schedule: a JSON file of events, 'storm' for a seeded outage+spike storm, or 'flash' for a front-end-0 flash crowd")
 	feedsArg := fs.String("feeds", "", "telemetry feed layer: 'on' for defaults, or a feed-config JSON file")
 	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
@@ -109,6 +111,13 @@ func cmdLoadtest(args []string) error {
 		Users:       *users,
 		Think:       *think,
 	}
+	if *burstFE >= 0 {
+		lcfg.BurstFrontEnd = burstFE
+	}
+	if *controlOn {
+		ctrlCfg := sc.ControlConfig()
+		lcfg.Control = &ctrlCfg
+	}
 	if *slots > 0 {
 		lcfg.Slots = *slots
 	}
@@ -145,6 +154,10 @@ func cmdLoadtest(args []string) error {
 	fmt.Printf("shed fraction %.4f (%d budget, %d unplanned), max lane rate error %.2f%% (lanes ≥ %.0f planned), degraded slots %d/%d\n",
 		rep.ShedFraction(), rep.BudgetShed(), shed-rep.BudgetShed(),
 		100*rep.MaxLaneError(*minPlanned), *minPlanned, rep.DegradedSlots(), len(rep.Slots))
+	if lcfg.Control != nil {
+		fmt.Printf("control: %d actuations, max lane demand error %.2f%% (lanes ≥ %.0f demand)\n",
+			rep.Actuations(), 100*rep.MaxDemandError(*minPlanned), *minPlanned)
+	}
 
 	// Reconcile the generator's accounting with the gateway's counters:
 	// both watched the same requests through independent code paths.
@@ -214,6 +227,10 @@ func fleetLoadtest(sc *config.Scenario, ccfg cluster.Config, d *dispatch.Driver,
 	}
 	fmt.Printf("max fleet lane rate error %.2f%% (lanes ≥ %.0f planned), invalid answers %d\n",
 		100*rep.MaxLaneError(minPlanned), minPlanned, rep.Invalid())
+	if lcfg.Control != nil {
+		fmt.Printf("control: %d actuations, max fleet lane demand error %.2f%% (lanes ≥ %.0f demand)\n",
+			rep.Actuations(), 100*rep.MaxDemandError(minPlanned), minPlanned)
+	}
 
 	// Reconcile each replica's gateway counters against the generator's
 	// per-replica ground truth: every request the balancer fired at a

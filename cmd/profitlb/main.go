@@ -26,12 +26,15 @@
 //	profitlb serve -config F      run the online dispatch gateway over HTTP
 //	                              (-addr, -slot-seconds, -seed; -replicas N
 //	                              runs a replicated fleet, -join URL joins
-//	                              one as a data-plane replica; graceful
+//	                              one as a data-plane replica, -control arms
+//	                              the sub-slot drift controller; graceful
 //	                              drain on SIGINT/SIGTERM)
 //	profitlb loadtest -config F   replay a scenario against the dispatch
 //	                              plane and report achieved vs planned rates
 //	                              (-slots, -seed, -burst-factor, -closed,
-//	                              -faults F|storm, -feeds, -resilient,
+//	                              -faults F|storm|flash, -feeds, -resilient,
+//	                              -burst-front-end S pins the MMPP burst,
+//	                              -control arms the drift controller,
 //	                              -replicas N replays against a fleet;
 //	                              -addr URL[,URL...] fires at live gateways)
 package main
@@ -146,14 +149,19 @@ commands:
                        -replicas N serves a replicated gateway fleet with
                        epoch-fenced plan distribution at /cluster/plan,
                        -join URL -id NAME joins a remote fleet as a
-                       planner-less data-plane replica)
+                       planner-less data-plane replica, -control arms the
+                       sub-slot drift controller publishing fenced
+                       (epoch, sub) corrections)
   loadtest -config F   replay a scenario against the dispatch plane at
                        request granularity and report achieved vs planned
                        per-lane rates, shed fractions and realized profit
                        (-slots, -seed, -burst-factor F, -closed -users N,
-                       -faults F|storm, -feeds on|F, -resilient,
-                       -metrics F; -replicas N replays against an
-                       in-process fleet with per-replica reconciliation;
+                       -faults F|storm|flash, -feeds on|F, -resilient,
+                       -metrics F, -burst-front-end S pins the MMPP burst
+                       to one front-end, -control arms the sub-slot drift
+                       controller and reports demand error + actuations;
+                       -replicas N replays against an in-process fleet
+                       with per-replica reconciliation;
                        -addr URL[,URL...] -n N fires at live 'serve'
                        gateways over HTTP instead)`)
 }
@@ -287,11 +295,19 @@ func cmdScaffold() error {
 }
 
 // applyFaultsFlag resolves the -faults flag onto the scenario: a path to
-// a fault-schedule JSON file ({"events":[...]}), or "storm" for a seeded
-// outage + price-spike storm generated against the scenario's topology.
+// a fault-schedule JSON file ({"events":[...]}), "storm" for a seeded
+// outage + price-spike storm generated against the scenario's topology,
+// or "flash" for a horizon-long flash crowd (2× mean) pinned to
+// front-end 0 — the drift scenario the sub-slot controller corrects.
 func applyFaultsFlag(sc *config.Scenario, faultsArg string, seed int64) error {
 	switch {
 	case faultsArg == "":
+		return nil
+	case faultsArg == "flash":
+		sc.Faults = &fault.Schedule{Events: []fault.Event{{
+			Kind: fault.FlashCrowd, FrontEnd: 0, Factor: 2,
+			From: sc.StartSlot, To: sc.StartSlot + sc.Slots - 1,
+		}}}
 		return nil
 	case faultsArg == "storm":
 		sch, err := fault.Storm(fault.StormConfig{
@@ -355,7 +371,7 @@ func applyFeedsFlag(sc *config.Scenario, feedsArg string) error {
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
-	faultsArg := fs.String("faults", "", "fault schedule: a JSON file of events, or 'storm' for a seeded outage+spike storm")
+	faultsArg := fs.String("faults", "", "fault schedule: a JSON file of events, 'storm' for a seeded outage+spike storm, or 'flash' for a front-end-0 flash crowd")
 	seed := fs.Int64("seed", 1, "storm seed (with -faults storm)")
 	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")

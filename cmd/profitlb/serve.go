@@ -18,6 +18,7 @@ import (
 
 	"profitlb/internal/cluster"
 	"profitlb/internal/config"
+	"profitlb/internal/control"
 	"profitlb/internal/dispatch"
 	"profitlb/internal/obs"
 	"profitlb/internal/sim"
@@ -50,6 +51,13 @@ type gatewayServer struct {
 	rr     atomic.Uint64
 	reg    *obs.Registry
 
+	// ctrl, when -control is set, closes the sub-slot loop: the loop
+	// goroutine ticks it between slot boundaries and it hot-swaps
+	// re-scaled tables through the same install fences the planner uses.
+	ctrl    *control.Controller
+	ctrlCfg control.Config
+	plant   *control.FleetPlant // fleet mode only
+
 	srv *http.Server
 	ln  net.Listener
 
@@ -72,6 +80,8 @@ type serveOptions struct {
 	JoinURL string
 	// JoinID is the replica identity a join-mode server announces.
 	JoinID string
+	// Control enables the sub-slot drift controller (internal/control).
+	Control bool
 }
 
 // newGatewayServer assembles the single-mode gateway, planner loop and
@@ -155,6 +165,19 @@ func newServer(sc *config.Scenario, addr string, opt serveOptions) (*gatewayServ
 		} else {
 			gs.gw = dispatch.NewGateway(sc.System, gs.dcfg, scope)
 			gs.driver = &dispatch.Driver{Gateway: gs.gw, Planner: planner, Source: src}
+		}
+	}
+
+	if opt.Control {
+		if gs.mode == "join" {
+			return nil, fmt.Errorf("profitlb: -control needs a local control plane; a join-mode replica only applies what the fleet publishes")
+		}
+		gs.ctrlCfg = sc.ControlConfig()
+		if gs.mode == "fleet" {
+			gs.plant = &control.FleetPlant{Pub: gs.pub, Replicas: gs.reps}
+			gs.ctrl = control.NewController(gs.ctrlCfg, gs.dcfg, gs.plant, scope)
+		} else {
+			gs.ctrl = control.NewController(gs.ctrlCfg, gs.dcfg, control.GatewayPlant{GW: gs.gw}, scope)
 		}
 	}
 
@@ -243,6 +266,7 @@ func (gs *gatewayServer) Start() error {
 			return err
 		}
 	}
+	gs.beginControlSlot(gs.sc.StartSlot, 0)
 	go gs.slotLoop()
 	go func() { _ = gs.srv.Serve(gs.ln) }()
 	return nil
@@ -271,15 +295,70 @@ func (gs *gatewayServer) fleetSlot(abs int, now float64) error {
 	return nil
 }
 
+// beginControlSlot re-arms the controller on the slot's committed table
+// (the fleet-wide undivided one in fleet mode). A slot with no table —
+// a publish outage — disarms it until the next boundary.
+func (gs *gatewayServer) beginControlSlot(abs int, now float64) {
+	if gs.ctrl == nil {
+		return
+	}
+	var t *dispatch.Table
+	if gs.mode == "fleet" {
+		gs.plant.Slot = abs
+		if cur := gs.pub.Current(); cur != nil {
+			if tab, err := dispatch.FromWire(cur.Table); err == nil {
+				t = tab
+			}
+		}
+	} else {
+		t = gs.gw.Table()
+	}
+	var cf []float64
+	if sch := gs.sc.Faults; sch != nil {
+		for l := 0; l < gs.sc.System.L(); l++ {
+			if f := sch.SlowCenterFactor(l, abs); f < 1 {
+				if cf == nil {
+					cf = make([]float64, gs.sc.System.L())
+					for i := range cf {
+						cf[i] = 1
+					}
+				}
+				cf[l] = f
+			}
+		}
+	}
+	gs.ctrl.BeginSlot(t, now, cf)
+}
+
 // slotLoop rotates the plan at slot boundaries: slot i begins
 // i*SlotSeconds after start. The loop goroutine is the only driver
 // caller after Start. In join mode the loop only advances staleness —
 // the subscriber goroutine applies whatever the control plane sends.
+// With -control it also ticks the drift controller between boundaries,
+// SlotSeconds/TicksPerSlot apart.
 func (gs *gatewayServer) slotLoop() {
 	defer close(gs.loopDone)
 	period := time.Duration(gs.dcfg.SlotSeconds * float64(time.Second))
+	ticks := 1
+	if gs.ctrl != nil {
+		ticks = gs.ctrlCfg.TicksPerSlot
+	}
 	joinSlot := -1
 	for i := 1; ; i++ {
+		// Sub-slot control ticks inside slot i-1; the tick that would land
+		// on the boundary is the slot rotation itself.
+		slotStart := gs.startWall.Add(time.Duration(i-1) * period)
+		for j := 1; j < ticks; j++ {
+			at := slotStart.Add(time.Duration(j) * period / time.Duration(ticks))
+			tt := time.NewTimer(time.Until(at))
+			select {
+			case <-gs.stopLoop:
+				tt.Stop()
+				return
+			case <-tt.C:
+			}
+			gs.ctrl.Tick(gs.now())
+		}
 		next := gs.startWall.Add(time.Duration(i) * period)
 		timer := time.NewTimer(time.Until(next))
 		select {
@@ -317,6 +396,7 @@ func (gs *gatewayServer) slotLoop() {
 				fmt.Fprintf(os.Stderr, "profitlb: serve: slot %d: %v\n", abs, err)
 			}
 		}
+		gs.beginControlSlot(abs, now)
 	}
 }
 
@@ -482,6 +562,12 @@ func (gs *gatewayServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 		out["publishedEpoch"] = gs.pub.Epoch()
 		out["members"] = gs.pub.Members()
 	}
+	if gs.ctrl != nil {
+		out["control"] = map[string]any{
+			"sub": gs.ctrl.Sub(), "actuations": gs.ctrl.Actuations(),
+			"freezes": gs.ctrl.Freezes(), "frozen": gs.ctrl.Frozen(),
+		}
+	}
 	if gs.sub != nil {
 		rounds, failures, lastErr := gs.sub.Stats()
 		sub := map[string]any{"rounds": rounds, "failures": failures}
@@ -505,6 +591,7 @@ func cmdServe(args []string) error {
 	replicas := fs.Int("replicas", 0, "run a replicated gateway fleet with this many in-process replicas (overrides the scenario's cluster block)")
 	join := fs.String("join", "", "join an existing fleet as a data-plane replica: base URL of a fleet server (no planner runs locally)")
 	joinID := fs.String("id", "", "replica identity announced when joining (default ext-<pid>)")
+	controlOn := fs.Bool("control", false, "close the sub-slot loop: a drift controller re-scales routing tables mid-slot from achieved lane rates (tunable via the scenario's control block)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -527,7 +614,7 @@ func cmdServe(args []string) error {
 			sc.Dispatch.Seed = *seed
 		}
 	})
-	gs, err := newServer(sc, *addr, serveOptions{Replicas: *replicas, JoinURL: *join, JoinID: *joinID})
+	gs, err := newServer(sc, *addr, serveOptions{Replicas: *replicas, JoinURL: *join, JoinID: *joinID, Control: *controlOn})
 	if err != nil {
 		return err
 	}

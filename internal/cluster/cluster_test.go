@@ -151,7 +151,7 @@ func TestPublisherOutageBehaviour(t *testing.T) {
 	if _, err := p.PublishSlot(1); err == nil {
 		t.Fatal("down publisher published")
 	}
-	if pub := p.Wait(0, nil); pub != nil {
+	if pub := p.Wait(0, 0, nil); pub != nil {
 		t.Fatal("down publisher answered a wait")
 	}
 	p.SetDown(false)

@@ -12,7 +12,7 @@ import (
 
 // Handler serves the control plane's distribution endpoint:
 //
-//	GET /plan?after=<epoch>&id=<replica>&wait=<ms>
+//	GET /plan?after=<epoch>&sub=<sub-epoch>&id=<replica>&wait=<ms>
 //
 // The request heartbeats the replica (pulling IS proof of life — a
 // dedicated beat round-trip would only add a failure mode), then
@@ -32,6 +32,7 @@ func (p *Publisher) Handler() http.Handler {
 			return
 		}
 		after, _ := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+		afterSub, _ := strconv.ParseUint(r.URL.Query().Get("sub"), 10, 64)
 		slot := 0
 		if cur := p.Current(); cur != nil {
 			slot = cur.Slot
@@ -47,7 +48,7 @@ func (p *Publisher) Handler() http.Handler {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(waitMs)*time.Millisecond)
 		defer cancel()
-		pub := p.Wait(after, ctx.Done())
+		pub := p.Wait(after, afterSub, ctx.Done())
 		if pub == nil {
 			if p.Down() {
 				http.Error(w, "control plane down", http.StatusServiceUnavailable)
@@ -182,8 +183,8 @@ func (s *Subscriber) pull() (*Publication, error) {
 	deadline := time.Duration(s.cfg.TimeoutMs+s.cfg.PollWaitMs) * time.Millisecond
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
-	url := fmt.Sprintf("%s/plan?after=%d&id=%s&wait=%d",
-		s.URL, s.Replica.Gateway().Epoch(), s.Replica.ID, s.cfg.PollWaitMs)
+	url := fmt.Sprintf("%s/plan?after=%d&sub=%d&id=%s&wait=%d",
+		s.URL, s.Replica.Gateway().Epoch(), s.Replica.Gateway().Sub(), s.Replica.ID, s.cfg.PollWaitMs)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err

@@ -14,7 +14,11 @@ import (
 // the pairing is atomic — a table is never delivered with a membership
 // other than the one its epoch was published under.
 type Publication struct {
-	Epoch   uint64              `json:"epoch"`
+	Epoch uint64 `json:"epoch"`
+	// Sub is the sub-epoch sequence within Epoch: 0 for the slot's
+	// committed plan or a membership re-spread, ticking up for in-slot
+	// controller corrections published against the epoch.
+	Sub     uint64              `json:"sub,omitempty"`
 	Slot    int                 `json:"slot"`
 	Members []string            `json:"members"`
 	Table   *dispatch.TableWire `json:"table"`
@@ -180,6 +184,7 @@ func (p *Publisher) Respread(slot int) *Publication {
 	}
 	w := *p.cur.Table // shallow copy; slices are immutable after compile
 	w.Epoch = p.drv.NextEpoch()
+	w.Sub = 0 // a fresh epoch restarts the sub-epoch sequence
 	return p.publishLocked(&w, slot)
 }
 
@@ -193,6 +198,7 @@ func (p *Publisher) publish(w *dispatch.TableWire, slot int) *Publication {
 func (p *Publisher) publishLocked(w *dispatch.TableWire, slot int) *Publication {
 	pub := &Publication{
 		Epoch:   w.Epoch,
+		Sub:     w.Sub,
 		Slot:    slot,
 		Members: append([]string(nil), p.order...),
 		Table:   w,
@@ -203,7 +209,42 @@ func (p *Publisher) publishLocked(w *dispatch.TableWire, slot int) *Publication 
 	p.notify = make(chan struct{})
 	if p.scope.Enabled() {
 		p.scope.Gauge("cluster_published_epoch").Set(float64(pub.Epoch))
+		p.scope.Gauge("cluster_published_sub").Set(float64(pub.Sub))
 		p.scope.Gauge("cluster_members").Set(float64(len(pub.Members)))
+	}
+	return pub
+}
+
+// PublishControl distributes an in-slot controller correction: a table
+// re-scaled against the *current* epoch, carrying the next sub-epoch.
+// Unlike a slot publish it never mints an epoch, never consumes the
+// pending membership-change flag, and re-spreads nothing — the correction
+// is pinned to the exact membership the epoch was spread over, because a
+// replica's subdivision index must not move mid-epoch. The publish is
+// refused (nil) when the control plane is down, nothing was ever
+// published, the correction targets a different epoch (a slot or
+// re-spread publish won the race), or its sub-epoch does not advance.
+func (p *Publisher) PublishControl(w *dispatch.TableWire, slot int) *Publication {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down || p.cur == nil || w == nil {
+		return nil
+	}
+	if w.Epoch != p.cur.Epoch || w.Sub <= p.cur.Sub {
+		return nil
+	}
+	pub := &Publication{
+		Epoch:   w.Epoch,
+		Sub:     w.Sub,
+		Slot:    slot,
+		Members: append([]string(nil), p.cur.Members...),
+		Table:   w,
+	}
+	p.cur = pub
+	close(p.notify)
+	p.notify = make(chan struct{})
+	if p.scope.Enabled() {
+		p.scope.Gauge("cluster_published_sub").Set(float64(pub.Sub))
 	}
 	return pub
 }
@@ -215,18 +256,19 @@ func (p *Publisher) Current() *Publication {
 	return p.cur
 }
 
-// Wait long-polls for an epoch newer than after: it returns immediately
+// Wait long-polls for a publication whose (epoch, sub-epoch) pair is
+// lexicographically newer than (after, afterSub): it returns immediately
 // when one is already published, otherwise blocks until the next publish
-// or until cancel closes. A nil return means no newer epoch arrived in
+// or until cancel closes. A nil return means nothing newer arrived in
 // time (the HTTP layer's 204) or the control plane is down.
-func (p *Publisher) Wait(after uint64, cancel <-chan struct{}) *Publication {
+func (p *Publisher) Wait(after, afterSub uint64, cancel <-chan struct{}) *Publication {
 	for {
 		p.mu.Lock()
 		if p.down {
 			p.mu.Unlock()
 			return nil
 		}
-		if p.cur != nil && p.cur.Epoch > after {
+		if p.cur != nil && (p.cur.Epoch > after || (p.cur.Epoch == after && p.cur.Sub > afterSub)) {
 			pub := p.cur
 			p.mu.Unlock()
 			return pub

@@ -30,6 +30,7 @@ type Replica struct {
 	mu sync.Mutex
 	// applied describes the last publication that passed the fence.
 	appliedEpoch uint64
+	appliedSub   uint64
 	appliedSlot  int
 	fleetSize    int
 	// staleness is how many slot boundaries have passed since the
@@ -68,6 +69,13 @@ func (r *Replica) Epoch() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.appliedEpoch
+}
+
+// Sub returns the last applied sub-epoch within the applied epoch.
+func (r *Replica) Sub() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appliedSub
 }
 
 // Staleness returns how many slot boundaries the replica has served
@@ -117,17 +125,17 @@ func (r *Replica) Apply(pub *Publication, now float64) (bool, error) {
 		r.emitFenced(pub, "not-member")
 		return false, nil
 	}
-	// Fence before the rebuild: a stale epoch must not cost a compile,
-	// and must not be able to fail one either.
-	if pub.Epoch <= r.gw.Epoch() {
+	// Fence before the rebuild: a stale (epoch, sub-epoch) pair must not
+	// cost a compile, and must not be able to fail one either.
+	if curE, curS := r.gw.Epoch(), r.gw.Sub(); pub.Epoch < curE || (pub.Epoch == curE && pub.Sub <= curS) {
 		reason := "stale"
-		if pub.Epoch == r.gw.Epoch() {
+		if pub.Epoch == curE && pub.Sub == curS {
 			reason = "duplicate"
 		}
 		r.emitFenced(pub, reason)
 		// The gateway owns the fence counters; route through it with the
-		// epoch alone so Stats and metrics agree with the trace.
-		r.gw.InstallIfNewer(&dispatch.Table{Epoch: pub.Epoch}, now, 0)
+		// pair alone so Stats and metrics agree with the trace.
+		r.gw.InstallIfNewer(&dispatch.Table{Epoch: pub.Epoch, Sub: pub.Sub}, now, 0)
 		return false, nil
 	}
 	full, err := dispatch.FromWire(pub.Table)
@@ -142,6 +150,7 @@ func (r *Replica) Apply(pub *Publication, now float64) (bool, error) {
 		return false, nil // lost a race with a newer epoch; fence counted
 	}
 	r.appliedEpoch = pub.Epoch
+	r.appliedSub = pub.Sub
 	r.appliedSlot = pub.Slot
 	r.fleetSize = len(pub.Members)
 	r.staleness = 0
@@ -153,6 +162,7 @@ func (r *Replica) Apply(pub *Publication, now float64) (bool, error) {
 			Kind: obs.KindEpochApplied, Slot: pub.Slot, Planner: r.ID,
 			Values: map[string]float64{
 				"epoch":   float64(pub.Epoch),
+				"sub":     float64(pub.Sub),
 				"members": float64(len(pub.Members)),
 				"index":   float64(idx),
 			},
@@ -217,6 +227,7 @@ func (r *Replica) emitFenced(pub *Publication, reason string) {
 		Kind: obs.KindEpochFenced, Slot: pub.Slot, Planner: r.ID, Reason: reason,
 		Values: map[string]float64{
 			"epoch":   float64(pub.Epoch),
+			"sub":     float64(pub.Sub),
 			"current": float64(r.gw.Epoch()),
 		},
 	})

@@ -13,6 +13,7 @@ import (
 
 	"profitlb/internal/baseline"
 	"profitlb/internal/cluster"
+	"profitlb/internal/control"
 	"profitlb/internal/core"
 	"profitlb/internal/datacenter"
 	"profitlb/internal/dispatch"
@@ -86,6 +87,12 @@ type Scenario struct {
 	// threshold and the plan-pull transport discipline. Nil (or zero
 	// replicas) means a single gateway. Simulation commands ignore it.
 	Cluster *cluster.Config `json:"cluster,omitempty"`
+	// Control configures the sub-slot drift controller (internal/control)
+	// for `profitlb serve -control` and `profitlb loadtest -control`:
+	// ticks per slot, dead-band/hysteresis widths, gain, ramp limit and
+	// multiplier clamps. Nil uses the conservative defaults when -control
+	// is passed. Simulation commands ignore it.
+	Control *control.Config `json:"control,omitempty"`
 	// Obs, when non-nil, threads the observability scope (internal/obs)
 	// through the run: the simulator's slot events, the resilient
 	// chain's escalations, the core engine's solver counters and the
@@ -167,6 +174,11 @@ func (s *Scenario) Validate() error {
 	} else if s.Faults.HasClusterFaults() {
 		return errors.New("config: scenario carries cluster fault events but no cluster block")
 	}
+	if s.Control != nil {
+		if err := s.Control.Validate(); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+	}
 	cfg := s.SimConfig()
 	return cfg.Validate()
 }
@@ -178,6 +190,15 @@ func (s *Scenario) ClusterConfig() cluster.Config {
 		return cluster.Config{}
 	}
 	return s.Cluster.WithDefaults()
+}
+
+// ControlConfig returns the scenario's control block with defaults
+// applied, or the pure defaults when absent.
+func (s *Scenario) ControlConfig() control.Config {
+	if s.Control == nil {
+		return control.Config{}.WithDefaults()
+	}
+	return s.Control.WithDefaults()
 }
 
 // DispatchConfig returns the scenario's dispatch block, or the defaults

@@ -1,0 +1,112 @@
+package control
+
+import (
+	"profitlb/internal/cluster"
+	"profitlb/internal/dispatch"
+)
+
+// GatewayPlant adapts a single gateway as the controller's plant: the
+// controller's base table is the gateway's own, corrections install
+// through the same lexicographic (epoch, sub) fence every other install
+// path uses.
+type GatewayPlant struct {
+	GW *dispatch.Gateway
+}
+
+// Sample implements Plant. The observation is valid only while the
+// gateway still serves exactly the controller's (epoch, sub) — a slot
+// boundary racing ahead invalidates it, and the controller freezes
+// rather than correcting a table it no longer owns.
+func (p GatewayPlant) Sample(epoch, sub uint64) Sample {
+	if p.GW.Epoch() != epoch || p.GW.Sub() != sub {
+		return Sample{}
+	}
+	off := p.GW.StreamOffered()
+	if off == nil {
+		return Sample{}
+	}
+	return Sample{OK: true, StreamOffered: off, Coverage: 1}
+}
+
+// Publish implements Plant.
+func (p GatewayPlant) Publish(t *dispatch.Table, now float64) bool {
+	return p.GW.InstallIfNewer(t, now, 0)
+}
+
+// FleetPlant adapts a replicated fleet: samples aggregate the in-sync
+// replicas' counters (normalized by coverage, since a partitioned
+// replica's share of demand is invisible), and corrections ride the
+// publisher as sub-epoch publications applied through each replica's
+// fence. The controller's base table is the fleet-wide (undivided) one;
+// replicas subdivide corrections exactly as they do slot plans.
+type FleetPlant struct {
+	Pub      *cluster.Publisher
+	Replicas []*cluster.Replica
+	// Serving reports whether replica i currently takes traffic (nil:
+	// all do); Reachable whether the control plane can deliver to it
+	// (nil: all reachable). A killed replica is neither; a partitioned
+	// one serves but cannot receive.
+	Serving   func(i int) bool
+	Reachable func(i int) bool
+	// Slot stamps control publications; the slot loop updates it each
+	// boundary.
+	Slot int
+}
+
+// Sample implements Plant: the summed offered counters of every serving
+// replica that is in sync with (epoch, sub), with Coverage the in-sync
+// fraction of serving replicas. No serving replica in sync means no
+// usable observation.
+func (p *FleetPlant) Sample(epoch, sub uint64) Sample {
+	serving, inSync := 0, 0
+	var agg []int64
+	for i, r := range p.Replicas {
+		if p.Serving != nil && !p.Serving(i) {
+			continue
+		}
+		serving++
+		gw := r.Gateway()
+		if gw.Epoch() != epoch || gw.Sub() != sub {
+			continue
+		}
+		off := gw.StreamOffered()
+		if off == nil {
+			continue
+		}
+		if agg == nil {
+			agg = make([]int64, len(off))
+		} else if len(off) != len(agg) {
+			return Sample{}
+		}
+		for j := range off {
+			agg[j] += off[j]
+		}
+		inSync++
+	}
+	if inSync == 0 {
+		return Sample{}
+	}
+	return Sample{OK: true, StreamOffered: agg, Coverage: float64(inSync) / float64(serving)}
+}
+
+// Publish implements Plant: the correction goes through the publisher's
+// sub-epoch guard (refused when an epoch publish won the race) and is
+// applied to every reachable replica. True when at least one replica
+// installed it; partitioned replicas keep their last fenced table and
+// catch up — or not — through the ordinary fence.
+func (p *FleetPlant) Publish(t *dispatch.Table, now float64) bool {
+	pub := p.Pub.PublishControl(t.Wire(), p.Slot)
+	if pub == nil {
+		return false
+	}
+	applied := false
+	for i, r := range p.Replicas {
+		if p.Reachable != nil && !p.Reachable(i) {
+			continue
+		}
+		if ok, err := r.Apply(pub, now); err == nil && ok {
+			applied = true
+		}
+	}
+	return applied
+}

@@ -109,19 +109,42 @@ func TestDispatchHotPathTrajectory(t *testing.T) {
 		}
 	}
 	nsPerOp := float64(best.Nanoseconds()) / n
-	blob, err := json.MarshalIndent(map[string]any{
+	updateBenchJSON(t, out, "dispatch_hot_path", map[string]any{
 		"bench":     "dispatch-hot-path",
 		"scenario":  "2x2x2 optimized plan",
 		"workers":   runtime.NumCPU(),
 		"ns_per_op": nsPerOp,
 		"allocs_op": allocs,
 		"lanes":     len(gw.Table().Lanes),
-	}, "", "  ")
+	})
+}
+
+// updateBenchJSON read-modify-writes one top-level section of the
+// benchmark trajectory file, so the dispatch and control trajectory
+// tests can share BENCH_dispatch.json without clobbering each other. A
+// missing or legacy single-object file starts the document fresh.
+func updateBenchJSON(t *testing.T, path, key string, section any) {
+	t.Helper()
+	doc := map[string]json.RawMessage{}
+	if blob, err := os.ReadFile(path); err == nil {
+		var probe map[string]json.RawMessage
+		if json.Unmarshal(blob, &probe) == nil {
+			if _, legacy := probe["bench"]; !legacy {
+				doc = probe
+			}
+		}
+	}
+	raw, err := json.Marshal(section)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+	doc[key] = raw
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("trajectory written to %s: %s", out, blob)
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s section of %s: %s", key, path, raw)
 }

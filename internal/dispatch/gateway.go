@@ -78,9 +78,11 @@ type Gateway struct {
 
 	cur atomic.Pointer[compiled]
 
-	// epoch is the highest plan epoch installed so far; InstallIfNewer
-	// fences anything at or below it.
+	// epoch is the highest plan epoch installed so far; sub is the highest
+	// sub-epoch installed within it. InstallIfNewer fences on the
+	// lexicographic pair: anything at or below (epoch, sub) is rejected.
 	epoch atomic.Uint64
+	sub   atomic.Uint64
 
 	// Totals survive swaps (the per-slot tallies reset with each table).
 	totalRequests atomic.Int64
@@ -123,6 +125,10 @@ func (g *Gateway) Scope() *obs.Scope { return g.scope }
 // Epoch returns the highest plan epoch installed so far (0 before any
 // epoch-stamped install).
 func (g *Gateway) Epoch() uint64 { return g.epoch.Load() }
+
+// Sub returns the highest sub-epoch installed within the current epoch
+// (0 for a slot's committed plan; controller corrections tick it up).
+func (g *Gateway) Sub() uint64 { return g.sub.Load() }
 
 // Fenced returns the lifetime counts of rejected installs: stale (epoch
 // below current) and duplicate (epoch equal to current).
@@ -183,6 +189,9 @@ func (g *Gateway) Install(t *Table, now float64, elapsed time.Duration) {
 	}
 	if t.Epoch > g.epoch.Load() {
 		g.epoch.Store(t.Epoch)
+		g.sub.Store(t.Sub)
+	} else if t.Epoch == g.epoch.Load() && t.Sub > g.sub.Load() {
+		g.sub.Store(t.Sub)
 	}
 	g.cur.Store(c)
 	g.swaps.Add(1)
@@ -190,6 +199,7 @@ func (g *Gateway) Install(t *Table, now float64, elapsed time.Duration) {
 	if g.scope.Enabled() {
 		g.scope.Gauge("dispatch_current_slot").Set(float64(t.Slot))
 		g.scope.Gauge("dispatch_current_epoch").Set(float64(t.Epoch))
+		g.scope.Gauge("dispatch_current_sub").Set(float64(t.Sub))
 		g.scope.Gauge("dispatch_lanes").Set(float64(len(t.Lanes)))
 		g.scope.Gauge("dispatch_plan_objective").Set(t.Objective)
 		if old != nil {
@@ -205,16 +215,18 @@ func laneCoord(ln *Lane) Lane {
 	return Lane{K: ln.K, Q: ln.Q, S: ln.S, L: ln.L}
 }
 
-// InstallIfNewer installs the table only if its epoch advances past the
-// gateway's current one — the fence that makes distributed plan
-// application safe against stale, duplicate and out-of-order deliveries.
-// It reports whether the table was installed; fenced tables bump the
-// stale/duplicate counters and leave the serving state untouched.
-// Like Install, it is meant for a single installer goroutine per gateway.
+// InstallIfNewer installs the table only if its (epoch, sub-epoch) pair
+// advances lexicographically past the gateway's current one — the fence
+// that makes distributed plan application safe against stale, duplicate
+// and out-of-order deliveries, for slot plans (sub 0) and in-slot
+// controller corrections (sub > 0) alike. It reports whether the table
+// was installed; fenced tables bump the stale/duplicate counters and
+// leave the serving state untouched. Like Install, it is meant for a
+// single installer goroutine per gateway.
 func (g *Gateway) InstallIfNewer(t *Table, now float64, elapsed time.Duration) bool {
-	cur := g.epoch.Load()
-	if t.Epoch <= cur {
-		if t.Epoch == cur {
+	curE, curS := g.epoch.Load(), g.sub.Load()
+	if t.Epoch < curE || (t.Epoch == curE && t.Sub <= curS) {
+		if t.Epoch == curE && t.Sub == curS {
 			g.fencedDup.Add(1)
 			g.cFencedDup.Inc()
 		} else {
@@ -303,10 +315,11 @@ type LaneCount struct {
 
 // Stats is a point-in-time snapshot of the gateway.
 type Stats struct {
-	// Slot and Degraded/Tier describe the installed table; Epoch is the
-	// highest plan epoch applied.
+	// Slot and Degraded/Tier describe the installed table; Epoch and Sub
+	// are the highest (epoch, sub-epoch) pair applied.
 	Slot     int
 	Epoch    uint64
+	Sub      uint64
 	Degraded bool
 	Tier     string
 	// FencedStale and FencedDup count installs rejected by the epoch
@@ -330,6 +343,7 @@ func (g *Gateway) Stats(now float64) Stats {
 		TotalShed:     g.totalShed.Load(),
 		Swaps:         g.swaps.Load(),
 		Epoch:         g.epoch.Load(),
+		Sub:           g.sub.Load(),
 		FencedStale:   g.fencedStale.Load(),
 		FencedDup:     g.fencedDup.Load(),
 		Slot:          -1,
@@ -357,6 +371,24 @@ func (g *Gateway) Stats(now float64) Stats {
 		st.Lanes[i] = LaneCount{Lane: ln, Admitted: n, Occupancy: occ}
 	}
 	return st
+}
+
+// StreamOffered returns the current table's per-stream draw counts,
+// indexed k·S+s — the number of in-topology requests each (type,
+// front-end) stream has offered since the table was installed. Because
+// draw counters reset on every install, a sub-slot controller reading
+// this sees exactly the traffic the current table has absorbed. Nil
+// before the first Install.
+func (g *Gateway) StreamOffered() []int64 {
+	c := g.cur.Load()
+	if c == nil {
+		return nil
+	}
+	out := make([]int64, len(c.seq))
+	for i := range c.seq {
+		out[i] = int64(c.seq[i].Load())
+	}
+	return out
 }
 
 // LaneAdmitted returns the current slot's admitted count per lane,

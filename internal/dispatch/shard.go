@@ -41,6 +41,7 @@ func (t *Table) Subdivide(idx, n int, cfg Config) (*Table, error) {
 	share := hi - lo
 	sub := &Table{
 		Epoch:     t.Epoch,
+		Sub:       t.Sub,
 		Slot:      t.Slot,
 		SlotLen:   t.SlotLen,
 		Seed:      t.Seed,
@@ -56,6 +57,9 @@ func (t *Table) Subdivide(idx, n int, cfg Config) (*Table, error) {
 	sub.Lanes = make([]Lane, len(t.Lanes))
 	for i, ln := range t.Lanes {
 		ln.Rate = t.Lanes[i].Rate*hi - t.Lanes[i].Rate*lo
+		// MaxRate telescopes exactly like Rate, so the per-replica headroom
+		// shares sum back to the fleet-wide headroom.
+		ln.MaxRate = t.Lanes[i].MaxRate*hi - t.Lanes[i].MaxRate*lo
 		budget := ln.Rate * t.SlotLen
 		ln.Burst = math.Max(cfg.MinBurst,
 			math.Max(cfg.Burst*budget*slack, shardBurstSigmas*math.Sqrt(budget)))
@@ -94,6 +98,7 @@ func (t *Table) Scale(factor float64, tier string, cfg Config) *Table {
 	out.Lanes = make([]Lane, len(t.Lanes))
 	for i, ln := range t.Lanes {
 		ln.Rate *= factor
+		ln.MaxRate *= factor
 		ln.Burst = math.Max(cfg.MinBurst, cfg.Burst*ln.Rate*t.SlotLen)
 		out.Lanes[i] = ln
 	}

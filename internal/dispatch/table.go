@@ -20,6 +20,13 @@ type Lane struct {
 	// Rate is the plan's dispatch rate λ_{k,q,s,l}, requests per unit
 	// virtual time.
 	Rate float64
+	// MaxRate is the lane's capacity headroom: the largest admission rate
+	// the committed plan's shares (plus the center's unallocated share
+	// slack, spread over the commodity's lanes in proportion to rate) can
+	// sustain without violating the level deadline. A sub-slot controller
+	// may boost the lane up to MaxRate and no further; MaxRate ≥ Rate
+	// always, and 0 means "no headroom known" (treated as Rate).
+	MaxRate float64
 	// Burst is the lane's token-bucket capacity in requests.
 	Burst float64
 	// Delay is the commodity's expected M/M/1 delay under the plan, in
@@ -57,6 +64,11 @@ type Table struct {
 	// minting Driver (or cluster publisher). Zero means unversioned — a
 	// table compiled outside any epoch-fenced distribution path.
 	Epoch uint64
+	// Sub is the sub-epoch sequence within the epoch: 0 for the slot's
+	// committed plan, ticking up for every in-slot controller correction
+	// published against it. Installs are fenced on the lexicographic pair
+	// (Epoch, Sub).
+	Sub uint64
 	// Slot is the absolute slot the plan was committed for.
 	Slot int
 	// SlotLen is the slot length T in virtual time units (sys.Slot()).
@@ -150,6 +162,42 @@ func Compile(in *core.Input, plan *core.Plan, cfg Config) (*Table, error) {
 	for l := 0; l < L; l++ {
 		t.IdleCost += sys.IdleCost(l, in.Prices[l]) * float64(plan.ServersOn[l])
 	}
+	// Per-center committed share totals: whatever the plan left unallocated
+	// is slack a sub-slot controller may draw on. Spreading the slack over
+	// a center's commodities in proportion to their committed shares keeps
+	// the boosted shares summing to exactly 1, so every lane serving at its
+	// MaxRate simultaneously still meets the capacity and deadline
+	// constraints core.Verify enforces.
+	sumPhi := make([]float64, L)
+	for l := 0; l < L; l++ {
+		for k := range plan.Rate {
+			for q := range plan.Phi[l][k] {
+				sumPhi[l] += plan.Phi[l][k][q]
+			}
+		}
+	}
+	// headroom returns MaxRate/Rate for commodity (k, q, l): the factor by
+	// which the commodity's aggregate rate can grow — under its share plus
+	// its proportional cut of the center's slack — before the M/M/1 delay
+	// hits the level deadline. Never below 1.
+	headroom := func(k, q, l int, deadline float64) float64 {
+		lam := plan.CenterRate(k, q, l)
+		n := float64(plan.ServersOn[l])
+		if lam <= rateEps || n == 0 || deadline <= 0 {
+			return 1
+		}
+		phi := plan.Phi[l][k][q]
+		boosted := phi
+		if slack := 1 - sumPhi[l]; slack > 0 && sumPhi[l] > 0 {
+			boosted += slack * phi / sumPhi[l]
+		}
+		dc := &sys.Centers[l]
+		lamMax := n * (boosted*dc.Capacity*dc.ServiceRate[k] - 1/deadline)
+		if math.IsNaN(lamMax) || lamMax <= lam {
+			return 1
+		}
+		return lamMax / lam
+	}
 	t.entries = make([][]entry, K)
 	for k := 0; k < K; k++ {
 		t.entries[k] = make([]entry, S)
@@ -191,6 +239,7 @@ func Compile(in *core.Input, plan *core.Plan, cfg Config) (*Table, error) {
 					lane := Lane{
 						K: k, Q: q, S: s, L: l,
 						Rate:         rate,
+						MaxRate:      rate * headroom(k, q, l, levels[q].Deadline),
 						Burst:        math.Max(cfg.MinBurst, cfg.Burst*rate*T),
 						Delay:        d,
 						Utility:      cls.Utility(d),
@@ -208,6 +257,58 @@ func Compile(in *core.Input, plan *core.Plan, cfg Config) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// Rescale returns a copy of the table with every lane i's admission rate
+// set to mult[i]·Rate, capped at the lane's MaxRate headroom (when known)
+// so a boosted table can never violate the committed plan's capacity or
+// deadline envelope. Alias tables are rebuilt from the scaled weights and
+// bucket capacities re-derived from the scaled rates; the frozen per-lane
+// economics (Delay, Utility, unit costs) and MaxRate itself are carried
+// unchanged, as are every stream's arrival budget and draw seed — an
+// all-ones mult reproduces the base routing bit for bit. The result keeps
+// the base Epoch and carries sub as its sub-epoch sequence. Rescale is
+// meant for fleet-level (undivided) tables: bucket sizing uses the plain
+// Burst·λ·T rule, not Subdivide's √n slack discipline.
+func (t *Table) Rescale(mult []float64, sub uint64, cfg Config) (*Table, error) {
+	if len(mult) != len(t.Lanes) {
+		return nil, fmt.Errorf("dispatch: rescale got %d multipliers for %d lanes", len(mult), len(t.Lanes))
+	}
+	cfg = cfg.WithDefaults()
+	out := *t
+	out.Sub = sub
+	out.Lanes = make([]Lane, len(t.Lanes))
+	for i, ln := range t.Lanes {
+		m := mult[i]
+		if math.IsNaN(m) || math.IsInf(m, 0) || m <= 0 {
+			return nil, fmt.Errorf("dispatch: rescale multiplier %g for lane %d", m, i)
+		}
+		r := ln.Rate * m
+		if ln.MaxRate > 0 && r > ln.MaxRate {
+			r = ln.MaxRate
+		}
+		ln.Rate = r
+		ln.Burst = math.Max(cfg.MinBurst, cfg.Burst*r*t.SlotLen)
+		out.Lanes[i] = ln
+	}
+	out.entries = make([][]entry, t.k)
+	for k := range t.entries {
+		out.entries[k] = make([]entry, t.s)
+		for s := range t.entries[k] {
+			e := t.entries[k][s]
+			weights := make([]float64, len(e.lanes))
+			planned := 0.0
+			for j, li := range e.lanes {
+				w := out.Lanes[li].Rate
+				weights[j] = w
+				planned += w
+			}
+			e.prob, e.alias = buildAlias(weights)
+			e.planned = planned
+			out.entries[k][s] = e
+		}
+	}
+	return &out, nil
 }
 
 // buildAlias constructs a Walker alias table (Vose's algorithm) over the

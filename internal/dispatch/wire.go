@@ -13,6 +13,7 @@ import (
 // round-tripped table routes identically to the original.
 type TableWire struct {
 	Epoch     uint64      `json:"epoch"`
+	Sub       uint64      `json:"sub,omitempty"`
 	Slot      int         `json:"slot"`
 	SlotLen   float64     `json:"slotLen"`
 	Seed      uint64      `json:"seed"`
@@ -32,6 +33,7 @@ type TableWire struct {
 func (t *Table) Wire() *TableWire {
 	w := &TableWire{
 		Epoch:     t.Epoch,
+		Sub:       t.Sub,
 		Slot:      t.Slot,
 		SlotLen:   t.SlotLen,
 		Seed:      t.Seed,
@@ -74,6 +76,7 @@ func FromWire(w *TableWire) (*Table, error) {
 	}
 	t := &Table{
 		Epoch:     w.Epoch,
+		Sub:       w.Sub,
 		Slot:      w.Slot,
 		SlotLen:   w.SlotLen,
 		Seed:      w.Seed,
@@ -111,6 +114,14 @@ func FromWire(w *TableWire) (*Table, error) {
 		}
 		if ln.Burst < 0 || math.IsNaN(ln.Burst) || math.IsInf(ln.Burst, 0) {
 			return nil, fmt.Errorf("dispatch: wire lane %d has burst %g", i, ln.Burst)
+		}
+		if math.IsNaN(ln.MaxRate) || math.IsInf(ln.MaxRate, 0) {
+			return nil, fmt.Errorf("dispatch: wire lane %d has max rate %g", i, ln.MaxRate)
+		}
+		if ln.MaxRate < ln.Rate {
+			// Unknown (0), negative, or sub-rate headroom all normalize to
+			// "no headroom": the lane's own rate.
+			ln.MaxRate = ln.Rate
 		}
 		e := &t.entries[ln.K][ln.S]
 		e.lanes = append(e.lanes, int32(i))

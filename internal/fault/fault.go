@@ -96,6 +96,24 @@ const (
 	// epochs are published and no health rounds run; the whole fleet
 	// degrades to last-known-epoch serving.
 	PublisherOutage Kind = "publisher-outage"
+
+	// The drift fault family perturbs realized in-slot traffic away from
+	// the committed plan's forecast without touching what the planner
+	// sees — the disturbances a sub-slot feedback controller
+	// (internal/control) exists to absorb. EffectiveSystem and the
+	// observed-price/arrival paths ignore them by design.
+
+	// FlashCrowd turns front-end Event.FrontEnd's realized arrivals into a
+	// mean-increasing MMPP burst: the stream's base rate holds in the calm
+	// state and jumps to Factor (> 1) times base in the burst state, so
+	// the front-end's realized mean exceeds the plan's forecast. Other
+	// front-ends keep their planned statistics.
+	FlashCrowd Kind = "flash-crowd"
+	// SlowCenter sags center Event.Center's effective in-slot service
+	// rate to Factor (0..1) of nominal mid-slot: work admitted beyond the
+	// sagged capacity earns no revenue but still pays its energy and
+	// transfer costs. The planner does not see the sag.
+	SlowCenter Kind = "slow-center"
 )
 
 // Feed target names for the feed fault family (Event.Feed).
@@ -153,6 +171,10 @@ func (e *Event) String() string {
 		return fmt.Sprintf("%s(%s %d,slots %d-%d)", e.Kind, e.Feed, e.feedIndex(), e.From, e.To)
 	case ReplicaKill, ReplicaPartition:
 		return fmt.Sprintf("%s(r=%d,slots %d-%d)", e.Kind, e.Replica, e.From, e.To)
+	case FlashCrowd:
+		return fmt.Sprintf("%s(s=%d,×%g,slots %d-%d)", e.Kind, e.FrontEnd, e.Factor, e.From, e.To)
+	case SlowCenter:
+		return fmt.Sprintf("%s(l=%d,×%g,slots %d-%d)", e.Kind, e.Center, e.Factor, e.From, e.To)
 	default:
 		return fmt.Sprintf("%s(slots %d-%d)", e.Kind, e.From, e.To)
 	}
@@ -209,6 +231,20 @@ func (e *Event) validate(i, centers, frontEnds int) error {
 		}
 		if e.Factor < 0 {
 			return fmt.Errorf("fault: event %d (trace-corrupt) needs non-negative factor, got %g", i, e.Factor)
+		}
+	case FlashCrowd:
+		if e.FrontEnd < 0 || e.FrontEnd >= frontEnds {
+			return fmt.Errorf("fault: event %d (%s) targets front-end %d of %d", i, e.Kind, e.FrontEnd, frontEnds)
+		}
+		if e.Factor <= 1 {
+			return fmt.Errorf("fault: event %d (flash-crowd) needs burst factor > 1, got %g", i, e.Factor)
+		}
+	case SlowCenter:
+		if e.Center < 0 || e.Center >= centers {
+			return fmt.Errorf("fault: event %d (%s) targets center %d of %d", i, e.Kind, e.Center, centers)
+		}
+		if e.Factor <= 0 || e.Factor >= 1 {
+			return fmt.Errorf("fault: event %d (slow-center) needs factor in (0,1), got %g", i, e.Factor)
 		}
 	case PlannerTimeout, PlannerError, PlannerPanic:
 		// No target: planner faults hit whatever planner is wrapped.
@@ -588,6 +624,57 @@ func (sch *Schedule) PublisherDown(slot int) bool {
 	for i := range sch.Events {
 		e := &sch.Events[i]
 		if e.Kind == PublisherOutage && e.Active(slot) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlashCrowdFactor returns the realized-arrival burst factor for
+// front-end s at the slot: 1 when no flash-crowd covers it, the largest
+// active factor otherwise (overlapping crowds do not compound — the
+// worst one wins).
+func (sch *Schedule) FlashCrowdFactor(s, slot int) float64 {
+	f := 1.0
+	if sch == nil {
+		return f
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if e.Kind == FlashCrowd && e.FrontEnd == s && e.Active(slot) && e.Factor > f {
+			f = e.Factor
+		}
+	}
+	return f
+}
+
+// SlowCenterFactor returns center l's effective in-slot service fraction
+// at the slot: 1 when no slow-center covers it, the smallest active
+// factor otherwise (the deepest sag wins).
+func (sch *Schedule) SlowCenterFactor(l, slot int) float64 {
+	f := 1.0
+	if sch == nil {
+		return f
+	}
+	for i := range sch.Events {
+		e := &sch.Events[i]
+		if e.Kind == SlowCenter && e.Center == l && e.Active(slot) && e.Factor < f {
+			f = e.Factor
+		}
+	}
+	return f
+}
+
+// HasDriftFaults reports whether the schedule carries any in-slot drift
+// events (flash-crowd, slow-center) — the disturbances only a sub-slot
+// controller can react to.
+func (sch *Schedule) HasDriftFaults() bool {
+	if sch == nil {
+		return false
+	}
+	for i := range sch.Events {
+		switch sch.Events[i].Kind {
+		case FlashCrowd, SlowCenter:
 			return true
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"profitlb/internal/cluster"
+	"profitlb/internal/control"
 	"profitlb/internal/dispatch"
 	"profitlb/internal/sim"
 )
@@ -40,6 +41,10 @@ type FleetSlotResult struct {
 	PlannedProfit float64
 	Degraded      bool
 	Tier          string
+	// Actuations counts the controller's published corrections this slot;
+	// ControlFrozen reports it froze mid-slot. Both zero without Control.
+	Actuations    int
+	ControlFrozen bool
 }
 
 // FleetReport is a whole fleet replay.
@@ -92,6 +97,34 @@ func (r *FleetReport) MaxLaneError(minPlanned float64) float64 {
 	return worst
 }
 
+// MaxDemandError returns the worst fleet-aggregate per-lane
+// |admitted − demand|/demand over lanes with at least minPlanned
+// realized demand, across slots that had a fresh publication.
+func (r *FleetReport) MaxDemandError(minPlanned float64) float64 {
+	var worst float64
+	for i := range r.Slots {
+		for j := range r.Slots[i].Lanes {
+			ls := &r.Slots[i].Lanes[j]
+			if ls.Demand < minPlanned {
+				continue
+			}
+			if e := ls.DemandErr(); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// Actuations sums the controller's published corrections.
+func (r *FleetReport) Actuations() int {
+	var n int
+	for i := range r.Slots {
+		n += r.Slots[i].Actuations
+	}
+	return n
+}
+
 // RunFleet replays cfg.Slots slots against a replicated gateway fleet.
 // Arrival synthesis is identical to Run — same seeds, same per-stream
 // processes — so a fleet replay faces the exact traffic a single-gateway
@@ -110,7 +143,21 @@ func RunFleet(f *cluster.Fleet, src *sim.InputSource, cfg Config) (*FleetReport,
 	if cfg.Closed {
 		return nil, errors.New("loadgen: closed-loop fleet replay is not supported (feedback would need per-replica populations)")
 	}
-	T := f.Replicas[0].Gateway().System().Slot()
+	gw0 := f.Replicas[0].Gateway()
+	T := gw0.System().Slot()
+	if cfg.BurstFrontEnd != nil && (*cfg.BurstFrontEnd < 0 || *cfg.BurstFrontEnd >= gw0.System().S()) {
+		return nil, fmt.Errorf("loadgen: burst front-end %d outside [0,%d)", *cfg.BurstFrontEnd, gw0.System().S())
+	}
+	sch := src.Config().Faults
+	var ctrl *control.Controller
+	var plant *control.FleetPlant
+	if cfg.Control != nil {
+		if err := cfg.Control.Validate(); err != nil {
+			return nil, err
+		}
+		plant = &control.FleetPlant{Pub: f.Pub, Replicas: f.Replicas}
+		ctrl = control.NewController(*cfg.Control, gw0.Config(), plant, gw0.Scope())
+	}
 	rep := &FleetReport{Replicas: len(f.Replicas)}
 	rep.PerReplica = make([]ReplicaStat, len(f.Replicas))
 	for i, r := range f.Replicas {
@@ -163,10 +210,43 @@ func RunFleet(f *cluster.Fleet, src *sim.InputSource, cfg Config) (*FleetReport,
 			}
 		}
 		var laneAdmitted []int64
+		var streamOffered []int64
 		if table != nil {
 			laneAdmitted = make([]int64, len(table.Lanes))
+			streamOffered = make([]int64, table.K()*table.S())
 		}
 		rates := view.Actual.Arrivals
+		S := len(rates)
+		K := 0
+		if S > 0 {
+			K = len(rates[0])
+		}
+		fire := func(k, s int, at float64, spray *rand.Rand) {
+			ri := live[spray.Intn(len(live))]
+			dec := f.Replicas[ri].Gateway().Handle(k, s, start+at)
+			res.Offered++
+			pr := &rep.PerReplica[ri]
+			pr.Offered++
+			switch dec.Outcome {
+			case dispatch.Admitted:
+				res.Admitted++
+				pr.Admitted++
+				if laneAdmitted != nil && int(dec.Lane) < len(laneAdmitted) {
+					laneAdmitted[dec.Lane]++
+				}
+			case dispatch.ShedBudget:
+				res.ShedBudget++
+				pr.ShedBudget++
+			case dispatch.ShedUnplanned:
+				res.ShedUnplanned++
+				pr.ShedUnplanned++
+			default:
+				res.Invalid++
+				pr.Invalid++
+			}
+		}
+		var merged []arrival
+		sprays := make([]*rand.Rand, S*K)
 		for s := range rates {
 			for k := range rates[s] {
 				rate := rates[s][k]
@@ -174,38 +254,48 @@ func RunFleet(f *cluster.Fleet, src *sim.InputSource, cfg Config) (*FleetReport,
 					continue
 				}
 				seed := streamSeed(cfg.Seed, abs, s, k)
-				arrivals, err := synthesize(rate, T, seed, &cfg, table, k, s)
+				arrivals, err := synthesize(rate, T, seed, &cfg, table, k, s, sch.FlashCrowdFactor(s, abs))
 				if err != nil {
 					return rep, err
+				}
+				if streamOffered != nil && k < table.K() && s < table.S() {
+					streamOffered[k*table.S()+s] += int64(len(arrivals))
 				}
 				// The spray stream is seeded independently of the arrival
 				// stream so target choice never perturbs arrival times.
 				spray := rand.New(rand.NewSource(streamSeed(cfg.Seed^0x5eed, abs, s, k)))
-				for _, at := range arrivals {
-					ri := live[spray.Intn(len(live))]
-					dec := f.Replicas[ri].Gateway().Handle(k, s, start+at)
-					res.Offered++
-					pr := &rep.PerReplica[ri]
-					pr.Offered++
-					switch dec.Outcome {
-					case dispatch.Admitted:
-						res.Admitted++
-						pr.Admitted++
-						if laneAdmitted != nil && int(dec.Lane) < len(laneAdmitted) {
-							laneAdmitted[dec.Lane]++
-						}
-					case dispatch.ShedBudget:
-						res.ShedBudget++
-						pr.ShedBudget++
-					case dispatch.ShedUnplanned:
-						res.ShedUnplanned++
-						pr.ShedUnplanned++
-					default:
-						res.Invalid++
-						pr.Invalid++
+				if ctrl != nil {
+					// The merged replay keeps each stream's relative order, so
+					// its spray rand draws the same sequence the nested loop
+					// would.
+					sprays[s*K+k] = spray
+					for _, at := range arrivals {
+						merged = append(merged, arrival{at: at, k: k, s: s})
 					}
+					continue
+				}
+				for _, at := range arrivals {
+					fire(k, s, at, spray)
 				}
 			}
+		}
+		if ctrl != nil {
+			liveSet := make([]bool, len(f.Replicas))
+			for _, ri := range live {
+				liveSet[ri] = true
+			}
+			slot := abs
+			plant.Slot = slot
+			plant.Serving = func(i int) bool { return liveSet[i] }
+			plant.Reachable = func(i int) bool { return f.Reachable(i, slot) }
+			prevActs := ctrl.Actuations()
+			// A publisher outage leaves table nil: BeginSlot(nil) disarms the
+			// controller and the fleet serves its last fenced epochs.
+			ctrl.BeginSlot(table, start, centerFactors(sch, gw0.System().L(), abs))
+			replayControlled(merged, T, start, cfg.Control.WithDefaults().TicksPerSlot, ctrl,
+				func(k, s int, at float64) { fire(k, s, at, sprays[s*K+k]) })
+			res.Actuations = ctrl.Actuations() - prevActs
+			res.ControlFrozen = ctrl.Frozen()
 		}
 		if table != nil {
 			res.Lanes = make([]LaneStat, len(table.Lanes))
@@ -217,6 +307,7 @@ func RunFleet(f *cluster.Fleet, src *sim.InputSource, cfg Config) (*FleetReport,
 					Planned:      ln.Rate * T,
 					Admitted:     n,
 					AchievedRate: float64(n) / T,
+					Demand:       laneDemand(table, j, streamOffered, T),
 				}
 			}
 		}

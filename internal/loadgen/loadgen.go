@@ -13,8 +13,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
+	"profitlb/internal/control"
 	"profitlb/internal/dispatch"
+	"profitlb/internal/fault"
 	"profitlb/internal/sim"
 	"profitlb/internal/workload"
 )
@@ -33,6 +36,21 @@ type Config struct {
 	// peak-to-mean ratio (mean preserved), the burstiness the paper's
 	// slot-average formulation never sees.
 	BurstFactor float64
+	// BurstFrontEnd optionally pins the MMPP burst to one front-end: when
+	// set, only that front-end's streams burst at BurstFactor, and every
+	// other stream keeps plain Poisson statistics — the exact draws a
+	// BurstFactor <= 1 replay of the same seed makes. Nil bursts every
+	// front-end (the legacy fleet-global behaviour).
+	BurstFrontEnd *int
+	// Control, when non-nil, closes the sub-slot loop: a
+	// control.Controller over the gateway (or fleet) samples achieved
+	// per-stream rates every SlotLen/TicksPerSlot of virtual time and
+	// hot-swaps corrective re-scaled tables mid-slot. Arrivals are then
+	// replayed in global time order with control ticks interleaved; when
+	// the controller never actuates, serving is bit-identical to a
+	// control-off replay (per-lane buckets and per-stream draw sequences
+	// see the same per-stream order either way).
+	Control *control.Config
 	// Closed switches to a closed loop: Users virtual users per
 	// (type, front-end) stream, each issuing a request, waiting the
 	// lane's expected delay, thinking Exp(Think), and repeating.
@@ -53,6 +71,12 @@ type LaneStat struct {
 	Admitted int64
 	// AchievedRate is Admitted/T, the realized λ.
 	AchievedRate float64
+	// Demand is the lane's share of the stream's *realized* offered
+	// traffic — offered_ks · (λ_i / Σλ_ks) — capped at the lane's MaxRate
+	// headroom budget. Under drift (a flash crowd) Planned measures
+	// conformance to a stale forecast; Demand is the target a corrective
+	// dispatcher should actually track.
+	Demand float64
 }
 
 // RelErr returns |achieved − planned| / planned (0 for unused lanes).
@@ -61,6 +85,15 @@ func (ls *LaneStat) RelErr() float64 {
 		return 0
 	}
 	return math.Abs(float64(ls.Admitted)-ls.Planned) / ls.Planned
+}
+
+// DemandErr returns |admitted − demand| / demand (0 for unused lanes):
+// how far the lane's serving lagged the traffic actually aimed at it.
+func (ls *LaneStat) DemandErr() float64 {
+	if ls.Demand <= 0 {
+		return 0
+	}
+	return math.Abs(float64(ls.Admitted)-ls.Demand) / ls.Demand
 }
 
 // SlotResult is one slot's replay accounting.
@@ -80,6 +113,10 @@ type SlotResult struct {
 	// emergency shed tables).
 	Degraded bool
 	Tier     string
+	// Actuations counts the controller's published corrections this slot;
+	// ControlFrozen reports it froze mid-slot. Both zero without Control.
+	Actuations    int
+	ControlFrozen bool
 }
 
 // Report is a whole replay.
@@ -138,6 +175,35 @@ func (r *Report) MaxLaneError(minPlanned float64) float64 {
 	return worst
 }
 
+// MaxDemandError returns the worst per-lane |admitted − demand|/demand
+// over lanes whose realized demand is at least minPlanned requests: the
+// drift-aware counterpart of MaxLaneError, measuring how well serving
+// tracked the traffic actually offered rather than the forecast.
+func (r *Report) MaxDemandError(minPlanned float64) float64 {
+	var worst float64
+	for i := range r.Slots {
+		for j := range r.Slots[i].Lanes {
+			ls := &r.Slots[i].Lanes[j]
+			if ls.Demand < minPlanned {
+				continue
+			}
+			if e := ls.DemandErr(); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// Actuations sums the controller's published corrections.
+func (r *Report) Actuations() int {
+	var n int
+	for i := range r.Slots {
+		n += r.Slots[i].Actuations
+	}
+	return n
+}
+
 // TotalNetProfit sums the realized per-slot profit.
 func (r *Report) TotalNetProfit() float64 {
 	var s float64
@@ -193,6 +259,17 @@ func Run(d *dispatch.Driver, src *sim.InputSource, cfg Config) (*Report, error) 
 	if cfg.Think == 0 {
 		cfg.Think = T / 8
 	}
+	if cfg.BurstFrontEnd != nil && (*cfg.BurstFrontEnd < 0 || *cfg.BurstFrontEnd >= gw.System().S()) {
+		return nil, fmt.Errorf("loadgen: burst front-end %d outside [0,%d)", *cfg.BurstFrontEnd, gw.System().S())
+	}
+	sch := src.Config().Faults
+	var ctrl *control.Controller
+	if cfg.Control != nil {
+		if err := cfg.Control.Validate(); err != nil {
+			return nil, err
+		}
+		ctrl = control.NewController(*cfg.Control, gw.Config(), control.GatewayPlant{GW: gw}, gw.Scope())
+	}
 	rep := &Report{Planner: d.Planner.Name()}
 	for i := 0; i < cfg.Slots; i++ {
 		abs := cfg.StartSlot + i
@@ -213,6 +290,23 @@ func Run(d *dispatch.Driver, src *sim.InputSource, cfg Config) (*Report, error) 
 		}
 		laneAdmitted := make([]int64, len(table.Lanes))
 		rates := view.Actual.Arrivals
+		streamOffered := make([]int64, table.K()*table.S())
+		handle := func(k, s int, at float64) {
+			dec := gw.Handle(k, s, start+at)
+			res.Offered++
+			switch dec.Outcome {
+			case dispatch.Admitted:
+				res.Admitted++
+				laneAdmitted[dec.Lane]++
+			case dispatch.ShedBudget:
+				res.ShedBudget++
+			case dispatch.ShedUnplanned:
+				res.ShedUnplanned++
+			default:
+				res.Invalid++
+			}
+		}
+		var merged []arrival
 		for s := range rates {
 			for k := range rates[s] {
 				rate := rates[s][k]
@@ -220,26 +314,30 @@ func Run(d *dispatch.Driver, src *sim.InputSource, cfg Config) (*Report, error) 
 					continue
 				}
 				seed := streamSeed(cfg.Seed, abs, s, k)
-				arrivals, err := synthesize(rate, T, seed, &cfg, table, k, s)
+				arrivals, err := synthesize(rate, T, seed, &cfg, table, k, s, sch.FlashCrowdFactor(s, abs))
 				if err != nil {
 					return rep, err
 				}
-				for _, at := range arrivals {
-					dec := gw.Handle(k, s, start+at)
-					res.Offered++
-					switch dec.Outcome {
-					case dispatch.Admitted:
-						res.Admitted++
-						laneAdmitted[dec.Lane]++
-					case dispatch.ShedBudget:
-						res.ShedBudget++
-					case dispatch.ShedUnplanned:
-						res.ShedUnplanned++
-					default:
-						res.Invalid++
+				if k < table.K() && s < table.S() {
+					streamOffered[k*table.S()+s] += int64(len(arrivals))
+				}
+				if ctrl != nil {
+					for _, at := range arrivals {
+						merged = append(merged, arrival{at: at, k: k, s: s})
 					}
+					continue
+				}
+				for _, at := range arrivals {
+					handle(k, s, at)
 				}
 			}
+		}
+		if ctrl != nil {
+			prevActs := ctrl.Actuations()
+			ctrl.BeginSlot(table, start, centerFactors(sch, gw.System().L(), abs))
+			replayControlled(merged, T, start, cfg.Control.WithDefaults().TicksPerSlot, ctrl, handle)
+			res.Actuations = ctrl.Actuations() - prevActs
+			res.ControlFrozen = ctrl.Frozen()
 		}
 		res.Lanes = make([]LaneStat, len(table.Lanes))
 		for j := range table.Lanes {
@@ -250,8 +348,18 @@ func Run(d *dispatch.Driver, src *sim.InputSource, cfg Config) (*Report, error) 
 				Planned:      ln.Rate * T,
 				Admitted:     n,
 				AchievedRate: float64(n) / T,
+				Demand:       laneDemand(table, j, streamOffered, T),
 			}
-			res.Revenue += float64(n) * ln.Utility
+			// A sagging center (slow-center fault) completes only cf of the
+			// lane's budget inside the deadline: the excess admissions earn
+			// zero step-TUF utility but still pay their energy and transfer.
+			good := n
+			if cf := sch.SlowCenterFactor(ln.L, abs); cf < 1 {
+				if lim := int64(cf * ln.Rate * T); good > lim {
+					good = lim
+				}
+			}
+			res.Revenue += float64(good) * ln.Utility
 			res.EnergyCost += float64(n) * ln.UnitEnergy
 			res.TransferCost += float64(n) * ln.UnitTransfer
 		}
@@ -260,6 +368,79 @@ func Run(d *dispatch.Driver, src *sim.InputSource, cfg Config) (*Report, error) 
 		rep.Slots = append(rep.Slots, res)
 	}
 	return rep, nil
+}
+
+// arrival is one synthesized request in a slot's merged replay stream.
+type arrival struct {
+	at   float64
+	k, s int
+}
+
+// replayControlled fires the slot's arrivals in global time order with
+// controller ticks interleaved at start + j·T/ticks. The merge keeps
+// each stream's arrivals in their original order, so every per-stream
+// draw sequence and per-lane bucket trajectory is identical to the
+// per-stream nested replay whenever the controller never actuates.
+func replayControlled(merged []arrival, T, start float64, ticks int, ctrl *control.Controller, handle func(k, s int, at float64)) {
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].at != merged[b].at {
+			return merged[a].at < merged[b].at
+		}
+		if merged[a].s != merged[b].s {
+			return merged[a].s < merged[b].s
+		}
+		return merged[a].k < merged[b].k
+	})
+	dt := T / float64(ticks)
+	ei := 0
+	// The final tick boundary is the slot end itself: the next BeginSlot
+	// supersedes anything it could publish, so it is skipped.
+	for j := 1; j < ticks; j++ {
+		for ei < len(merged) && merged[ei].at < float64(j)*dt {
+			handle(merged[ei].k, merged[ei].s, merged[ei].at)
+			ei++
+		}
+		ctrl.Tick(start + float64(j)*dt)
+	}
+	for ; ei < len(merged); ei++ {
+		handle(merged[ei].k, merged[ei].s, merged[ei].at)
+	}
+}
+
+// centerFactors assembles the per-center effective service fractions for
+// a slot from any active slow-center faults; nil when every center is
+// nominal.
+func centerFactors(sch *fault.Schedule, L, abs int) []float64 {
+	var out []float64
+	for l := 0; l < L; l++ {
+		if cf := sch.SlowCenterFactor(l, abs); cf < 1 {
+			if out == nil {
+				out = make([]float64, L)
+				for i := range out {
+					out[i] = 1
+				}
+			}
+			out[l] = cf
+		}
+	}
+	return out
+}
+
+// laneDemand apportions the stream's realized offered count across its
+// lanes by planned rate share, capped at the lane's MaxRate budget.
+func laneDemand(table *dispatch.Table, j int, streamOffered []int64, T float64) float64 {
+	ln := table.Lanes[j]
+	planned, _ := table.Planned(ln.K, ln.S)
+	if planned <= 0 {
+		return 0
+	}
+	d := float64(streamOffered[ln.K*table.S()+ln.S]) * ln.Rate / planned
+	if ln.MaxRate > 0 {
+		if lim := ln.MaxRate * T; d > lim {
+			d = lim
+		}
+	}
+	return d
 }
 
 // streamSeed derives the arrival-synthesis seed for one (slot, s, k)
@@ -277,11 +458,24 @@ func streamSeed(seed int64, abs, s, k int) int64 {
 }
 
 // synthesize produces the stream's arrival offsets in [0, T), sorted.
-func synthesize(rate, T float64, seed int64, cfg *Config, table *dispatch.Table, k, s int) ([]float64, error) {
+// flash > 1 is an active flash-crowd fault on the stream's front-end: a
+// mean-increasing MMPP whose calm state runs at the planned (forecast)
+// rate and whose burst state runs at flash× it — realized demand then
+// exceeds every committed plan, unlike the mean-preserving BurstFactor
+// process.
+func synthesize(rate, T float64, seed int64, cfg *Config, table *dispatch.Table, k, s int, flash float64) ([]float64, error) {
 	switch {
 	case cfg.Closed:
 		return closedLoop(rate, T, seed, cfg, table, k, s), nil
-	case cfg.BurstFactor > 1:
+	case flash > 1:
+		p := workload.MMPP{
+			RateLow:  rate,
+			RateHigh: rate * flash,
+			MeanLow:  T / 8,
+			MeanHigh: T / 8,
+		}
+		return p.Arrivals(T, seed)
+	case cfg.BurstFactor > 1 && (cfg.BurstFrontEnd == nil || *cfg.BurstFrontEnd == s):
 		f := cfg.BurstFactor
 		p := workload.MMPP{
 			RateLow:  2 * rate / (1 + f),

@@ -50,6 +50,13 @@ const (
 	// conservative-shed serving: Slot, Planner (the replica ID),
 	// Staleness, Values (epoch, factor).
 	KindStaleServing = "stale-serving"
+	// KindControlActuation is a sub-slot controller publishing a corrected
+	// table: Slot, Values (epoch, sub, tick, lanesChanged, maxStep).
+	KindControlActuation = "control-actuation"
+	// KindControlFrozen is the controller freezing at the last safe table
+	// instead of actuating: Slot, Reason ("stale-counters"/"clock"/
+	// "publish-rejected"/"rescale"), Values (epoch, sub, tick).
+	KindControlFrozen = "control-frozen"
 )
 
 // Event is one structured trace record. Unused fields stay zero and are

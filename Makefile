@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster verify-control verify-lp bench bench-smoke benchall
+.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster verify-control verify-lp bench bench-lp-sparse bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,16 @@ race:
 # plans through the routing-table compiler. FuzzWarmBasisImport throws
 # hostile (mismatched, duplicated, dependent) seed bases at the warm
 # solver and checks every accepted result against the cold path.
+# FuzzSparseFactors drives arbitrary sparse matrices and basis-change
+# sequences through the LU factor/eta-update machinery and checks every
+# FTRAN/BTRAN solve against a dense reference.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/workload/
 	$(GO) test -run=NONE -fuzz=FuzzLoad -fuzztime=10s ./internal/config/
 	$(GO) test -run=NONE -fuzz=FuzzCompile -fuzztime=10s ./internal/dispatch/
 	$(GO) test -run=NONE -fuzz=FuzzControlRescale -fuzztime=10s ./internal/dispatch/
 	$(GO) test -run=NONE -fuzz=FuzzWarmBasisImport -fuzztime=10s ./internal/lp/
+	$(GO) test -run=NONE -fuzz=FuzzSparseFactors -fuzztime=10s ./internal/linalg/
 
 # verify is the repo's full check tier: build, vet, tests, race tests,
 # a one-iteration smoke of the plan-search benchmarks, the feed-layer
@@ -54,14 +58,18 @@ verify-control:
 	$(GO) test -count=1 -run 'TestServeControlSmoke' ./cmd/profitlb/
 
 # verify-lp is the solver tier: the lp package (cold/warm simplex,
-# basis export/import, hot re-solve audits) and the planner warm-start
-# suites — chain equivalence vs cold, worker-count invariance,
-# iteration-limit escalation, horizon warm windows — under the race
-# detector, plus the memo-cache contention benchmark as a smoke.
+# basis export/import, hot re-solve audits, the sparse revised simplex
+# with its dual-cycling regression and cold-audit suites) and the
+# sparse LU/eta kernels in linalg, plus the planner warm-start and
+# sparse suites — chain equivalence vs cold, sparse-vs-dense chain
+# agreement, sparse-off bit-identity, worker-count invariance,
+# iteration-limit escalation, horizon warm and sparse windows — under
+# the race detector, with the memo-cache contention benchmark as a
+# smoke.
 verify-lp:
-	$(GO) vet ./internal/lp/ ./internal/core/
-	$(GO) test -race ./internal/lp/
-	$(GO) test -race -run 'TestWarm|TestLevelSearchWarmChain|TestHorizonPlannerWarm|TestPerServerIgnoresWarmStart|TestIterationLimitEscalates|TestStats|TestParallelPlansBitIdentical' ./internal/core/
+	$(GO) vet ./internal/lp/ ./internal/linalg/ ./internal/core/
+	$(GO) test -race ./internal/lp/ ./internal/linalg/
+	$(GO) test -race -run 'TestWarm|TestSparse|TestLevelSearchWarmChain|TestHorizonPlannerWarm|TestHorizonPlannerSparse|TestPerServerIgnoresWarmStart|TestIterationLimitEscalates|TestStats|TestParallelPlansBitIdentical' ./internal/core/
 	$(GO) test -run=NONE -bench=BenchmarkSubsetCacheContention -benchtime=1x ./internal/core/
 
 # verify-cluster is the replicated-fleet tier: the cluster package
@@ -107,8 +115,8 @@ verify-feeds:
 	$(GO) test -count=1 -run 'TestCmdChaosFeeds|TestCmdSimulateFeeds' ./cmd/profitlb/
 
 # bench compares the serial and parallel plan searches on the
-# rob2-chaos-scale slot and the warm-vs-cold re-solve chain on the
-# large 20-center topology. The -count runs feed benchstat directly
+# rob2-chaos-scale slot and the dense-warm vs sparse re-solve chains on
+# the large 100-center topology. The -count runs feed benchstat directly
 # (`make bench | benchstat -`), and the timing trajectories — speedups,
 # LP solves, cache hits, pivot counts — land in BENCH_plan.json under
 # the "plan_search" and "warm_start" keys.
@@ -119,6 +127,14 @@ bench:
 	BENCH_DISPATCH_JSON=$(CURDIR)/BENCH_dispatch.json $(GO) test -count=1 -run=TestDispatchHotPathTrajectory ./internal/dispatch/
 	$(GO) test -bench=BenchmarkControlTick -count=6 -run=NONE ./internal/control/
 	BENCH_DISPATCH_JSON=$(CURDIR)/BENCH_dispatch.json $(GO) test -count=1 -run=TestControlTickTrajectory ./internal/control/
+
+# bench-lp-sparse re-runs just the solver trajectory: the dense-warm vs
+# sparse re-solve chains on the 100-center topology, recording
+# steady-state hot re-solve latency, pivot counts and abandoned-pivot
+# spend under the "warm_start" key of BENCH_plan.json and enforcing the
+# >= 3x sparse steady-state gate.
+bench-lp-sparse:
+	BENCH_PLAN_JSON=BENCH_plan.json $(GO) test -count=1 -run='TestWarmStartTrajectory' -v .
 
 # bench-smoke proves every plan-search benchmark still runs (one
 # iteration, no timing claims); wired into verify.

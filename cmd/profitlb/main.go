@@ -375,6 +375,7 @@ func cmdSimulate(args []string) error {
 	seed := fs.Int64("seed", 1, "storm seed (with -faults storm)")
 	resilient := fs.Bool("resilient", false, "wrap the planner in the resilient fallback chain")
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
+	sparse := fs.Bool("sparse", true, "route warm-started LPs above the row threshold through the sparse revised simplex; overrides the scenario's sparse setting")
 	feedsArg := fs.String("feeds", "", "telemetry feed layer: 'on' for defaults, or a feed-config JSON file")
 	metricsPath := fs.String("metrics", "", "write the run's metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
 	tracePath := fs.String("trace", "", "stream structured planner-decision events to this file (JSON lines)")
@@ -395,11 +396,15 @@ func cmdSimulate(args []string) error {
 	if *resilient {
 		sc.Resilient = true
 	}
-	// Only an explicitly given -parallel overrides the scenario, so that
-	// `-parallel 0` can force the legacy serial search too.
+	// Only an explicitly given -parallel/-sparse overrides the scenario,
+	// so that `-parallel 0` can force the legacy serial search and
+	// `-sparse=false` the dense warm tableau.
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "parallel" {
+		switch f.Name {
+		case "parallel":
 			sc.Parallelism = *parallel
+		case "sparse":
+			sc.Sparse = sparse
 		}
 	})
 	if err := applyFaultsFlag(sc, *faultsArg, *seed); err != nil {
@@ -528,6 +533,7 @@ func cmdChaos(args []string) error {
 	spikes := fs.Int("spikes", 2, "price spikes to inject")
 	spikeFactor := fs.Float64("spike-factor", 2, "price multiplier during a spike")
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
+	sparse := fs.Bool("sparse", true, "route warm-started LPs above the row threshold through the sparse revised simplex; overrides the scenario's sparse setting")
 	feeds := fs.Bool("feeds", false, "route planner inputs through the telemetry feed layer and add feed faults to the storm")
 	metricsPath := fs.String("metrics", "", "write the storm run's metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
 	tracePath := fs.String("trace", "", "stream the storm run's planner-decision events to this file (JSON lines)")
@@ -547,11 +553,15 @@ func cmdChaos(args []string) error {
 		return err
 	}
 	defer sess.Close()
-	// Only an explicitly given -parallel overrides the scenario (same
-	// precedence as simulate), so `-parallel 0` can force serial search.
+	// Only an explicitly given -parallel/-sparse overrides the scenario
+	// (same precedence as simulate), so `-parallel 0` can force serial
+	// search and `-sparse=false` the dense warm tableau.
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "parallel" {
+		switch f.Name {
+		case "parallel":
 			sc.Parallelism = *parallel
+		case "sparse":
+			sc.Sparse = sparse
 		}
 	})
 	if err := sc.Validate(); err != nil { // resolves named price references

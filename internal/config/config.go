@@ -58,6 +58,12 @@ type Scenario struct {
 	// the planner default (on); false forces every slot LP to solve cold,
 	// bit-identical to the classic path.
 	WarmStart *bool `json:"warmStart,omitempty"`
+	// Sparse overrides the sparse revised-simplex routing of the
+	// optimized and level-search planners' warm-started LPs (DESIGN.md
+	// §14). Absent keeps the planner default (on); false forces the
+	// dense warm tableau everywhere, bit-identical to the pre-sparse
+	// path. It has no effect with WarmStart off.
+	Sparse *bool `json:"sparse,omitempty"`
 	// Faults optionally injects a deterministic fault schedule (center
 	// outages/degradations, price spikes/blackouts, arrival-trace
 	// drops/corruptions, planner timeout/error/panic). See DESIGN.md
@@ -265,6 +271,9 @@ func (s *Scenario) basePlanner() (core.Planner, error) {
 		if s.WarmStart != nil {
 			p.WarmStart = *s.WarmStart
 		}
+		if s.Sparse != nil {
+			p.Sparse = *s.Sparse
+		}
 		p.Obs = s.Obs
 		return p, nil
 	case "optimized/per-server":
@@ -274,6 +283,9 @@ func (s *Scenario) basePlanner() (core.Planner, error) {
 		if s.WarmStart != nil {
 			p.WarmStart = *s.WarmStart
 		}
+		if s.Sparse != nil {
+			p.Sparse = *s.Sparse
+		}
 		p.Obs = s.Obs
 		return p, nil
 	case "level-search":
@@ -281,6 +293,9 @@ func (s *Scenario) basePlanner() (core.Planner, error) {
 		p.Parallelism = s.Parallelism
 		if s.WarmStart != nil {
 			p.WarmStart = *s.WarmStart
+		}
+		if s.Sparse != nil {
+			p.Sparse = *s.Sparse
 		}
 		p.Obs = s.Obs
 		return p, nil

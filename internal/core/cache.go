@@ -30,6 +30,14 @@ type SearchStats struct {
 	// call by path — the raw material of the warm-speedup benchmarks.
 	WarmPivots int64
 	ColdPivots int64
+	// SparseSolves counts warm solves answered by the sparse revised
+	// simplex (zero with the Sparse knob off or every LP below the row
+	// threshold).
+	SparseSolves int64
+	// AbandonedPivots counts pivots burned on warm attempts that were
+	// abandoned for the cold path — work done and thrown away, which
+	// WarmPivots and ColdPivots both exclude.
+	AbandonedPivots int64
 }
 
 // subsetCache memoizes dispatch-LP solves within a single planning
@@ -153,9 +161,13 @@ func (c *subsetCache) key(comms []commodity, perServer bool, floors []float64, o
 	if opts.Bland {
 		flags |= 2
 	}
+	if opts.Sparse {
+		flags |= 4
+	}
 	put(flags)
 	put(uint64(opts.MaxIterations))
 	putF(opts.Tol)
+	put(uint64(opts.SparseMinRows))
 	put(uint64(len(floors)))
 	for _, f := range floors {
 		putF(f)

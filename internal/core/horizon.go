@@ -110,6 +110,12 @@ type HorizonPlanner struct {
 	// WarmStart seeds each window's LP from the previous window's
 	// exported basis (on via NewHorizonPlanner).
 	WarmStart bool
+	// Sparse routes warm-started window LPs at or above the sparse row
+	// threshold through the sparse revised simplex (on via
+	// NewHorizonPlanner); horizon LPs couple H slots in one model, so
+	// they cross the row threshold quickly. Audited like every warm
+	// result; off reproduces the dense warm path bit for bit.
+	Sparse bool
 	// LPOpts tunes the simplex solver.
 	LPOpts lp.Options
 	solver lp.Solver
@@ -117,7 +123,17 @@ type HorizonPlanner struct {
 }
 
 // NewHorizonPlanner returns a horizon planner with warm starts on.
-func NewHorizonPlanner() *HorizonPlanner { return &HorizonPlanner{WarmStart: true} }
+func NewHorizonPlanner() *HorizonPlanner { return &HorizonPlanner{WarmStart: true, Sparse: true} }
+
+// lpOpts resolves the effective solver options with the Sparse knob
+// merged in.
+func (hp *HorizonPlanner) lpOpts() lp.Options {
+	opts := hp.LPOpts
+	if hp.Sparse {
+		opts.Sparse = true
+	}
+	return opts
+}
 
 // Plan solves one window, reusing the planner's retained solver state.
 func (hp *HorizonPlanner) Plan(h *HorizonInput) (*HorizonPlan, error) {
@@ -128,7 +144,7 @@ func (hp *HorizonPlanner) Plan(h *HorizonInput) (*HorizonPlan, error) {
 	var res *lp.Result
 	var err error
 	if hp.WarmStart {
-		res, err = hp.solver.SolveWarm(b.model, hp.prev, hp.LPOpts)
+		res, err = hp.solver.SolveWarm(b.model, hp.prev, hp.lpOpts())
 		if err == nil {
 			if bas, ok := hp.solver.ExportBasis(); ok {
 				hp.prev = bas

@@ -72,6 +72,11 @@ type LevelSearch struct {
 	// worker-count invariant, off reproduces the cold path bit for bit;
 	// ignored under PerServer).
 	WarmStart bool
+	// Sparse routes warm-started dispatch LPs at or above the sparse row
+	// threshold through the sparse revised simplex, exactly as on
+	// Optimized (on via NewLevelSearch; audited, off reproduces the dense
+	// warm path bit for bit).
+	Sparse bool
 	// warm is the retained cross-slot solver state behind WarmStart.
 	warm *warmState
 	// Stats, when non-nil, receives the engine's solver counters after
@@ -86,7 +91,17 @@ type LevelSearch struct {
 // NewLevelSearch returns a LevelSearch with the defaults used in the
 // paper reproduction (auto strategy, consolidation and warm starts on).
 func NewLevelSearch() *LevelSearch {
-	return &LevelSearch{Consolidate: true, WarmStart: true}
+	return &LevelSearch{Consolidate: true, WarmStart: true, Sparse: true}
+}
+
+// lpOpts resolves the effective solver options: the Sparse knob merges
+// into LPOpts so every solve site and the memo-cache key see one value.
+func (ls *LevelSearch) lpOpts() lp.Options {
+	opts := ls.LPOpts
+	if ls.Sparse {
+		opts.Sparse = true
+	}
+	return opts
 }
 
 // Name implements Planner.
@@ -209,7 +224,7 @@ func (ls *LevelSearch) evaluate(eng *engine, in *Input, pairs []pair, levels []i
 	if len(comms) == 0 {
 		return assignment{levels: append([]int(nil), levels...)}, nil
 	}
-	rates, obj, err := eng.solve(in, comms, ls.PerServer, nil, ls.LPOpts)
+	rates, obj, err := eng.solve(in, comms, ls.PerServer, nil, ls.lpOpts())
 	if err == lp.ErrInfeasible {
 		return assignment{levels: append([]int(nil), levels...), obj: math.Inf(-1)}, nil
 	}
@@ -455,7 +470,7 @@ func (ls *LevelSearch) upperBound(eng *engine, in *Input, pairs []pair, levels [
 	if len(comms) == 0 {
 		return 0, nil
 	}
-	_, obj, err := eng.solve(in, comms, false, nil, ls.LPOpts)
+	_, obj, err := eng.solve(in, comms, false, nil, ls.lpOpts())
 	if err == lp.ErrInfeasible {
 		return math.Inf(-1), nil
 	}

@@ -80,6 +80,14 @@ type Optimized struct {
 	// WarmStart routes solves through the engine and memo cache even at
 	// Parallelism == 0, so Stats and Obs become live there too.
 	WarmStart bool
+	// Sparse routes warm-started dispatch LPs at or above the sparse row
+	// threshold through the sparse revised simplex (LU-factorized basis,
+	// FTRAN/BTRAN solves) instead of the dense warm tableau (on via
+	// NewOptimized; see DESIGN.md §14). Results are audited exactly like
+	// the dense warm path's; set Sparse to false — or leave WarmStart
+	// off — for the dense path bit for bit. The threshold itself can be
+	// tuned via LPOpts.SparseMinRows.
+	Sparse bool
 	// warm is the retained cross-slot solver state behind WarmStart.
 	warm *warmState
 	// Stats, when non-nil, receives the engine's solver counters after
@@ -98,7 +106,17 @@ type Optimized struct {
 // aggregated variables, refinement, consolidation and warm-started
 // re-solves on, top-up off.
 func NewOptimized() *Optimized {
-	return &Optimized{Refine: true, Consolidate: true, WarmStart: true}
+	return &Optimized{Refine: true, Consolidate: true, WarmStart: true, Sparse: true}
+}
+
+// lpOpts resolves the effective solver options: the Sparse knob merges
+// into LPOpts so every solve site and the memo-cache key see one value.
+func (o *Optimized) lpOpts() lp.Options {
+	opts := o.LPOpts
+	if o.Sparse {
+		opts.Sparse = true
+	}
+	return opts
 }
 
 // Name implements Planner.
@@ -289,7 +307,7 @@ func (o *Optimized) solveSubset(eng *engine, in *Input, comms []commodity) (assi
 	sortCommodities(comms)
 	withFloors := floorsActive(in, o.MinCompletion)
 	for {
-		rates, obj, err := eng.solve(in, comms, o.PerServer, o.MinCompletion, o.LPOpts)
+		rates, obj, err := eng.solve(in, comms, o.PerServer, o.MinCompletion, o.lpOpts())
 		if err == nil {
 			return assignment{comms: comms, rates: rates, obj: obj}, nil
 		}
@@ -372,7 +390,7 @@ func (o *Optimized) toggleSearch(eng *engine, in *Input, full []commodity, start
 // seed the subset search. It shares the caller's engine, so its LP
 // solves land in (and draw from) the same memo cache.
 func (o *Optimized) greedySeed(eng *engine, in *Input) (assignment, error) {
-	ls := &LevelSearch{Strategy: Greedy, PerServer: o.PerServer, LPOpts: o.LPOpts}
+	ls := &LevelSearch{Strategy: Greedy, PerServer: o.PerServer, LPOpts: o.LPOpts, Sparse: o.Sparse}
 	var pairs []pair
 	for k := 0; k < in.Sys.K(); k++ {
 		for l := 0; l < in.Sys.L(); l++ {

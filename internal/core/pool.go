@@ -105,15 +105,17 @@ func (e *engine) report(stats *SearchStats) {
 		return
 	}
 	solves, hits, errs := e.cache.solves.Load(), e.cache.hits.Load(), e.cache.errs.Load()
-	var warmHits, warmFalls, warmPiv, coldPiv int64
+	var warmHits, warmFalls, warmPiv, coldPiv, sparseSolves, abandonedPiv int64
 	if e.warm != nil {
 		warmHits, warmFalls = e.warm.hits.Load(), e.warm.fallbacks.Load()
 		warmPiv, coldPiv = e.warm.warmPivots.Load(), e.warm.coldPivots.Load()
+		sparseSolves, abandonedPiv = e.warm.sparseSolves.Load(), e.warm.abandonedPivots.Load()
 	}
 	if stats != nil {
 		stats.Solves, stats.CacheHits, stats.SolveErrors = solves, hits, errs
 		stats.WarmHits, stats.WarmFallbacks = warmHits, warmFalls
 		stats.WarmPivots, stats.ColdPivots = warmPiv, coldPiv
+		stats.SparseSolves, stats.AbandonedPivots = sparseSolves, abandonedPiv
 	}
 	if e.sc.Enabled() {
 		e.sc.Counter("core_lp_solves_total").Add(solves)
@@ -129,10 +131,14 @@ func (e *engine) report(stats *SearchStats) {
 			e.sc.Counter("core_lp_warm_fallbacks_total").Add(warmFalls)
 			e.sc.Counter("core_lp_warm_pivots_total").Add(warmPiv)
 			e.sc.Counter("core_lp_cold_pivots_total").Add(coldPiv)
+			e.sc.Counter("core_lp_sparse_solves_total").Add(sparseSolves)
+			e.sc.Counter("core_lp_abandoned_pivots_total").Add(abandonedPiv)
 			values["lpWarmHits"] = float64(warmHits)
 			values["lpWarmFallbacks"] = float64(warmFalls)
 			values["lpWarmPivots"] = float64(warmPiv)
 			values["lpColdPivots"] = float64(coldPiv)
+			values["lpSparseSolves"] = float64(sparseSolves)
+			values["lpAbandonedPivots"] = float64(abandonedPiv)
 		}
 		e.sc.Emit(obs.Event{Kind: obs.KindEngine, Slot: e.slot, Planner: e.planner,
 			Values: values})

@@ -40,10 +40,12 @@ type warmState struct {
 	pool    sync.Pool // of *lp.Solver
 
 	// Per-Plan counters, harvested by engine.report.
-	hits       atomic.Int64 // solves answered hot or by basis import
-	fallbacks  atomic.Int64 // warm attempts that fell back to cold
-	warmPivots atomic.Int64 // simplex pivots spent on warm-path solves
-	coldPivots atomic.Int64 // pivots spent on cold solves (incl. fallbacks)
+	hits            atomic.Int64 // solves answered hot or by basis import
+	fallbacks       atomic.Int64 // warm attempts that fell back to cold
+	warmPivots      atomic.Int64 // simplex pivots spent on warm-path solves
+	coldPivots      atomic.Int64 // pivots spent on cold solves (incl. fallbacks)
+	sparseSolves    atomic.Int64 // warm solves answered by the sparse revised simplex
+	abandonedPivots atomic.Int64 // pivots burned on abandoned warm attempts
 }
 
 func newWarmState() *warmState {
@@ -64,6 +66,8 @@ func (w *warmState) beginSlot() {
 	w.fallbacks.Store(0)
 	w.warmPivots.Store(0)
 	w.coldPivots.Store(0)
+	w.sparseSolves.Store(0)
+	w.abandonedPivots.Store(0)
 }
 
 // solveModel answers one dispatch-LP model through the warm machinery.
@@ -96,6 +100,10 @@ func (w *warmState) count(out lp.Outcome) {
 	} else if out.Path != "cold" {
 		w.hits.Add(1)
 	}
+	if out.Sparse {
+		w.sparseSolves.Add(1)
+	}
 	w.warmPivots.Add(int64(out.WarmPivots))
 	w.coldPivots.Add(int64(out.ColdPivots))
+	w.abandonedPivots.Add(int64(out.AbandonedPivots))
 }

@@ -1,0 +1,344 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sparseCol is a test-side basis column.
+type sparseCol struct {
+	ind []int
+	val []float64
+}
+
+// mulCols computes B·x for the basis given as columns (position-indexed x,
+// original-row-indexed result).
+func mulCols(n int, cols []sparseCol, x []float64) []float64 {
+	out := make([]float64, n)
+	for k, c := range cols {
+		for i, r := range c.ind {
+			out[r] += c.val[i] * x[k]
+		}
+	}
+	return out
+}
+
+// colDot computes one entry of Bᵀ·y.
+func colDot(c sparseCol, y []float64) float64 {
+	var s float64
+	for i, r := range c.ind {
+		s += c.val[i] * y[r]
+	}
+	return s
+}
+
+func maxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// checkFactors verifies Solve and SolveT against the column set by
+// residual: B·Solve(b) ≈ b and Bᵀ·SolveT(c) ≈ c.
+func checkFactors(t *testing.T, n int, cols []sparseCol, solve func(b, out []float64), solveT func(c, out []float64)) {
+	t.Helper()
+	scale := 1.0
+	for _, c := range cols {
+		if a := maxAbs(c.val); a > scale {
+			scale = a
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64((i*7)%5) - 2
+	}
+	x := make([]float64, n)
+	solve(b, x)
+	got := mulCols(n, cols, x)
+	tol := 1e-6 * scale * (1 + maxAbs(x))
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > tol {
+			t.Fatalf("FTRAN residual row %d: got %g want %g (tol %g)", i, got[i], b[i], tol)
+		}
+	}
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = float64((i*3)%7) - 3
+	}
+	y := make([]float64, n)
+	solveT(c, y)
+	tolT := 1e-6 * scale * (1 + maxAbs(y))
+	for k := range cols {
+		if d := colDot(cols[k], y); math.Abs(d-c[k]) > tolT {
+			t.Fatalf("BTRAN residual col %d: got %g want %g (tol %g)", k, d, c[k], tolT)
+		}
+	}
+}
+
+func factorAll(n int, cols []sparseCol, pivTol float64) *SparseLU {
+	f := NewSparseLU(n, pivTol)
+	for _, c := range cols {
+		if !f.AddColumn(c.ind, c.val) {
+			return nil
+		}
+	}
+	return f
+}
+
+func TestSparseLURandomMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(14)
+		cols := make([]sparseCol, n)
+		// Diagonal plus random fill keeps the matrix nonsingular.
+		for k := 0; k < n; k++ {
+			cols[k].ind = append(cols[k].ind, k)
+			cols[k].val = append(cols[k].val, 1+rng.Float64()*4)
+			for extra := rng.Intn(4); extra > 0; extra-- {
+				cols[k].ind = append(cols[k].ind, rng.Intn(n))
+				cols[k].val = append(cols[k].val, rng.NormFloat64())
+			}
+		}
+		f := factorAll(n, cols, 0)
+		if f == nil {
+			t.Fatalf("trial %d: nonsingular matrix rejected", trial)
+		}
+		if !f.Complete() {
+			t.Fatalf("trial %d: factorization incomplete", trial)
+		}
+		checkFactors(t, n, cols, f.Solve, f.SolveT)
+	}
+}
+
+func TestSparseLURejectsDependentColumns(t *testing.T) {
+	// Second column is a scalar multiple of the first.
+	f := NewSparseLU(3, 0)
+	if !f.AddColumn([]int{0, 1}, []float64{1, 2}) {
+		t.Fatal("first column rejected")
+	}
+	if f.AddColumn([]int{0, 1}, []float64{2, 4}) {
+		t.Fatal("duplicate column accepted")
+	}
+	if f.Rank() != 1 {
+		t.Fatalf("rank %d after rejection, want 1", f.Rank())
+	}
+	// An all-zero column is dependent by definition.
+	if f.AddColumn([]int{2}, []float64{0}) {
+		t.Fatal("zero column accepted")
+	}
+	// Completing with independent columns still works after rejections.
+	if !f.AddColumn([]int{1}, []float64{1}) || !f.AddColumn([]int{2}, []float64{5}) {
+		t.Fatal("independent completion rejected")
+	}
+	if !f.Complete() {
+		t.Fatal("factorization incomplete")
+	}
+}
+
+func TestSparseLUZeroRowSingular(t *testing.T) {
+	// Row 1 is zero in every column: at most n-1 columns can be accepted.
+	cols := []sparseCol{
+		{ind: []int{0}, val: []float64{1}},
+		{ind: []int{2}, val: []float64{1}},
+		{ind: []int{0, 2}, val: []float64{3, -1}},
+	}
+	f := NewSparseLU(3, 0)
+	accepted := 0
+	for _, c := range cols {
+		if f.AddColumn(c.ind, c.val) {
+			accepted++
+		}
+	}
+	if accepted != 2 || f.Complete() {
+		t.Fatalf("accepted %d columns of a zero-row matrix, complete=%v", accepted, f.Complete())
+	}
+	if f.Pivoted(1) {
+		t.Fatal("zero row reported pivoted")
+	}
+}
+
+func TestSparseLUDuplicateRowEntriesAccumulate(t *testing.T) {
+	// (0: 1+2, 1: 5) should behave exactly like (0: 3, 1: 5).
+	a := factorAll(2, []sparseCol{
+		{ind: []int{0, 1, 0}, val: []float64{1, 5, 2}},
+		{ind: []int{1}, val: []float64{1}},
+	}, 0)
+	b := factorAll(2, []sparseCol{
+		{ind: []int{0, 1}, val: []float64{3, 5}},
+		{ind: []int{1}, val: []float64{1}},
+	}, 0)
+	if a == nil || b == nil {
+		t.Fatal("factorization rejected")
+	}
+	rhs := []float64{7, -2}
+	xa := make([]float64, 2)
+	xb := make([]float64, 2)
+	a.Solve(rhs, xa)
+	b.Solve(rhs, xb)
+	for i := range xa {
+		if math.Abs(xa[i]-xb[i]) > 1e-12 {
+			t.Fatalf("duplicate-entry solve differs: %v vs %v", xa, xb)
+		}
+	}
+}
+
+func TestEtaFileUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		cols := make([]sparseCol, n)
+		for k := 0; k < n; k++ {
+			cols[k].ind = append(cols[k].ind, k)
+			cols[k].val = append(cols[k].val, 1+rng.Float64()*3)
+			if k > 0 {
+				cols[k].ind = append(cols[k].ind, rng.Intn(k))
+				cols[k].val = append(cols[k].val, rng.NormFloat64())
+			}
+		}
+		f := factorAll(n, cols, 0)
+		if f == nil {
+			t.Fatalf("trial %d: base factorization rejected", trial)
+		}
+		etas := NewEtaFile(n)
+		ftran := func(b, out []float64) {
+			f.Solve(b, out)
+			etas.Apply(out)
+		}
+		btran := func(c, out []float64) {
+			tmp := make([]float64, n)
+			copy(tmp, c)
+			etas.ApplyT(tmp)
+			f.SolveT(tmp, out)
+		}
+		// A few random column replacements, each recorded as an eta.
+		for upd := 0; upd < 4; upd++ {
+			r := rng.Intn(n)
+			repl := sparseCol{
+				ind: []int{r, rng.Intn(n)},
+				val: []float64{2 + rng.Float64(), rng.NormFloat64()},
+			}
+			dense := make([]float64, n)
+			for i, row := range repl.ind {
+				dense[row] += repl.val[i]
+			}
+			w := make([]float64, n)
+			ftran(dense, w)
+			if !etas.Append(r, w, 1e-11) {
+				continue // singular replacement refused: basis unchanged
+			}
+			cols[r] = repl
+		}
+		checkFactors(t, n, cols, ftran, btran)
+	}
+}
+
+func TestEtaFileRefusesSingularUpdate(t *testing.T) {
+	etas := NewEtaFile(2)
+	if etas.Append(0, []float64{0, 3}, 1e-11) {
+		t.Fatal("singular eta accepted")
+	}
+	if etas.Len() != 0 {
+		t.Fatalf("eta file grew on refusal: %d", etas.Len())
+	}
+}
+
+// FuzzSparseFactors throws hostile basis column sets — duplicate columns,
+// zero rows, near-singular bases — at the LU + eta update path. Any basis
+// the factorization accepts must solve FTRAN/BTRAN to a small residual,
+// both before and after a product-form column replacement.
+func FuzzSparseFactors(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 0, 10, 1, 1, 20, 2, 2, 30})             // diagonal
+	f.Add(uint8(3), []byte{0, 0, 10, 0, 0, 10, 1, 1, 5, 2, 2, 5})     // duplicate column
+	f.Add(uint8(4), []byte{0, 0, 9, 1, 1, 9, 3, 3, 9, 2, 0, 4})       // zero row 2
+	f.Add(uint8(2), []byte{0, 0, 1, 0, 1, 255, 1, 0, 254, 1, 1, 255}) // near-singular
+	f.Add(uint8(1), []byte{0, 0, 0})                                  // 1×1 zero
+	f.Fuzz(func(t *testing.T, dim uint8, data []byte) {
+		n := 1 + int(dim)%12
+		var cols []sparseCol
+		cur := -1
+		for i := 0; i+2 < len(data); i += 3 {
+			c := int(data[i]) % n
+			r := int(data[i+1]) % n
+			v := (float64(data[i+2]) - 127) / 16
+			if c != cur {
+				if len(cols) >= 2*n {
+					break
+				}
+				cols = append(cols, sparseCol{})
+				cur = c
+			}
+			last := &cols[len(cols)-1]
+			last.ind = append(last.ind, r)
+			last.val = append(last.val, v)
+		}
+		lu := NewSparseLU(n, 1e-10)
+		var accepted []sparseCol
+		for _, c := range cols {
+			if len(c.ind) == 0 {
+				continue
+			}
+			if lu.AddColumn(c.ind, c.val) {
+				accepted = append(accepted, c)
+			}
+		}
+		if lu.Rank() != len(accepted) {
+			t.Fatalf("rank %d but %d columns accepted", lu.Rank(), len(accepted))
+		}
+		if !lu.Complete() {
+			return
+		}
+		// Residual checks are only meaningful when the accepted basis is not
+		// pathologically ill-conditioned; a tiny pivot relative to the
+		// largest one is the cheap proxy.
+		minD, maxD := math.Inf(1), 0.0
+		for k := 0; k < n; k++ {
+			a := math.Abs(lu.udiag[k])
+			if a < minD {
+				minD = a
+			}
+			if a > maxD {
+				maxD = a
+			}
+		}
+		if minD < 1e-7*maxD {
+			return
+		}
+		etas := NewEtaFile(n)
+		ftran := func(b, out []float64) {
+			lu.Solve(b, out)
+			etas.Apply(out)
+		}
+		btran := func(c, out []float64) {
+			tmp := make([]float64, n)
+			copy(tmp, c)
+			etas.ApplyT(tmp)
+			lu.SolveT(tmp, out)
+		}
+		checkFactors(t, n, accepted, ftran, btran)
+		// One product-form replacement drawn from the rejected columns (or a
+		// unit column when none were rejected), then re-verify.
+		repl := sparseCol{ind: []int{n - 1, 0}, val: []float64{2, 1}}
+		for _, c := range cols[len(accepted):] {
+			if len(c.ind) > 0 {
+				repl = c
+				break
+			}
+		}
+		dense := make([]float64, n)
+		for i, r := range repl.ind {
+			dense[r] += repl.val[i]
+		}
+		w := make([]float64, n)
+		ftran(dense, w)
+		r := int(dim) % n
+		if etas.Append(r, w, 1e-6) {
+			accepted[r] = repl
+			checkFactors(t, n, accepted, ftran, btran)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package lp
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestColdAuditSurfacesNumericBreakdown is the regression test for the
+// silent-negative-solution leak: extract's clamp only fixes values in
+// (−10·Tol, 0), so a tableau whose basic values drifted further negative
+// used to pass its answer out of the cold path unaudited. The cold
+// Optimal claim now runs the same rhs-scaled CheckFeasible gate as the
+// warm paths and surfaces NumericBreakdown instead.
+func TestColdAuditSurfacesNumericBreakdown(t *testing.T) {
+	build := func() *tableau {
+		m := NewModel()
+		x := m.AddVariable("x", 1)
+		m.AddConstraint("cap", []Term{{x, 1}}, LE, 5)
+		tb := newTableau(m, Options{})
+		if st := tb.run(); st != Optimal {
+			t.Fatalf("setup solve: %v", st)
+		}
+		return tb
+	}
+
+	// Healthy tableau: the audit passes and the result is Optimal.
+	tb := build()
+	res, err := tb.result(Optimal)
+	if err != nil || res.Status != Optimal {
+		t.Fatalf("healthy path: status %v err %v", res.Status, err)
+	}
+
+	// Corrupt the basic value of x beyond the clamp window (−10·Tol) but
+	// exactly in the range the old code leaked silently.
+	tb = build()
+	for r, b := range tb.basis {
+		if b == 0 { // structural x basic
+			tb.a.Set(r, tb.total, -1e-6)
+		}
+	}
+	res, err = tb.result(Optimal)
+	if !errors.Is(err, ErrNumericBreakdown) {
+		t.Fatalf("corrupted tableau: err %v, want ErrNumericBreakdown", err)
+	}
+	if res.Status != NumericBreakdown {
+		t.Fatalf("corrupted tableau: status %v, want NumericBreakdown", res.Status)
+	}
+	if res.X != nil || res.Duals != nil {
+		t.Fatalf("breakdown result must not carry a solution: %+v", res)
+	}
+}
+
+// TestAbandonedPivotAccounting verifies that pivots burned on abandoned
+// warm attempts are reported instead of vanishing: a budget-starved warm
+// solve must surface them in Outcome.AbandonedPivots and the cumulative
+// SolverStats, while healthy chains report zero.
+func TestAbandonedPivotAccounting(t *testing.T) {
+	// Healthy warm chain: nothing is abandoned.
+	var healthy Solver
+	var seed *Basis
+	for slot := 0; slot < 3; slot++ {
+		scale := 1 + 0.1*float64(slot)
+		if _, err := healthy.SolveWarm(buildTransportLP(scale, 1), seed, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if out := healthy.LastOutcome(); out.AbandonedPivots != 0 {
+			t.Fatalf("slot %d: abandoned pivots %d on a healthy chain", slot, out.AbandonedPivots)
+		}
+		if b, ok := healthy.ExportBasis(); ok {
+			seed = b
+		}
+	}
+	if st := healthy.Stats(); st.AbandonedPivots != 0 {
+		t.Fatalf("healthy chain stats: %+v", st)
+	}
+
+	// A one-pivot budget starves the dense import mid-repair; the burned
+	// pivot must be accounted, not lost. The all-surplus seed on the Beale
+	// dual guarantees the repair cannot finish in one pivot.
+	var starved Solver
+	allSurplus := NewBasis(nil, []string{"d1", "d2", "d3", "d4"})
+	res, err := starved.SolveWarm(buildBealeDual(), allSurplus, Options{MaxIterations: 1})
+	out := starved.LastOutcome()
+	if !out.FellBack || out.Path != "cold" {
+		t.Fatalf("outcome %+v (res %v err %v), want cold fallback", out, res, err)
+	}
+	if out.AbandonedPivots < 1 {
+		t.Fatalf("outcome %+v: abandoned pivots not recorded", out)
+	}
+	if st := starved.Stats(); st.AbandonedPivots != int64(out.AbandonedPivots) {
+		t.Fatalf("stats %+v disagree with outcome %+v", st, out)
+	}
+
+	// Same contract on the sparse path.
+	var sparse Solver
+	opts := sparseTestOpts()
+	opts.MaxIterations = 1
+	res, err = sparse.SolveWarm(buildInequalityLP(1), nil, opts)
+	out = sparse.LastOutcome()
+	if !out.FellBack || out.Path != "cold" {
+		t.Fatalf("sparse outcome %+v (res %v err %v), want cold fallback", out, res, err)
+	}
+	if out.AbandonedPivots < 1 {
+		t.Fatalf("sparse outcome %+v: abandoned pivots not recorded", out)
+	}
+	if st := sparse.Stats(); st.AbandonedPivots != int64(out.AbandonedPivots) {
+		t.Fatalf("sparse stats %+v disagree with outcome %+v", st, out)
+	}
+}

@@ -51,6 +51,11 @@ const (
 	Infeasible
 	Unbounded
 	IterationLimit
+	// NumericBreakdown reports that the simplex claimed optimality but the
+	// solution failed the post-solve feasibility audit — the tableau
+	// drifted numerically. Surfaced instead of a silently wrong answer;
+	// callers treat it like IterationLimit (retry, escalate, re-scale).
+	NumericBreakdown
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +69,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterationLimit:
 		return "iteration-limit"
+	case NumericBreakdown:
+		return "numeric-breakdown"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -72,9 +79,10 @@ func (s Status) String() string {
 // Errors reported by Solve. A Result is still returned alongside these so
 // the caller can inspect the status.
 var (
-	ErrInfeasible     = errors.New("lp: problem is infeasible")
-	ErrUnbounded      = errors.New("lp: problem is unbounded")
-	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+	ErrInfeasible       = errors.New("lp: problem is infeasible")
+	ErrUnbounded        = errors.New("lp: problem is unbounded")
+	ErrIterationLimit   = errors.New("lp: iteration limit exceeded")
+	ErrNumericBreakdown = errors.New("lp: solution failed the feasibility audit (numeric breakdown)")
 )
 
 // Term is one coefficient*variable entry of a linear expression.

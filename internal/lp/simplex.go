@@ -18,6 +18,15 @@ type Options struct {
 	// By default Dantzig pricing is used and the solver switches to
 	// Bland's rule after stalling to guarantee termination.
 	Bland bool
+	// Sparse routes a Solver's warm paths (SolveWarm/SolveSeeded) through
+	// the sparse revised simplex — LU-factorized basis, FTRAN/BTRAN
+	// solves, partial pricing — once the model has at least SparseMinRows
+	// rows. The cold path and every model below the threshold stay on the
+	// dense tableau, bit-identical to Sparse being off.
+	Sparse bool
+	// SparseMinRows overrides the Sparse row threshold; 0 means
+	// DefaultSparseMinRows.
+	SparseMinRows int
 }
 
 func (o Options) withDefaults(rows, cols int) Options {
@@ -42,6 +51,10 @@ func (m *Model) SolveOpts(opts Options) (*Result, error) {
 }
 
 // result assembles the Result (and sentinel error) for a finished tableau.
+// Optimal claims are audited against the model with the same rhs-scaled
+// CheckFeasible gate the warm paths use: a tableau that drifted far enough
+// to report basic values beyond the audit tolerance surfaces
+// NumericBreakdown instead of a silently wrong answer.
 func (t *tableau) result(status Status) (*Result, error) {
 	res := &Result{Status: status, Iterations: t.iters}
 	if status != Optimal {
@@ -56,8 +69,13 @@ func (t *tableau) result(status Status) (*Result, error) {
 		}
 		return res, err
 	}
-	res.X = t.extract()
-	res.Objective = t.m.ObjectiveValue(res.X)
+	x := t.extract()
+	if t.m.CheckFeasible(x, auditTol(t.m, t.opts.Tol)) != nil {
+		res.Status = NumericBreakdown
+		return res, ErrNumericBreakdown
+	}
+	res.X = x
+	res.Objective = t.m.ObjectiveValue(x)
 	res.Duals = t.duals()
 	return res, nil
 }

@@ -35,9 +35,13 @@ func (b *Basis) Size() int {
 
 // Outcome describes how the most recent solve on a Solver ran.
 type Outcome struct {
-	// Path is "hot" (retained tableau, rhs refresh), "import" (seed basis
-	// crashed into a fresh warm tableau) or "cold" (two-phase simplex).
+	// Path is "hot" (retained tableau or factors, rhs refresh), "import"
+	// (seed basis crashed into a fresh warm state) or "cold" (two-phase
+	// simplex).
 	Path string
+	// Sparse reports that the warm path ran the sparse revised simplex
+	// rather than the dense warm tableau.
+	Sparse bool
 	// FellBack reports that a warm attempt was abandoned for the cold
 	// path (singular import, infeasible repair, drift guard, limits).
 	FellBack bool
@@ -45,6 +49,10 @@ type Outcome struct {
 	// respective path during this solve.
 	WarmPivots int
 	ColdPivots int
+	// AbandonedPivots counts pivots spent on warm attempts that were
+	// abandoned mid-way during this solve; without it the cost of a
+	// fallback would vanish from the accounting.
+	AbandonedPivots int
 }
 
 // SolverStats accumulates per-path counters across the life of a Solver.
@@ -52,9 +60,13 @@ type SolverStats struct {
 	HotSolves    int64
 	ImportSolves int64
 	ColdSolves   int64
+	SparseSolves int64 // warm solves answered by the sparse revised simplex
 	Fallbacks    int64 // warm attempts abandoned for the cold path
 	WarmPivots   int64
 	ColdPivots   int64
+	// AbandonedPivots counts pivots spent on abandoned warm attempts —
+	// work done and thrown away, invisible to WarmPivots/ColdPivots.
+	AbandonedPivots int64
 }
 
 // Solver runs successive LP solves while retaining the dense tableau
@@ -67,6 +79,7 @@ type Solver struct {
 	coldAr arena
 	warmAr arena
 	ws     retained
+	sws    retainedSparse
 	last   lastSolve
 	out    Outcome
 	stats  SolverStats
@@ -80,8 +93,20 @@ type retained struct {
 	uses  int
 }
 
+// retainedSparse is the sparse counterpart: the revised-simplex state of
+// the previous solve, whose LU factors plus eta file play the marker
+// block's role.
+type retainedSparse struct {
+	ss    *sparseSolve
+	valid bool
+	uses  int
+}
+
+// lastSolve records the final state of the most recent solve for
+// ExportBasis; exactly one of t (dense) and ss (sparse) is set.
 type lastSolve struct {
 	t  *tableau
+	ss *sparseSolve
 	ok bool
 }
 
@@ -105,8 +130,16 @@ func (s *Solver) Solve(m *Model, opts Options) (*Result, error) {
 // correctness anchor whenever a warm attempt fails. A warm result is
 // accepted only at status Optimal and after the model re-verifies the
 // solution, so correctness never depends on the warm path.
+//
+// With opts.Sparse set and the model at or above the row threshold, the
+// warm paths run the sparse revised simplex instead of the dense warm
+// tableau (see solveWarmSparse); the cold anchor stays dense either way.
 func (s *Solver) SolveWarm(m *Model, seed *Basis, opts Options) (*Result, error) {
 	s.begin()
+	if opts.sparseEligible(m) {
+		return s.solveWarmSparse(m, seed, opts)
+	}
+	s.sws = retainedSparse{}
 	attempted := false
 	if s.ws.valid && s.ws.t != nil && sameStructure(s.ws.t.m, m) {
 		attempted = true
@@ -140,6 +173,21 @@ func (s *Solver) SolveWarm(m *Model, seed *Basis, opts Options) (*Result, error)
 func (s *Solver) SolveSeeded(m *Model, seed *Basis, opts Options) (*Result, error) {
 	s.begin()
 	s.ws = retained{} // stateless by contract
+	s.sws = retainedSparse{}
+	if opts.sparseEligible(m) {
+		if res := s.importSparse(m, seed, opts); res != nil {
+			s.sws = retainedSparse{} // drop state armed by importSparse
+			s.out.Path = "import"
+			s.out.Sparse = true
+			s.stats.ImportSolves++
+			s.stats.SparseSolves++
+			return res, nil
+		}
+		s.out.FellBack = true
+		s.stats.Fallbacks++
+		s.out.Path = "cold"
+		return s.solveCold(m, opts)
+	}
 	if seed.Size() > 0 {
 		if res := s.importSolve(m, seed, opts); res != nil {
 			s.ws = retained{} // drop state armed by importSolve
@@ -166,7 +214,23 @@ func (s *Solver) Stats() SolverStats { return s.stats }
 // rows), in which case the caller keeps its previous seed. The basis is
 // only meaningful until the next solve on this Solver.
 func (s *Solver) ExportBasis() (*Basis, bool) {
-	if !s.last.ok || s.last.t == nil {
+	if !s.last.ok {
+		return nil, false
+	}
+	if ss := s.last.ss; ss != nil {
+		// Sparse bases contain only structural and slack columns by
+		// construction, so they are always representable.
+		b := &Basis{}
+		for _, c := range ss.basis {
+			if c < ss.n {
+				b.vars = append(b.vars, ss.m.names[c])
+			} else {
+				b.slackRows = append(b.slackRows, ss.m.rows[ss.slackRow[c-ss.n]].name)
+			}
+		}
+		return b, true
+	}
+	if s.last.t == nil {
 		return nil, false
 	}
 	t := s.last.t
@@ -206,6 +270,24 @@ func (s *Solver) begin() {
 
 func (s *Solver) setLast(t *tableau, ok bool) { s.last = lastSolve{t: t, ok: ok} }
 
+func (s *Solver) setLastSparse(ss *sparseSolve) { s.last = lastSolve{ss: ss, ok: true} }
+
+// abandonDense records the pivots a failed dense warm attempt burned and
+// drops the retained tableau.
+func (s *Solver) abandonDense(t *tableau) {
+	s.out.AbandonedPivots += t.iters
+	s.stats.AbandonedPivots += int64(t.iters)
+	s.ws = retained{}
+}
+
+// abandonSparse records the pivots a failed sparse warm attempt burned
+// and drops the retained factors.
+func (s *Solver) abandonSparse(ss *sparseSolve) {
+	s.out.AbandonedPivots += ss.iters
+	s.stats.AbandonedPivots += int64(ss.iters)
+	s.sws = retainedSparse{}
+}
+
 func (s *Solver) solveCold(m *Model, opts Options) (*Result, error) {
 	t := newTableauIn(m, opts, &s.coldAr)
 	st := t.run()
@@ -234,17 +316,17 @@ func (s *Solver) hotSolve(m *Model, opts Options) *Result {
 	t.iters = 0
 	t.refreshRHS()
 	if st := t.dualIterate(); st != Optimal {
-		s.ws = retained{}
+		s.abandonDense(t)
 		return nil
 	}
 	t.setPhase2Z()
 	if st := t.iterate(); st != Optimal {
-		s.ws = retained{}
+		s.abandonDense(t)
 		return nil
 	}
 	res := s.acceptWarm(t)
 	if res == nil {
-		s.ws = retained{}
+		s.abandonDense(t)
 		return nil
 	}
 	s.ws.uses++
@@ -264,14 +346,17 @@ func (s *Solver) importSolve(m *Model, seed *Basis, opts Options) *Result {
 		return nil
 	}
 	if st := t.dualIterate(); st != Optimal {
+		s.abandonDense(t)
 		return nil
 	}
 	t.setPhase2Z()
 	if st := t.iterate(); st != Optimal {
+		s.abandonDense(t)
 		return nil
 	}
 	res := s.acceptWarm(t)
 	if res == nil {
+		s.abandonDense(t)
 		return nil
 	}
 	s.ws = retained{t: t, valid: true}
@@ -279,8 +364,21 @@ func (s *Solver) importSolve(m *Model, seed *Basis, opts Options) *Result {
 }
 
 // warmFeasFactor scales the solver tolerance (per unit of rhs magnitude)
-// for the post-solve feasibility audit of warm results.
+// for the post-solve feasibility audits (warm results and cold Optimal
+// claims alike).
 const warmFeasFactor = 100
+
+// auditTol is the rhs-scaled feasibility tolerance shared by the warm
+// accept gates and the cold-path Optimal audit.
+func auditTol(m *Model, tol float64) float64 {
+	scale := 1.0
+	for i := range m.rows {
+		if a := math.Abs(m.rows[i].rhs); a > scale {
+			scale = a
+		}
+	}
+	return tol * warmFeasFactor * scale
+}
 
 // acceptWarm audits a warm tableau that claims optimality. The solution
 // must re-verify against the model within a tolerance proportional to the
@@ -288,13 +386,7 @@ const warmFeasFactor = 100
 // cold path re-solves from scratch.
 func (s *Solver) acceptWarm(t *tableau) *Result {
 	x := t.extract()
-	scale := 1.0
-	for i := range t.m.rows {
-		if a := math.Abs(t.m.rows[i].rhs); a > scale {
-			scale = a
-		}
-	}
-	if t.m.CheckFeasible(x, t.opts.Tol*warmFeasFactor*scale) != nil {
+	if t.m.CheckFeasible(x, auditTol(t.m, t.opts.Tol)) != nil {
 		return nil
 	}
 	s.out.WarmPivots = t.iters
@@ -478,17 +570,39 @@ func (t *tableau) refreshRHS() {
 // rhs is non-negative, Infeasible when a negative row has no eligible
 // entering column (a primal infeasibility certificate, which callers
 // re-confirm via the cold path), or IterationLimit.
+//
+// Like the primal iterate, it starts on Dantzig-style pricing (most
+// negative basic value, minimum ratio) and switches to Bland's
+// smallest-index rule — smallest basic column among the violating rows,
+// smallest entering column among the ratio minimizers — after stalling,
+// so a dual-degenerate rhs perturbation cannot cycle the hot path into
+// its MaxIterations budget. The objective value in the z row's rhs cell
+// is the progress measure: dual pivots only ever decrease it, and a long
+// run without decrease is the cycling signature.
 func (t *tableau) dualIterate() Status {
 	tol := t.opts.Tol
 	rhs := t.total
+	bland := t.opts.Bland
+	stall := 0
+	lastObj := math.Inf(1)
 	for {
 		if t.iters >= t.opts.MaxIterations {
 			return IterationLimit
 		}
-		leave, minVal := -1, -tol
-		for r := 0; r < t.a.Rows; r++ {
-			if v := t.a.At(r, rhs); v < minVal {
-				leave, minVal = r, v
+		leave := -1
+		if bland {
+			bestCol := t.total + 1
+			for r := 0; r < t.a.Rows; r++ {
+				if t.a.At(r, rhs) < -tol && t.basis[r] < bestCol {
+					leave, bestCol = r, t.basis[r]
+				}
+			}
+		} else {
+			minVal := -tol
+			for r := 0; r < t.a.Rows; r++ {
+				if v := t.a.At(r, rhs); v < minVal {
+					leave, minVal = r, v
+				}
 			}
 		}
 		if leave < 0 {
@@ -505,10 +619,34 @@ func (t *tableau) dualIterate() Status {
 				enter, bestRatio = c, ratio
 			}
 		}
+		if enter >= 0 && bland {
+			// Smallest-index tie-break among the ratio minimizers.
+			edge := bestRatio + tol*(1+math.Abs(bestRatio))
+			for c := 0; c < enter; c++ {
+				a := row[c]
+				if a >= -tol {
+					continue
+				}
+				if t.z[c]/-a <= edge {
+					enter = c
+					break
+				}
+			}
+		}
 		if enter < 0 {
 			return Infeasible
 		}
 		t.pivot(leave, enter)
 		t.iters++
+		obj := t.z[t.total]
+		if obj <= lastObj-tol {
+			stall = 0
+			lastObj = obj
+		} else {
+			stall++
+			if stall > 64 {
+				bland = true
+			}
+		}
 	}
 }

@@ -166,43 +166,62 @@ func TestSolveSeededHostileSeedFallsBackCold(t *testing.T) {
 	}
 }
 
-// TestWarmEquivalenceProperty is the randomized warm-vs-cold equivalence
+// TestWarmEquivalenceProperty is the randomized three-way equivalence
 // suite: over random dispatch-shaped LP sequences with perturbed rhs and
-// costs, every warm-started solve must match the cold solve's objective
-// and duals within 1e-9 (relative). Runs under -race via `make verify-lp`.
+// costs, the dense warm chain and the sparse revised-simplex chain must
+// both match the dense cold solve's objective and duals within 1e-9
+// (relative), with zero audit failures. Runs under -race via
+// `make verify-lp`.
 func TestWarmEquivalenceProperty(t *testing.T) {
+	spOpts := Options{Sparse: true, SparseMinRows: 1}
 	for seedIdx, rngSeed := range []int64{1, 7, 42, 1337} {
 		rng := rand.New(rand.NewSource(rngSeed))
-		var s Solver
-		var seed *Basis
+		var sDense, sSparse Solver
+		var seedDense, seedSparse *Basis
+		sawSparse := false
 		for slot := 0; slot < 12; slot++ {
 			rhsScale := 0.8 + 0.4*rng.Float64()
 			priceScale := 0.9 + 0.2*rng.Float64()
 			m := buildTransportLP(rhsScale, priceScale)
-			warm, err := s.SolveWarm(m, seed, Options{})
 			cold, coldErr := m.SolveOpts(Options{})
-			if (err == nil) != (coldErr == nil) {
-				t.Fatalf("rng %d slot %d: warm err %v, cold err %v", seedIdx, slot, err, coldErr)
-			}
-			if err != nil {
-				continue
-			}
-			if math.Abs(warm.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
-				t.Fatalf("rng %d slot %d (%s): warm %g vs cold %g",
-					seedIdx, slot, s.LastOutcome().Path, warm.Objective, cold.Objective)
-			}
-			for i := range cold.Duals {
-				if math.Abs(warm.Duals[i]-cold.Duals[i]) > 1e-9*(1+math.Abs(cold.Duals[i])) {
-					t.Fatalf("rng %d slot %d: dual %d warm %g vs cold %g",
-						seedIdx, slot, i, warm.Duals[i], cold.Duals[i])
+			check := func(name string, s *Solver, res *Result, err error) {
+				t.Helper()
+				if (err == nil) != (coldErr == nil) {
+					t.Fatalf("rng %d slot %d: %s err %v, cold err %v", seedIdx, slot, name, err, coldErr)
+				}
+				if err != nil {
+					return
+				}
+				if math.Abs(res.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+					t.Fatalf("rng %d slot %d (%s %s): %g vs cold %g",
+						seedIdx, slot, name, s.LastOutcome().Path, res.Objective, cold.Objective)
+				}
+				for i := range cold.Duals {
+					if math.Abs(res.Duals[i]-cold.Duals[i]) > 1e-9*(1+math.Abs(cold.Duals[i])) {
+						t.Fatalf("rng %d slot %d: %s dual %d %g vs cold %g",
+							seedIdx, slot, name, i, res.Duals[i], cold.Duals[i])
+					}
+				}
+				if err := m.CheckFeasible(res.X, 1e-6); err != nil {
+					t.Fatalf("rng %d slot %d: %s solution infeasible: %v", seedIdx, slot, name, err)
 				}
 			}
-			if err := m.CheckFeasible(warm.X, 1e-6); err != nil {
-				t.Fatalf("rng %d slot %d: warm solution infeasible: %v", seedIdx, slot, err)
+			warm, err := sDense.SolveWarm(m, seedDense, Options{})
+			check("dense-warm", &sDense, warm, err)
+			sp, spErr := sSparse.SolveWarm(m, seedSparse, spOpts)
+			check("sparse", &sSparse, sp, spErr)
+			if sSparse.LastOutcome().Sparse {
+				sawSparse = true
 			}
-			if b, ok := s.ExportBasis(); ok {
-				seed = b
+			if b, ok := sDense.ExportBasis(); ok {
+				seedDense = b
 			}
+			if b, ok := sSparse.ExportBasis(); ok {
+				seedSparse = b
+			}
+		}
+		if !sawSparse {
+			t.Fatalf("rng %d: the sparse chain never took a sparse path", seedIdx)
 		}
 	}
 }

@@ -1,0 +1,716 @@
+package lp
+
+import (
+	"math"
+
+	"profitlb/internal/linalg"
+)
+
+// DefaultSparseMinRows is the row count at and above which Options.Sparse
+// routes warm solves through the sparse revised simplex. Below it the
+// dense tableau's cache behavior wins and the warm paths stay dense (and
+// bit-identical to a Solver with Sparse off).
+const DefaultSparseMinRows = 64
+
+// sparseRefactorEvery bounds the product-form eta file: once this many
+// updates accumulate on top of the LU factors, the basis is refactorized
+// from scratch so solve cost and floating-point drift stay bounded.
+const sparseRefactorEvery = 100
+
+// sparseStallLimit mirrors the dense stall→Bland switch: after this many
+// pivots without objective progress the sparse iterations fall back to
+// Bland's smallest-index rule, which cannot cycle.
+const sparseStallLimit = 64
+
+// sparseEligible reports whether warm solves of m should use the sparse
+// revised simplex path.
+func (o Options) sparseEligible(m *Model) bool {
+	if !o.Sparse {
+		return false
+	}
+	min := o.SparseMinRows
+	if min <= 0 {
+		min = DefaultSparseMinRows
+	}
+	return len(m.rows) >= min
+}
+
+// sparseSolve is the revised-simplex working state: the constraint matrix
+// in compressed sparse-column form (structural columns then one slack or
+// surplus column per inequality row, rows unflipped), an LU-factorized
+// basis with a product-form eta file on top, and the basic solution xB
+// indexed by basis position. Unlike the dense tableau no quadratic state
+// exists: every iteration works through FTRAN/BTRAN solves against the
+// factors plus one sweep over the sparse columns for pricing.
+type sparseSolve struct {
+	m    *Model
+	opts Options
+
+	n     int // structural variable count
+	rows  int
+	ncols int // structural + slack/surplus
+
+	// CSC storage of the full column set.
+	ptr []int
+	ind []int
+	val []float64
+
+	rowSlack []int // row -> slack column, -1 for EQ rows
+	slackRow []int // slack column - n -> row
+
+	obj []float64 // internal maximization costs per column (dir·c, slacks 0)
+
+	basis   []int // basis position -> column
+	inBasis []int // column -> basis position, -1 when nonbasic
+	xB      []float64
+
+	lu   *linalg.SparseLU
+	etas *linalg.EtaFile
+
+	iters  int
+	cursor int // partial-pricing scan position
+
+	// scratch
+	wrk, w, rho, y, tmp, cb, bvec []float64
+}
+
+// newSparseSolve builds the CSC representation and scratch state for m.
+// The basis is established later by crashBasis.
+func newSparseSolve(m *Model, opts Options) *sparseSolve {
+	n := len(m.names)
+	rows := len(m.rows)
+	ss := &sparseSolve{m: m, n: n, rows: rows}
+	ss.opts = opts.withDefaults(rows, n)
+
+	slacks := 0
+	nnz := 0
+	for i := range m.rows {
+		if m.rows[i].sense != EQ {
+			slacks++
+			nnz++
+		}
+		nnz += len(m.rows[i].terms)
+	}
+	ss.ncols = n + slacks
+	ss.ptr = make([]int, ss.ncols+1)
+	ss.ind = make([]int, nnz)
+	ss.val = make([]float64, nnz)
+	ss.rowSlack = make([]int, rows)
+	ss.slackRow = make([]int, slacks)
+
+	// Column counting pass, then fill. Duplicate terms are kept as-is:
+	// every consumer (LU, pricing, FTRAN scatter) accumulates.
+	count := make([]int, ss.ncols)
+	for i := range m.rows {
+		for _, t := range m.rows[i].terms {
+			count[t.Var]++
+		}
+	}
+	sc := n
+	for i := range m.rows {
+		ss.rowSlack[i] = -1
+		if m.rows[i].sense != EQ {
+			ss.rowSlack[i] = sc
+			ss.slackRow[sc-n] = i
+			count[sc]++
+			sc++
+		}
+	}
+	for j := 0; j < ss.ncols; j++ {
+		ss.ptr[j+1] = ss.ptr[j] + count[j]
+		count[j] = ss.ptr[j]
+	}
+	for i := range m.rows {
+		for _, t := range m.rows[i].terms {
+			p := count[t.Var]
+			ss.ind[p], ss.val[p] = i, t.Coef
+			count[t.Var] = p + 1
+		}
+		if c := ss.rowSlack[i]; c >= 0 {
+			p := count[c]
+			v := 1.0
+			if m.rows[i].sense == GE {
+				v = -1.0
+			}
+			ss.ind[p], ss.val[p] = i, v
+			count[c] = p + 1
+		}
+	}
+
+	ss.obj = make([]float64, ss.ncols)
+	ss.basis = make([]int, 0, rows)
+	ss.inBasis = make([]int, ss.ncols)
+	for j := range ss.inBasis {
+		ss.inBasis[j] = -1
+	}
+	ss.xB = make([]float64, rows)
+	ss.wrk = make([]float64, rows)
+	ss.w = make([]float64, rows)
+	ss.rho = make([]float64, rows)
+	ss.y = make([]float64, rows)
+	ss.tmp = make([]float64, rows)
+	ss.cb = make([]float64, rows)
+	ss.bvec = make([]float64, rows)
+	return ss
+}
+
+func (ss *sparseSolve) col(j int) ([]int, []float64) {
+	return ss.ind[ss.ptr[j]:ss.ptr[j+1]], ss.val[ss.ptr[j]:ss.ptr[j+1]]
+}
+
+// colDot returns Σ a_ij · v[i] over column j's entries (v row-indexed).
+func (ss *sparseSolve) colDot(j int, v []float64) float64 {
+	ci, cv := ss.col(j)
+	var s float64
+	for t, r := range ci {
+		s += cv[t] * v[r]
+	}
+	return s
+}
+
+func (ss *sparseSolve) dir() float64 {
+	if ss.m.minimize {
+		return -1
+	}
+	return 1
+}
+
+// setObj loads the internal maximization costs from the current model.
+func (ss *sparseSolve) setObj() {
+	d := ss.dir()
+	for v := 0; v < ss.n; v++ {
+		ss.obj[v] = d * ss.m.obj[v]
+	}
+	for v := ss.n; v < ss.ncols; v++ {
+		ss.obj[v] = 0
+	}
+}
+
+// zeroObj clears the costs; a zero cost row is trivially dual feasible,
+// which is what the import path's repair phase needs.
+func (ss *sparseSolve) zeroObj() {
+	for v := range ss.obj {
+		ss.obj[v] = 0
+	}
+}
+
+// crashBasis assembles the starting basis: seed members first (unknown
+// names and linearly dependent columns dropped, exactly like the dense
+// import), then slack columns until every row is covered. It fails —
+// sending the caller to the cold path — when no complete basis emerges
+// (e.g. an EQ row no seed column covers).
+func (ss *sparseSolve) crashBasis(seed *Basis) bool {
+	lu := linalg.NewSparseLU(ss.rows, importPivTol)
+	ss.basis = ss.basis[:0]
+	add := func(c int) {
+		ci, cv := ss.col(c)
+		if lu.AddColumn(ci, cv) {
+			ss.basis = append(ss.basis, c)
+		}
+	}
+	if seed != nil {
+		varIdx := make(map[string]int, ss.n)
+		for i, name := range ss.m.names {
+			varIdx[name] = i
+		}
+		rowIdx := make(map[string]int, ss.rows)
+		for i := range ss.m.rows {
+			rowIdx[ss.m.rows[i].name] = i
+		}
+		for _, name := range seed.vars {
+			if lu.Complete() {
+				break
+			}
+			if c, ok := varIdx[name]; ok {
+				add(c)
+			}
+		}
+		for _, name := range seed.slackRows {
+			if lu.Complete() {
+				break
+			}
+			if r, ok := rowIdx[name]; ok {
+				if c := ss.rowSlack[r]; c >= 0 {
+					add(c)
+				}
+			}
+		}
+	}
+	for r := 0; r < ss.rows && !lu.Complete(); r++ {
+		if c := ss.rowSlack[r]; c >= 0 {
+			add(c)
+		}
+	}
+	if !lu.Complete() {
+		return false
+	}
+	ss.lu = lu
+	if ss.etas == nil {
+		ss.etas = linalg.NewEtaFile(ss.rows)
+	} else {
+		ss.etas.Reset()
+	}
+	for j := range ss.inBasis {
+		ss.inBasis[j] = -1
+	}
+	for i, c := range ss.basis {
+		ss.inBasis[c] = i
+	}
+	return true
+}
+
+// refactorize rebuilds the LU factors from the current basis columns,
+// drops the eta file and recomputes xB from the model rhs. False means
+// the basis went numerically singular — the caller abandons to cold.
+func (ss *sparseSolve) refactorize() bool {
+	lu := linalg.NewSparseLU(ss.rows, 0)
+	for _, c := range ss.basis {
+		ci, cv := ss.col(c)
+		if !lu.AddColumn(ci, cv) {
+			return false
+		}
+	}
+	ss.lu = lu
+	ss.etas.Reset()
+	ss.computeXB()
+	return true
+}
+
+// computeXB refreshes the basic solution from the model's current rhs by
+// an FTRAN through the factors — the sparse hot path's whole trick.
+func (ss *sparseSolve) computeXB() {
+	for i := range ss.m.rows {
+		ss.bvec[i] = ss.m.rows[i].rhs
+	}
+	ss.lu.Solve(ss.bvec, ss.xB)
+	ss.etas.Apply(ss.xB)
+}
+
+// ftranCol computes w = B⁻¹·a_j into ss.w.
+func (ss *sparseSolve) ftranCol(j int) []float64 {
+	ci, cv := ss.col(j)
+	for t, r := range ci {
+		ss.wrk[r] += cv[t]
+	}
+	ss.lu.Solve(ss.wrk, ss.w)
+	for _, r := range ci {
+		ss.wrk[r] = 0
+	}
+	ss.etas.Apply(ss.w)
+	return ss.w
+}
+
+// btranUnit computes ss.rho = row r of B⁻¹ (i.e. Bᵀ·rho = e_r).
+func (ss *sparseSolve) btranUnit(r int) []float64 {
+	for i := range ss.tmp {
+		ss.tmp[i] = 0
+	}
+	ss.tmp[r] = 1
+	ss.etas.ApplyT(ss.tmp)
+	ss.lu.SolveT(ss.tmp, ss.rho)
+	return ss.rho
+}
+
+// btranCosts computes ss.y = Bᵀ⁻¹·c_B, the simplex multipliers for the
+// current internal cost row.
+func (ss *sparseSolve) btranCosts() []float64 {
+	for i, c := range ss.basis {
+		ss.tmp[i] = ss.obj[c]
+	}
+	ss.etas.ApplyT(ss.tmp)
+	ss.lu.SolveT(ss.tmp, ss.y)
+	return ss.y
+}
+
+// objValue returns the current (maximized) objective c_B·xB.
+func (ss *sparseSolve) objValue() float64 {
+	var s float64
+	for i, c := range ss.basis {
+		s += ss.obj[c] * ss.xB[i]
+	}
+	return s
+}
+
+// replace swaps the basis column at position pos for column enter, with w
+// the entering column's FTRAN image. False means the product-form update
+// would be singular (breakdown — abandon to cold).
+func (ss *sparseSolve) replace(pos, enter int, w []float64) bool {
+	if !ss.etas.Append(pos, w, ss.opts.Tol) {
+		return false
+	}
+	ss.inBasis[ss.basis[pos]] = -1
+	ss.basis[pos] = enter
+	ss.inBasis[enter] = pos
+	return true
+}
+
+// dualIterate runs the revised dual simplex under the current cost row,
+// which must be dual feasible: it drives negative basic values out —
+// the repair needed after an rhs refresh or a basis crash. Bland's
+// smallest-index rule engages after stalling so degenerate rhs
+// perturbations cannot cycle. Returns Optimal, Infeasible (certificate,
+// re-confirmed cold by the caller) or IterationLimit (budget or
+// numerical breakdown; the caller abandons).
+func (ss *sparseSolve) dualIterate() Status {
+	tol := ss.opts.Tol
+	bland := ss.opts.Bland
+	stall := 0
+	lastObj := math.Inf(1)
+	for {
+		if ss.iters >= ss.opts.MaxIterations {
+			return IterationLimit
+		}
+		leave := -1
+		if bland {
+			bestCol := ss.ncols
+			for r, v := range ss.xB {
+				if v < -tol && ss.basis[r] < bestCol {
+					leave, bestCol = r, ss.basis[r]
+				}
+			}
+		} else {
+			minVal := -tol
+			for r, v := range ss.xB {
+				if v < minVal {
+					leave, minVal = r, v
+				}
+			}
+		}
+		if leave < 0 {
+			return Optimal
+		}
+		rho := ss.btranUnit(leave)
+		y := ss.btranCosts()
+		enter, bestRatio := -1, math.Inf(1)
+		for j := 0; j < ss.ncols; j++ {
+			if ss.inBasis[j] >= 0 {
+				continue
+			}
+			alpha := ss.colDot(j, rho)
+			if alpha >= -tol {
+				continue
+			}
+			z := ss.colDot(j, y) - ss.obj[j] // ≥ -tol by dual feasibility
+			if z < 0 {
+				z = 0
+			}
+			if ratio := z / -alpha; ratio < bestRatio {
+				enter, bestRatio = j, ratio
+			}
+		}
+		if enter >= 0 && bland {
+			// Smallest-index tie-break among the ratio minimizers.
+			edge := bestRatio + tol*(1+math.Abs(bestRatio))
+			for j := 0; j < enter; j++ {
+				if ss.inBasis[j] >= 0 {
+					continue
+				}
+				alpha := ss.colDot(j, rho)
+				if alpha >= -tol {
+					continue
+				}
+				z := ss.colDot(j, y) - ss.obj[j]
+				if z < 0 {
+					z = 0
+				}
+				if z/-alpha <= edge {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Infeasible
+		}
+		w := ss.ftranCol(enter)
+		piv := w[leave]
+		if math.Abs(piv) <= tol {
+			return IterationLimit // FTRAN disagrees with pricing: breakdown
+		}
+		theta := ss.xB[leave] / piv
+		for i := range ss.xB {
+			ss.xB[i] -= theta * w[i]
+		}
+		ss.xB[leave] = theta
+		if !ss.replace(leave, enter, w) {
+			return IterationLimit
+		}
+		ss.iters++
+		if ss.etas.Len() >= sparseRefactorEvery && !ss.refactorize() {
+			return IterationLimit
+		}
+		obj := ss.objValue()
+		if obj <= lastObj-tol {
+			stall = 0
+			lastObj = obj
+		} else {
+			stall++
+			if stall > sparseStallLimit {
+				bland = true
+			}
+		}
+	}
+}
+
+// primalIterate runs the revised primal simplex with partial pricing
+// over the sparse columns, switching to Bland's rule after stalling.
+func (ss *sparseSolve) primalIterate() Status {
+	tol := ss.opts.Tol
+	bland := ss.opts.Bland
+	stall := 0
+	lastObj := math.Inf(-1)
+	for {
+		if ss.iters >= ss.opts.MaxIterations {
+			return IterationLimit
+		}
+		y := ss.btranCosts()
+		enter := ss.price(y, bland, tol)
+		if enter < 0 {
+			return Optimal
+		}
+		w := ss.ftranCol(enter)
+		leave, bestRatio := -1, math.Inf(1)
+		for i, wi := range w {
+			if wi <= tol {
+				continue
+			}
+			ratio := ss.xB[i] / wi
+			if ratio < bestRatio-tol {
+				leave, bestRatio = i, ratio
+				continue
+			}
+			if ratio <= bestRatio+tol && leave >= 0 {
+				// Tie-break: Bland takes the smallest basic column index
+				// (termination); otherwise the larger pivot wins (stability).
+				if bland {
+					if ss.basis[i] < ss.basis[leave] {
+						leave, bestRatio = i, ratio
+					}
+				} else if wi > w[leave] {
+					leave, bestRatio = i, ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		piv := w[leave]
+		theta := ss.xB[leave] / piv
+		for i := range ss.xB {
+			ss.xB[i] -= theta * w[i]
+		}
+		ss.xB[leave] = theta
+		if !ss.replace(leave, enter, w) {
+			return IterationLimit
+		}
+		ss.iters++
+		if ss.etas.Len() >= sparseRefactorEvery && !ss.refactorize() {
+			return IterationLimit
+		}
+		obj := ss.objValue()
+		if obj >= lastObj+tol {
+			stall = 0
+			lastObj = obj
+		} else {
+			stall++
+			if stall > sparseStallLimit {
+				bland = true
+			}
+		}
+	}
+}
+
+// price returns the entering column, or -1 at optimality. The default
+// mode is partial (cyclic block) pricing: scan blocks of columns from a
+// persistent cursor and take the best violator in the first block that
+// has one, falling through to a full sweep before declaring optimality.
+// Bland mode scans from column 0 for the smallest violating index.
+func (ss *sparseSolve) price(y []float64, bland bool, tol float64) int {
+	if bland {
+		for j := 0; j < ss.ncols; j++ {
+			if ss.inBasis[j] >= 0 {
+				continue
+			}
+			if ss.obj[j]-ss.colDot(j, y) > tol {
+				return j
+			}
+		}
+		return -1
+	}
+	span := ss.ncols / 16
+	if span < 128 {
+		span = 128
+	}
+	best, bestD := -1, tol
+	j := ss.cursor
+	if j >= ss.ncols {
+		j = 0
+	}
+	for scanned := 0; scanned < ss.ncols; {
+		if ss.inBasis[j] < 0 {
+			if d := ss.obj[j] - ss.colDot(j, y); d > bestD {
+				best, bestD = j, d
+			}
+		}
+		scanned++
+		j++
+		if j == ss.ncols {
+			j = 0
+		}
+		if best >= 0 && scanned%span == 0 {
+			break
+		}
+	}
+	ss.cursor = j
+	return best
+}
+
+// extract reads the structural solution out of the basic values, with the
+// same tiny-negative clamp as the dense tableau.
+func (ss *sparseSolve) extract() []float64 {
+	x := make([]float64, ss.n)
+	for i, c := range ss.basis {
+		if c < ss.n {
+			v := ss.xB[i]
+			if v < 0 && v > -ss.opts.Tol*10 {
+				v = 0
+			}
+			x[c] = v
+		}
+	}
+	return x
+}
+
+// duals recovers the per-row shadow prices from the simplex multipliers
+// under the true costs: y solves Bᵀy = c_B, reported in the model's own
+// optimization direction (matching the dense marker-column recovery).
+func (ss *sparseSolve) duals() []float64 {
+	y := ss.btranCosts()
+	d := ss.dir()
+	out := make([]float64, ss.rows)
+	for i := range out {
+		out[i] = d * y[i]
+	}
+	return out
+}
+
+// solveWarmSparse is SolveWarm's sparse arm: hot re-solve on the retained
+// factors when the structure is unchanged, otherwise a crash-import (the
+// seed may be empty — the all-slack basis then starts the dual repair, so
+// even a first solve avoids the dense tableau), with the cold dense
+// two-phase path as the audited correctness anchor.
+func (s *Solver) solveWarmSparse(m *Model, seed *Basis, opts Options) (*Result, error) {
+	s.ws = retained{} // dense hot state does not survive a sparse round
+	if s.sws.valid && s.sws.ss != nil && sameStructure(s.sws.ss.m, m) {
+		if res := s.hotSparse(m, opts); res != nil {
+			s.out.Path = "hot"
+			s.out.Sparse = true
+			s.stats.HotSolves++
+			s.stats.SparseSolves++
+			return res, nil
+		}
+	}
+	if res := s.importSparse(m, seed, opts); res != nil {
+		s.out.Path = "import"
+		s.out.Sparse = true
+		s.stats.ImportSolves++
+		s.stats.SparseSolves++
+		return res, nil
+	}
+	s.out.FellBack = true
+	s.stats.Fallbacks++
+	s.out.Path = "cold"
+	return s.solveCold(m, opts)
+}
+
+// hotSparse re-solves on the retained factors: FTRAN turns the new rhs
+// into the new basic solution, the dual simplex under the previous
+// (still dual-feasible) costs repairs primal feasibility, then the new
+// costs are priced in and primal pivots finish. Non-Optimal exits abandon
+// the retained state (recording the wasted pivots) so the caller falls
+// back. Instead of abandoning at the drift bound like the dense path, the
+// sparse path simply refactorizes — an O(fill) operation.
+func (s *Solver) hotSparse(m *Model, opts Options) *Result {
+	ss := s.sws.ss
+	ss.m = m
+	ss.opts = opts.withDefaults(ss.rows, ss.n)
+	ss.iters = 0
+	if s.sws.uses >= maxHotUses {
+		if !ss.refactorize() {
+			s.abandonSparse(ss)
+			return nil
+		}
+		s.sws.uses = 0
+	}
+	ss.computeXB()
+	// Dual repair runs under the previous solve's costs: they are still
+	// dual feasible for this basis, while the new costs need not be.
+	if st := ss.dualIterate(); st != Optimal {
+		s.abandonSparse(ss)
+		return nil
+	}
+	ss.setObj()
+	if st := ss.primalIterate(); st != Optimal {
+		s.abandonSparse(ss)
+		return nil
+	}
+	res := s.acceptSparse(ss)
+	if res == nil {
+		s.abandonSparse(ss)
+		return nil
+	}
+	s.sws.uses++
+	return res
+}
+
+// importSparse crashes the seed basis (or, with no seed, the all-slack
+// basis) into fresh factors, repairs primal feasibility with a zero-cost
+// dual phase (an all-zero cost row is trivially dual feasible), prices in
+// the true costs and finishes with primal pivots.
+func (s *Solver) importSparse(m *Model, seed *Basis, opts Options) *Result {
+	s.sws = retainedSparse{}
+	ss := newSparseSolve(m, opts)
+	if !ss.crashBasis(seed) {
+		return nil
+	}
+	ss.computeXB()
+	ss.zeroObj()
+	if st := ss.dualIterate(); st != Optimal {
+		s.abandonSparse(ss)
+		return nil
+	}
+	ss.setObj()
+	if st := ss.primalIterate(); st != Optimal {
+		s.abandonSparse(ss)
+		return nil
+	}
+	res := s.acceptSparse(ss)
+	if res == nil {
+		s.abandonSparse(ss)
+		return nil
+	}
+	s.sws = retainedSparse{ss: ss, valid: true}
+	return res
+}
+
+// acceptSparse audits a sparse state that claims optimality against the
+// model, with the same rhs-scaled tolerance as the dense acceptWarm;
+// numerical drift beyond it rejects the result so the cold path re-solves
+// from scratch.
+func (s *Solver) acceptSparse(ss *sparseSolve) *Result {
+	x := ss.extract()
+	if ss.m.CheckFeasible(x, auditTol(ss.m, ss.opts.Tol)) != nil {
+		return nil
+	}
+	s.out.WarmPivots = ss.iters
+	s.stats.WarmPivots += int64(ss.iters)
+	s.setLastSparse(ss)
+	return &Result{
+		Status:     Optimal,
+		Objective:  ss.m.ObjectiveValue(x),
+		X:          x,
+		Duals:      ss.duals(),
+		Iterations: ss.iters,
+		Warm:       true,
+	}
+}

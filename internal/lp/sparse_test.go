@@ -1,0 +1,243 @@
+package lp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sparseTestOpts forces the sparse revised simplex on for any model size.
+func sparseTestOpts() Options { return Options{Sparse: true, SparseMinRows: 1} }
+
+// buildInequalityLP builds a small profit-style LP with only LE/GE rows —
+// no EQ row — so the sparse all-slack crash basis always exists and even a
+// seedless first solve can take the sparse import path. The GE row makes
+// the all-slack start primal infeasible, exercising the zero-cost dual
+// repair phase.
+func buildInequalityLP(scale float64) *Model {
+	m := NewModel()
+	x := m.AddVariable("x", 3)
+	y := m.AddVariable("y", 2)
+	z := m.AddVariable("z", 4)
+	w := m.AddVariable("w", 1)
+	m.AddConstraint("cap_xy", []Term{{x, 1}, {y, 1}}, LE, 10*scale)
+	m.AddConstraint("cap_yz", []Term{{y, 1}, {z, 1}}, LE, 8*scale)
+	m.AddConstraint("cap_zw", []Term{{z, 1}, {w, 2}}, LE, 6*scale)
+	m.AddConstraint("floor_xz", []Term{{x, 1}, {z, 1}}, GE, 2*scale)
+	m.AddConstraint("floor_w", []Term{{w, 1}}, GE, 0.5*scale)
+	return m
+}
+
+func requireClose(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("%s: got %g, want %g", what, got, want)
+	}
+}
+
+// TestSparseWarmChainMatchesCold runs the canonical slot chain on the
+// transport LP with the sparse path forced on. The transport LP has an EQ
+// row, so the seedless slot 0 cannot slack-crash and must fall back cold;
+// slot 1 imports the exported basis sparsely; later slots run hot on the
+// retained factors. Every slot must match the cold reference.
+func TestSparseWarmChainMatchesCold(t *testing.T) {
+	var s Solver
+	var seed *Basis
+	opts := sparseTestOpts()
+	wantPath := []string{"cold", "import", "hot", "hot", "hot", "hot"}
+	for slot, path := range wantPath {
+		scale := 1 + 0.05*float64(slot)
+		m := buildTransportLP(scale, 1/scale)
+		res, err := s.SolveWarm(m, seed, opts)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		out := s.LastOutcome()
+		if out.Path != path {
+			t.Fatalf("slot %d: path %q, want %q", slot, out.Path, path)
+		}
+		if wantSparse := path != "cold"; out.Sparse != wantSparse {
+			t.Fatalf("slot %d (%s): Sparse=%v, want %v", slot, path, out.Sparse, wantSparse)
+		}
+		cold, err := m.SolveOpts(Options{})
+		if err != nil {
+			t.Fatalf("slot %d cold: %v", slot, err)
+		}
+		requireClose(t, "objective", res.Objective, cold.Objective)
+		for i := range cold.Duals {
+			requireClose(t, "dual", res.Duals[i], cold.Duals[i])
+		}
+		if err := m.CheckFeasible(res.X, 1e-6); err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if b, ok := s.ExportBasis(); ok {
+			seed = b
+		} else {
+			t.Fatalf("slot %d: basis not exportable", slot)
+		}
+	}
+	st := s.Stats()
+	if st.SparseSolves != 5 || st.HotSolves != 4 || st.ImportSolves != 1 || st.ColdSolves != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestSparseEmptySeedImportsOnInequalityLP verifies the all-slack crash:
+// with no EQ rows a seedless sparse solve takes the import path directly
+// — no dense tableau is ever built for the LP.
+func TestSparseEmptySeedImportsOnInequalityLP(t *testing.T) {
+	var s Solver
+	m := buildInequalityLP(1)
+	res, err := s.SolveWarm(m, nil, sparseTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.LastOutcome()
+	if out.Path != "import" || !out.Sparse || out.FellBack {
+		t.Fatalf("outcome %+v, want sparse import without fallback", out)
+	}
+	cold, err := m.SolveOpts(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClose(t, "objective", res.Objective, cold.Objective)
+	for i := range cold.Duals {
+		requireClose(t, "dual", res.Duals[i], cold.Duals[i])
+	}
+	// And the follow-up slot goes hot on the retained factors.
+	m2 := buildInequalityLP(1.1)
+	res2, err := s.SolveWarm(m2, nil, sparseTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := s.LastOutcome(); out.Path != "hot" || !out.Sparse {
+		t.Fatalf("slot 1 outcome %+v, want sparse hot", out)
+	}
+	cold2, err := m2.SolveOpts(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClose(t, "objective", res2.Objective, cold2.Objective)
+}
+
+// TestSparseSolveSeededPure verifies the worker-purity contract on the
+// sparse path: SolveSeeded must be a pure function of (model, seed, opts),
+// unaffected by whatever retained state the solver accumulated before.
+func TestSparseSolveSeededPure(t *testing.T) {
+	opts := sparseTestOpts()
+	m := buildInequalityLP(1)
+
+	var fresh Solver
+	want, err := fresh.SolveSeeded(buildInequalityLP(1), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dirty Solver
+	for i := 0; i < 3; i++ { // accumulate sparse hot state first
+		if _, err := dirty.SolveWarm(buildInequalityLP(1+0.1*float64(i)), nil, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dirty.SolveSeeded(m, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("SolveSeeded not pure on sparse path:\nfresh %+v\ndirty %+v", want, got)
+	}
+	if out := dirty.LastOutcome(); out.Path != "import" || !out.Sparse {
+		t.Fatalf("outcome %+v, want sparse import", out)
+	}
+}
+
+// TestSparseExportBasisRoundTrip re-imports a sparse solve's own exported
+// basis and expects it to verify optimality almost immediately.
+func TestSparseExportBasisRoundTrip(t *testing.T) {
+	opts := sparseTestOpts()
+	var s Solver
+	m := buildInequalityLP(1)
+	res, err := s.SolveWarm(m, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.ExportBasis()
+	if !ok {
+		t.Fatal("sparse basis not exportable")
+	}
+	var s2 Solver
+	res2, err := s2.SolveSeeded(buildInequalityLP(1), b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := s2.LastOutcome(); out.Path != "import" || !out.Sparse {
+		t.Fatalf("outcome %+v, want sparse import", out)
+	}
+	requireClose(t, "objective", res2.Objective, res.Objective)
+	if res2.Iterations > m.NumConstraints() {
+		t.Fatalf("re-import of own optimal basis took %d pivots", res2.Iterations)
+	}
+}
+
+// TestSparseOffBitIdentical verifies the knob's contract: with Sparse off,
+// or on but below the row threshold, a SolveWarm chain is bit-identical to
+// the plain dense chain.
+func TestSparseOffBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"off", Options{}},
+		{"below-threshold", Options{Sparse: true, SparseMinRows: 1000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var dense, other Solver
+			var seedD, seedO *Basis
+			for slot := 0; slot < 6; slot++ {
+				scale := 1 + 0.07*float64(slot)
+				wantRes, err1 := dense.SolveWarm(buildTransportLP(scale, 1), seedD, Options{})
+				gotRes, err2 := other.SolveWarm(buildTransportLP(scale, 1), seedO, tc.opts)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("slot %d: errs %v vs %v", slot, err1, err2)
+				}
+				if !reflect.DeepEqual(wantRes, gotRes) {
+					t.Fatalf("slot %d: results differ:\ndense %+v\nother %+v", slot, wantRes, gotRes)
+				}
+				if dOut, oOut := dense.LastOutcome(), other.LastOutcome(); !reflect.DeepEqual(dOut, oOut) {
+					t.Fatalf("slot %d: outcomes differ: %+v vs %+v", slot, dOut, oOut)
+				}
+				if b, ok := dense.ExportBasis(); ok {
+					seedD = b
+				}
+				if b, ok := other.ExportBasis(); ok {
+					seedO = b
+				}
+			}
+			if s := other.Stats(); s.SparseSolves != 0 {
+				t.Fatalf("sparse solves on a dense-only chain: %+v", s)
+			}
+		})
+	}
+}
+
+// TestSparseHostileSeedFallsBackCold gives the sparse import a seed basis
+// and model whose EQ row can only be covered by seed columns; a seed
+// naming none of them must send the solve to the audited cold path.
+func TestSparseHostileSeedFallsBackCold(t *testing.T) {
+	var s Solver
+	m := buildTransportLP(1, 1)
+	hostile := NewBasis([]string{"no_such_var"}, nil)
+	res, err := s.SolveWarm(m, hostile, sparseTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.LastOutcome()
+	if out.Path != "cold" || !out.FellBack || out.Sparse {
+		t.Fatalf("outcome %+v, want cold fallback", out)
+	}
+	cold, err := m.SolveOpts(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClose(t, "objective", res.Objective, cold.Objective)
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster verify-control verify-lp bench bench-lp-sparse bench-smoke benchall
+.PHONY: build test vet race fuzz verify verify-feeds verify-obs verify-dispatch verify-cluster verify-control verify-lp verify-mpc bench bench-lp-sparse bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -37,8 +37,24 @@ fuzz:
 # verify is the repo's full check tier: build, vet, tests, race tests,
 # a one-iteration smoke of the plan-search benchmarks, the feed-layer
 # resilience tier, the observability tier, the dispatch-plane tier, the
-# replicated-fleet tier, and the warm-start solver tier.
-verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch verify-cluster verify-control verify-lp
+# replicated-fleet tier, the warm-start solver tier, and the
+# rolling-horizon planning tier.
+verify: build vet test race bench-smoke verify-feeds verify-obs verify-dispatch verify-cluster verify-control verify-lp verify-mpc
+
+# verify-mpc is the rolling-horizon planning tier: the mpc package's
+# unit, invariant and sim-level acceptance suites under the race
+# detector (reduction bit-identity, the Houston vibration profit gate,
+# never-loses on clean scenarios, fault-storm forced drains, and the
+# abandoned-goroutine timeout hammer), the multi-step forecast property
+# suite, the config-layer mpc block round-trip/validation/wiring, the
+# two registered mpc experiments, and the CLI -horizon/-defer smoke.
+verify-mpc:
+	$(GO) vet ./internal/mpc/
+	$(GO) test -race ./internal/mpc/
+	$(GO) test -race -run 'TestPredictH' ./internal/forecast/
+	$(GO) test -race -run 'TestMPC' ./internal/config/
+	$(GO) test -race -run 'TestAllExperimentsRun/mpc1-priceshift|TestAllExperimentsRun/mpc2-faultdefer' ./internal/exp/
+	$(GO) test -count=1 -run 'TestCmdSimulateMPCFlags' ./cmd/profitlb/
 
 # verify-control is the closed-loop tier: the control package under the
 # race detector (step-disturbance monotone settling, dead-band/hysteresis
@@ -115,14 +131,15 @@ verify-feeds:
 	$(GO) test -count=1 -run 'TestCmdChaosFeeds|TestCmdSimulateFeeds' ./cmd/profitlb/
 
 # bench compares the serial and parallel plan searches on the
-# rob2-chaos-scale slot and the dense-warm vs sparse re-solve chains on
-# the large 100-center topology. The -count runs feed benchstat directly
+# rob2-chaos-scale slot, the dense-warm vs sparse re-solve chains on
+# the large 100-center topology, and the rolling-horizon sweep on the
+# Houston vibration window. The -count runs feed benchstat directly
 # (`make bench | benchstat -`), and the timing trajectories — speedups,
-# LP solves, cache hits, pivot counts — land in BENCH_plan.json under
-# the "plan_search" and "warm_start" keys.
+# LP solves, cache hits, pivot counts, per-horizon run latency — land in
+# BENCH_plan.json under the "plan_search", "warm_start" and "mpc" keys.
 bench:
 	$(GO) test -bench=BenchmarkPlanSearch -benchtime=5x -count=6 -run=NONE .
-	BENCH_PLAN_JSON=BENCH_plan.json $(GO) test -count=1 -run='TestPlanSearchTrajectory|TestWarmStartTrajectory' .
+	BENCH_PLAN_JSON=BENCH_plan.json $(GO) test -count=1 -run='TestPlanSearchTrajectory|TestWarmStartTrajectory|TestMPCHorizonTrajectory' .
 	$(GO) test -bench=BenchmarkDispatch -count=6 -run=NONE ./internal/dispatch/
 	BENCH_DISPATCH_JSON=$(CURDIR)/BENCH_dispatch.json $(GO) test -count=1 -run=TestDispatchHotPathTrajectory ./internal/dispatch/
 	$(GO) test -bench=BenchmarkControlTick -count=6 -run=NONE ./internal/control/

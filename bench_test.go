@@ -20,6 +20,8 @@ import (
 	"profitlb/internal/datacenter"
 	"profitlb/internal/exp"
 	"profitlb/internal/lp"
+	"profitlb/internal/market"
+	"profitlb/internal/mpc"
 	"profitlb/internal/sim"
 	"profitlb/internal/tuf"
 	"profitlb/internal/workload"
@@ -324,6 +326,109 @@ func BenchmarkVal5Arrivals(b *testing.B)    { benchExperiment(b, "val5-arrivals"
 func BenchmarkAbl16Pooling(b *testing.B) { benchExperiment(b, "abl16-pooling") }
 func BenchmarkAbl17Week(b *testing.B)    { benchExperiment(b, "abl17-week") }
 
+func BenchmarkMPC1PriceShift(b *testing.B) { benchExperiment(b, "mpc1-priceshift") }
+func BenchmarkMPC2FaultDefer(b *testing.B) { benchExperiment(b, "mpc2-faultdefer") }
+
+// mpcVibrationConfig is the MPC trajectory scenario: the Houston
+// 13:00–21:00 vibration window (spikes at 14/16/18h) with a web class
+// pinned to its arrival hour and an energy-heavy batch class worth
+// deferring across the spikes — the mpc1-priceshift physics.
+func mpcVibrationConfig() (sim.Config, int) {
+	sys := &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "web", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.2}}), TransferCostPerMile: 0.0005},
+			{Name: "batch", TUF: tuf.MustNew([]tuf.Level{{Utility: 5, Deadline: 1.0}}), TransferCostPerMile: 0.0005},
+		},
+		FrontEnds: []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{100}}},
+		Centers: []datacenter.DataCenter{{
+			Name: "dc", Servers: 8, Capacity: 1,
+			ServiceRate:      []float64{120, 100},
+			EnergyPerRequest: []float64{1.0, 40},
+		}},
+	}
+	const start, slots = 13, 8
+	return sim.Config{
+		Sys:       sys,
+		Traces:    []*workload.Trace{workload.Constant("fe", []float64{300, 200}, start+slots)},
+		Prices:    []*market.PriceTrace{market.Houston()},
+		Slots:     slots,
+		StartSlot: start,
+	}, start + slots
+}
+
+// TestMPCHorizonTrajectory sweeps the rolling-horizon window length over
+// the vibration scenario and records per-horizon run latency, net profit
+// and deferral volume under the "mpc" key of the file named by
+// BENCH_PLAN_JSON (skipped when unset; `make bench` sets it). The gates
+// are the planning plane's headline claims: every horizon's ledger
+// settles clean (nothing shed, no stranded backlog), H=1 reduces to the
+// myopic planner's profit exactly, and a window of 4+ slots beats the
+// myopic profit on the vibration.
+func TestMPCHorizonTrajectory(t *testing.T) {
+	out := os.Getenv("BENCH_PLAN_JSON")
+	if out == "" {
+		t.Skip("set BENCH_PLAN_JSON=FILE to record the benchmark trajectory")
+	}
+	cfg, endSlot := mpcVibrationConfig()
+	myo, err := sim.Run(cfg, core.NewOptimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type point struct {
+		Horizon   int     `json:"horizon"`
+		RunNs     int64   `json:"run_ns"`
+		NetProfit float64 `json:"net_profit"`
+		Deferred  float64 `json:"deferred"`
+		Forced    float64 `json:"forced"`
+		VsMyopic  float64 `json:"vs_myopic"`
+	}
+	var points []point
+	for _, h := range []int{1, 2, 4, 8} {
+		mc := mpc.Config{Horizon: h, MaxDefer: []int{0, 2}, EndSlot: endSlot}
+		// Min over 3 passes: a full 8-slot run is ~ms-scale, so one
+		// stall of a shared box could dominate a single sample.
+		best := time.Duration(1 << 62)
+		var rep *sim.Report
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			r, err := sim.Run(cfg, mpc.New(mc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best, rep = d, r
+			}
+		}
+		deferred, _, forced, shed := rep.DeferralTotals()
+		if shed != 0 {
+			t.Errorf("horizon %d: shed %g on a clean ample-capacity window", h, shed)
+		}
+		if got := rep.FinalBacklog(); got != 0 {
+			t.Errorf("horizon %d: stranded backlog %g", h, got)
+		}
+		net := rep.TotalNetProfit()
+		if h == 1 && net != myo.TotalNetProfit() {
+			t.Errorf("horizon 1 net %g != myopic %g — reduction broken", net, myo.TotalNetProfit())
+		}
+		if h >= 4 && net <= myo.TotalNetProfit() {
+			t.Errorf("horizon %d net %g does not beat myopic %g on the vibration",
+				h, net, myo.TotalNetProfit())
+		}
+		points = append(points, point{
+			Horizon: h, RunNs: best.Nanoseconds(), NetProfit: net,
+			Deferred: deferred, Forced: forced,
+			VsMyopic: net/myo.TotalNetProfit() - 1,
+		})
+	}
+	updateBenchJSON(t, out, "mpc", map[string]any{
+		"scenario":          "houston-vibration-13h-21h",
+		"slots":             cfg.Slots,
+		"max_defer":         []int{0, 2},
+		"myopic_net_profit": myo.TotalNetProfit(),
+		"results":           points,
+	})
+}
+
 // rob2ChaosScaleInput is the planning slot of the parallel-search
 // benchmarks: the Section VII two-level topology grown to the scale of
 // the rob2-chaos storm experiment — a third request class and a third,
@@ -478,20 +583,20 @@ func TestPlanSearchTrajectory(t *testing.T) {
 		return bestS, bestP, planS, planP
 	}
 	type point struct {
-		Planner         string  `json:"planner"`
-		SerialNs        int64   `json:"serial_ns"`
-		SerialWorkers   int     `json:"serial_workers"`
-		ParallelNs int64 `json:"parallel_ns"`
+		Planner       string `json:"planner"`
+		SerialNs      int64  `json:"serial_ns"`
+		SerialWorkers int    `json:"serial_workers"`
+		ParallelNs    int64  `json:"parallel_ns"`
 		// ParallelWorkers is the requested knob; the engine caps execution
 		// at the CPU count, recorded as ParallelWorkersResolved.
 		ParallelWorkers         int     `json:"parallel_workers"`
 		ParallelWorkersResolved int     `json:"parallel_workers_resolved"`
 		Speedup                 float64 `json:"speedup"`
-		LPSolves        int64   `json:"lp_solves"`
-		CacheHits       int64   `json:"cache_hits"`
-		WarmHits        int64   `json:"warm_hits"`
-		WarmPivots      int64   `json:"warm_pivots"`
-		ColdPivots      int64   `json:"cold_pivots"`
+		LPSolves                int64   `json:"lp_solves"`
+		CacheHits               int64   `json:"cache_hits"`
+		WarmHits                int64   `json:"warm_hits"`
+		WarmPivots              int64   `json:"warm_pivots"`
+		ColdPivots              int64   `json:"cold_pivots"`
 	}
 	parWorkers := parallelSearchWorkers()
 	var points []point

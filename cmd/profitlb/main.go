@@ -14,6 +14,8 @@
 //	                              (-faults F|storm, -resilient, -seed N,
 //	                              -parallel N for the plan-search engine,
 //	                              -feeds on|F for the telemetry feed layer,
+//	                              -horizon H / -defer N,N for the rolling-
+//	                              horizon mpc planner and its backlog,
 //	                              -metrics/-trace/-pprof for observability)
 //	profitlb chaos -config F      profit retention per planner under a
 //	                              seeded outage + price-spike storm
@@ -45,6 +47,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -57,6 +60,7 @@ import (
 	"profitlb/internal/fault"
 	"profitlb/internal/feed"
 	"profitlb/internal/market"
+	"profitlb/internal/mpc"
 	"profitlb/internal/report"
 	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
@@ -128,8 +132,12 @@ commands:
                        the planner in the fallback chain, -seed N seeds
                        storms, -parallel N sets plan-search workers,
                        -feeds on|F routes inputs through the feed layer,
-                       -metrics F dumps run metrics, -trace F streams
-                       planner-decision events as JSON lines,
+                       -horizon H plans each slot as the first of an
+                       H-slot rolling window (the mpc planner) and
+                       -defer N,N,... grants per-class deferral
+                       allowances in slots for its deadline-aware
+                       backlog, -metrics F dumps run metrics, -trace F
+                       streams planner-decision events as JSON lines,
                        -pprof ADDR serves net/http/pprof + /metrics)
   chaos -config F      profit retention per planner under a seeded fault
                        storm (outages + price spikes), resilient chains on
@@ -368,6 +376,37 @@ func applyFeedsFlag(sc *config.Scenario, feedsArg string) error {
 	return sc.Validate()
 }
 
+// applyMPCFlags resolves -horizon/-defer onto the scenario: either flag
+// switches the planner to the rolling-horizon mpc planner, overriding the
+// matching fields of the scenario's mpc block. Zero/empty flags leave the
+// scenario untouched.
+func applyMPCFlags(sc *config.Scenario, horizon int, deferArg string) error {
+	if horizon == 0 && deferArg == "" {
+		return nil
+	}
+	var mc mpc.Config
+	if sc.MPC != nil {
+		mc = *sc.MPC
+	}
+	if horizon != 0 {
+		mc.Horizon = horizon
+	}
+	if deferArg != "" {
+		var allow []int
+		for _, part := range strings.Split(deferArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("-defer %q: %w", deferArg, err)
+			}
+			allow = append(allow, n)
+		}
+		mc.MaxDefer = allow
+	}
+	sc.MPC = &mc
+	sc.Planner = "mpc"
+	return sc.Validate()
+}
+
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	path := fs.String("config", "", "path to a scenario JSON file (see 'scaffold')")
@@ -377,6 +416,8 @@ func cmdSimulate(args []string) error {
 	parallel := fs.Int("parallel", 0, "plan-search workers (0 serial, -1 all CPUs); overrides the scenario's parallelism")
 	sparse := fs.Bool("sparse", true, "route warm-started LPs above the row threshold through the sparse revised simplex; overrides the scenario's sparse setting")
 	feedsArg := fs.String("feeds", "", "telemetry feed layer: 'on' for defaults, or a feed-config JSON file")
+	horizon := fs.Int("horizon", 0, "rolling-horizon window length in slots: switches the scenario to the mpc planner (overrides the scenario's mpc block)")
+	deferArg := fs.String("defer", "", "per-class deferral allowances in slots for the mpc planner, comma-separated (e.g. '0,2'); switches the scenario to the mpc planner")
 	metricsPath := fs.String("metrics", "", "write the run's metrics to this file on exit (Prometheus text; JSON when the path ends in .json)")
 	tracePath := fs.String("trace", "", "stream structured planner-decision events to this file (JSON lines)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and live /metrics on this address (e.g. 127.0.0.1:6060)")
@@ -411,6 +452,9 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	if err := applyFeedsFlag(sc, *feedsArg); err != nil {
+		return err
+	}
+	if err := applyMPCFlags(sc, *horizon, *deferArg); err != nil {
 		return err
 	}
 	rep, err := sc.Run()
@@ -451,6 +495,11 @@ func cmdSimulate(args []string) error {
 	if withFaults {
 		fmt.Fprintf(w, "degraded slots %d of %d, lost revenue $%.2f\n",
 			rep.DegradedSlots(), len(rep.Slots), rep.TotalLostRevenue())
+	}
+	if deferred, drained, forced, shed := rep.DeferralTotals(); deferred+drained+forced+shed > 0 {
+		T := sc.System.Slot()
+		fmt.Fprintf(w, "deferral: %.0f deferred, %.0f drained (%.0f forced), %.0f shed requests; final backlog %.0f req/slot\n",
+			deferred*T, drained*T, forced*T, shed*T, rep.FinalBacklog()*T)
 	}
 	if withFeeds {
 		fmt.Fprintf(w, "feed tiers %s, mean staleness %.2f slots, breaker-open feed-slots %d\n",

@@ -146,6 +146,35 @@ func TestCmdSimulateErrors(t *testing.T) {
 	}
 }
 
+// TestCmdSimulateMPCFlags: -horizon/-defer switch the scenario onto the
+// rolling-horizon planner, and malformed or mis-sized allowance lists are
+// rejected before the run starts.
+func TestCmdSimulateMPCFlags(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"scaffold"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/scenario.json"
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	simOut, err := capture(t, func() error {
+		return run([]string{"simulate", "-config", path, "-horizon", "4", "-defer", "0,2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(simOut, "planner mpc") {
+		t.Fatalf("simulate did not switch to mpc: %.160s", simOut)
+	}
+	if err := run([]string{"simulate", "-config", path, "-defer", "0,oops"}); err == nil {
+		t.Fatal("malformed -defer accepted")
+	}
+	if err := run([]string{"simulate", "-config", path, "-horizon", "4", "-defer", "1,2,3"}); err == nil {
+		t.Fatal("mis-sized -defer accepted")
+	}
+}
+
 func TestCmdAnalyze(t *testing.T) {
 	scaffoldOut, err := capture(t, func() error { return run([]string{"scaffold"}) })
 	if err != nil {

@@ -1,9 +1,17 @@
-// Deferral: temporal arbitrage with batch work.
+// Deferral: temporal arbitrage with batch work, online.
 //
-// The paper plans each hour in isolation. Real batch jobs ("finish within
-// a few hours") can wait for cheap electricity; PlanHorizon solves one
-// LP across the whole window and decides when — not just where — each
-// class runs.
+// The paper plans each hour in isolation, so an energy-hungry batch
+// class is simply dropped whenever the electricity price exceeds its
+// utility. The MPC planner runs the same slot loop but looks ahead:
+// each hour it forecasts the next Horizon hours, solves one LP across
+// the window, commits only the current hour and parks unserved batch
+// work in a deadline-aware backlog. Over the Houston afternoon price
+// vibration (spikes at 14:00, 16:00 and 18:00 with cheap valleys in
+// between) that turns "drop it" into "wait one hour".
+//
+// Unlike the clairvoyant PlanHorizon, nothing here sees the future:
+// prices and arrivals are learned online from what the simulation
+// reveals slot by slot.
 package main
 
 import (
@@ -17,55 +25,69 @@ func main() {
 	sys := &profitlb.System{
 		Classes: []profitlb.RequestClass{
 			{
-				Name:                "interactive",
-				TUF:                 profitlb.MustTUF(profitlb.TUFLevel{Utility: 10, Deadline: 0.005}),
-				TransferCostPerMile: 0.0002,
+				Name:                "web",
+				TUF:                 profitlb.MustTUF(profitlb.TUFLevel{Utility: 10, Deadline: 0.2}),
+				TransferCostPerMile: 0.0005,
 			},
 			{
-				// Energy-hungry analytics jobs: 20 kWh per request.
-				Name:                "analytics",
-				TUF:                 profitlb.MustTUF(profitlb.TUFLevel{Utility: 8, Deadline: 0.2}),
-				TransferCostPerMile: 0.0001,
+				// Batch analytics: 40 kWh per krequest makes the class
+				// loss-making whenever electricity crosses ~0.124 $/kWh —
+				// exactly the Houston afternoon spikes.
+				Name:                "batch",
+				TUF:                 profitlb.MustTUF(profitlb.TUFLevel{Utility: 5, Deadline: 1.0}),
+				TransferCostPerMile: 0.0005,
 			},
 		},
-		FrontEnds: []profitlb.FrontEnd{{Name: "fe", DistanceMiles: []float64{300, 1200}}},
-		Centers: []profitlb.DataCenter{
-			{Name: "dc1", Servers: 5, Capacity: 1,
-				ServiceRate: []float64{2000, 700}, EnergyPerRequest: []float64{0.5, 20}},
-			{Name: "dc2", Servers: 5, Capacity: 1,
-				ServiceRate: []float64{1800, 800}, EnergyPerRequest: []float64{0.45, 18}},
-		},
+		FrontEnds: []profitlb.FrontEnd{{Name: "fe", DistanceMiles: []float64{100}}},
+		Centers: []profitlb.DataCenter{{
+			Name: "dc", Servers: 8, Capacity: 1,
+			ServiceRate:      []float64{120, 100},
+			EnergyPerRequest: []float64{1.0, 40},
+		}},
 	}
-	inter := profitlb.WorldCupLike(profitlb.WorldCupConfig{Seed: 55, Base: 1500})
-	batch := profitlb.WorldCupLike(profitlb.WorldCupConfig{Seed: 56, Base: 900})
-	houston, mv := profitlb.Houston(), profitlb.MountainView()
+	houston := profitlb.Houston()
+	const start, slots = 13, 8 // 13:00–20:00: the vibration window
+	cfg := profitlb.SimConfig{
+		Sys:       sys,
+		Traces:    []*profitlb.Trace{profitlb.ConstantTrace("fe", []float64{300, 200}, start+slots)},
+		Prices:    []*profitlb.PriceTrace{houston},
+		Slots:     slots,
+		StartSlot: start,
+	}
 
-	build := func(deferSlots int) *profitlb.HorizonInput {
-		h := &profitlb.HorizonInput{Sys: sys, MaxDefer: []int{0, deferSlots}}
-		for t := 0; t < 24; t++ {
-			h.Arrivals = append(h.Arrivals, [][]float64{{inter[t], batch[t]}})
-			h.Prices = append(h.Prices, []float64{houston.At(t), mv.At(t)})
+	// Web must run in its arrival hour; batch may wait up to 2 hours,
+	// and everything still buffered must clear by hour 21.
+	mp := profitlb.NewMPC(profitlb.MPCConfig{
+		Horizon:  5,
+		MaxDefer: []int{0, 2},
+		EndSlot:  start + slots,
+	})
+	reports, err := profitlb.CompareApproaches(cfg, mp, profitlb.NewOptimized())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, myo := reports[0], reports[1]
+
+	fmt.Println("hour  price($/kWh)  batch served (myopic)  batch served (mpc)  backlog out")
+	for i := range m.Slots {
+		t := start + i
+		var backlog float64
+		if b := m.Slots[i].Backlog; b != nil {
+			for _, v := range b.BacklogOut {
+				backlog += v
+			}
 		}
-		return h
+		fmt.Printf("h%02d   %11.3f  %21.0f  %18.0f  %11.0f\n",
+			t, houston.At(t),
+			myo.Slots[i].ServedByType[1], m.Slots[i].ServedByType[1], backlog)
 	}
 
-	myopic, err := profitlb.PlanHorizon(build(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	flexible, err := profitlb.PlanHorizon(build(6))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Println("hour  price(dc1)  analytics served (myopic)  analytics served (defer≤6)")
-	for t := 0; t < 24; t++ {
-		fmt.Printf("h%02d   %9.3f  %25.0f  %26.0f\n",
-			t, houston.At(t), myopic.Slots[t].Served(1), flexible.Slots[t].Served(1))
-	}
-	fmt.Printf("\nwindow net profit: myopic $%.0f vs deferral $%.0f (+%.2f%%)\n",
-		myopic.Objective, flexible.Objective,
-		100*(flexible.Objective/myopic.Objective-1))
-	fmt.Printf("%.0f%% of analytics volume was shifted to cheaper hours\n",
-		100*flexible.DeferredFraction[1])
+	deferred, drained, forced, shed := m.DeferralTotals()
+	fmt.Printf("\ndeferral ledger: %.0f req/h deferred, %.0f drained (%.0f forced), %.0f shed; final backlog %.0f\n",
+		deferred, drained, forced, shed, m.FinalBacklog())
+	fmt.Printf("batch completion: myopic %.0f%% vs mpc %.0f%%\n",
+		100*myo.CompletionRate(1), 100*m.CompletionRate(1))
+	fmt.Printf("window net profit: myopic $%.0f vs mpc $%.0f (+%.2f%%)\n",
+		myo.TotalNetProfit(), m.TotalNetProfit(),
+		100*(m.TotalNetProfit()/myo.TotalNetProfit()-1))
 }

@@ -20,6 +20,7 @@ import (
 	"profitlb/internal/fault"
 	"profitlb/internal/feed"
 	"profitlb/internal/market"
+	"profitlb/internal/mpc"
 	"profitlb/internal/obs"
 	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
@@ -45,8 +46,15 @@ type Scenario struct {
 	StartSlot int `json:"startSlot,omitempty"`
 	// Planner selects the dispatcher: "optimized" (default),
 	// "optimized/per-server", "level-search", "balanced", "nearest",
-	// "greedy-profit" or "random".
+	// "greedy-profit", "random" or "mpc" (the rolling-horizon planner of
+	// internal/mpc, tuned by the MPC block).
 	Planner string `json:"planner,omitempty"`
+	// MPC tunes the rolling-horizon planner (planner "mpc"): window
+	// length, per-class deferral allowances, end-of-run truncation and the
+	// forecast hedge. An absent EndSlot defaults to StartSlot+Slots so
+	// simulated runs never strand deferred work. Ignored by the other
+	// planners.
+	MPC *mpc.Config `json:"mpc,omitempty"`
 	// Parallelism configures the plan-search engine of the optimized and
 	// level-search planners (ignored by the baselines): 0 keeps the
 	// legacy serial search, n ≥ 1 runs n workers over the subset-LP memo
@@ -185,6 +193,11 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("config: %w", err)
 		}
 	}
+	if s.MPC != nil {
+		if err := s.MPCConfig().Validate(len(s.System.Classes)); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+	}
 	cfg := s.SimConfig()
 	return cfg.Validate()
 }
@@ -205,6 +218,20 @@ func (s *Scenario) ControlConfig() control.Config {
 		return control.Config{}.WithDefaults()
 	}
 	return s.Control.WithDefaults()
+}
+
+// MPCConfig returns the scenario's mpc block with defaults applied — an
+// absent EndSlot becomes the end of the simulated window — or the pure
+// defaults when the scenario has none.
+func (s *Scenario) MPCConfig() mpc.Config {
+	var mc mpc.Config
+	if s.MPC != nil {
+		mc = *s.MPC
+	}
+	if mc.EndSlot == 0 {
+		mc.EndSlot = s.StartSlot + s.Slots
+	}
+	return mc.WithDefaults()
 }
 
 // DispatchConfig returns the scenario's dispatch block, or the defaults
@@ -298,6 +325,10 @@ func (s *Scenario) basePlanner() (core.Planner, error) {
 			p.Sparse = *s.Sparse
 		}
 		p.Obs = s.Obs
+		return p, nil
+	case "mpc":
+		p := mpc.New(s.MPCConfig())
+		p.Instrument(s.Obs)
 		return p, nil
 	case "balanced":
 		return baseline.NewBalanced(), nil

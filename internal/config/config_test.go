@@ -104,7 +104,7 @@ func TestResolvePricesUnknownLocation(t *testing.T) {
 func TestBuildPlannerNames(t *testing.T) {
 	s := Example()
 	names := []string{"", "optimized", "Optimized", "optimized/per-server",
-		"level-search", "balanced", "nearest", "greedy-profit", "random"}
+		"level-search", "balanced", "nearest", "greedy-profit", "random", "mpc"}
 	for _, n := range names {
 		s.Planner = n
 		if _, err := s.BuildPlanner(); err != nil {

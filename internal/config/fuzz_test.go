@@ -109,6 +109,27 @@ func FuzzLoad(f *testing.F) {
 		`"slots": 24, "faults": {"events": [{"kind":"publisher-outage","from":0,"to":0}]}`, 1))
 	f.Add(strings.Replace(example.String(), `"slots": 24`,
 		`"slots": 24, "cluster": null`, 1))
+	// MPC blocks, valid and hostile: the rolling-horizon planner's window,
+	// per-class deferral allowances and forecast knobs.
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "mpc": {"horizon": 4, "maxDefer": [0, 2]}`, 1))
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "mpc": {"horizon": 6, "maxDefer": [1, 3], "endSlot": 24, "deferMargin": 0.1, "minObservations": 2}`, 1))
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "mpc": {"horizon": -2}`, 1))
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "mpc": {"maxDefer": [0, -1]}`, 1))
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "mpc": {"maxDefer": [1]}`, 1))
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "mpc": {"endSlot": -5}`, 1))
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "mpc": {"bogusKnob": true}`, 1))
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "mpc": null`, 1))
+	f.Add(strings.Replace(example.String(), `"planner": "optimized"`,
+		`"planner": "mpc", "resilient": true, "mpc": {"horizon": 4, "maxDefer": [0, 2]},
+		"faults": {"events": [{"kind":"planner-error","from":3,"to":3}]}`, 1))
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := Load(strings.NewReader(in))
 		if err != nil {

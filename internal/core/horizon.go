@@ -35,6 +35,15 @@ type HorizonInput struct {
 	// MaxDefer[k] is how many whole slots type k may be buffered before
 	// dispatch (0 = the paper's must-serve-on-arrival).
 	MaxDefer []int
+	// Backlog[s][k][r] is work already buffered at front-end s (rate
+	// units, like Arrivals) that must be served within r further slots:
+	// an r=0 bucket can only run in window slot 0, an r=2 bucket in
+	// slots 0–2. Nil means no carried backlog (the offline PlanHorizon
+	// case); a rolling-horizon controller (internal/mpc) snapshots its
+	// aging buckets here each re-plan. The LP may leave backlog unserved
+	// (the budget rows are ≤) — deadline enforcement for due buckets is
+	// the controller's force-drain, not the LP's.
+	Backlog [][][]float64
 }
 
 // Validate checks dimensions.
@@ -62,7 +71,42 @@ func (h *HorizonInput) Validate() error {
 			return fmt.Errorf("core: horizon slot %d: %w", t, err)
 		}
 	}
+	if h.Backlog != nil {
+		if len(h.Backlog) != h.Sys.S() {
+			return fmt.Errorf("core: backlog for %d front-ends, want %d", len(h.Backlog), h.Sys.S())
+		}
+		for s, row := range h.Backlog {
+			if len(row) != h.Sys.K() {
+				return fmt.Errorf("core: backlog front-end %d has %d types, want %d", s, len(row), h.Sys.K())
+			}
+			for k, buckets := range row {
+				for r, v := range buckets {
+					if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						return fmt.Errorf("core: backlog[%d][%d][%d] invalid rate %g", s, k, r, v)
+					}
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// backlogAt returns the h.Backlog bucket volume, tolerating nil/ragged
+// shapes (absent buckets are zero).
+func (h *HorizonInput) backlogAt(s, k, r int) float64 {
+	if h.Backlog == nil || r >= len(h.Backlog[s][k]) {
+		return 0
+	}
+	return h.Backlog[s][k][r]
+}
+
+// backlogDepth returns the deepest bucket index carried for (s, k), -1
+// when none.
+func (h *HorizonInput) backlogDepth(s, k int) int {
+	if h.Backlog == nil {
+		return -1
+	}
+	return len(h.Backlog[s][k]) - 1
 }
 
 // HorizonPlan is the joint decision for the window.
@@ -82,6 +126,23 @@ type HorizonPlan struct {
 type horizonVar struct {
 	ts, ci, s, d int // serve slot, commodity index at ts, front-end, defer
 }
+
+// backlogVar indexes one carried-backlog dispatch variable: bucket
+// (s, r) of the commodity's class served during window slot ts.
+type backlogVar struct {
+	ts, ci, s, r int
+}
+
+// deferHoldEps is a tiny per-slot holding cost ($ per unit rate) charged
+// to every deferred-service variable (new work served d > 0 slots after
+// arrival, or carried backlog served at ts > 0). It breaks objective
+// ties toward serving now: with flat prices, deferring and serving are
+// otherwise equal-profit and the simplex could park work in the buffer
+// for nothing, stranding it when the run ends. It is orders of magnitude
+// below any real price swing, so genuine arbitrage is unaffected, and
+// serve-now variables (d = 0, and zero-defer classes entirely) carry no
+// penalty — the zero-defer LP is bit-identical to before.
+const deferHoldEps = 1e-6
 
 // PlanHorizon solves the joint multi-slot LP and splits the solution into
 // per-slot plans with consolidated server counts. Every call solves cold;
@@ -165,6 +226,7 @@ type horizonLP struct {
 	model *lp.Model
 	comms [][]commodity
 	xIdx  map[horizonVar]int
+	bIdx  map[backlogVar]int
 	fVar  [][]int // [t][ci]
 }
 
@@ -186,6 +248,7 @@ func buildHorizonLP(h *HorizonInput) *horizonLP {
 
 	m := lp.NewModel()
 	xIdx := map[horizonVar]int{}
+	bIdx := map[backlogVar]int{}
 	fVar := make([][]int, H) // [t][ci]
 	for t := 0; t < H; t++ {
 		fVar[t] = make([]int, len(comms[t]))
@@ -196,7 +259,18 @@ func buildHorizonLP(h *HorizonInput) *horizonLP {
 				coef := T * sys.UnitProfit(c.k, s, c.l, c.utility, h.Prices[t][c.l])
 				for d := 0; d <= maxD && d <= t; d++ {
 					v := horizonVar{ts: t, ci: ci, s: s, d: d}
-					xIdx[v] = m.AddVariable(fmt.Sprintf("x_t%d_k%d_q%d_s%d_l%d_d%d", t, c.k, c.q, s, c.l, d), coef)
+					xIdx[v] = m.AddVariable(fmt.Sprintf("x_t%d_k%d_q%d_s%d_l%d_d%d", t, c.k, c.q, s, c.l, d),
+						coef-deferHoldEps*float64(d))
+				}
+				// Carried-backlog dispatch: bucket (s, r) may run in any
+				// slot up to its remaining deadline r.
+				for r := 0; r <= h.backlogDepth(s, c.k); r++ {
+					if t > r || h.backlogAt(s, c.k, r) <= 0 {
+						continue
+					}
+					v := backlogVar{ts: t, ci: ci, s: s, r: r}
+					bIdx[v] = m.AddVariable(fmt.Sprintf("b_t%d_k%d_q%d_s%d_l%d_r%d", t, c.k, c.q, s, c.l, r),
+						coef-deferHoldEps*float64(t))
 				}
 			}
 		}
@@ -212,8 +286,38 @@ func buildHorizonLP(h *HorizonInput) *horizonLP {
 				for d := 0; d <= h.MaxDefer[c.k] && d <= t; d++ {
 					terms = append(terms, lp.Term{Var: xIdx[horizonVar{t, ci, s, d}], Coef: -1})
 				}
+				for r := t; r <= h.backlogDepth(s, c.k); r++ {
+					if vi, ok := bIdx[backlogVar{t, ci, s, r}]; ok {
+						terms = append(terms, lp.Term{Var: vi, Coef: -1})
+					}
+				}
 			}
 			m.AddConstraint(fmt.Sprintf("cap_t%d_k%d_q%d_l%d", t, c.k, c.q, c.l), terms, lp.GE, n/c.deadline)
+		}
+	}
+	// Backlog budgets per (front-end, type, bucket): the bucket's volume
+	// bounds its total dispatch over the slots its deadline still allows.
+	for s := 0; s < S; s++ {
+		for k := 0; k < K; k++ {
+			for r := 0; r <= h.backlogDepth(s, k); r++ {
+				if h.backlogAt(s, k, r) <= 0 {
+					continue
+				}
+				var terms []lp.Term
+				for t := 0; t < H && t <= r; t++ {
+					for ci, c := range comms[t] {
+						if c.k != k {
+							continue
+						}
+						if vi, ok := bIdx[backlogVar{t, ci, s, r}]; ok {
+							terms = append(terms, lp.Term{Var: vi, Coef: 1})
+						}
+					}
+				}
+				if len(terms) > 0 {
+					m.AddConstraint(fmt.Sprintf("bud_s%d_k%d_r%d", s, k, r), terms, lp.LE, h.backlogAt(s, k, r))
+				}
+			}
 		}
 	}
 	// Arrival budgets per (arrival slot, front-end, type): work arriving
@@ -251,7 +355,7 @@ func buildHorizonLP(h *HorizonInput) *horizonLP {
 		}
 	}
 
-	return &horizonLP{model: m, comms: comms, xIdx: xIdx, fVar: fVar}
+	return &horizonLP{model: m, comms: comms, xIdx: xIdx, bIdx: bIdx, fVar: fVar}
 }
 
 // extract splits an optimal window solution into per-slot plans.
@@ -278,6 +382,21 @@ func (b *horizonLP) extract(h *HorizonInput, res *lp.Result) (*HorizonPlan, erro
 					if d > 0 {
 						deferred[comms[t][ci].k] += v
 					}
+				}
+				// Carried backlog was buffered at least one slot before the
+				// window opened, so it always counts as deferred service.
+				for r := t; r <= h.backlogDepth(s, comms[t][ci].k); r++ {
+					vi, ok := b.bIdx[backlogVar{t, ci, s, r}]
+					if !ok {
+						continue
+					}
+					v := res.Value(vi)
+					if v <= 0 {
+						continue
+					}
+					rates[ci][s] += v
+					servedTotal[comms[t][ci].k] += v
+					deferred[comms[t][ci].k] += v
 				}
 			}
 		}
@@ -310,7 +429,8 @@ func VerifyHorizon(h *HorizonInput, hp *HorizonPlan, tol float64) error {
 	}
 	for t, plan := range hp.Slots {
 		// Reuse Verify's share/deadline/server checks with a relaxed
-		// arrival budget: anything arrived in the reachable window.
+		// arrival budget: anything arrived in the reachable window, plus
+		// any carried backlog bucket whose deadline still admits slot t.
 		relaxed := make([][]float64, sys.S())
 		for s := range relaxed {
 			relaxed[s] = make([]float64, sys.K())
@@ -320,6 +440,9 @@ func VerifyHorizon(h *HorizonInput, hp *HorizonPlan, tol float64) error {
 						relaxed[s][k] += h.Arrivals[ta][s][k]
 					}
 				}
+				for r := t; r <= h.backlogDepth(s, k); r++ {
+					relaxed[s][k] += h.backlogAt(s, k, r)
+				}
 			}
 		}
 		in := &Input{Sys: sys, Arrivals: relaxed, Prices: h.Prices[t]}
@@ -328,16 +451,20 @@ func VerifyHorizon(h *HorizonInput, hp *HorizonPlan, tol float64) error {
 		}
 	}
 	// Window-level conservation per (type, front-end): cumulative served
-	// by slot t must never exceed cumulative arrived by slot t, and total
-	// served ≤ total arrived.
+	// by slot t must never exceed cumulative arrived by slot t plus the
+	// carried backlog, and likewise in total.
 	for k := 0; k < sys.K(); k++ {
 		for s := 0; s < sys.S(); s++ {
-			var arrived, served float64
+			var carried float64
+			for r := 0; r <= h.backlogDepth(s, k); r++ {
+				carried += h.backlogAt(s, k, r)
+			}
+			arrived, served := carried, 0.0
 			for t := range hp.Slots {
 				arrived += h.Arrivals[t][s][k]
 				served += hp.Slots[t].ServedFrom(k, s)
 				if served > arrived+tol*(1+math.Abs(arrived)) {
-					return fmt.Errorf("core: type %d front-end %d served %g > arrived %g by slot %d",
+					return fmt.Errorf("core: type %d front-end %d served %g > arrived+backlog %g by slot %d",
 						k, s, served, arrived, t)
 				}
 			}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"profitlb/internal/lp"
+)
+
+// backlogScenario is deferScenario plus a carried batch backlog: one
+// bucket due immediately (r=0) and one with two slots of slack (r=2).
+func backlogScenario(slots int) *HorizonInput {
+	h := deferScenario(slots)
+	h.MaxDefer = []int{0, 2}
+	h.Backlog = [][][]float64{{
+		nil,           // interactive carries nothing
+		{120, 0, 200}, // batch: 120 due now, 200 with r=2
+	}}
+	return h
+}
+
+func TestHorizonBacklogIsServedAndVerifies(t *testing.T) {
+	h := backlogScenario(4)
+	hp, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHorizon(h, hp, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// The same window without the backlog earns strictly less: backlog
+	// service is profitable extra volume here (capacity is ample).
+	base := *h
+	base.Backlog = nil
+	bp, err := PlanHorizon(&base, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Objective <= bp.Objective {
+		t.Fatalf("backlog window objective %g not above base %g", hp.Objective, bp.Objective)
+	}
+	// Window service of batch must stay within arrivals + carried backlog.
+	var arrived, served float64
+	for tt := range h.Arrivals {
+		arrived += h.Arrivals[tt][0][1]
+		served += hp.Slots[tt].ServedFrom(1, 0)
+	}
+	carried := 120.0 + 200.0
+	if served > arrived+carried+1e-6 {
+		t.Fatalf("served %g > arrivals %g + backlog %g", served, arrived, carried)
+	}
+	// Backlog service counts as deferred service in the plan's summary.
+	if hp.DeferredFraction[1] <= 0 {
+		t.Fatalf("batch deferred fraction %g, want > 0 with served backlog", hp.DeferredFraction[1])
+	}
+}
+
+// TestHorizonBacklogDeadlineLimitsServeSlots pins the bucket-deadline
+// encoding: with zero batch arrivals and only an r=1 bucket, batch may
+// run in window slots 0 and 1 but never later.
+func TestHorizonBacklogDeadlineLimitsServeSlots(t *testing.T) {
+	h := deferScenario(4)
+	h.MaxDefer = []int{0, 3}
+	for tt := range h.Arrivals {
+		h.Arrivals[tt][0][1] = 0 // no new batch work
+	}
+	h.Backlog = [][][]float64{{nil, {0, 300}}} // one r=1 bucket
+	hp, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHorizon(h, hp, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	var early float64
+	for tt := range hp.Slots {
+		got := hp.Slots[tt].ServedFrom(1, 0)
+		if tt <= 1 {
+			early += got
+		} else if got > 1e-9 {
+			t.Fatalf("slot %d serves %g batch after the r=1 deadline", tt, got)
+		}
+	}
+	if early <= 0 {
+		t.Fatal("no backlog served inside its deadline despite ample capacity")
+	}
+	if early > 300+1e-6 {
+		t.Fatalf("served %g > bucket volume 300", early)
+	}
+}
+
+// TestHorizonNilBacklogBitIdentical guards the default path: a nil
+// Backlog field must leave the LP — and thus the plan — exactly as
+// before the extension.
+func TestHorizonNilBacklogBitIdentical(t *testing.T) {
+	h := deferScenario(5)
+	h.MaxDefer = []int{0, 2}
+	a, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Backlog = [][][]float64{{nil, nil}} // present but empty: no buckets
+	b, err := PlanHorizon(h, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective {
+		t.Fatalf("empty backlog changed objective: %g vs %g", a.Objective, b.Objective)
+	}
+	for tt := range a.Slots {
+		for k := range a.Slots[tt].Rate {
+			for q := range a.Slots[tt].Rate[k] {
+				for s := range a.Slots[tt].Rate[k][q] {
+					for l := range a.Slots[tt].Rate[k][q][s] {
+						if a.Slots[tt].Rate[k][q][s][l] != b.Slots[tt].Rate[k][q][s][l] {
+							t.Fatalf("slot %d rate[%d][%d][%d][%d] differs", tt, k, q, s, l)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHorizonBacklogValidation(t *testing.T) {
+	h := deferScenario(3)
+	h.Backlog = [][][]float64{} // wrong front-end count (0, want 1)
+	if err := h.Validate(); err == nil {
+		t.Fatal("short backlog accepted")
+	}
+	h.Backlog = [][][]float64{{nil}} // wrong type count
+	if err := h.Validate(); err == nil {
+		t.Fatal("ragged backlog accepted")
+	}
+	h.Backlog = [][][]float64{{nil, {math.NaN()}}}
+	if err := h.Validate(); err == nil {
+		t.Fatal("NaN bucket accepted")
+	}
+	h.Backlog = [][][]float64{{nil, {-1}}}
+	if err := h.Validate(); err == nil {
+		t.Fatal("negative bucket accepted")
+	}
+	h.Backlog = [][][]float64{{nil, {0, 5}}}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("valid backlog rejected: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl15-priceblind", "abl16-pooling", "abl17-week",
 		"val1-mm1", "val2-utility", "val3-des", "val4-servicecv", "val5-arrivals",
 		"rob2-chaos", "rob3-darkfeeds",
+		"mpc1-priceshift", "mpc2-faultdefer",
 	}
 	for _, id := range want {
 		e, ok := Get(id)

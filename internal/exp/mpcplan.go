@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+
+	"profitlb/internal/core"
+	"profitlb/internal/datacenter"
+	"profitlb/internal/fault"
+	"profitlb/internal/market"
+	"profitlb/internal/mpc"
+	"profitlb/internal/report"
+	"profitlb/internal/resilient"
+	"profitlb/internal/sim"
+	"profitlb/internal/tuf"
+	"profitlb/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "mpc1-priceshift",
+		Title: "Extension: online MPC vs myopic over the Houston price vibration",
+		Paper: "beyond the paper (receding-horizon planning; abl13-defer is the clairvoyant bound)",
+		Run:   runMPCPriceShift,
+	})
+	register(&Experiment{
+		ID:    "mpc2-faultdefer",
+		Title: "Extension: deferral vs shed when a planner fault hits the backlog window",
+		Paper: "beyond the paper (MPC backlog under the resilience ladder)",
+		Run:   runMPCFaultDefer,
+	})
+}
+
+// mpcSystem is the deferral study's topology: a web class that must run
+// in its arrival hour and an energy-heavy batch class (utility 5, 40 kWh
+// per krequest) that turns loss-making whenever electricity crosses
+// ~0.124 $/kWh — exactly the Houston afternoon spikes.
+func mpcSystem() *datacenter.System {
+	return &datacenter.System{
+		Classes: []datacenter.RequestClass{
+			{Name: "web", TUF: tuf.MustNew([]tuf.Level{{Utility: 10, Deadline: 0.2}}), TransferCostPerMile: 0.0005},
+			{Name: "batch", TUF: tuf.MustNew([]tuf.Level{{Utility: 5, Deadline: 1.0}}), TransferCostPerMile: 0.0005},
+		},
+		FrontEnds: []datacenter.FrontEnd{{Name: "fe", DistanceMiles: []float64{100}}},
+		Centers: []datacenter.DataCenter{{
+			Name: "dc", Servers: 8, Capacity: 1,
+			ServiceRate:      []float64{120, 100},
+			EnergyPerRequest: []float64{1.0, 40},
+		}},
+	}
+}
+
+func mpcConfig(prices *market.PriceTrace, start, slots int) sim.Config {
+	return sim.Config{
+		Sys:       mpcSystem(),
+		Traces:    []*workload.Trace{workload.Constant("fe", []float64{300, 200}, start+slots)},
+		Prices:    []*market.PriceTrace{prices},
+		Slots:     slots,
+		StartSlot: start,
+	}
+}
+
+// runMPCPriceShift replays the 13:00–21:00 Houston vibration window
+// (spikes at 14/16/18h, valleys in between) under the online MPC planner
+// and the paper's myopic one, and tables where each puts the batch work.
+// Nothing is clairvoyant: the MPC lane learns prices and arrivals from
+// the slots it has already seen.
+func runMPCPriceShift() (*Result, error) {
+	const start, slots = 13, 8
+	cfg := mpcConfig(market.Houston(), start, slots)
+	mp := mpc.New(mpc.Config{Horizon: 5, MaxDefer: []int{0, 2}, EndSlot: start + slots})
+	reports, err := sim.Compare(cfg, mp, core.NewOptimized())
+	if err != nil {
+		return nil, err
+	}
+	m, myo := reports[0], reports[1]
+
+	hours := report.NewTable("Batch placement, Houston 13:00-21:00 (spikes at 14/16/18h)",
+		"hour", "price($/kWh)", "batch myopic", "batch mpc", "deferred", "backlog out")
+	houston := market.Houston()
+	for i := range m.Slots {
+		t := start + i
+		var deferredNew, backlogOut float64
+		if b := m.Slots[i].Backlog; b != nil {
+			deferredNew = core.Total(b.DeferredNew)
+			backlogOut = core.Total(b.BacklogOut)
+		}
+		hours.AddRow(fmt.Sprintf("%d", t), fmt.Sprintf("%.3f", houston.At(t)),
+			report.F(myo.Slots[i].ServedByType[1]), report.F(m.Slots[i].ServedByType[1]),
+			report.F(deferredNew), report.F(backlogOut))
+	}
+
+	sum := report.NewTable("Window outcome", "planner", "net($)", "batch completion", "lost($)")
+	sum.AddRow("mpc h=5 defer<=2", report.F(m.TotalNetProfit()),
+		report.Pct(m.CompletionRate(1)), report.F(m.TotalLostRevenue()))
+	sum.AddRow("myopic", report.F(myo.TotalNetProfit()),
+		report.Pct(myo.CompletionRate(1)), report.F(myo.TotalLostRevenue()))
+
+	deferred, drained, _, shed := m.DeferralTotals()
+	return &Result{
+		ID: "mpc1-priceshift", Title: "Online temporal shifting",
+		Tables: []*report.Table{hours, sum},
+		Notes: []string{
+			fmt.Sprintf("the myopic planner drops the batch class at every spike; the MPC lane defers %s req/h into the valleys and drains %s with %s shed, lifting window net profit by %s",
+				report.F(deferred), report.F(drained), report.F(shed),
+				report.Pct(m.TotalNetProfit()/myo.TotalNetProfit()-1)),
+			"abl13-defer solves the same trade with the whole day visible up front; this run matches its mechanism online, from forecasts only",
+		},
+	}, nil
+}
+
+// mpcStormPrices: cheap, two consecutive spikes, cheap again. Work
+// deferred at the first spike comes due at the second — exactly when the
+// planner fault fires.
+func mpcStormPrices() *market.PriceTrace {
+	return &market.PriceTrace{Name: "storm", Prices: []float64{0.08, 0.148, 0.139, 0.08, 0.08, 0.08}}
+}
+
+// runMPCFaultDefer compares the two ends of the deferral-versus-shed
+// trade: a planner fault fires at slot 2, while the backlog deferred at
+// slot 1 is due. Behind the resilience ladder the fallback tier knows
+// nothing about the backlog, so the commit hook force-dispatches the due
+// bucket; without a ladder the slot sheds and the bucket expires as a
+// deadline miss billed to lost revenue.
+func runMPCFaultDefer() (*Result, error) {
+	sched := func() *fault.Schedule {
+		return &fault.Schedule{Events: []fault.Event{{Kind: fault.PlannerError, From: 2, To: 2}}}
+	}
+	mc := mpc.Config{Horizon: 4, MaxDefer: []int{0, 1}, EndSlot: 6}
+
+	// Lane 1: the fault is absorbed by the resilient chain.
+	rescueCfg := mpcConfig(mpcStormPrices(), 0, 6)
+	rescueCfg.Faults = sched()
+	rescued, err := sim.Run(rescueCfg,
+		resilient.Wrap(&fault.Injector{Planner: mpc.New(mc), Sched: rescueCfg.Faults}))
+	if err != nil {
+		return nil, err
+	}
+	// Lane 2: no ladder — the faulted slot sheds everything, backlog included.
+	shedCfg := mpcConfig(mpcStormPrices(), 0, 6)
+	shedCfg.Faults = sched()
+	shedCfg.DegradeOnFailure = true
+	unrescued, err := sim.Run(shedCfg, &fault.Injector{Planner: mpc.New(mc), Sched: shedCfg.Faults})
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.NewTable("Planner fault at slot 2 with a due backlog bucket",
+		"lane", "net($)", "deferred", "forced", "shed", "lost($)", "degraded")
+	for _, ln := range []struct {
+		name string
+		rep  *sim.Report
+	}{{"resilient chain", rescued}, {"no rescue", unrescued}} {
+		deferred, _, forced, shed := ln.rep.DeferralTotals()
+		t.AddRow(ln.name, report.F(ln.rep.TotalNetProfit()),
+			report.F(deferred), report.F(forced), report.F(shed),
+			report.F(ln.rep.TotalLostRevenue()),
+			fmt.Sprintf("%d/%d", ln.rep.DegradedSlots(), len(ln.rep.Slots)))
+	}
+
+	_, _, forced, rescShed := rescued.DeferralTotals()
+	_, _, _, bareShed := unrescued.DeferralTotals()
+	return &Result{
+		ID: "mpc2-faultdefer", Title: "Deferral under faults",
+		Tables: []*report.Table{t},
+		Notes: []string{
+			fmt.Sprintf("the ladder's fallback tier is backlog-blind, yet the commit hook force-dispatches %s req/h of due work so no deadline is missed (%s shed); without rescue the same fault sheds %s and bills the expired bucket to lost revenue",
+				report.F(forced), report.F(rescShed), report.F(bareShed)),
+			"deferral widens the blast radius of a fault — work parked across a slot boundary is hostage to the next slot's planner — which is why the backlog plane degrades to forced drains instead of trusting any single plan",
+		},
+	}, nil
+}

@@ -32,6 +32,10 @@ type Injector struct {
 // reports stay comparable with un-faulted runs.
 func (inj *Injector) Name() string { return inj.Planner.Name() }
 
+// Unwrap exposes the wrapped planner, so hosts can discover capabilities
+// of the inner planner (core.AsDeferral) through the injector.
+func (inj *Injector) Unwrap() core.Planner { return inj.Planner }
+
 // Plan implements core.Planner.
 func (inj *Injector) Plan(in *core.Input) (*core.Plan, error) {
 	if kind, ok := inj.Sched.PlannerFault(in.Slot); ok {

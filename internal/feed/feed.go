@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"profitlb/internal/fault"
 	"profitlb/internal/forecast"
@@ -313,8 +314,12 @@ func (c *Config) ValidateDims(centers, frontEnds, types int) error {
 // Feed is one telemetry feed: a vector source (width 1 for a price feed,
 // K for an arrival feed) behind the transport, breaker, cache and
 // estimator chain. Fetch must be called by a single goroutine with
-// non-decreasing slots — the simulator's slot loop is that driver.
+// non-decreasing slots — the simulator's slot loop is that driver. A
+// small mutex additionally serializes Fetch against PredictAhead, whose
+// caller (a rolling-horizon planner under a resilient chain's per-tier
+// deadline) can outlive its slot and overlap the next slot's fetch.
 type Feed struct {
+	mu sync.Mutex
 	kind string // fault.FeedPrice or fault.FeedArrival
 	idx  int
 	cfg  Config
@@ -327,11 +332,12 @@ type Feed struct {
 	floor   float64
 	br      breaker
 	filters []*forecast.Kalman
-	lkg     []float64
-	lkgSlot int
-	hasLKG  bool
-	born    int
-	started bool
+	lkg      []float64
+	lkgSlot  int
+	hasLKG   bool
+	born     int
+	started  bool
+	lastSlot int // most recent Fetch slot, the "now" PredictAhead steps from
 	// Observability (see obs.go): the attached scope plus the previous
 	// slot's tier and breaker state, so transitions emit exactly one
 	// trace event. All nil-safe; a scope never alters a reading.
@@ -371,7 +377,9 @@ func sq(v float64) float64 { return v * v }
 // Fetch produces the slot's planner-facing reading and its health. The
 // returned slice is owned by the caller.
 func (f *Feed) Fetch(slot int) ([]float64, Health) {
+	f.mu.Lock()
 	out, h := f.fetch(slot)
+	f.mu.Unlock()
 	f.note(slot, h)
 	return out, h
 }
@@ -380,6 +388,7 @@ func (f *Feed) fetch(slot int) ([]float64, Health) {
 	if !f.started {
 		f.born, f.started = slot, true
 	}
+	f.lastSlot = slot
 	h := Health{}
 	eff := f.sch.FeedEffects(f.kind, f.idx, slot)
 	var ok bool

@@ -57,6 +57,25 @@ func (k *Kalman) Predict() (estimate, variance float64) {
 	return k.x, k.p + k.ProcessVar
 }
 
+// PredictH returns the h-step-ahead forecast trajectory. Under the
+// random-walk state model the mean is flat — E[x_{t+i}] = x_t for every
+// i — while the variance widens linearly, p + i·Q, because each future
+// slot adds one more process-noise innovation with no measurement to
+// correct it. estimates[i-1] and variances[i-1] are the i-step-ahead
+// values, so PredictH(1) agrees with Predict exactly. h must be ≥ 1.
+func (k *Kalman) PredictH(h int) (estimates, variances []float64, err error) {
+	if h < 1 {
+		return nil, nil, fmt.Errorf("forecast: horizon %d, want >= 1", h)
+	}
+	estimates = make([]float64, h)
+	variances = make([]float64, h)
+	for i := 1; i <= h; i++ {
+		estimates[i-1] = k.x
+		variances[i-1] = k.p + float64(i)*k.ProcessVar
+	}
+	return estimates, variances, nil
+}
+
 // Observations returns how many measurements the filter has consumed.
 func (k *Kalman) Observations() int { return k.n }
 

@@ -1,0 +1,330 @@
+package mpc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"profitlb/internal/core"
+	"profitlb/internal/forecast"
+	"profitlb/internal/obs"
+)
+
+// Planner is the rolling-horizon controller. It implements
+// core.DeferralPlanner; hosts must drive CommitSlot exactly once per slot
+// (see the package comment). Unlike the other stateful planners, every
+// method is mutex-guarded rather than single-caller: a resilient chain
+// that abandons a timed-out Plan call leaves its goroutine running, and
+// the chain's fallback commit (ForceDrain) plus the simulator's
+// settlement (CommitSlot) race against it. The mutex makes those
+// overlaps safe — bucket state is only ever mutated by CommitSlot, so an
+// abandoned Plan can at worst warm the LP basis with a discarded window
+// and overwrite the Forced diagnostic.
+type Planner struct {
+	mu  sync.Mutex
+	cfg Config
+
+	myopic  *core.Optimized
+	horizon *core.HorizonPlanner
+	fs      core.ForecastSource
+	sc      *obs.Scope
+
+	// backlog[s][k][r] is buffered work (rate units) at front-end s of
+	// class k that must be served within r further slots.
+	backlog [][][]float64
+	// forced[k] is the volume the latest force-drain placed, consumed by
+	// the next CommitSlot (replace semantics: each drain overwrites it, so
+	// an abandoned tier's drain cannot double-count).
+	forced []float64
+
+	// Internal filter banks for horizon assembly when no forecast source
+	// is attached: one per price element and one per (front-end, class).
+	priceF []*kalmanCell
+	arrF   [][]*kalmanCell
+}
+
+// New returns a controller for the configuration (defaults applied).
+func New(cfg Config) *Planner {
+	return &Planner{
+		cfg:     cfg.WithDefaults(),
+		myopic:  core.NewOptimized(),
+		horizon: core.NewHorizonPlanner(),
+	}
+}
+
+// Name implements core.Planner.
+func (p *Planner) Name() string { return "mpc" }
+
+// Config returns the effective (defaulted) configuration.
+func (p *Planner) Config() Config { return p.cfg }
+
+// AttachForecast routes horizon assembly through an external multi-step
+// forecast source (the telemetry feed layer); without one the planner
+// projects from its own per-element Kalman filters.
+func (p *Planner) AttachForecast(fs core.ForecastSource) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fs = fs
+}
+
+// Instrument streams the controller's counters — backlog depth, deferred
+// and forced and shed volume, horizon solve latency — into the
+// observability layer. The scope only watches; plans are identical with
+// or without it.
+func (p *Planner) Instrument(sc *obs.Scope) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sc = sc
+}
+
+// kalmanCell is one lazily-built scalar filter: the noise scales are set
+// relative to the first observation, and until the filter is warm the
+// projection holds the last observation flat.
+type kalmanCell struct {
+	f    *forecast.Kalman
+	last float64
+}
+
+func (p *Planner) observe(c *kalmanCell, z float64) {
+	if c.f == nil {
+		scale := z
+		if scale < 1e-6 {
+			scale = 1e-6
+		}
+		sq := func(x float64) float64 { return x * x }
+		c.f, _ = forecast.NewKalman(sq(p.cfg.ProcessRel*scale), sq(p.cfg.MeasureRel*scale))
+	}
+	c.f.Observe(z)
+	c.last = z
+}
+
+// ahead projects the cell h steps forward: the warm filter's trajectory,
+// else the last observation held flat.
+func (p *Planner) ahead(c *kalmanCell, h int) []float64 {
+	if c.f != nil && c.f.Warm(p.cfg.MinObservations) {
+		if est, _, err := c.f.PredictH(h); err == nil {
+			return est
+		}
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = c.last
+	}
+	return out
+}
+
+// lazyInit shapes the per-topology state on first use. K and S never
+// change across a run (fault-effective topologies reshape centers, not
+// classes or front-ends).
+func (p *Planner) lazyInit(K, S, L int) {
+	if p.backlog != nil {
+		return
+	}
+	p.backlog = make([][][]float64, S)
+	p.arrF = make([][]*kalmanCell, S)
+	for s := 0; s < S; s++ {
+		p.backlog[s] = make([][]float64, K)
+		p.arrF[s] = make([]*kalmanCell, K)
+		for k := 0; k < K; k++ {
+			p.arrF[s][k] = &kalmanCell{}
+		}
+	}
+	p.priceF = make([]*kalmanCell, L)
+	for l := 0; l < L; l++ {
+		p.priceF[l] = &kalmanCell{}
+	}
+	p.forced = make([]float64, K)
+}
+
+// Plan implements core.Planner: assemble the window, solve the joint LP,
+// commit slot 0 with due buckets force-drained. Plan never mutates the
+// backlog — settlement is CommitSlot's.
+func (p *Planner) Plan(in *core.Input) (*core.Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sys := in.Sys
+	K, S, L := sys.K(), sys.S(), sys.L()
+	p.lazyInit(K, S, L)
+	for l := 0; l < L; l++ {
+		p.observe(p.priceF[l], in.Prices[l])
+	}
+	for s := 0; s < S; s++ {
+		for k := 0; k < K; k++ {
+			p.observe(p.arrF[s][k], in.Arrivals[s][k])
+		}
+	}
+	for k := range p.forced {
+		p.forced[k] = 0
+	}
+	H := p.effHorizon(in.Slot)
+	if p.cfg.myopicOnly() || (H == 1 && p.backlogEmpty()) {
+		// No lookahead to exploit and nothing buffered: the myopic
+		// optimizer (with its subset refinement, which the horizon LP
+		// lacks) is exactly right, and bit-identical to a plain run.
+		return p.myopic.Plan(in)
+	}
+
+	hin := p.assembleWindow(in, H)
+	start := time.Now()
+	hp, err := p.horizon.Plan(hin)
+	if p.sc.Enabled() {
+		p.sc.Histogram("mpc_horizon_solve_seconds", nil, obs.L("planner", p.Name())).
+			Observe(time.Since(start).Seconds())
+		p.sc.Gauge("mpc_horizon_slots", obs.L("planner", p.Name())).Set(float64(H))
+	}
+	if err != nil {
+		if p.sc.Enabled() {
+			p.sc.Counter("mpc_horizon_failures_total", obs.L("planner", p.Name())).Add(1)
+		}
+		return nil, fmt.Errorf("mpc: horizon solve: %w", err)
+	}
+	plan := hp.Slots[0]
+	p.forceDrainLocked(in, plan)
+	plan.Objective = core.PlanObjective(in, plan)
+	return plan, nil
+}
+
+// effHorizon is the window length for a plan starting at slot: the
+// configured horizon, truncated at the run's end.
+func (p *Planner) effHorizon(slot int) int {
+	H := p.cfg.Horizon
+	if p.cfg.EndSlot > 0 {
+		if rem := p.cfg.EndSlot - slot; rem < H {
+			H = rem
+		}
+	}
+	if H < 1 {
+		H = 1
+	}
+	return H
+}
+
+// assembleWindow builds the H-slot horizon input: slot 0 is the live
+// telemetry, slots 1..H−1 come from the attached forecast source (or the
+// internal filters), and the backlog is a snapshot of the aging buckets.
+func (p *Planner) assembleWindow(in *core.Input, H int) *core.HorizonInput {
+	sys := in.Sys
+	K, S, L := sys.K(), sys.S(), sys.L()
+	hin := &core.HorizonInput{
+		Sys:      sys,
+		Arrivals: make([][][]float64, H),
+		Prices:   make([][]float64, H),
+		MaxDefer: make([]int, K),
+		Backlog:  make([][][]float64, S),
+	}
+	for k := 0; k < K; k++ {
+		hin.MaxDefer[k] = p.cfg.maxDefer(k)
+	}
+	for s := 0; s < S; s++ {
+		hin.Backlog[s] = make([][]float64, K)
+		for k := 0; k < K; k++ {
+			hin.Backlog[s][k] = append([]float64(nil), p.backlog[s][k]...)
+		}
+	}
+	hin.Arrivals[0] = copyMatrix(in.Arrivals)
+	hin.Prices[0] = append([]float64(nil), in.Prices...)
+	if H == 1 {
+		return hin
+	}
+	prices, arrivals := p.projection(H - 1)
+	for t := 1; t < H; t++ {
+		hin.Prices[t] = clampRow(prices[t-1], L)
+		// Robustness hedge: deferring work to slot t only pays if the
+		// forecast saving survives a (1+DeferMargin) price error.
+		for l := range hin.Prices[t] {
+			hin.Prices[t][l] *= 1 + p.cfg.DeferMargin
+		}
+		hin.Arrivals[t] = make([][]float64, S)
+		for s := 0; s < S; s++ {
+			hin.Arrivals[t][s] = clampRow(arrivals[t-1][s], K)
+		}
+	}
+	return hin
+}
+
+// projection returns the h-step forecast from the attached source, or
+// the internal filter banks when no source is attached (or the source
+// returns a malformed shape).
+func (p *Planner) projection(h int) (prices [][]float64, arrivals [][][]float64) {
+	if p.fs != nil {
+		prices, arrivals = p.fs.ForecastHorizon(h)
+		if sourceShapeOK(prices, arrivals, h, len(p.priceF), len(p.arrF)) {
+			return prices, arrivals
+		}
+	}
+	prices = make([][]float64, h)
+	arrivals = make([][][]float64, h)
+	for i := 0; i < h; i++ {
+		prices[i] = make([]float64, len(p.priceF))
+		arrivals[i] = make([][]float64, len(p.arrF))
+		for s := range p.arrF {
+			arrivals[i][s] = make([]float64, len(p.arrF[s]))
+		}
+	}
+	for l, c := range p.priceF {
+		traj := p.ahead(c, h)
+		for i := 0; i < h; i++ {
+			prices[i][l] = traj[i]
+		}
+	}
+	for s := range p.arrF {
+		for k, c := range p.arrF[s] {
+			traj := p.ahead(c, h)
+			for i := 0; i < h; i++ {
+				arrivals[i][s][k] = traj[i]
+			}
+		}
+	}
+	return prices, arrivals
+}
+
+// sourceShapeOK validates an external forecast's dimensions.
+func sourceShapeOK(prices [][]float64, arrivals [][][]float64, h, L, S int) bool {
+	if len(prices) != h || len(arrivals) != h {
+		return false
+	}
+	for i := 0; i < h; i++ {
+		if len(prices[i]) != L || len(arrivals[i]) != S {
+			return false
+		}
+	}
+	return true
+}
+
+// clampRow copies a forecast row, flooring negatives, NaNs and
+// infinities to zero so a degraded source cannot produce an invalid
+// horizon input.
+func clampRow(row []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n && i < len(row); i++ {
+		if v := row[i]; v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func copyMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+func (p *Planner) backlogEmpty() bool {
+	for s := range p.backlog {
+		for k := range p.backlog[s] {
+			for _, v := range p.backlog[s][k] {
+				if v > 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

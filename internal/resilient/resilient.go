@@ -141,6 +141,16 @@ func (c *Chain) Name() string {
 // LastDecision returns the structured record of the most recent slot.
 func (c *Chain) LastDecision() Decision { return c.dec }
 
+// Unwrap exposes the primary tier, so hosts can discover capabilities of
+// the wrapped planner (core.AsDeferral, forecast attachment) through the
+// chain.
+func (c *Chain) Unwrap() core.Planner {
+	if len(c.Tiers) == 0 {
+		return nil
+	}
+	return c.Tiers[0]
+}
+
 // FallbackState implements sim.FallbackReporter.
 func (c *Chain) FallbackState() (tier int, tierName string, degraded bool) {
 	return c.dec.Tier, c.dec.TierName, c.dec.Degraded
@@ -170,7 +180,22 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 		return nil, err
 	}
 	dec := Decision{Slot: in.Slot, Tier: -1}
+	// A deferring primary (internal/mpc) changes two things about the
+	// chain: committed plans are feasibility-gated against the slot's
+	// arrivals plus the backlog budget (backlog service is real work
+	// beyond the arrivals), and any commit the deferral planner did not
+	// produce itself — a fallback tier, a replay, the shed plan — gets a
+	// force-drain pass so buckets due this slot still meet their
+	// deadlines on a degraded slot.
+	dp, hasDefer := core.AsDeferral(c.Tiers[0])
+	vIn := in
+	if hasDefer {
+		vIn = core.RelaxArrivals(in, dp.BacklogBudget())
+	}
 	commit := func(plan *core.Plan, tier int, name string) *core.Plan {
+		if hasDefer && tier > 0 {
+			dp.ForceDrain(in, plan)
+		}
 		dec.Tier, dec.TierName, dec.Degraded = tier, name, tier > 0
 		c.dec = dec
 		if c.Obs.Enabled() {
@@ -202,7 +227,7 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 	c.inputHealth = nil
 	for i := start; i < len(c.Tiers); i++ {
 		p := c.Tiers[i]
-		plan, at := c.attempt(p, in)
+		plan, at := c.attempt(p, in, vIn)
 		dec.Attempts = append(dec.Attempts, at)
 		if plan != nil {
 			return commit(plan, i, p.Name()), nil
@@ -211,7 +236,7 @@ func (c *Chain) Plan(in *core.Input) (*core.Plan, error) {
 	}
 	n := len(c.Tiers)
 	if !c.DisableReplay {
-		plan, at := c.replay(in)
+		plan, at := c.replay(in, vIn)
 		dec.Attempts = append(dec.Attempts, at)
 		if plan != nil {
 			return commit(plan, n, "replay"), nil
@@ -250,8 +275,10 @@ func planDispatches(p *core.Plan) bool {
 }
 
 // attempt runs one tier under the deadline with panic recovery, and
-// feasibility-gates its plan. A nil plan means rejection.
-func (c *Chain) attempt(p core.Planner, in *core.Input) (*core.Plan, Attempt) {
+// feasibility-gates its plan against vIn (the slot input, with the
+// arrival budgets relaxed by the backlog budget when the primary tier is
+// a deferring planner). A nil plan means rejection.
+func (c *Chain) attempt(p core.Planner, in, vIn *core.Input) (*core.Plan, Attempt) {
 	start := time.Now()
 	type outcome struct {
 		plan     *core.Plan
@@ -290,7 +317,7 @@ func (c *Chain) attempt(p core.Planner, in *core.Input) (*core.Plan, Attempt) {
 	case o.err != nil:
 		at.Reason, at.Err = ReasonError, o.err.Error()
 	default:
-		if err := core.Verify(in, o.plan, c.tol()); err != nil {
+		if err := core.Verify(vIn, o.plan, c.tol()); err != nil {
 			at.Reason, at.Err = ReasonInfeasible, err.Error()
 			return nil, at
 		}
@@ -304,7 +331,7 @@ func (c *Chain) attempt(p core.Planner, in *core.Input) (*core.Plan, Attempt) {
 // proportionally (per-server load, and therefore every delay, never
 // rises), then dispatch is capped to the slot's arrival budget per
 // (type, front-end). The result is feasibility-gated like any tier.
-func (c *Chain) replay(in *core.Input) (*core.Plan, Attempt) {
+func (c *Chain) replay(in, vIn *core.Input) (*core.Plan, Attempt) {
 	at := Attempt{Planner: "replay"}
 	if c.last == nil {
 		at.Reason, at.Err = ReasonError, "no committed plan to replay"
@@ -351,7 +378,7 @@ func (c *Chain) replay(in *core.Input) (*core.Plan, Attempt) {
 	// The replayed plan was optimized for a different slot; its objective
 	// is unknown until the simulator accounts it.
 	p.Objective = 0
-	if err := core.Verify(in, p, c.tol()); err != nil {
+	if err := core.Verify(vIn, p, c.tol()); err != nil {
 		at.Reason, at.Err = ReasonInfeasible, err.Error()
 		return nil, at
 	}

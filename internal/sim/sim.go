@@ -168,7 +168,14 @@ type SlotReport struct {
 	// staleness, breaker state — when the run routes inputs through the
 	// feed layer (Config.Feeds); nil on the oracle path.
 	Feeds *feed.SlotHealth
-	Plan  *core.Plan // nil unless Config.KeepPlans
+	// Backlog is the slot's deferral ledger when the planner buffers
+	// deferrable work across slots (core.DeferralPlanner, internal/mpc):
+	// carried/drained/forced/shed backlog and newly deferred or lost
+	// arrivals, in rate units. Nil for slot-myopic planners. When set,
+	// LostRevenue is derived from the ledger — only work lost or shed for
+	// good is billed, not work merely deferred.
+	Backlog *core.BacklogSlot
+	Plan    *core.Plan // nil unless Config.KeepPlans
 }
 
 // Offered returns the slot's total offered request count.
@@ -305,6 +312,36 @@ func (r *Report) eachFeedHealth(fn func(feed.Health)) {
 	}
 }
 
+// DeferralTotals sums the run's deferral ledger (rate units, like the
+// per-slot ledgers; multiply by the slot length for request counts):
+// work newly deferred into the backlog, carried backlog drained by later
+// slots, the drained share that had to be force-dispatched at its
+// deadline, and deadline misses shed. All zero for slot-myopic planners.
+func (r *Report) DeferralTotals() (deferred, drained, forced, shed float64) {
+	for i := range r.Slots {
+		b := r.Slots[i].Backlog
+		if b == nil {
+			continue
+		}
+		deferred += core.Total(b.DeferredNew)
+		drained += core.Total(b.Drained)
+		forced += core.Total(b.Forced)
+		shed += core.Total(b.Shed)
+	}
+	return deferred, drained, forced, shed
+}
+
+// FinalBacklog returns the backlog still buffered after the last slot
+// (rate units) — nonzero only when a run ends with deferred work
+// stranded, which a properly configured end-of-run truncation
+// (mpc.Config.EndSlot) prevents.
+func (r *Report) FinalBacklog() float64 {
+	if len(r.Slots) == 0 || r.Slots[len(r.Slots)-1].Backlog == nil {
+		return 0
+	}
+	return core.Total(r.Slots[len(r.Slots)-1].Backlog.BacklogOut)
+}
+
 // NetProfitSeries returns the per-slot net profit (paper Figs. 4, 6, 8, 10).
 func (r *Report) NetProfitSeries() []float64 {
 	out := make([]float64, len(r.Slots))
@@ -418,6 +455,17 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 	}
 	sc := cfg.Obs
 	observed := sc.Enabled()
+	// A deferring planner (core.DeferralPlanner, possibly behind fault or
+	// resilient wrappers) changes the slot protocol: plans are verified
+	// and reconciled against arrivals plus the backlog budget, CommitSlot
+	// settles every slot's ledger, and lost revenue comes from the ledger
+	// instead of the offered-minus-served gap. When the run has a feed
+	// layer, its multi-step projections become the planner's horizon
+	// forecasts.
+	dp, hasDefer := core.AsDeferral(planner)
+	if feeds != nil {
+		attachForecast(planner, feeds)
+	}
 	// The per-slot input assembly — fault observation, feed fetches, the
 	// effective topology — lives in the InputSource so the online
 	// dispatch plane sees byte-identical planner views (see source.go).
@@ -450,15 +498,24 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 			sc.Histogram("sim_plan_seconds", nil, obs.L("planner", planner.Name())).
 				Observe(time.Since(planStart).Seconds())
 		}
+		// Backlog service is real work beyond the slot's own arrivals, so
+		// a deferring planner's plan is checked against the widened
+		// budget. Plan never mutates the buckets (only CommitSlot does),
+		// so the budget read here matches what the planner planned with.
+		var budget [][]float64
+		if hasDefer {
+			budget = dp.BacklogBudget()
+		}
 		if err == nil {
-			if verr := core.Verify(planIn, plan, 1e-6); verr != nil {
+			if verr := core.Verify(core.RelaxArrivals(planIn, budget), plan, 1e-6); verr != nil {
 				err = fmt.Errorf("infeasible plan from %s: %w", planner.Name(), verr)
 			}
 		}
 		in := view.Actual
+		relActual := core.RelaxArrivals(in, budget)
 		if err == nil && planView {
-			Reconcile(plan, in.Arrivals)
-			if verr := core.Verify(in, plan, 1e-6); verr != nil {
+			Reconcile(plan, relActual.Arrivals)
+			if verr := core.Verify(relActual, plan, 1e-6); verr != nil {
 				err = fmt.Errorf("reconciled plan infeasible: %w", verr)
 			}
 		}
@@ -485,6 +542,20 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 			if fr, ok := planner.(FallbackReporter); ok {
 				tier, name, degraded := fr.FallbackState()
 				sr.FallbackTier, sr.FallbackName, sr.Degraded = tier, name, degraded
+			}
+		}
+		if hasDefer {
+			// Settle the deferral ledger — exactly once per slot, shed
+			// slots included (their empty plan drains nothing and expires
+			// due work). Deferred work is not lost, merely postponed: the
+			// slot's lost revenue is what the ledger says is gone for good.
+			ledger := dp.CommitSlot(in, plan)
+			sr.Backlog = &ledger
+			T := in.Sys.Slot()
+			sr.LostRevenue = 0
+			for k := 0; k < in.Sys.K(); k++ {
+				gone := ledger.LostNew[k] + ledger.Shed[k]
+				sr.LostRevenue += gone * T * in.Sys.Classes[k].TUF.MaxUtility()
 			}
 		}
 		sr.Slot = abs
@@ -517,6 +588,25 @@ func Run(cfg Config, planner core.Planner) (*Report, error) {
 		report.Slots = append(report.Slots, sr)
 	}
 	return report, nil
+}
+
+// attachForecast walks the planner's wrapper chain (resilient chains,
+// fault injectors — anything exposing Unwrap) and hands the run's feed
+// layer to the first planner that can consume multi-step forecasts
+// (internal/mpc), so its horizon assembly projects through the same
+// estimator ladder that serves the per-slot fetches.
+func attachForecast(p core.Planner, fs core.ForecastSource) {
+	for p != nil {
+		if a, ok := p.(interface{ AttachForecast(core.ForecastSource) }); ok {
+			a.AttachForecast(fs)
+			return
+		}
+		u, ok := p.(interface{ Unwrap() core.Planner })
+		if !ok {
+			return
+		}
+		p = u.Unwrap()
+	}
 }
 
 // safePlan invokes the planner, recovering a panic into an error so one

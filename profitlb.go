@@ -32,6 +32,7 @@ import (
 	"profitlb/internal/forecast"
 	"profitlb/internal/lp"
 	"profitlb/internal/market"
+	"profitlb/internal/mpc"
 	"profitlb/internal/resilient"
 	"profitlb/internal/sim"
 	"profitlb/internal/switching"
@@ -262,6 +263,30 @@ func PlanHorizon(h *HorizonInput) (*HorizonPlan, error) {
 func VerifyHorizon(h *HorizonInput, hp *HorizonPlan, tol float64) error {
 	return core.VerifyHorizon(h, hp, tol)
 }
+
+// Rolling-horizon MPC planning: the online counterpart of PlanHorizon.
+// Where PlanHorizon needs the whole window's arrivals and prices up
+// front (clairvoyant), the MPC planner forecasts them each slot, solves
+// the joint horizon LP, commits only the first slot's decision and rolls
+// forward, buffering unserved deferrable work in a deadline-aware
+// backlog. Plug it into Simulate like any other Planner.
+type (
+	// MPCConfig parameterizes the receding-horizon planner: window
+	// length, per-class deferral allowances (slots each class may wait),
+	// the forecast-hedge margin and the Kalman filter knobs.
+	MPCConfig = mpc.Config
+	// MPCPlanner is the rolling-horizon planner with its deferrable
+	// backlog. It implements Planner.
+	MPCPlanner = mpc.Planner
+	// DeferralLedger is one slot's backlog settlement record (carried,
+	// drained, forced, shed, newly deferred volumes per class); see
+	// SlotReport.Backlog and Report.DeferralTotals.
+	DeferralLedger = core.BacklogSlot
+)
+
+// NewMPC returns the receding-horizon MPC planner for cfg (zero-valued
+// fields take their documented defaults at first use).
+func NewMPC(cfg MPCConfig) *MPCPlanner { return mpc.New(cfg) }
 
 // Advice is a ranked capacity-expansion report (see Advise).
 type Advice = advisor.Advice

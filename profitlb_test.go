@@ -132,8 +132,8 @@ func TestFacadeWorkloads(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	all := Experiments()
-	if len(all) != 45 {
-		t.Fatalf("%d experiments registered, want 45 (21 paper artifacts + 24 extensions)", len(all))
+	if len(all) != 47 {
+		t.Fatalf("%d experiments registered, want 47 (21 paper artifacts + 26 extensions)", len(all))
 	}
 	e, ok := ExperimentByID("fig6")
 	if !ok {
